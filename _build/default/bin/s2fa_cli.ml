@@ -1,0 +1,244 @@
+(* The s2fa command-line tool.
+
+     s2fa list
+     s2fa compile  (-w KERNEL | -f FILE) [--design seed]
+     s2fa dse      -w KERNEL [--mode s2fa|vanilla] [--seed N] [--minutes M]
+     s2fa report   -w KERNEL [--seed N]     (Table-2-style row)
+     s2fa speedup  -w KERNEL [--tasks N]    (Fig-4-style row)
+
+   Everything runs against the simulated F1 instance; see DESIGN.md. *)
+
+module W = S2fa_workloads.Workloads
+module S2fa = S2fa_core.S2fa
+module Blaze = S2fa_blaze.Blaze
+module Driver = S2fa_dse.Driver
+module Seed = S2fa_dse.Seed
+module E = S2fa_hls.Estimate
+module Rng = S2fa_util.Rng
+open Cmdliner
+
+let workload_arg =
+  let doc = "Built-in kernel name (see `s2fa list`)." in
+  Arg.(value & opt (some string) None & info [ "w"; "workload" ] ~doc)
+
+let file_arg =
+  let doc = "MiniScala source file with an Accelerator class." in
+  Arg.(value & opt (some file) None & info [ "f"; "file" ] ~doc)
+
+let seed_arg =
+  let doc = "Random seed for the DSE." in
+  Arg.(value & opt int 7 & info [ "seed" ] ~doc)
+
+let load_workload name =
+  match W.find name with
+  | Some w -> w
+  | None ->
+    Printf.eprintf "unknown kernel %s; try `s2fa list`\n" name;
+    exit 1
+
+let compiled_of ~workload ~file =
+  match (workload, file) with
+  | Some name, _ ->
+    let w = load_workload name in
+    (Some w, W.compile w)
+  | None, Some path ->
+    let ic = open_in path in
+    let n = in_channel_length ic in
+    let src = really_input_string ic n in
+    close_in ic;
+    (None, S2fa.compile src)
+  | None, None ->
+    Printf.eprintf "one of -w or -f is required\n";
+    exit 1
+
+(* ---------- list ---------- *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-8s %-16s %-6s\n" "kernel" "type" "tasks";
+    List.iter
+      (fun (w : W.t) ->
+        Printf.printf "%-8s %-16s %-6d\n" w.W.w_name w.W.w_kind w.W.w_tasks)
+      W.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the built-in evaluation kernels.")
+    Term.(const run $ const ())
+
+(* ---------- compile ---------- *)
+
+let compile_cmd =
+  let design_arg =
+    let doc = "Apply a design before printing: area, perf or structured." in
+    Arg.(value & opt (some string) None & info [ "design" ] ~doc)
+  in
+  let run workload file design =
+    let _, c = compiled_of ~workload ~file in
+    let design =
+      match design with
+      | None -> None
+      | Some "area" -> Some (Seed.area_seed c.S2fa.c_dspace)
+      | Some "perf" -> Some (Seed.performance_seed c.S2fa.c_dspace)
+      | Some "structured" -> Some (Seed.structured_seed c.S2fa.c_dspace)
+      | Some other ->
+        Printf.eprintf "unknown design %s\n" other;
+        exit 1
+    in
+    print_string (S2fa.emit_c ?design c)
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:"Compile a kernel to HLS C and print the generated code.")
+    Term.(const run $ workload_arg $ file_arg $ design_arg)
+
+(* ---------- echo ---------- *)
+
+let echo_cmd =
+  let run workload file =
+    let w, c = compiled_of ~workload ~file in
+    ignore c;
+    let src =
+      match (w, file) with
+      | Some w, _ -> w.W.w_source
+      | None, Some path ->
+        let ic = open_in path in
+        let n = in_channel_length ic in
+        let s = really_input_string ic n in
+        close_in ic;
+        s
+      | None, None -> assert false
+    in
+    print_string
+      (S2fa_scala.Pretty.to_string (S2fa_scala.Parser.parse_program src))
+  in
+  Cmd.v
+    (Cmd.info "echo"
+       ~doc:"Parse a kernel and pretty-print the normalized MiniScala.")
+    Term.(const run $ workload_arg $ file_arg)
+
+(* ---------- bytecode ---------- *)
+
+let bytecode_cmd =
+  let run workload file =
+    let _, c = compiled_of ~workload ~file in
+    List.iter
+      (fun m ->
+        Format.printf "%a@." S2fa_jvm.Insn.pp_method m)
+      c.S2fa.c_class.S2fa.Insn.jmethods
+  in
+  Cmd.v
+    (Cmd.info "bytecode"
+       ~doc:"Print the JVM bytecode disassembly of a kernel class.")
+    Term.(const run $ workload_arg $ file_arg)
+
+(* ---------- dse ---------- *)
+
+let dse_cmd =
+  let mode_arg =
+    let doc = "Exploration flow: s2fa or vanilla." in
+    Arg.(value & opt string "s2fa" & info [ "mode" ] ~doc)
+  in
+  let minutes_arg =
+    let doc = "Simulated time budget in minutes." in
+    Arg.(value & opt float 240.0 & info [ "minutes" ] ~doc)
+  in
+  let run workload file mode seed minutes =
+    let _, c = compiled_of ~workload ~file in
+    let rng = Rng.create seed in
+    let result =
+      match mode with
+      | "s2fa" ->
+        let opts =
+          { Driver.default_s2fa_opts with Driver.so_time_limit = minutes }
+        in
+        S2fa.explore ~opts c rng
+      | "vanilla" -> S2fa.explore_vanilla ~time_limit:minutes c rng
+      | other ->
+        Printf.eprintf "unknown mode %s\n" other;
+        exit 1
+    in
+    Printf.printf "# best-so-far curve (simulated minutes, seconds)\n";
+    List.iter
+      (fun (m, p) -> Printf.printf "%8.1f  %.6f\n" m p)
+      (Driver.best_curve result);
+    (match result.Driver.rr_best with
+    | Some (cfg, perf) ->
+      Printf.printf "# best %.6f s after %.0f min and %d evaluations\n" perf
+        result.Driver.rr_minutes result.Driver.rr_evals;
+      Format.printf "# %a@." S2fa_tuner.Space.pp_cfg cfg
+    | None -> Printf.printf "# nothing feasible found\n")
+  in
+  Cmd.v
+    (Cmd.info "dse" ~doc:"Run design-space exploration on a kernel.")
+    Term.(
+      const run $ workload_arg $ file_arg $ mode_arg $ seed_arg $ minutes_arg)
+
+(* ---------- report ---------- *)
+
+let report_cmd =
+  let run workload file seed =
+    let w, c = compiled_of ~workload ~file in
+    let dse = S2fa.explore c (Rng.create seed) in
+    match dse.Driver.rr_best with
+    | None -> Printf.eprintf "nothing feasible found\n"
+    | Some (cfg, _) ->
+      let tasks = match w with Some w -> w.W.w_tasks | None -> 4096 in
+      let r = S2fa.estimate ~tasks c cfg in
+      Printf.printf "%-8s BRAM %3.0f%%  DSP %3.0f%%  FF %3.0f%%  LUT %3.0f%%  %3.0f MHz\n"
+        (match w with Some w -> w.W.w_name | None -> "kernel")
+        (100.0 *. r.E.r_bram_pct) (100.0 *. r.E.r_dsp_pct)
+        (100.0 *. r.E.r_ff_pct) (100.0 *. r.E.r_lut_pct) r.E.r_freq_mhz
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"DSE a kernel and print its Table-2-style resource row.")
+    Term.(const run $ workload_arg $ file_arg $ seed_arg)
+
+(* ---------- speedup ---------- *)
+
+let speedup_cmd =
+  let tasks_arg =
+    let doc = "Batch size used for the comparison." in
+    Arg.(value & opt (some int) None & info [ "tasks" ] ~doc)
+  in
+  let run workload seed tasks =
+    let name =
+      match workload with
+      | Some n -> n
+      | None ->
+        Printf.eprintf "speedup needs -w\n";
+        exit 1
+    in
+    let w = load_workload name in
+    let c = W.compile w in
+    let tasks = Option.value ~default:w.W.w_tasks tasks in
+    let rng = Rng.create 42 in
+    let fields = w.W.w_fields rng in
+    let sample_n = min 128 tasks in
+    let sample = w.W.w_gen rng sample_n in
+    let jvm = Blaze.map_jvm c.S2fa.c_class ~fields sample in
+    let jvm_total =
+      jvm.Blaze.tr_seconds /. float_of_int sample_n *. float_of_int tasks
+    in
+    let dse = S2fa.explore ~tasks c (Rng.create seed) in
+    (match dse.Driver.rr_best with
+    | Some (cfg, _) ->
+      let r = S2fa.estimate ~tasks c cfg in
+      Printf.printf "%-8s jvm %.4f s, s2fa design %.6f s: %.1fx speedup\n"
+        w.W.w_name jvm_total r.E.r_seconds
+        (jvm_total /. r.E.r_seconds)
+    | None -> Printf.eprintf "nothing feasible found\n")
+  in
+  Cmd.v
+    (Cmd.info "speedup" ~doc:"Fig-4-style JVM-vs-accelerator comparison.")
+    Term.(const run $ workload_arg $ seed_arg $ tasks_arg)
+
+let () =
+  let info =
+    Cmd.info "s2fa" ~version:"1.0.0"
+      ~doc:"Spark-to-FPGA-Accelerator automation framework (simulated F1)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; compile_cmd; echo_cmd; bytecode_cmd; dse_cmd;
+            report_cmd; speedup_cmd ]))

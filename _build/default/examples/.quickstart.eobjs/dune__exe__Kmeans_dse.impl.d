@@ -1,0 +1,1 @@
+examples/kmeans_dse.ml: List Option Printf S2fa_core S2fa_dse S2fa_tuner S2fa_util S2fa_workloads

@@ -1,0 +1,1 @@
+examples/logistic_regression.ml: Array Option Printf S2fa_blaze S2fa_core S2fa_jvm S2fa_scala S2fa_util S2fa_workloads

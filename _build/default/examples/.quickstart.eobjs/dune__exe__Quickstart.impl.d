@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Printf S2fa_core S2fa_dse S2fa_hls S2fa_jvm S2fa_tuner String

@@ -1,0 +1,1 @@
+examples/smith_waterman.ml: Array Float Option Printf S2fa_blaze S2fa_core S2fa_dse S2fa_jvm S2fa_tuner S2fa_util S2fa_workloads

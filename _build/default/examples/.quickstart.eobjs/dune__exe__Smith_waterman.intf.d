@@ -1,0 +1,1 @@
+examples/smith_waterman.mli:

@@ -1,0 +1,1 @@
+examples/vector_reduce.ml: Array Float Printf S2fa_blaze S2fa_core S2fa_jvm S2fa_util S2fa_workloads

@@ -1,0 +1,50 @@
+(* Design space exploration on KMeans: the S2FA flow (partitions, seeds,
+   entropy stopping) against vanilla OpenTuner, printing Fig. 3-style
+   exploration curves over simulated wall-clock.
+
+   Run with: dune exec examples/kmeans_dse.exe *)
+
+module W = S2fa_workloads.Workloads
+module S2fa = S2fa_core.S2fa
+module Driver = S2fa_dse.Driver
+module Rng = S2fa_util.Rng
+
+let print_curve label result norm =
+  Printf.printf "%s (terminated at %.0f min, %d evaluations):\n" label
+    result.Driver.rr_minutes result.Driver.rr_evals;
+  List.iter
+    (fun (minutes, perf) ->
+      Printf.printf "  %6.1f min  %.4f (normalized %.4f)\n" minutes perf
+        (perf /. norm))
+    (Driver.best_curve result)
+
+let () =
+  let w = Option.get (W.find "KMeans") in
+  let c = W.compile w in
+  Printf.printf "exploring KMeans (space of %.3g points)\n\n"
+    (S2fa_tuner.Space.cardinality c.S2fa.c_dspace.S2fa_dse.Dspace.ds_space);
+
+  let s2fa = S2fa.explore c (Rng.create 7) in
+  let vanilla = S2fa.explore_vanilla c (Rng.create 7) in
+
+  (* Normalize like Fig. 3: to the vanilla flow's first explored point. *)
+  let norm =
+    List.fold_left
+      (fun acc (e : Driver.event) ->
+        if e.Driver.ev_feasible && acc = infinity then e.Driver.ev_perf
+        else acc)
+      infinity vanilla.Driver.rr_events
+  in
+
+  print_curve "S2FA DSE" s2fa norm;
+  print_newline ();
+  print_curve "vanilla OpenTuner" vanilla norm;
+
+  let t = s2fa.Driver.rr_minutes in
+  Printf.printf
+    "\nat S2FA's termination time (%.0f min): S2FA %.4f s vs OpenTuner %.4f \
+     s (%.1fx)\n"
+    t (Driver.best_at s2fa t) (Driver.best_at vanilla t)
+    (Driver.best_at vanilla t /. Driver.best_at s2fa t);
+  Printf.printf "time saved against the 240-minute budget: %.0f%%\n"
+    (100.0 *. (1.0 -. (s2fa.Driver.rr_minutes /. 240.0)))

@@ -1,0 +1,72 @@
+(* Quickstart: the paper's motivating example, end to end.
+
+   Compiles the Smith-Waterman kernel class (Code 2 of the paper) from
+   MiniScala source to JVM bytecode and then to HLS C (Code 3's shape),
+   prints both, and estimates one design point.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module S2fa = S2fa_core.S2fa
+module Insn = S2fa_jvm.Insn
+module Seed = S2fa_dse.Seed
+module E = S2fa_hls.Estimate
+
+let source =
+  {|
+class SW() extends Accelerator[(String, String), (String, String)] {
+  val id: String = "SW_kernel"
+  def score(a: Char, b: Char): Int = {
+    if (a == b) 2 else -1
+  }
+  def call(in: (String, String)): (String, String) = {
+    val s1 = in._1
+    val s2 = in._2
+    var m = new Array[Int]((16 + 1) * (16 + 1))
+    var best = 0
+    for (i <- 1 to 16) {
+      for (j <- 1 to 16) {
+        val d = m((i - 1) * 17 + (j - 1)) + score(s1(i - 1), s2(j - 1))
+        val u = m((i - 1) * 17 + j) - 1
+        val l = m(i * 17 + (j - 1)) - 1
+        var v = math.max(math.max(d, u), math.max(l, 0))
+        m(i * 17 + j) = v
+        if (v > best) { best = v }
+      }
+    }
+    val out1 = new Array[Char](32)
+    val out2 = new Array[Char](32)
+    out1(0) = (best & 255).toChar
+    (out1, out2)
+  }
+}
+|}
+
+let () =
+  print_endline "=== 1. MiniScala source (the user writes this) ===";
+  print_endline source;
+
+  let c = S2fa.compile ~in_caps:[ 16; 16 ] ~out_caps:[ 32; 32 ] source in
+
+  print_endline "=== 2. JVM bytecode of call (what S2FA actually reads) ===";
+  (match Insn.find_jmethod c.S2fa.c_class "call" with
+  | Some m ->
+    (* Show the first instructions only; the full listing is long. *)
+    let lines =
+      String.split_on_char '\n' (Format.asprintf "%a" Insn.pp_method m)
+    in
+    List.iteri (fun i l -> if i < 24 then print_endline l) lines;
+    Printf.printf "  ... (%d instructions total)\n\n" (Array.length m.Insn.jcode)
+  | None -> ());
+
+  print_endline "=== 3. Generated HLS C (bytecode-to-C output) ===";
+  print_endline (S2fa.emit_c c);
+
+  print_endline "=== 4. One design point through the HLS estimator ===";
+  let seed = Seed.structured_seed c.S2fa.c_dspace in
+  let r = S2fa.estimate ~tasks:1024 c seed in
+  Format.printf "structured seed: %a@." E.pp_report r;
+  let area = Seed.area_seed c.S2fa.c_dspace in
+  let r2 = S2fa.estimate ~tasks:1024 c area in
+  Format.printf "area seed:       %a@." E.pp_report r2;
+  Format.printf "@.design space: %.3g points@."
+    (S2fa_tuner.Space.cardinality c.S2fa.c_dspace.S2fa_dse.Dspace.ds_space)

@@ -1,0 +1,1 @@
+lib/b2c/cfg.ml: Array Format Hashtbl List Option S2fa_jvm String

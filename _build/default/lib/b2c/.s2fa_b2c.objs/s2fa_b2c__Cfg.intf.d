@@ -1,0 +1,1 @@
+lib/b2c/cfg.mli: Format S2fa_jvm

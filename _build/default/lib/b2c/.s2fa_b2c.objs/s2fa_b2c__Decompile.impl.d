@@ -1,0 +1,1 @@
+lib/b2c/decompile.ml: Array Cfg Hashtbl List Option Printf S2fa_hlsc S2fa_jvm S2fa_scala String

@@ -1,0 +1,1 @@
+lib/b2c/decompile.mli: S2fa_hlsc S2fa_jvm

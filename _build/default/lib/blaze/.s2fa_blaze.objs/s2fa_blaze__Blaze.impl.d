@@ -1,0 +1,1 @@
+lib/blaze/blaze.ml: Array List Printf S2fa_b2c S2fa_hls S2fa_hlsc S2fa_jvm S2fa_scala Serde

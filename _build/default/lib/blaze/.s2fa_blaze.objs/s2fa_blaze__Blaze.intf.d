@@ -1,0 +1,1 @@
+lib/blaze/blaze.mli: S2fa_b2c S2fa_hls S2fa_hlsc S2fa_jvm S2fa_scala

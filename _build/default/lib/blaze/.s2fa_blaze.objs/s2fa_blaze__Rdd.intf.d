@@ -1,0 +1,1 @@
+lib/blaze/rdd.mli:

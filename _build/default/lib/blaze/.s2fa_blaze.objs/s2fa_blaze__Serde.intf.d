@@ -1,0 +1,1 @@
+lib/blaze/serde.mli: S2fa_b2c S2fa_hlsc S2fa_jvm S2fa_scala

@@ -1,0 +1,1 @@
+lib/blaze/stream.ml: Array Blaze Float List S2fa_jvm

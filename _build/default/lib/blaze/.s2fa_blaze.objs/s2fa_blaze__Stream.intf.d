@@ -1,0 +1,1 @@
+lib/blaze/stream.mli: Blaze S2fa_jvm

@@ -1,0 +1,55 @@
+type 'a t = { parts : 'a array array }
+
+let of_array ?(partitions = 4) arr =
+  let n = Array.length arr in
+  let partitions = max 1 (min partitions (max 1 n)) in
+  let base = n / partitions and extra = n mod partitions in
+  let parts =
+    Array.init partitions (fun p ->
+        let len = base + if p < extra then 1 else 0 in
+        let start = (p * base) + min p extra in
+        Array.sub arr start len)
+  in
+  { parts }
+
+let of_list ?partitions l = of_array ?partitions (Array.of_list l)
+
+let partitions t = t.parts
+
+let count t = Array.fold_left (fun acc p -> acc + Array.length p) 0 t.parts
+
+let map f t = { parts = Array.map (Array.map f) t.parts }
+
+let map_partitions f t = { parts = Array.map f t.parts }
+
+let filter pred t =
+  { parts =
+      Array.map
+        (fun p -> Array.of_list (List.filter pred (Array.to_list p)))
+        t.parts }
+
+let reduce f t =
+  let all = Array.concat (Array.to_list t.parts) in
+  match Array.length all with
+  | 0 -> invalid_arg "Rdd.reduce: empty RDD"
+  | _ ->
+    let acc = ref all.(0) in
+    for i = 1 to Array.length all - 1 do
+      acc := f !acc all.(i)
+    done;
+    !acc
+
+let collect t = Array.concat (Array.to_list t.parts)
+
+let zip_with_index t =
+  let idx = ref 0 in
+  { parts =
+      Array.map
+        (fun p ->
+          Array.map
+            (fun x ->
+              let i = !idx in
+              incr idx;
+              (x, i))
+            p)
+        t.parts }

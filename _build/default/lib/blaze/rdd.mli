@@ -1,0 +1,32 @@
+(** Resilient distributed datasets, simulated in-process.
+
+    The minimal RDD algebra Spark programs in this reproduction use:
+    partitioned immutable collections with [map], [reduce], [collect].
+    Laziness is not modelled — transformations evaluate eagerly, which
+    is equivalent for the measured workloads. *)
+
+type 'a t
+
+val of_list : ?partitions:int -> 'a list -> 'a t
+(** Distribute a list over [partitions] (default 4) partitions,
+    round-robin. *)
+
+val of_array : ?partitions:int -> 'a array -> 'a t
+
+val partitions : 'a t -> 'a array array
+
+val count : 'a t -> int
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val map_partitions : ('a array -> 'b array) -> 'a t -> 'b t
+
+val filter : ('a -> bool) -> 'a t -> 'a t
+
+val reduce : ('a -> 'a -> 'a) -> 'a t -> 'a
+(** Raises [Invalid_argument] on an empty RDD. *)
+
+val collect : 'a t -> 'a array
+(** Concatenate all partitions in order. *)
+
+val zip_with_index : 'a t -> ('a * int) t

@@ -1,0 +1,173 @@
+module Ast = S2fa_scala.Ast
+module Interp = S2fa_jvm.Interp
+module Cinterp = S2fa_hlsc.Cinterp
+module Csyntax = S2fa_hlsc.Csyntax
+module Decompile = S2fa_b2c.Decompile
+
+exception Serde_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Serde_error m)) fmt
+
+(* ---------- scalar conversions ---------- *)
+
+let cvalue_of_scalar (elem : Csyntax.cty) (v : Interp.value) : Cinterp.cvalue =
+  match (elem, v) with
+  | (Csyntax.CInt | Csyntax.CBool), Interp.VInt n -> Cinterp.VI n
+  | (Csyntax.CInt | Csyntax.CBool), Interp.VBool b ->
+    Cinterp.VI (if b then 1 else 0)
+  | Csyntax.CChar, Interp.VChar c -> Cinterp.VI (Char.code c)
+  | Csyntax.CChar, Interp.VInt n -> Cinterp.VI (n land 0xff)
+  | Csyntax.CLong, Interp.VLong n -> Cinterp.VL n
+  | (Csyntax.CFloat | Csyntax.CDouble), Interp.VFloat f
+  | (Csyntax.CFloat | Csyntax.CDouble), Interp.VDouble f ->
+    Cinterp.VF f
+  | _, _ -> err "cannot serialize %s" (Format.asprintf "%a" Interp.pp_value v)
+
+let scalar_of_cvalue (ty : Ast.ty) (v : Cinterp.cvalue) : Interp.value =
+  match (ty, v) with
+  | Ast.TInt, Cinterp.VI n -> Interp.VInt n
+  | Ast.TBoolean, Cinterp.VI n -> Interp.VBool (n <> 0)
+  | Ast.TChar, Cinterp.VI n -> Interp.VChar (Char.chr (n land 0xff))
+  | Ast.TLong, Cinterp.VL n -> Interp.VLong n
+  | Ast.TLong, Cinterp.VI n -> Interp.VLong (Int64.of_int n)
+  | Ast.TFloat, Cinterp.VF f -> Interp.VFloat f
+  | Ast.TDouble, Cinterp.VF f -> Interp.VDouble f
+  | Ast.TInt, Cinterp.VF f -> Interp.VInt (int_of_float f)
+  | _, _ -> err "cannot deserialize into %s" (Ast.string_of_ty ty)
+
+let zero_cv (elem : Csyntax.cty) : Cinterp.cvalue =
+  match elem with
+  | Csyntax.CLong -> Cinterp.VL 0L
+  | Csyntax.CFloat | Csyntax.CDouble -> Cinterp.VF 0.0
+  | _ -> Cinterp.VI 0
+
+(* Flatten one JVM value into per-component leaves, mirroring
+   Decompile.flatten_ty's order. *)
+let rec leaves_of_value (ty : Ast.ty) (v : Interp.value) :
+    (Ast.ty * Interp.value) list =
+  match (ty, v) with
+  | Ast.TTuple ts, Interp.VTuple comps ->
+    if List.length ts <> Array.length comps then
+      err "tuple arity mismatch during serialization";
+    List.concat (List.mapi (fun i t -> leaves_of_value t comps.(i)) ts)
+  | Ast.TTuple _, _ -> err "expected a tuple value"
+  | Ast.TString, _ -> leaves_of_value (Ast.TArray Ast.TChar) v
+  | _, _ -> [ (ty, v) ]
+
+let serialize_inputs (iface : Decompile.iface) input_ty tasks =
+  let n = Array.length tasks in
+  let layouts = iface.Decompile.if_inputs in
+  let buffers =
+    List.map
+      (fun (l : Decompile.slot_layout) ->
+        (l, Array.make (n * l.Decompile.sl_len) (zero_cv l.Decompile.sl_elem)))
+      layouts
+  in
+  Array.iteri
+    (fun task v ->
+      let leaves = leaves_of_value input_ty v in
+      if List.length leaves <> List.length buffers then
+        err "input has %d components but the layout has %d"
+          (List.length leaves) (List.length buffers);
+      List.iter2
+        (fun (leaf_ty, leaf) ((l : Decompile.slot_layout), buf) ->
+          let base = task * l.Decompile.sl_len in
+          match (leaf_ty, leaf) with
+          | (Ast.TArray _ | Ast.TString), Interp.VArr a ->
+            let len = min (Array.length a.Interp.adata) l.Decompile.sl_len in
+            for i = 0 to len - 1 do
+              buf.(base + i) <-
+                cvalue_of_scalar l.Decompile.sl_elem a.Interp.adata.(i)
+            done
+          | _, scalar ->
+            buf.(base) <- cvalue_of_scalar l.Decompile.sl_elem scalar)
+        leaves buffers)
+    tasks;
+  List.map
+    (fun ((l : Decompile.slot_layout), buf) ->
+      (l.Decompile.sl_name, Cinterp.VA buf))
+    buffers
+
+let alloc_outputs (iface : Decompile.iface) n =
+  List.map
+    (fun (l : Decompile.slot_layout) ->
+      ( l.Decompile.sl_name,
+        Cinterp.VA
+          (Array.make (n * l.Decompile.sl_len) (zero_cv l.Decompile.sl_elem))
+      ))
+    iface.Decompile.if_outputs
+
+(* Rebuild the JVM value of one task from output buffers, walking the
+   output type against the layout components. *)
+let deserialize_output (iface : Decompile.iface) output_ty buffers task =
+  let remaining = ref iface.Decompile.if_outputs in
+  let next () =
+    match !remaining with
+    | l :: rest ->
+      remaining := rest;
+      l
+    | [] -> err "output layout underflow"
+  in
+  let buffer_of (l : Decompile.slot_layout) =
+    match List.assoc_opt l.Decompile.sl_name buffers with
+    | Some (Cinterp.VA a) -> a
+    | _ -> err "missing output buffer %s" l.Decompile.sl_name
+  in
+  let rec build (ty : Ast.ty) : Interp.value =
+    match ty with
+    | Ast.TTuple ts -> Interp.VTuple (Array.of_list (List.map build ts))
+    | Ast.TString -> build (Ast.TArray Ast.TChar)
+    | Ast.TArray elem ->
+      let l = next () in
+      let buf = buffer_of l in
+      let base = task * l.Decompile.sl_len in
+      Interp.VArr
+        { Interp.aelem = elem;
+          adata =
+            Array.init l.Decompile.sl_len (fun i ->
+                scalar_of_cvalue elem buf.(base + i)) }
+    | _ ->
+      let l = next () in
+      let buf = buffer_of l in
+      scalar_of_cvalue ty buf.(task * l.Decompile.sl_len)
+  in
+  build output_ty
+
+let field_buffers (iface : Decompile.iface) fields =
+  List.map
+    (fun (l : Decompile.slot_layout) ->
+      (* Field layout names are "f_<field>". *)
+      let fname =
+        let n = l.Decompile.sl_name in
+        if String.length n > 2 && String.sub n 0 2 = "f_" then
+          String.sub n 2 (String.length n - 2)
+        else n
+      in
+      match List.assoc_opt fname fields with
+      | None -> err "missing field value %s" fname
+      | Some (Interp.VArr a) ->
+        let buf =
+          Array.make l.Decompile.sl_len (zero_cv l.Decompile.sl_elem)
+        in
+        let len = min (Array.length a.Interp.adata) l.Decompile.sl_len in
+        for i = 0 to len - 1 do
+          buf.(i) <- cvalue_of_scalar l.Decompile.sl_elem a.Interp.adata.(i)
+        done;
+        (l.Decompile.sl_name, Cinterp.VA buf)
+      | Some scalar ->
+        (l.Decompile.sl_name, cvalue_of_scalar l.Decompile.sl_elem scalar))
+    iface.Decompile.if_fields
+
+let bytes_of_iface (iface : Decompile.iface) ~tasks =
+  let per_task layouts =
+    List.fold_left
+      (fun acc (l : Decompile.slot_layout) ->
+        acc
+        + (l.Decompile.sl_len
+          * max 1 (Csyntax.ty_bits l.Decompile.sl_elem / 8)))
+      0 layouts
+  in
+  float_of_int
+    (tasks
+    * (per_task iface.Decompile.if_inputs
+      + per_task iface.Decompile.if_outputs))

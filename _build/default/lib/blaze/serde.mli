@@ -1,0 +1,41 @@
+module Ast = S2fa_scala.Ast
+module Interp = S2fa_jvm.Interp
+module Cinterp = S2fa_hlsc.Cinterp
+module Decompile = S2fa_b2c.Decompile
+
+(** The data-processing-method generator.
+
+    The paper generates Scala methods (via reflection templates) that
+    reorganize JVM objects into the accelerator's flat buffer layout and
+    back; here the same layout configuration from {!S2fa_b2c.Decompile}
+    drives conversion closures between JVM values and C buffers.
+    Variable-length values are padded with zeros to the layout capacity
+    and truncated beyond it, matching the fixed-size interface of the
+    generated accelerator. *)
+
+exception Serde_error of string
+
+val serialize_inputs :
+  Decompile.iface -> Ast.ty -> Interp.value array ->
+  (string * Cinterp.cvalue) list
+(** [serialize_inputs iface input_ty tasks] packs one JVM value per task
+    into the [in_*] buffers. *)
+
+val alloc_outputs :
+  Decompile.iface -> int -> (string * Cinterp.cvalue) list
+
+val deserialize_output :
+  Decompile.iface -> Ast.ty -> (string * Cinterp.cvalue) list -> int ->
+  Interp.value
+(** [deserialize_output iface output_ty buffers task] rebuilds the JVM
+    value of one task from the [out_*] buffers. *)
+
+val field_buffers :
+  Decompile.iface -> (string * Interp.value) list ->
+  (string * Cinterp.cvalue) list
+(** Broadcast class fields, packed once (scalars become scalar values,
+    arrays become shared buffers). *)
+
+val bytes_of_iface : Decompile.iface -> tasks:int -> float
+(** Total bytes moved over the interface for a batch (inputs +
+    outputs), for the serialization/transfer cost model. *)

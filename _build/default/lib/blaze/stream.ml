@@ -1,0 +1,53 @@
+module Interp = S2fa_jvm.Interp
+
+exception Stream_error of string
+
+type stats = {
+  st_batches : int;
+  st_records : int;
+  st_seconds : float;
+  st_max_batch_seconds : float;
+  st_throughput : float;
+}
+
+let batches_of batch_size records =
+  if batch_size <= 0 then
+    raise (Stream_error "batch size must be positive");
+  let n = Array.length records in
+  let rec go start acc =
+    if start >= n then List.rev acc
+    else
+      let len = min batch_size (n - start) in
+      go (start + len) (Array.sub records start len :: acc)
+  in
+  go 0 []
+
+let run_batched run records batch_size =
+  let batches = batches_of batch_size records in
+  let outputs = ref [] in
+  let total = ref 0.0 in
+  let worst = ref 0.0 in
+  List.iter
+    (fun batch ->
+      let r = run batch in
+      outputs := r.Blaze.tr_values :: !outputs;
+      total := !total +. r.Blaze.tr_seconds;
+      worst := Float.max !worst r.Blaze.tr_seconds)
+    batches;
+  let values = Array.concat (List.rev !outputs) in
+  let records_n = Array.length records in
+  ( values,
+    { st_batches = List.length batches;
+      st_records = records_n;
+      st_seconds = !total;
+      st_max_batch_seconds = !worst;
+      st_throughput =
+        (if !total > 0.0 then float_of_int records_n /. !total else 0.0) } )
+
+let run_accelerated manager ~id ~batch_size records =
+  run_batched (fun batch -> Blaze.map_accelerated manager ~id batch) records
+    batch_size
+
+let run_jvm ?cost cls ~fields ~batch_size records =
+  run_batched (fun batch -> Blaze.map_jvm ?cost cls ~fields batch) records
+    batch_size

@@ -1,0 +1,43 @@
+module Interp = S2fa_jvm.Interp
+
+(** Micro-batch streaming on top of the accelerator manager.
+
+    The paper notes S2FA "can easily integrate with other JVM-based
+    runtime systems such as Hadoop and streaming APIs in Java 8": this
+    module is that integration for a streaming source. Records are
+    dispatched in micro-batches; each batch pays the accelerator's
+    invocation and transfer overheads, so the batch size trades
+    throughput against per-record latency — the statistics expose both
+    ends of that trade. *)
+
+exception Stream_error of string
+
+type stats = {
+  st_batches : int;
+  st_records : int;
+  st_seconds : float;          (** Total accelerator-side time. *)
+  st_max_batch_seconds : float;
+      (** Worst per-batch latency (the latency an arriving record can
+          observe). *)
+  st_throughput : float;       (** Records per second. *)
+}
+
+val run_accelerated :
+  Blaze.manager ->
+  id:string ->
+  batch_size:int ->
+  Interp.value array ->
+  Interp.value array * stats
+(** Stream the records through the registered map-operator accelerator
+    in micro-batches of [batch_size] (the last batch may be smaller).
+    Output order matches input order. Raises {!Stream_error} for a
+    non-positive batch size and propagates {!Blaze.Blaze_error}. *)
+
+val run_jvm :
+  ?cost:Interp.cost_model ->
+  S2fa_jvm.Insn.cls ->
+  fields:(string * Interp.value) list ->
+  batch_size:int ->
+  Interp.value array ->
+  Interp.value array * stats
+(** The same streaming schedule on the single-threaded JVM executor. *)

@@ -1,0 +1,1 @@
+lib/core/s2fa.ml: Float List Printf S2fa_b2c S2fa_blaze S2fa_dse S2fa_hls S2fa_hlsc S2fa_jvm S2fa_merlin S2fa_scala S2fa_tuner S2fa_util String

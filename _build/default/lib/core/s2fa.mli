@@ -1,0 +1,82 @@
+module Ast = S2fa_scala.Ast
+module Insn = S2fa_jvm.Insn
+module Interp = S2fa_jvm.Interp
+module Csyntax = S2fa_hlsc.Csyntax
+module Decompile = S2fa_b2c.Decompile
+module Transform = S2fa_merlin.Transform
+module Estimate = S2fa_hls.Estimate
+module Space = S2fa_tuner.Space
+module Tuner = S2fa_tuner.Tuner
+module Dspace = S2fa_dse.Dspace
+module Driver = S2fa_dse.Driver
+module Rng = S2fa_util.Rng
+
+(** The S2FA framework facade (Fig. 1 of the paper): one entry point per
+    stage of the flow, from Scala source text to a deployed Blaze
+    accelerator.
+
+    {[
+      let c = S2fa.compile sw_source ~in_caps:[64;64] ~out_caps:[128;128] in
+      let dse = S2fa.explore c (Rng.create 1) in
+      let accel = S2fa.make_accelerator c (best_cfg dse) ~fields:[] in
+      Blaze.register manager accel
+    ]} *)
+
+exception Error of string
+(** Wraps stage errors (parse, type, compile, decompile) with a uniform
+    message carrying the failing stage. *)
+
+type compiled = {
+  c_class : Insn.cls;             (** Bytecode of the kernel class. *)
+  c_pretty : Csyntax.cprog;       (** Generated C (call + kernel), for display. *)
+  c_flat : Csyntax.cprog;         (** [call] inlined into the task loop. *)
+  c_iface : Decompile.iface;      (** Interface layout for Blaze serde. *)
+  c_dspace : Dspace.t;            (** Identified design space (Table 1). *)
+  c_buffer_elems : (string * int) list;
+  c_input_ty : Ast.ty;
+  c_output_ty : Ast.ty;
+}
+
+val compile :
+  ?class_name:string ->
+  ?operator:[ `Map | `Reduce ] ->
+  ?in_caps:int list ->
+  ?out_caps:int list ->
+  ?field_caps:(string * int) list ->
+  string ->
+  compiled
+(** Parse, type-check, compile to bytecode, verify, decompile to C and
+    identify the design space. [class_name] selects a class when the
+    source defines several (default: the first [Accelerator] class). *)
+
+val apply_design : compiled -> Space.cfg -> Csyntax.cprog
+(** The flat kernel with a design point's Merlin transformations
+    applied. *)
+
+val estimate : ?tasks:int -> compiled -> Space.cfg -> Estimate.report
+(** HLS-estimate a design point (default 4096 tasks). *)
+
+val objective : ?tasks:int -> compiled -> Space.cfg -> Tuner.eval_result
+(** The DSE objective: the kernel's estimated execution cycles at the
+    achieved frequency (Fig. 3's "normalized execution cycle" metric),
+    infinite when infeasible, with the simulated evaluation cost. *)
+
+val explore :
+  ?opts:Driver.s2fa_opts -> ?tasks:int -> compiled -> Rng.t ->
+  Driver.run_result
+(** Run the full S2FA DSE flow. *)
+
+val explore_vanilla :
+  ?time_limit:float -> ?tasks:int -> compiled -> Rng.t -> Driver.run_result
+(** Run the vanilla-OpenTuner baseline. *)
+
+val make_accelerator :
+  ?design:Space.cfg -> compiled -> fields:(string * Interp.value) list ->
+  S2fa_blaze.Blaze.accel
+(** Package the (optionally transformed) kernel as a Blaze accelerator;
+    its id is the class's [id] constant (falling back to the class
+    name). *)
+
+val emit_c : ?design:Space.cfg -> compiled -> string
+(** Pretty-print the generated HLS C (for the display program, the
+    design's pragmas applied when given). *)

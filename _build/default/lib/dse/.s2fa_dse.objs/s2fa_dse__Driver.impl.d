@@ -1,0 +1,1 @@
+lib/dse/driver.ml: Array Dspace Float List Partition Queue S2fa_tuner S2fa_util Seed

@@ -1,0 +1,1 @@
+lib/dse/driver.mli: Dspace S2fa_tuner S2fa_util

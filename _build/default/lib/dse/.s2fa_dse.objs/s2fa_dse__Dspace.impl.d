@@ -1,0 +1,1 @@
+lib/dse/dspace.ml: List Printf S2fa_hlsc S2fa_merlin S2fa_tuner

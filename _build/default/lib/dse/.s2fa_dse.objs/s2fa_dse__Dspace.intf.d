@@ -1,0 +1,1 @@
+lib/dse/dspace.mli: S2fa_hlsc S2fa_merlin S2fa_tuner

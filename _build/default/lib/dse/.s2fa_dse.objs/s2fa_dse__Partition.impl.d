@@ -1,0 +1,1 @@
+lib/dse/partition.ml: Array List Option S2fa_tuner S2fa_util String

@@ -1,0 +1,1 @@
+lib/dse/partition.mli: S2fa_tuner S2fa_util

@@ -1,0 +1,1 @@
+lib/dse/seed.ml: Dspace List Partition S2fa_tuner

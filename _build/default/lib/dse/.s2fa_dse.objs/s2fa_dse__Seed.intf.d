@@ -1,0 +1,1 @@
+lib/dse/seed.mli: Dspace Partition S2fa_tuner

@@ -1,0 +1,317 @@
+module Space = S2fa_tuner.Space
+module Tuner = S2fa_tuner.Tuner
+module Rng = S2fa_util.Rng
+
+type event = { ev_minutes : float; ev_perf : float; ev_feasible : bool }
+
+type run_result = {
+  rr_events : event list;
+  rr_best : (Space.cfg * float) option;
+  rr_minutes : float;
+  rr_evals : int;
+}
+
+let best_curve rr =
+  let sorted =
+    List.sort (fun a b -> compare a.ev_minutes b.ev_minutes) rr.rr_events
+  in
+  let _, rev =
+    List.fold_left
+      (fun (best, acc) ev ->
+        if ev.ev_feasible && ev.ev_perf < best then
+          (ev.ev_perf, (ev.ev_minutes, ev.ev_perf) :: acc)
+        else (best, acc))
+      (infinity, []) sorted
+  in
+  List.rev rev
+
+let best_at rr minute =
+  List.fold_left
+    (fun best ev ->
+      if ev.ev_feasible && ev.ev_minutes <= minute && ev.ev_perf < best then
+        ev.ev_perf
+      else best)
+    infinity rr.rr_events
+
+type s2fa_opts = {
+  so_cores : int;
+  so_time_limit : float;
+  so_theta : float;
+  so_consecutive : int;
+  so_min_evals : int;
+  so_depth : int;
+  so_samples : int;
+  so_partition : bool;
+  so_seed_mode : [ `Both | `Area_only | `None ];
+  so_stop : [ `Entropy | `Trivial of int | `Time_only ];
+}
+
+let default_s2fa_opts =
+  { so_cores = 8;
+    so_time_limit = 240.0;
+    so_theta = 0.02;
+    so_consecutive = 5;
+    so_min_evals = 14;
+    so_depth = 3;
+    so_samples = 96;
+    so_partition = true;
+    so_seed_mode = `Both;
+    so_stop = `Entropy }
+
+(* Offline "training data": quick estimator probes used to fit the
+   partitioning rules. The paper builds these rules from training
+   applications ahead of time, so they do not consume DSE wall-clock. *)
+let offline_samples dspace objective rng n =
+  List.init n (fun _ ->
+      let cfg = Space.random_cfg rng dspace.Dspace.ds_space in
+      let r = objective cfg in
+      let lat =
+        if r.Tuner.e_feasible then log r.Tuner.e_perf
+        else 10.0 (* a large, finite label for the infeasible region *)
+      in
+      { Partition.s_cfg = cfg; s_latency = lat })
+
+let rule_sets dspace =
+  (* Methodology 1: factors grouped by loop level — pipeline modes first,
+     because "flatten" invalidates every factor below it (Impediment 2).
+     Methodology 2: the RDD-operator (task) loop's factors. *)
+  let task = dspace.Dspace.ds_task_loop in
+  let pipe_params =
+    List.filter_map
+      (fun id -> if id = task then None else Some (Dspace.pipe_name id))
+      dspace.Dspace.ds_loop_ids
+  in
+  let task_params =
+    [ Dspace.par_name task; Dspace.pipe_name task; Dspace.tile_name task ]
+  in
+  let inner_params =
+    List.concat_map
+      (fun id -> [ Dspace.par_name id; Dspace.pipe_name id ])
+      dspace.Dspace.ds_inner_ids
+  in
+  [ pipe_params; task_params; inner_params; [] ]
+
+let run_s2fa ?(opts = default_s2fa_opts) dspace objective rng =
+  let samples =
+    if opts.so_partition || opts.so_seed_mode = `Both then
+      offline_samples dspace objective (Rng.split rng) opts.so_samples
+    else []
+  in
+  let partitions =
+    if opts.so_partition then
+      Partition.build ~depth:opts.so_depth ~rule_params:(rule_sets dspace)
+        dspace.Dspace.ds_space samples
+    else [ { Partition.p_constrs = []; p_space = dspace.Dspace.ds_space } ]
+  in
+  let stop_rule =
+    match opts.so_stop with
+    | `Entropy ->
+      Tuner.Entropy_stop
+        { theta = opts.so_theta;
+          consecutive = opts.so_consecutive;
+          min_evals = opts.so_min_evals }
+    | `Trivial k -> Tuner.Trivial_stop k
+    | `Time_only -> Tuner.No_stop
+  in
+  let make_tuner part =
+    (* The partition's best point among the offline training samples is
+       its third seed: the rule-fitting data doubles as a warm start for
+       the region (same spirit as Section 4.3.2's per-partition seeds). *)
+    let sample_seed =
+      List.fold_left
+        (fun acc (s : Partition.sample) ->
+          let inside =
+            List.for_all (Partition.satisfies s.Partition.s_cfg)
+              part.Partition.p_constrs
+          in
+          match acc with
+          | Some (_, best) when best <= s.Partition.s_latency -> acc
+          | _ ->
+            if inside && s.Partition.s_latency < 10.0 then
+              Some (s.Partition.s_cfg, s.Partition.s_latency)
+            else acc)
+        None samples
+    in
+    let seeds =
+      match opts.so_seed_mode with
+      | `Both -> (
+        Seed.seeds_for dspace part
+        @
+        match sample_seed with
+        | Some (cfg, _) -> [ Partition.project part cfg ]
+        | None -> [])
+      | `Area_only -> [ Partition.project part (Seed.area_seed dspace) ]
+      | `None -> []
+    in
+    Tuner.create ~seeds part.Partition.p_space objective (Rng.split rng)
+  in
+  let queue = Queue.create () in
+  List.iter (fun p -> Queue.add p queue) partitions;
+  let core_time = Array.make opts.so_cores 0.0 in
+  let events = ref [] in
+  let evals = ref 0 in
+  let global_best = ref None in
+  let note_best cfg perf feasible =
+    if feasible then
+      match !global_best with
+      | Some (_, b) when b <= perf -> ()
+      | _ -> global_best := Some (cfg, perf)
+  in
+  let run_partition core part =
+    let tuner = make_tuner part in
+    let continue_ = ref true in
+    while !continue_ do
+      if core_time.(core) >= opts.so_time_limit then continue_ := false
+      else begin
+        let o = Tuner.step tuner in
+        incr evals;
+        core_time.(core) <- core_time.(core) +. o.Tuner.o_minutes;
+        events :=
+          { ev_minutes = core_time.(core);
+            ev_perf = o.Tuner.o_perf;
+            ev_feasible = o.Tuner.o_feasible }
+          :: !events;
+        note_best o.Tuner.o_cfg o.Tuner.o_perf o.Tuner.o_feasible;
+        if Tuner.should_stop tuner stop_rule then continue_ := false
+      end
+    done
+  in
+  (* FCFS: whenever a core frees up, it takes the next waiting
+     partition. *)
+  let next_free_core () =
+    let best = ref 0 in
+    Array.iteri (fun i t -> if t < core_time.(!best) then best := i) core_time;
+    !best
+  in
+  while not (Queue.is_empty queue) do
+    let core = next_free_core () in
+    if core_time.(core) >= opts.so_time_limit then Queue.clear queue
+    else begin
+      let part = Queue.pop queue in
+      run_partition core part
+    end
+  done;
+  let finish = Array.fold_left Float.max 0.0 core_time in
+  { rr_events = List.rev !events;
+    rr_best = !global_best;
+    rr_minutes = Float.min finish opts.so_time_limit;
+    rr_evals = !evals }
+
+let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) dspace
+    objective rng =
+  (* Same partition tree as the static flow, but per DATuner: random
+     starting points, an on-line sampling phase per partition, then
+     greedy core reallocation toward the best-performing partitions. *)
+  let samples =
+    offline_samples dspace objective (Rng.split rng) opts.so_samples
+  in
+  let partitions =
+    Partition.build ~depth:opts.so_depth ~rule_params:(rule_sets dspace)
+      dspace.Dspace.ds_space samples
+  in
+  let tuners =
+    List.map
+      (fun part ->
+        (* Random seed, not the generated ones. *)
+        let seeds = [ Space.random_cfg rng part.Partition.p_space ] in
+        Tuner.create ~seeds part.Partition.p_space objective (Rng.split rng))
+      partitions
+    |> Array.of_list
+  in
+  let n = Array.length tuners in
+  let core_time = Array.make opts.so_cores 0.0 in
+  let events = ref [] in
+  let evals = ref 0 in
+  let global_best = ref None in
+  let part_best = Array.make n infinity in
+  let part_evals = Array.make n 0 in
+  let step_on core p =
+    let o = Tuner.step tuners.(p) in
+    incr evals;
+    part_evals.(p) <- part_evals.(p) + 1;
+    core_time.(core) <- core_time.(core) +. o.Tuner.o_minutes;
+    events :=
+      { ev_minutes = core_time.(core);
+        ev_perf = o.Tuner.o_perf;
+        ev_feasible = o.Tuner.o_feasible }
+      :: !events;
+    if o.Tuner.o_feasible then begin
+      if o.Tuner.o_perf < part_best.(p) then part_best.(p) <- o.Tuner.o_perf;
+      match !global_best with
+      | Some (_, b) when b <= o.Tuner.o_perf -> ()
+      | _ -> global_best := Some (o.Tuner.o_cfg, o.Tuner.o_perf)
+    end
+  in
+  let next_free_core () =
+    let best = ref 0 in
+    Array.iteri (fun i t -> if t < core_time.(!best) then best := i) core_time;
+    !best
+  in
+  (* Phase 1: sampling set-up, round-robin over partitions. *)
+  for p = 0 to n - 1 do
+    for _ = 1 to setup_evals do
+      let core = next_free_core () in
+      if core_time.(core) < opts.so_time_limit then step_on core p
+    done
+  done;
+  (* Phase 2: greedy reallocation — each freed core works on the
+     partition with the best quality so far (ties to the least
+     explored). *)
+  let continue_ = ref true in
+  while !continue_ do
+    let core = next_free_core () in
+    if core_time.(core) >= opts.so_time_limit then continue_ := false
+    else begin
+      let best_p = ref 0 in
+      for p = 1 to n - 1 do
+        if
+          part_best.(p) < part_best.(!best_p)
+          || (part_best.(p) = part_best.(!best_p)
+             && part_evals.(p) < part_evals.(!best_p))
+        then best_p := p
+      done;
+      step_on core !best_p
+    end
+  done;
+  { rr_events = List.rev !events;
+    rr_best = !global_best;
+    rr_minutes = Float.min (Array.fold_left Float.max 0.0 core_time)
+        opts.so_time_limit;
+    rr_evals = !evals }
+
+let run_vanilla ?(cores = 8) ?(time_limit = 240.0) dspace objective rng =
+  (* One random starting point, no partitions, no systematic stopping:
+     per iteration the 8 cores evaluate the next 8 proposals and the
+     clock advances by the slowest of them. *)
+  let seeds = [ Space.random_cfg rng dspace.Dspace.ds_space ] in
+  let tuner =
+    Tuner.create ~seeds dspace.Dspace.ds_space objective (Rng.split rng)
+  in
+  let clock = ref 0.0 in
+  let events = ref [] in
+  let evals = ref 0 in
+  let global_best = ref None in
+  while !clock < time_limit do
+    let batch = Tuner.step_batch tuner cores in
+    let slowest =
+      List.fold_left (fun m o -> Float.max m o.Tuner.o_minutes) 0.0 batch
+    in
+    clock := !clock +. slowest;
+    List.iter
+      (fun o ->
+        incr evals;
+        events :=
+          { ev_minutes = !clock;
+            ev_perf = o.Tuner.o_perf;
+            ev_feasible = o.Tuner.o_feasible }
+          :: !events;
+        if o.Tuner.o_feasible then
+          match !global_best with
+          | Some (_, b) when b <= o.Tuner.o_perf -> ()
+          | _ -> global_best := Some (o.Tuner.o_cfg, o.Tuner.o_perf))
+      batch
+  done;
+  { rr_events = List.rev !events;
+    rr_best = !global_best;
+    rr_minutes = time_limit;
+    rr_evals = !evals }

@@ -1,0 +1,83 @@
+module Space = S2fa_tuner.Space
+module Tuner = S2fa_tuner.Tuner
+module Rng = S2fa_util.Rng
+
+(** DSE drivers over simulated wall-clock time.
+
+    Every HLS evaluation advances a virtual clock by its modeled duration
+    ({!S2fa_hls.Estimate}'s eval-minutes). Eight virtual CPU cores run
+    concurrently: the S2FA flow assigns partitions to cores
+    first-come-first-serve (Fig. 2), while the vanilla-OpenTuner baseline
+    evaluates its top-8 candidates per iteration on the same 8 cores
+    (footnote 3 of the paper). *)
+
+(** One evaluated point in global simulated time. *)
+type event = {
+  ev_minutes : float;   (** Completion time. *)
+  ev_perf : float;      (** Quality of this point (seconds; lower wins). *)
+  ev_feasible : bool;
+}
+
+type run_result = {
+  rr_events : event list;          (** Completion order. *)
+  rr_best : (Space.cfg * float) option;
+  rr_minutes : float;              (** When the whole DSE terminated. *)
+  rr_evals : int;
+}
+
+val best_curve : run_result -> (float * float) list
+(** Best-so-far quality over time: [(minutes, best_perf)] steps. *)
+
+val best_at : run_result -> float -> float
+(** Best quality found no later than the given minute ([infinity] when
+    nothing feasible was found yet). *)
+
+type s2fa_opts = {
+  so_cores : int;               (** default 8 *)
+  so_time_limit : float;        (** minutes; default 240 *)
+  so_theta : float;             (** entropy threshold; default 0.02 *)
+  so_consecutive : int;         (** default 5 *)
+  so_min_evals : int;           (** per partition; default 14 *)
+  so_depth : int;               (** partition-tree depth; default 3 *)
+  so_samples : int;             (** offline training samples; default 96 *)
+  so_partition : bool;          (** ablation switch *)
+  so_seed_mode : [ `Both | `Area_only | `None ];  (** ablation switch *)
+  so_stop : [ `Entropy | `Trivial of int | `Time_only ]; (** ablation *)
+}
+
+val default_s2fa_opts : s2fa_opts
+
+val run_s2fa :
+  ?opts:s2fa_opts ->
+  Dspace.t ->
+  (Space.cfg -> Tuner.eval_result) ->
+  Rng.t ->
+  run_result
+(** The full S2FA flow of Fig. 2: offline rule fitting, static
+    partitioning, per-partition seeded tuners with entropy stopping,
+    FCFS scheduling onto the virtual cores. *)
+
+val run_dynamic :
+  ?opts:s2fa_opts ->
+  ?setup_evals:int ->
+  Dspace.t ->
+  (Space.cfg -> Tuner.eval_result) ->
+  Rng.t ->
+  run_result
+(** The DATuner-style alternative the paper argues against (Section
+    4.3.1): partitions start from {e random} seeds, every partition
+    first runs [setup_evals] sampling evaluations (the "set-up time"
+    static partitioning avoids — charged to the simulated clock), and
+    cores are then reallocated greedily to the partitions showing the
+    best quality so far. Used by the A5 ablation. *)
+
+val run_vanilla :
+  ?cores:int ->
+  ?time_limit:float ->
+  Dspace.t ->
+  (Space.cfg -> Tuner.eval_result) ->
+  Rng.t ->
+  run_result
+(** Vanilla OpenTuner: one tuner on the whole space starting from a
+    random seed, 8 parallel evaluations per iteration, stopped only by
+    the 4-hour limit. *)

@@ -1,0 +1,111 @@
+module Space = S2fa_tuner.Space
+module Transform = S2fa_merlin.Transform
+module Csyntax = S2fa_hlsc.Csyntax
+module Canalysis = S2fa_hlsc.Canalysis
+
+type t = {
+  ds_space : Space.space;
+  ds_loop_ids : int list;
+  ds_task_loop : int;
+  ds_inner_ids : int list;
+  ds_buffers : string list;
+}
+
+let tile_name id = Printf.sprintf "tile_L%d" id
+let par_name id = Printf.sprintf "par_L%d" id
+let pipe_name id = Printf.sprintf "pipe_L%d" id
+let bw_name b = "bw_" ^ b
+
+let identify ?(max_factor = 256) prog =
+  let kernel =
+    match Csyntax.find_cfunc prog "kernel" with
+    | Some f -> f
+    | None -> invalid_arg "Dspace.identify: no kernel function"
+  in
+  let summary = Canalysis.analyze kernel in
+  let loops = summary.Canalysis.loops in
+  let task_loop =
+    match
+      List.find_opt
+        (fun (li : Canalysis.loop_info) -> li.Canalysis.li_ancestors = [])
+        loops
+    with
+    | Some li -> li.Canalysis.li_loop.Csyntax.lid
+    | None -> invalid_arg "Dspace.identify: kernel has no loops"
+  in
+  let max_depth =
+    List.fold_left
+      (fun m (li : Canalysis.loop_info) -> max m li.Canalysis.li_depth)
+      0 loops
+  in
+  let inner_ids =
+    List.filter_map
+      (fun (li : Canalysis.loop_info) ->
+        if li.Canalysis.li_depth = max_depth then
+          Some li.Canalysis.li_loop.Csyntax.lid
+        else None)
+      loops
+  in
+  let params =
+    List.concat_map
+      (fun (li : Canalysis.loop_info) ->
+        let id = li.Canalysis.li_loop.Csyntax.lid in
+        let is_task = id = task_loop in
+        let trip =
+          match li.Canalysis.li_trip with
+          | Some t -> t
+          | None -> if is_task then 4096 else 64
+        in
+        let tile_hi = min trip (if is_task then 1024 else max_factor) in
+        let par_hi = min trip max_factor in
+        let tile =
+          if tile_hi > 1 then [ Space.PPow2 (tile_name id, 1, tile_hi) ]
+          else []
+        in
+        let par =
+          if par_hi > 1 then [ Space.PPow2 (par_name id, 1, par_hi) ] else []
+        in
+        let pipe =
+          [ Space.PEnum (pipe_name id, [ "off"; "on"; "flatten" ]) ]
+        in
+        tile @ par @ pipe)
+      loops
+  in
+  let buffers =
+    List.map (fun (b, _, _) -> b) summary.Canalysis.buffers
+  in
+  let bw_params =
+    List.map (fun b -> Space.PPow2 (bw_name b, 16, 512)) buffers
+  in
+  { ds_space = params @ bw_params;
+    ds_loop_ids =
+      List.map (fun (li : Canalysis.loop_info) -> li.Canalysis.li_loop.Csyntax.lid) loops;
+    ds_task_loop = task_loop;
+    ds_inner_ids = inner_ids;
+    ds_buffers = buffers }
+
+let to_merlin t cfg =
+  let get_int name default =
+    match List.assoc_opt name cfg with
+    | Some (Space.VInt v) -> v
+    | _ -> default
+  in
+  let get_pipe name =
+    match List.assoc_opt name cfg with
+    | Some (Space.VStr "on") -> Csyntax.PipeOn
+    | Some (Space.VStr "flatten") -> Csyntax.PipeFlatten
+    | _ -> Csyntax.PipeOff
+  in
+  let loops =
+    List.map
+      (fun id ->
+        ( id,
+          { Transform.lc_tile = get_int (tile_name id) 1;
+            lc_parallel = get_int (par_name id) 1;
+            lc_pipeline = get_pipe (pipe_name id) } ))
+      t.ds_loop_ids
+  in
+  let bitwidths =
+    List.map (fun b -> (b, get_int (bw_name b) 32)) t.ds_buffers
+  in
+  { Transform.cfg_loops = loops; cfg_bitwidths = bitwidths }

@@ -1,0 +1,187 @@
+module Space = S2fa_tuner.Space
+module Rng = S2fa_util.Rng
+module Stats = S2fa_util.Stats
+
+type constr =
+  | CLe of string * int
+  | CGt of string * int
+  | CIn of string * string list
+
+type partition = { p_constrs : constr list; p_space : Space.space }
+
+let restrict space c =
+  List.map
+    (fun p ->
+      let name = Space.param_name p in
+      match (p, c) with
+      | Space.PPow2 (n, lo, hi), CLe (cn, t) when String.equal n cn ->
+        Space.PPow2 (n, lo, min hi t)
+      | Space.PPow2 (n, lo, hi), CGt (cn, t) when String.equal n cn ->
+        Space.PPow2 (n, max lo (t + 1), hi)
+      | Space.PInt (n, lo, hi), CLe (cn, t) when String.equal n cn ->
+        Space.PInt (n, lo, min hi t)
+      | Space.PInt (n, lo, hi), CGt (cn, t) when String.equal n cn ->
+        Space.PInt (n, max lo (t + 1), hi)
+      | Space.PEnum (n, cs), CIn (cn, allowed) when String.equal n cn ->
+        let kept = List.filter (fun x -> List.mem x allowed) cs in
+        Space.PEnum (n, if kept = [] then cs else kept)
+      | _ ->
+        ignore name;
+        p)
+    space
+
+let project part cfg =
+  List.map
+    (fun p ->
+      let name = Space.param_name p in
+      let legal = Space.values_of p in
+      let cur =
+        match List.assoc_opt name cfg with
+        | Some v -> v
+        | None -> List.hd legal
+      in
+      if List.mem cur legal then (name, cur)
+      else begin
+        (* Clamp: nearest legal value. *)
+        match cur with
+        | Space.VInt x ->
+          let best =
+            List.fold_left
+              (fun acc v ->
+                match (acc, v) with
+                | None, Space.VInt _ -> Some v
+                | Some (Space.VInt b), Space.VInt y ->
+                  if abs (y - x) < abs (b - x) then Some v else acc
+                | _ -> acc)
+              None legal
+          in
+          (name, Option.value ~default:(List.hd legal) best)
+        | Space.VStr _ -> (name, List.hd legal)
+      end)
+    part.p_space
+  |> Space.normalize
+
+let info_gain left right =
+  let n_l = float_of_int (Array.length left) in
+  let n_r = float_of_int (Array.length right) in
+  let n = n_l +. n_r in
+  if n = 0.0 then 0.0
+  else begin
+    let all = Array.append left right in
+    Stats.variance all
+    -. (n_l /. n *. Stats.variance left)
+    -. (n_r /. n *. Stats.variance right)
+  end
+
+type sample = { s_cfg : Space.cfg; s_latency : float }
+
+(* Candidate splits of one parameter given the samples. *)
+let candidate_splits (p : Space.param) =
+  match p with
+  | Space.PInt (n, _, _) | Space.PPow2 (n, _, _) -> (
+    let vs =
+      List.filter_map
+        (function Space.VInt v -> Some v | Space.VStr _ -> None)
+        (Space.values_of p)
+    in
+    match vs with
+    | [] | [ _ ] -> []
+    | _ ->
+      (* Thresholds between consecutive legal values. *)
+      let rec pairs = function
+        | a :: (b :: _ as rest) -> (a, b) :: pairs rest
+        | _ -> []
+      in
+      List.map (fun (a, _) -> CLe (n, a)) (pairs vs))
+  | Space.PEnum (n, cs) ->
+    if List.length cs <= 1 then []
+    else List.map (fun c -> CIn (n, [ c ])) cs
+
+let satisfies cfg = function
+  | CLe (n, t) -> (
+    match List.assoc_opt n cfg with
+    | Some (Space.VInt v) -> v <= t
+    | _ -> true)
+  | CGt (n, t) -> (
+    match List.assoc_opt n cfg with
+    | Some (Space.VInt v) -> v > t
+    | _ -> true)
+  | CIn (n, allowed) -> (
+    match List.assoc_opt n cfg with
+    | Some (Space.VStr s) -> List.mem s allowed
+    | _ -> true)
+
+let negate_constr space = function
+  | CLe (n, t) -> CGt (n, t)
+  | CGt (n, t) -> CLe (n, t)
+  | CIn (n, allowed) ->
+    let all =
+      List.concat_map
+        (fun p ->
+          if String.equal (Space.param_name p) n then
+            List.filter_map
+              (function Space.VStr s -> Some s | Space.VInt _ -> None)
+              (Space.values_of p)
+          else [])
+        space
+    in
+    CIn (n, List.filter (fun s -> not (List.mem s allowed)) all)
+
+let lat_of samples = Array.of_list (List.map (fun s -> s.s_latency) samples)
+
+let best_split space samples ~allowed_params =
+  let candidates =
+    List.concat_map
+      (fun p ->
+        if
+          allowed_params = []
+          || List.mem (Space.param_name p) allowed_params
+        then candidate_splits p
+        else [])
+      space
+  in
+  let score c =
+    let l, r = List.partition (fun s -> satisfies s.s_cfg c) samples in
+    if l = [] || r = [] then neg_infinity
+    else info_gain (lat_of l) (lat_of r)
+  in
+  List.fold_left
+    (fun acc c ->
+      let g = score c in
+      match acc with
+      | Some (_, gb) when gb >= g -> acc
+      | _ -> if g > 0.0 then Some (c, g) else acc)
+    None candidates
+
+let build ?(depth = 3) ~rule_params space samples =
+  (* Choose the preferred rule set for the root split ("some-for-all"):
+     the set whose best split has the highest information gain wins. *)
+  let root_allowed =
+    let scored =
+      List.filter_map
+        (fun rs ->
+          match best_split space samples ~allowed_params:rs with
+          | Some (_, g) -> Some (rs, g)
+          | None -> None)
+        rule_params
+    in
+    match scored with
+    | [] -> []
+    | (rs0, g0) :: rest ->
+      fst
+        (List.fold_left
+           (fun (brs, bg) (rs, g) -> if g > bg then (rs, g) else (brs, bg))
+           (rs0, g0) rest)
+  in
+  let rec grow space samples constrs d ~allowed =
+    if d = 0 then [ { p_constrs = List.rev constrs; p_space = space } ]
+    else
+      match best_split space samples ~allowed_params:allowed with
+      | None -> [ { p_constrs = List.rev constrs; p_space = space } ]
+      | Some (c, _) ->
+        let neg = negate_constr space c in
+        let sl, sr = List.partition (fun s -> satisfies s.s_cfg c) samples in
+        grow (restrict space c) sl (c :: constrs) (d - 1) ~allowed:[]
+        @ grow (restrict space neg) sr (neg :: constrs) (d - 1) ~allowed:[]
+  in
+  grow space samples [] depth ~allowed:root_allowed

@@ -1,0 +1,53 @@
+module Space = S2fa_tuner.Space
+module Rng = S2fa_util.Rng
+
+(** Static design-space partitioning via a regression decision tree
+    (Section 4.3.1).
+
+    Nodes split on a design factor and a condition (e.g. "parallel
+    factor of the outer loop < 16"); leaves are partitions. Splits are
+    chosen greedily to maximize information gain (Eq. 1) with variance
+    as the impurity function (latency is a regressed value). The
+    candidate rule sets follow the paper's two methodologies: factors of
+    the task loop inserted for the RDD operator, and factors grouped by
+    loop-hierarchy level. Partitions are disjoint and cover the space,
+    so optimality is preserved. *)
+
+type constr =
+  | CLe of string * int       (** Integer parameter <= threshold. *)
+  | CGt of string * int
+  | CIn of string * string list  (** Enum parameter restricted. *)
+
+type partition = {
+  p_constrs : constr list;
+  p_space : Space.space;  (** The narrowed sub-space. *)
+}
+
+val restrict : Space.space -> constr -> Space.space
+(** Narrow one parameter's range; parameters collapsing to a single
+    value remain (with that one value). *)
+
+val project : partition -> Space.cfg -> Space.cfg
+(** Clamp a configuration into a partition (used to place seeds). *)
+
+val satisfies : Space.cfg -> constr -> bool
+(** Does a configuration meet one constraint? (Missing parameters
+    satisfy everything.) *)
+
+val info_gain : float array -> float array -> float
+(** [info_gain left right] per Eq. 1 with variance impurity. *)
+
+(** A labelled sample of the design space used to fit the tree
+    ("training data" in the paper's terms). *)
+type sample = { s_cfg : Space.cfg; s_latency : float }
+
+val build :
+  ?depth:int ->
+  rule_params:string list list ->
+  Space.space ->
+  sample list ->
+  partition list
+(** Fit a tree of the given [depth] (default 3, giving up to 8 leaves).
+    The root split is restricted to the parameters of the preferred
+    rule sets ([rule_params], tried in order until one yields positive
+    gain); deeper splits may use any factor. *)

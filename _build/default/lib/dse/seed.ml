@@ -1,0 +1,43 @@
+module Space = S2fa_tuner.Space
+
+let cfg_of t ~tile ~par ~pipe ~bw =
+  let loops =
+    List.concat_map
+      (fun id ->
+        [ (Dspace.tile_name id, Space.VInt tile);
+          (Dspace.par_name id, Space.VInt par);
+          (Dspace.pipe_name id, Space.VStr pipe) ])
+      t.Dspace.ds_loop_ids
+  in
+  let bws =
+    List.map (fun b -> (Dspace.bw_name b, Space.VInt bw)) t.Dspace.ds_buffers
+  in
+  Space.normalize (loops @ bws)
+
+let performance_seed t = cfg_of t ~tile:1 ~par:32 ~pipe:"on" ~bw:512
+
+let area_seed t = cfg_of t ~tile:1 ~par:1 ~pipe:"off" ~bw:16
+
+let structured_seed_with t ~par ~task_par =
+  let base = cfg_of t ~tile:1 ~par ~pipe:"on" ~bw:512 in
+  let base =
+    List.fold_left
+      (fun cfg id ->
+        Space.set
+          (Space.set cfg (Dspace.pipe_name id) (Space.VStr "flatten"))
+          (Dspace.par_name id) (Space.VInt par))
+      base t.Dspace.ds_inner_ids
+  in
+  let task = t.Dspace.ds_task_loop in
+  let cfg = Space.set base (Dspace.pipe_name task) (Space.VStr "off") in
+  Space.set cfg (Dspace.par_name task) (Space.VInt task_par)
+
+let structured_seed t = structured_seed_with t ~par:8 ~task_par:8
+
+let structured_light_seed t = structured_seed_with t ~par:4 ~task_par:2
+
+let seeds_for t part =
+  [ Partition.project part (performance_seed t);
+    Partition.project part (area_seed t);
+    Partition.project part (structured_seed t);
+    Partition.project part (structured_light_seed t) ]

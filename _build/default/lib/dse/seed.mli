@@ -1,0 +1,28 @@
+module Space = S2fa_tuner.Space
+
+(** Seed generation (Section 4.3.2): every partition starts from a
+    performance-driven seed (pipeline everything, parallel factor 32,
+    512-bit buffers — possibly infeasible) and an area-driven
+    conservative seed (everything off, minimum bit-widths — in the
+    feasible region by construction). *)
+
+val performance_seed : Dspace.t -> Space.cfg
+(** On the full space. *)
+
+val area_seed : Dspace.t -> Space.cfg
+
+val structured_seed : Dspace.t -> Space.cfg
+(** A loop-level-aware performance seed: flatten the innermost
+    (reduction) loops, pipeline the middle levels with a moderate
+    parallel factor, keep the task loop sequential with burst tiling.
+    This encodes the same per-loop-level knowledge the paper distills
+    into its partitioning rules ("the same loop level could have similar
+    impact on performance even in different applications"). *)
+
+val structured_light_seed : Dspace.t -> Space.cfg
+(** The same shape scaled down for deep nests whose replication would
+    not fit at factor 8. *)
+
+val seeds_for : Dspace.t -> Partition.partition -> Space.cfg list
+(** All seeds, projected into the partition (performance-driven first,
+    then the conservative one, then the structured pair). *)

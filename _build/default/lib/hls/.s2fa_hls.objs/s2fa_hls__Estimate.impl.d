@@ -1,0 +1,1 @@
+lib/hls/estimate.ml: Device Float Format List Option S2fa_hlsc String

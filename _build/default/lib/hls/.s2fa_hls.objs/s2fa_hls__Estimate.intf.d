@@ -1,0 +1,1 @@
+lib/hls/estimate.mli: Device Format S2fa_hlsc

@@ -1,0 +1,50 @@
+type t = {
+  name : string;
+  luts : int;
+  ffs : int;
+  bram18 : int;
+  dsps : int;
+  base_mhz : float;
+  usable_frac : float;
+  hbm_gbps : float;
+}
+
+let vu9p =
+  { name = "xcvu9p (EC2 F1)";
+    luts = 1_182_240;
+    ffs = 2_364_480;
+    bram18 = 4_320;
+    dsps = 6_840;
+    base_mhz = 250.0;
+    usable_frac = 0.75;
+    hbm_gbps = 12.0 }
+
+let vu13p =
+  { name = "xcvu13p (larger part)";
+    luts = 1_728_000;
+    ffs = 3_456_000;
+    bram18 = 5_376;
+    dsps = 12_288;
+    base_mhz = 250.0;
+    usable_frac = 0.75;
+    hbm_gbps = 12.0 }
+
+type op_model = { lat : float; dsp : float; lut : float; ff : float }
+
+let int_add = { lat = 1.0; dsp = 0.0; lut = 32.0; ff = 32.0 }
+let int_mul = { lat = 3.0; dsp = 3.0; lut = 40.0; ff = 60.0 }
+let int_div = { lat = 32.0; dsp = 0.0; lut = 1_400.0; ff = 1_600.0 }
+let fp_add = { lat = 7.0; dsp = 3.0; lut = 400.0; ff = 600.0 }
+let fp_mul = { lat = 6.0; dsp = 8.0; lut = 300.0; ff = 500.0 }
+let fp_div = { lat = 28.0; dsp = 0.0; lut = 3_000.0; ff = 3_200.0 }
+let cmp = { lat = 1.0; dsp = 0.0; lut = 24.0; ff = 16.0 }
+let mem_access = { lat = 2.0; dsp = 0.0; lut = 16.0; ff = 16.0 }
+
+let math_op = function
+  | "sqrt" -> { lat = 28.0; dsp = 0.0; lut = 2_200.0; ff = 2_600.0 }
+  | "exp" | "log" -> { lat = 30.0; dsp = 26.0; lut = 4_000.0; ff = 5_000.0 }
+  | "pow" -> { lat = 60.0; dsp = 52.0; lut = 8_000.0; ff = 10_000.0 }
+  | "floor" | "ceil" -> { lat = 2.0; dsp = 0.0; lut = 200.0; ff = 200.0 }
+  | "fabs" -> { lat = 1.0; dsp = 0.0; lut = 50.0; ff = 40.0 }
+  | "fmin" | "fmax" -> { lat = 2.0; dsp = 0.0; lut = 150.0; ff = 120.0 }
+  | _ -> { lat = 20.0; dsp = 4.0; lut = 1_000.0; ff = 1_000.0 }

@@ -1,0 +1,45 @@
+(** FPGA device and operator models.
+
+    The default device is the Xilinx Virtex UltraScale+ VU9P of the Amazon
+    EC2 F1 instance used in the paper (three SLR dies; the vendor shell
+    reserves part of the fabric, which is why S2FA caps usable resources
+    at 75%). *)
+
+type t = {
+  name : string;
+  luts : int;
+  ffs : int;
+  bram18 : int;          (** 18 Kb BRAM blocks. *)
+  dsps : int;
+  base_mhz : float;      (** Target clock (250 MHz on F1). *)
+  usable_frac : float;   (** Fraction usable by the kernel (0.75). *)
+  hbm_gbps : float;
+      (** Effective off-chip bandwidth available to one kernel. *)
+}
+
+val vu9p : t
+
+val vu13p : t
+(** A roughly 1.6x larger part (VU13P-class), used by the larger-FPGA
+    ablation: the paper notes compute-bound designs "can be potentially
+    improved if a larger FPGA is provided". *)
+
+(** Per-operation latency (cycles at base clock) and resource footprint. *)
+type op_model = {
+  lat : float;
+  dsp : float;
+  lut : float;
+  ff : float;
+}
+
+val int_add : op_model
+val int_mul : op_model
+val int_div : op_model
+val fp_add : op_model
+val fp_mul : op_model
+val fp_div : op_model
+val cmp : op_model
+val mem_access : op_model
+val math_op : string -> op_model
+(** sqrt/exp/log/pow/floor/ceil/fabs/fmin/fmax; unknown names get a
+    conservative default. *)

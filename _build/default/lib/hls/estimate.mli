@@ -1,0 +1,45 @@
+module Csyntax = S2fa_hlsc.Csyntax
+module Canalysis = S2fa_hlsc.Canalysis
+
+(** The HLS estimator — the reproduction's stand-in for Xilinx SDx.
+
+    Given the transformed flat kernel (pragmas applied by
+    {!S2fa_merlin.Transform}), it performs a modulo-scheduling-flavoured
+    latency estimate per loop nest (initiation intervals bounded by
+    recurrences and memory ports), a resource estimate (LUT/FF/DSP/BRAM,
+    with operator sharing when a loop is not pipelined and replication
+    when it is unrolled or flattened), a post-route frequency model
+    (degrading with utilization and unroll-induced routing pressure), a
+    feasibility verdict against the 75% utilization cap of the paper, and
+    a simulated evaluation latency in minutes (the cost of one HLS run,
+    which drives the Fig. 3 x-axis). *)
+
+type report = {
+  r_cycles : float;       (** Kernel compute cycles for [tasks] tasks. *)
+  r_ii : float;           (** Worst II among pipelined loops. *)
+  r_freq_mhz : float;
+  r_seconds : float;      (** Wall time including off-chip transfer. *)
+  r_compute_seconds : float;
+  r_xfer_seconds : float;
+  r_lut_pct : float;      (** Utilization vs the whole device, 0..1. *)
+  r_ff_pct : float;
+  r_bram_pct : float;
+  r_dsp_pct : float;
+  r_feasible : bool;      (** All resources within the 75% cap. *)
+  r_eval_minutes : float; (** Simulated duration of this HLS run. *)
+}
+
+val estimate :
+  ?device:Device.t ->
+  ?nominal_trip:int ->
+  Csyntax.cprog ->
+  tasks:int ->
+  buffer_elems:(string * int) list ->
+  report
+(** [estimate prog ~tasks ~buffer_elems] analyzes the [kernel] function
+    of [prog]. [buffer_elems] gives elements-per-task for each interface
+    buffer (from the b2c layout); [nominal_trip] substitutes for loop
+    bounds that are not compile-time constants other than the task loop
+    (default 64). The task loop (trip [N]) is evaluated at [tasks]. *)
+
+val pp_report : Format.formatter -> report -> unit

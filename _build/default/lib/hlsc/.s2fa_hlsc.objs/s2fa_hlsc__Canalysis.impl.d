@@ -1,0 +1,1 @@
+lib/hlsc/canalysis.ml: Char Csyntax Hashtbl List Option String

@@ -1,0 +1,1 @@
+lib/hlsc/canalysis.mli: Csyntax

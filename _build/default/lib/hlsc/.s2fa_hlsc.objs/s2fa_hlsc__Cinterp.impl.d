@@ -1,0 +1,1 @@
+lib/hlsc/cinterp.ml: Array Char Csyntax Float Hashtbl Int64 List Option Printf

@@ -1,0 +1,1 @@
+lib/hlsc/cinterp.mli: Csyntax

@@ -1,0 +1,1 @@
+lib/hlsc/csyntax.ml: Char Format List Option Printf String

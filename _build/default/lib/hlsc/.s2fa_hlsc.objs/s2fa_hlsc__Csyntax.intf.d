@@ -1,0 +1,1 @@
+lib/hlsc/csyntax.mli: Format

@@ -1,0 +1,287 @@
+type cvalue =
+  | VI of int
+  | VL of int64
+  | VF of float
+  | VA of cvalue array
+
+exception C_error of string
+
+exception Return_value of cvalue option
+
+let err fmt = Printf.ksprintf (fun m -> raise (C_error m)) fmt
+
+let rec zero_of = function
+  | Csyntax.CBool | Csyntax.CChar | Csyntax.CInt -> VI 0
+  | Csyntax.CLong -> VL 0L
+  | Csyntax.CFloat | Csyntax.CDouble -> VF 0.0
+  | Csyntax.CArr (t, n) -> VA (Array.init n (fun _ -> zero_of t))
+  | Csyntax.CPtr t -> zero_of t
+
+let alloc t = zero_of t
+
+let rec equal_cvalue a b =
+  match (a, b) with
+  | VI x, VI y -> x = y
+  | VL x, VL y -> Int64.equal x y
+  | VF x, VF y -> x = y
+  | VA x, VA y ->
+    Array.length x = Array.length y
+    &&
+    let ok = ref true in
+    Array.iteri (fun i v -> if not (equal_cvalue v y.(i)) then ok := false) x;
+    !ok
+  | (VI _ | VL _ | VF _ | VA _), _ -> false
+
+(* ---------- numeric helpers ---------- *)
+
+let truthy = function
+  | VI n -> n <> 0
+  | VL n -> not (Int64.equal n 0L)
+  | VF f -> f <> 0.0
+  | VA _ -> err "array in boolean context"
+
+let as_int = function
+  | VI n -> n
+  | VL n -> Int64.to_int n
+  | VF f -> int_of_float f
+  | VA _ -> err "array in integer context"
+
+let as_float = function
+  | VI n -> float_of_int n
+  | VL n -> Int64.to_float n
+  | VF f -> f
+  | VA _ -> err "array in float context"
+
+let arith op a b =
+  match (a, b) with
+  | VF _, _ | _, VF _ ->
+    let x = as_float a and y = as_float b in
+    VF
+      (match op with
+      | Csyntax.CAdd -> x +. y
+      | Csyntax.CSub -> x -. y
+      | Csyntax.CMul -> x *. y
+      | Csyntax.CDiv -> x /. y
+      | Csyntax.CRem -> Float.rem x y
+      | _ -> err "invalid float arithmetic")
+  | VL _, _ | _, VL _ ->
+    let x = (match a with VL v -> v | v -> Int64.of_int (as_int v)) in
+    let y = (match b with VL v -> v | v -> Int64.of_int (as_int v)) in
+    VL
+      (match op with
+      | Csyntax.CAdd -> Int64.add x y
+      | Csyntax.CSub -> Int64.sub x y
+      | Csyntax.CMul -> Int64.mul x y
+      | Csyntax.CDiv ->
+        if Int64.equal y 0L then err "division by zero" else Int64.div x y
+      | Csyntax.CRem ->
+        if Int64.equal y 0L then err "modulo by zero" else Int64.rem x y
+      | Csyntax.CBAnd -> Int64.logand x y
+      | Csyntax.CBOr -> Int64.logor x y
+      | Csyntax.CBXor -> Int64.logxor x y
+      | Csyntax.CShl -> Int64.shift_left x (Int64.to_int y)
+      | Csyntax.CShr -> Int64.shift_right x (Int64.to_int y)
+      | _ -> err "invalid long arithmetic")
+  | VI x, VI y ->
+    VI
+      (match op with
+      | Csyntax.CAdd -> x + y
+      | Csyntax.CSub -> x - y
+      | Csyntax.CMul -> x * y
+      | Csyntax.CDiv -> if y = 0 then err "division by zero" else x / y
+      | Csyntax.CRem -> if y = 0 then err "modulo by zero" else x mod y
+      | Csyntax.CBAnd -> x land y
+      | Csyntax.CBOr -> x lor y
+      | Csyntax.CBXor -> x lxor y
+      | Csyntax.CShl -> x lsl y
+      | Csyntax.CShr -> x asr y
+      | _ -> err "invalid int arithmetic")
+  | VA _, _ | _, VA _ -> err "array in arithmetic"
+
+let compare_cv op a b =
+  let c =
+    match (a, b) with
+    | VF _, _ | _, VF _ -> compare (as_float a) (as_float b)
+    | VL x, VL y -> Int64.compare x y
+    | VL x, v -> Int64.compare x (Int64.of_int (as_int v))
+    | v, VL y -> Int64.compare (Int64.of_int (as_int v)) y
+    | VI x, VI y -> compare x y
+    | VA _, _ | _, VA _ -> err "array comparison"
+  in
+  let b =
+    match op with
+    | Csyntax.CLt -> c < 0
+    | Csyntax.CLe -> c <= 0
+    | Csyntax.CGt -> c > 0
+    | Csyntax.CGe -> c >= 0
+    | Csyntax.CEq -> c = 0
+    | Csyntax.CNe -> c <> 0
+    | _ -> err "not a comparison"
+  in
+  VI (if b then 1 else 0)
+
+let cast t v =
+  match t with
+  | Csyntax.CBool -> VI (if truthy v then 1 else 0)
+  | Csyntax.CChar -> VI (as_int v land 0xff)
+  | Csyntax.CInt -> VI (as_int v)
+  | Csyntax.CLong -> (
+    match v with
+    | VL n -> VL n
+    | VF f -> VL (Int64.of_float f)
+    | VI n -> VL (Int64.of_int n)
+    | VA _ -> err "cast of array")
+  | Csyntax.CFloat | Csyntax.CDouble -> VF (as_float v)
+  | Csyntax.CArr _ | Csyntax.CPtr _ -> err "cast to aggregate type"
+
+let call_math f args =
+  match (f, List.map as_float args) with
+  | "sqrt", [ x ] -> VF (sqrt x)
+  | "exp", [ x ] -> VF (exp x)
+  | "log", [ x ] -> VF (log x)
+  | "floor", [ x ] -> VF (floor x)
+  | "ceil", [ x ] -> VF (ceil x)
+  | "fabs", [ x ] -> VF (Float.abs x)
+  | "pow", [ x; y ] -> VF (Float.pow x y)
+  | "fmin", [ x; y ] -> VF (min x y)
+  | "fmax", [ x; y ] -> VF (max x y)
+  | "labs", [ x ] -> (
+    match args with
+    | [ VL n ] -> VL (Int64.abs n)
+    | _ -> VF (Float.abs x))
+  | "abs", [ x ] -> (
+    match args with [ VI n ] -> VI (abs n) | _ -> VF (Float.abs x))
+  | _ -> err "unknown C function %s/%d" f (List.length args)
+
+(* ---------- execution ---------- *)
+
+type env = (string, cvalue ref) Hashtbl.t
+
+let run_func ?(fuel = 200_000_000) prog name args =
+  let remaining = ref fuel in
+  let rec exec_func fname fargs =
+    let f =
+      match Csyntax.find_cfunc prog fname with
+      | Some f -> f
+      | None -> err "no function %s" fname
+    in
+    let env : env = Hashtbl.create 32 in
+    List.iter
+      (fun (p : Csyntax.cparam) ->
+        match List.assoc_opt p.Csyntax.cpname fargs with
+        | Some v -> Hashtbl.replace env p.Csyntax.cpname (ref v)
+        | None -> err "%s: missing argument %s" fname p.Csyntax.cpname)
+      f.Csyntax.cfparams;
+    try
+      exec_stmts env f.Csyntax.cfbody;
+      None
+    with Return_value v -> v
+  and lookup env v =
+    match Hashtbl.find_opt env v with
+    | Some r -> r
+    | None -> err "unbound variable %s" v
+  and eval env (e : Csyntax.cexpr) : cvalue =
+    match e with
+    | Csyntax.EInt n -> VI n
+    | Csyntax.ELong n -> VL n
+    | Csyntax.EFloat f | Csyntax.EDouble f -> VF f
+    | Csyntax.EChar c -> VI (Char.code c)
+    | Csyntax.EBool b -> VI (if b then 1 else 0)
+    | Csyntax.EVar v -> !(lookup env v)
+    | Csyntax.EBin (Csyntax.CAnd, a, b) ->
+      if truthy (eval env a) then VI (if truthy (eval env b) then 1 else 0)
+      else VI 0
+    | Csyntax.EBin (Csyntax.COr, a, b) ->
+      if truthy (eval env a) then VI 1
+      else VI (if truthy (eval env b) then 1 else 0)
+    | Csyntax.EBin
+        ( ((Csyntax.CLt | Csyntax.CLe | Csyntax.CGt | Csyntax.CGe
+           | Csyntax.CEq | Csyntax.CNe) as op),
+          a,
+          b ) ->
+      compare_cv op (eval env a) (eval env b)
+    | Csyntax.EBin (op, a, b) -> arith op (eval env a) (eval env b)
+    | Csyntax.EUn (Csyntax.CNeg, a) -> (
+      match eval env a with
+      | VI n -> VI (-n)
+      | VL n -> VL (Int64.neg n)
+      | VF f -> VF (-.f)
+      | VA _ -> err "negation of array")
+    | Csyntax.EUn (Csyntax.CNot, a) -> VI (if truthy (eval env a) then 0 else 1)
+    | Csyntax.EUn (Csyntax.CBNot, a) -> (
+      match eval env a with
+      | VI n -> VI (lnot n)
+      | VL n -> VL (Int64.lognot n)
+      | _ -> err "~ on non-integer")
+    | Csyntax.EIndex (arr, idx) -> (
+      match eval env arr with
+      | VA data ->
+        let i = as_int (eval env idx) in
+        if i < 0 || i >= Array.length data then
+          err "index %d out of bounds (len %d)" i (Array.length data);
+        data.(i)
+      | _ -> err "indexing a non-array")
+    | Csyntax.ECall (f, args) -> (
+      match Csyntax.find_cfunc prog f with
+      | Some _ -> (
+        (* User function call: positional arguments. *)
+        let fn =
+          match Csyntax.find_cfunc prog f with Some fn -> fn | None -> assert false
+        in
+        let bound =
+          List.map2
+            (fun (p : Csyntax.cparam) a -> (p.Csyntax.cpname, eval env a))
+            fn.Csyntax.cfparams args
+        in
+        match exec_func f bound with
+        | Some v -> v
+        | None -> VI 0)
+      | None -> call_math f (List.map (eval env) args))
+    | Csyntax.ECond (c, a, b) ->
+      if truthy (eval env c) then eval env a else eval env b
+    | Csyntax.ECast (t, a) -> cast t (eval env a)
+  and assign env lv v =
+    match lv with
+    | Csyntax.EVar name -> lookup env name := v
+    | Csyntax.EIndex (arr, idx) -> (
+      match eval env arr with
+      | VA data ->
+        let i = as_int (eval env idx) in
+        if i < 0 || i >= Array.length data then
+          err "store index %d out of bounds (len %d)" i (Array.length data);
+        data.(i) <- v
+      | _ -> err "index-assign on non-array")
+    | _ -> err "invalid lvalue"
+  and exec_stmts env stmts = List.iter (exec_stmt env) stmts
+  and exec_stmt env s =
+    decr remaining;
+    if !remaining <= 0 then err "fuel exhausted";
+    match s with
+    | Csyntax.SDecl (t, name, init) ->
+      let v = match init with Some e -> eval env e | None -> alloc t in
+      Hashtbl.replace env name (ref v)
+    | Csyntax.SAssign (lv, e) -> assign env lv (eval env e)
+    | Csyntax.SIf (c, a, b) ->
+      if truthy (eval env c) then exec_stmts env a else exec_stmts env b
+    | Csyntax.SWhile (c, b) ->
+      while truthy (eval env c) do
+        decr remaining;
+        if !remaining <= 0 then err "fuel exhausted";
+        exec_stmts env b
+      done
+    | Csyntax.SFor l ->
+      let lo = as_int (eval env l.Csyntax.llo) in
+      Hashtbl.replace env l.Csyntax.lvar (ref (VI lo));
+      let cell = lookup env l.Csyntax.lvar in
+      let continue_ () = as_int !cell < as_int (eval env l.Csyntax.lhi) in
+      while continue_ () do
+        decr remaining;
+        if !remaining <= 0 then err "fuel exhausted";
+        exec_stmts env l.Csyntax.lbody;
+        cell := VI (as_int !cell + l.Csyntax.lstep)
+      done
+    | Csyntax.SExpr e -> ignore (eval env e)
+    | Csyntax.SReturn v ->
+      raise (Return_value (Option.map (eval env) v))
+  in
+  exec_func name args

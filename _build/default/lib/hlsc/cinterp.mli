@@ -1,0 +1,32 @@
+(** Reference interpreter for the HLS C dialect.
+
+    Used as the functional-equivalence oracle: the bytecode interpreter and
+    this interpreter must agree on every kernel, before and after every
+    Merlin transformation. Also executes the "FPGA side" of the Blaze
+    simulator (timing comes from {!S2fa_hls}, not from here). *)
+
+type cvalue =
+  | VI of int          (** int/char/bool *)
+  | VL of int64
+  | VF of float        (** float/double *)
+  | VA of cvalue array (** array/buffer; mutated in place *)
+
+exception C_error of string
+
+exception Return_value of cvalue option
+(** Internal control-flow exception; escapes only on misuse. *)
+
+val zero_of : Csyntax.cty -> cvalue
+
+val alloc : Csyntax.cty -> cvalue
+(** Allocate a local of the given type ([CArr] allocates recursively). *)
+
+val equal_cvalue : cvalue -> cvalue -> bool
+
+val run_func :
+  ?fuel:int -> Csyntax.cprog -> string -> (string * cvalue) list -> cvalue option
+(** [run_func prog name args] executes function [name] with the named
+    argument values (missing parameters raise {!C_error}); returns the
+    function result. Buffers passed as [VA] are mutated in place, which is
+    how kernels deliver their outputs. [fuel] bounds executed statements
+    (default 200 million). *)

@@ -1,0 +1,1 @@
+lib/jvm/compile.ml: Array Hashtbl Insn List Printf S2fa_scala

@@ -1,0 +1,1 @@
+lib/jvm/compile.mli: Insn S2fa_scala

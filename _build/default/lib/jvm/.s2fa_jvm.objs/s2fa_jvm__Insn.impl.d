@@ -1,0 +1,1 @@
+lib/jvm/insn.ml: Array Format Int64 List Printf S2fa_scala String

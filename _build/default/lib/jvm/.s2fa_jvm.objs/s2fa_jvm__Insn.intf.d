@@ -1,0 +1,1 @@
+lib/jvm/insn.mli: Format S2fa_scala

@@ -1,0 +1,1 @@
+lib/jvm/interp.ml: Array Char Float Format Insn Int64 List Printf S2fa_scala String

@@ -1,0 +1,1 @@
+lib/jvm/interp.mli: Format Insn S2fa_scala

@@ -1,0 +1,1 @@
+lib/jvm/verify.ml: Array Insn List Printf Queue S2fa_scala

@@ -1,0 +1,1 @@
+lib/jvm/verify.mli: Insn S2fa_scala

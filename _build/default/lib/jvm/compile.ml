@@ -1,0 +1,522 @@
+module Ast = S2fa_scala.Ast
+module Tast = S2fa_scala.Tast
+module Parser = S2fa_scala.Parser
+module Typecheck = S2fa_scala.Typecheck
+
+exception Unsupported of string
+
+(* ------------------------------------------------------------------ *)
+(* Hoisting pass: pull if-expressions and boolean-valued compounds out
+   of value positions into fresh [val] temporaries, so that the code
+   generator only meets them as the full right-hand side of a binding
+   (where the operand stack is empty). *)
+(* ------------------------------------------------------------------ *)
+
+let temp_counter = ref 0
+
+let fresh_temp () =
+  incr temp_counter;
+  Printf.sprintf "$t%d" !temp_counter
+
+let is_bool_compound (e : Tast.texpr) =
+  match e.Tast.te with
+  | Tast.TBinop ((Ast.And | Ast.Or | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge
+                 | Ast.Eq | Ast.Ne), _, _)
+  | Tast.TUnop (Ast.Not, _) ->
+    true
+  | Tast.TIf _ | Tast.TLit _ | Tast.TLocal _ | Tast.TField _ | Tast.TBinop _
+  | Tast.TUnop _ | Tast.TIndex _ | Tast.TTupleGet _ | Tast.TTupleMk _
+  | Tast.TArrayLen _ | Tast.TNewArray _ | Tast.TMathCall _
+  | Tast.TCallMethod _ | Tast.TCast _ ->
+    false
+
+(* [hoist_value e] rewrites [e] for a value position: the result contains
+   no if-expression and no boolean compound; extracted bindings are
+   returned innermost-first. *)
+let rec hoist_value (e : Tast.texpr) : Tast.tstmt list * Tast.texpr =
+  match e.Tast.te with
+  | Tast.TIf _ ->
+    let binds, rhs = hoist_rhs e in
+    let t = fresh_temp () in
+    ( binds @ [ Tast.TsDecl (false, t, e.Tast.tty, rhs) ],
+      { e with Tast.te = Tast.TLocal t } )
+  | _ when is_bool_compound e ->
+    let binds, rhs = hoist_rhs e in
+    let t = fresh_temp () in
+    ( binds @ [ Tast.TsDecl (false, t, e.Tast.tty, rhs) ],
+      { e with Tast.te = Tast.TLocal t } )
+  | Tast.TLit _ | Tast.TLocal _ | Tast.TField _ -> ([], e)
+  | Tast.TBinop (op, a, b) ->
+    let ba, a' = hoist_value a in
+    let bb, b' = hoist_value b in
+    (ba @ bb, { e with Tast.te = Tast.TBinop (op, a', b') })
+  | Tast.TUnop (op, a) ->
+    let ba, a' = hoist_value a in
+    (ba, { e with Tast.te = Tast.TUnop (op, a') })
+  | Tast.TIndex (a, i) ->
+    let ba, a' = hoist_value a in
+    let bi, i' = hoist_value i in
+    (ba @ bi, { e with Tast.te = Tast.TIndex (a', i') })
+  | Tast.TTupleGet (a, i) ->
+    let ba, a' = hoist_value a in
+    (ba, { e with Tast.te = Tast.TTupleGet (a', i) })
+  | Tast.TTupleMk es ->
+    let bs, es' = hoist_values es in
+    (bs, { e with Tast.te = Tast.TTupleMk es' })
+  | Tast.TArrayLen a ->
+    let ba, a' = hoist_value a in
+    (ba, { e with Tast.te = Tast.TArrayLen a' })
+  | Tast.TNewArray _ -> ([], e)
+  | Tast.TMathCall (f, es) ->
+    let bs, es' = hoist_values es in
+    (bs, { e with Tast.te = Tast.TMathCall (f, es') })
+  | Tast.TCallMethod (f, es) ->
+    let bs, es' = hoist_values es in
+    (bs, { e with Tast.te = Tast.TCallMethod (f, es') })
+  | Tast.TCast (t, a) ->
+    let ba, a' = hoist_value a in
+    (ba, { e with Tast.te = Tast.TCast (t, a') })
+
+and hoist_values es =
+  let bs, rev =
+    List.fold_left
+      (fun (bs, acc) e ->
+        let b, e' = hoist_value e in
+        (bs @ b, e' :: acc))
+      ([], []) es
+  in
+  (bs, List.rev rev)
+
+(* [hoist_rhs e] prepares [e] to be compiled as the full right-hand side
+   of a binding: a top-level if-expression (or boolean compound) is kept,
+   but its sub-expressions are cleaned. *)
+and hoist_rhs (e : Tast.texpr) : Tast.tstmt list * Tast.texpr =
+  match e.Tast.te with
+  | Tast.TIf (c, a, b) ->
+    let bc, c' = hoist_cond c in
+    let ba, a' = hoist_rhs_branch a in
+    let bb, b' = hoist_rhs_branch b in
+    (* Branch bindings must stay inside the branch; only condition
+       bindings may float out. Branches that need bindings are rare —
+       keep them by nesting the if at statement level instead. *)
+    if ba = [] && bb = [] then
+      (bc, { e with Tast.te = Tast.TIf (c', a', b') })
+    else begin
+      (* Fall back: hoist the branches themselves. *)
+      let bsa, a'' = hoist_value a in
+      let bsb, b'' = hoist_value b in
+      (bc @ bsa @ bsb, { e with Tast.te = Tast.TIf (c', a'', b'') })
+    end
+  | Tast.TBinop ((Ast.And | Ast.Or), _, _) | Tast.TUnop (Ast.Not, _)
+  | Tast.TBinop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne), _, _)
+    ->
+    hoist_cond e
+  | _ -> hoist_value e
+
+and hoist_rhs_branch e =
+  match e.Tast.te with
+  | Tast.TIf _ -> hoist_rhs e
+  | _ -> hoist_value e
+
+(* Condition position: keep And/Or/Not and comparisons structural, clean
+   their operands. *)
+and hoist_cond (e : Tast.texpr) : Tast.tstmt list * Tast.texpr =
+  match e.Tast.te with
+  | Tast.TBinop (((Ast.And | Ast.Or) as op), a, b) ->
+    let ba, a' = hoist_cond a in
+    let bb, b' = hoist_cond b in
+    if bb = [] then (ba, { e with Tast.te = Tast.TBinop (op, a', b') })
+    else begin
+      (* Bindings of the second operand must not float above the
+         short-circuit; hoist the operand into a boolean temp instead
+         (this strengthens evaluation, which is safe for our pure
+         expressions). *)
+      let t = fresh_temp () in
+      ( ba @ bb @ [ Tast.TsDecl (false, t, Ast.TBoolean, b') ],
+        { e with
+          Tast.te = Tast.TBinop (op, a', { b with Tast.te = Tast.TLocal t })
+        } )
+    end
+  | Tast.TUnop (Ast.Not, a) ->
+    let ba, a' = hoist_cond a in
+    (ba, { e with Tast.te = Tast.TUnop (Ast.Not, a') })
+  | Tast.TBinop
+      (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne) as op), a, b)
+    ->
+    let ba, a' = hoist_value a in
+    let bb, b' = hoist_value b in
+    (ba @ bb, { e with Tast.te = Tast.TBinop (op, a', b') })
+  | _ -> hoist_value e
+
+let rec hoist_stmt (s : Tast.tstmt) : Tast.tstmt list =
+  match s with
+  | Tast.TsDecl (m, n, t, e) ->
+    let bs, e' = hoist_rhs e in
+    bs @ [ Tast.TsDecl (m, n, t, e') ]
+  | Tast.TsAssign (n, e) ->
+    let bs, e' = hoist_rhs e in
+    bs @ [ Tast.TsAssign (n, e') ]
+  | Tast.TsArrStore (a, i, v) ->
+    let ba, a' = hoist_value a in
+    let bi, i' = hoist_value i in
+    let bv, v' = hoist_value v in
+    ba @ bi @ bv @ [ Tast.TsArrStore (a', i', v') ]
+  | Tast.TsWhile (c, body) -> (
+    let bc, c' = hoist_cond c in
+    let body' = hoist_block body in
+    (* Keep while headers single-block for the decompiler: a condition
+       with short-circuit operators is evaluated into a boolean temp. *)
+    let rec simple_cond (e : Tast.texpr) =
+      match e.Tast.te with
+      | Tast.TLocal _ | Tast.TField _ | Tast.TLit _ -> true
+      | Tast.TBinop ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne), _, _)
+        ->
+        true
+      | Tast.TUnop (Ast.Not, a) -> simple_cond a
+      | _ -> false
+    in
+    match (bc, simple_cond c') with
+    | [], true -> [ Tast.TsWhile (c', body') ]
+    | _, _ ->
+      (* Bindings inside a while condition: evaluate before the loop and
+         re-evaluate at the end of each iteration via a boolean temp. *)
+      let t = fresh_temp () in
+      bc
+      @ [ Tast.TsDecl (true, t, Ast.TBoolean, c');
+          Tast.TsWhile
+            ( { Tast.te = Tast.TLocal t; tty = Ast.TBoolean },
+              { Tast.tstmts =
+                  body'.Tast.tstmts @ bc
+                  @ [ Tast.TsAssign (t, c') ];
+                tvalue = None } ) ])
+  | Tast.TsFor (v, lo, hi, incl, body) ->
+    let bl, lo' = hoist_value lo in
+    let bh, hi' = hoist_value hi in
+    bl @ bh @ [ Tast.TsFor (v, lo', hi', incl, hoist_block body) ]
+  | Tast.TsIf (c, a, b) ->
+    let bc, c' = hoist_cond c in
+    bc @ [ Tast.TsIf (c', hoist_block a, hoist_block b) ]
+  | Tast.TsExpr e ->
+    let bs, e' = hoist_value e in
+    bs @ [ Tast.TsExpr e' ]
+
+and hoist_block (b : Tast.tblock) : Tast.tblock =
+  let stmts = List.concat_map hoist_stmt b.Tast.tstmts in
+  match b.Tast.tvalue with
+  | None -> { Tast.tstmts = stmts; tvalue = None }
+  | Some v ->
+    let bs, v' = hoist_rhs v in
+    let needs_slot =
+      match v'.Tast.te with Tast.TIf _ -> true | _ -> is_bool_compound v'
+    in
+    if bs = [] && not needs_slot then
+      { Tast.tstmts = stmts; tvalue = Some v' }
+    else begin
+      (* Value needed a binding: name it and return the temp. *)
+      let t = fresh_temp () in
+      { Tast.tstmts = stmts @ bs @ [ Tast.TsDecl (false, t, v.Tast.tty, v') ];
+        tvalue = Some { v with Tast.te = Tast.TLocal t } }
+    end
+
+(* ------------------------------------------------------------------ *)
+(* Code generation *)
+(* ------------------------------------------------------------------ *)
+
+type emitter = {
+  mutable code : Insn.insn list;  (* reversed *)
+  mutable len : int;
+  labels : (int, int) Hashtbl.t;  (* label id -> resolved pc *)
+  mutable next_label : int;
+  mutable slots : (string * int) list;
+  mutable nslots : int;
+  mutable slot_names : string list;  (* reversed *)
+}
+
+let new_emitter () =
+  { code = [];
+    len = 0;
+    labels = Hashtbl.create 16;
+    next_label = 0;
+    slots = [];
+    nslots = 0;
+    slot_names = [];
+  }
+
+let emit em i =
+  em.code <- i :: em.code;
+  em.len <- em.len + 1
+
+let fresh_label em =
+  let l = em.next_label in
+  em.next_label <- l + 1;
+  l
+
+let place_label em l = Hashtbl.replace em.labels l em.len
+
+let alloc_slot em name =
+  let s = em.nslots in
+  em.slots <- (name, s) :: em.slots;
+  em.nslots <- s + 1;
+  em.slot_names <- name :: em.slot_names;
+  s
+
+let slot_of em name =
+  match List.assoc_opt name em.slots with
+  | Some s -> s
+  | None -> raise (Unsupported ("unknown local " ^ name))
+
+let negate = function
+  | Insn.Clt -> Insn.Cge
+  | Insn.Cle -> Insn.Cgt
+  | Insn.Cgt -> Insn.Cle
+  | Insn.Cge -> Insn.Clt
+  | Insn.Ceq -> Insn.Cne
+  | Insn.Cne -> Insn.Ceq
+
+let cond_of_binop = function
+  | Ast.Lt -> Insn.Clt
+  | Ast.Le -> Insn.Cle
+  | Ast.Gt -> Insn.Cgt
+  | Ast.Ge -> Insn.Cge
+  | Ast.Eq -> Insn.Ceq
+  | Ast.Ne -> Insn.Cne
+  | _ -> raise (Unsupported "not a comparison")
+
+let rec compile_expr em (e : Tast.texpr) =
+  match e.Tast.te with
+  | Tast.TLit Ast.LUnit -> ()
+  | Tast.TLit l -> emit em (Insn.Ldc l)
+  | Tast.TLocal n -> emit em (Insn.Load (slot_of em n))
+  | Tast.TField f -> emit em (Insn.GetField f)
+  | Tast.TBinop (((Ast.And | Ast.Or) as op), _, _) ->
+    raise
+      (Unsupported
+         (Printf.sprintf "unexpected %s in value position (hoisting bug)"
+            (Ast.string_of_binop op)))
+  | Tast.TBinop
+      ((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne), _, _) ->
+    raise (Unsupported "unexpected comparison in value position")
+  | Tast.TBinop (op, a, b) ->
+    compile_expr em a;
+    compile_expr em b;
+    emit em (Insn.Bin (a.Tast.tty, op))
+  | Tast.TUnop (Ast.Not, _) ->
+    raise (Unsupported "unexpected '!' in value position")
+  | Tast.TUnop (op, a) ->
+    compile_expr em a;
+    emit em (Insn.Un (a.Tast.tty, op))
+  | Tast.TIf _ ->
+    raise (Unsupported "unexpected if-expression in value position")
+  | Tast.TIndex (a, i) ->
+    compile_expr em a;
+    compile_expr em i;
+    emit em Insn.ALoad
+  | Tast.TTupleGet (a, i) ->
+    compile_expr em a;
+    emit em (Insn.TupGet i)
+  | Tast.TTupleMk es ->
+    List.iter (compile_expr em) es;
+    emit em (Insn.NewTup (List.length es))
+  | Tast.TArrayLen a ->
+    compile_expr em a;
+    emit em Insn.ArrayLength
+  | Tast.TNewArray (t, dims) -> emit em (Insn.NewArr (t, dims))
+  | Tast.TMathCall (f, es) ->
+    List.iter (compile_expr em) es;
+    emit em (Insn.MathOp f)
+  | Tast.TCallMethod (f, es) ->
+    List.iter (compile_expr em) es;
+    emit em (Insn.Invoke (f, List.length es))
+  | Tast.TCast (t, a) ->
+    compile_expr em a;
+    if not (Ast.equal_ty a.Tast.tty t) then emit em (Insn.Conv (a.Tast.tty, t))
+
+(* Jump to [lbl] when the condition is false; fall through when true. *)
+and compile_cond_false em (e : Tast.texpr) lbl =
+  match e.Tast.te with
+  | Tast.TBinop (Ast.And, a, b) ->
+    compile_cond_false em a lbl;
+    compile_cond_false em b lbl
+  | Tast.TBinop (Ast.Or, a, b) ->
+    let ltrue = fresh_label em in
+    compile_cond_true em a ltrue;
+    compile_cond_false em b lbl;
+    place_label em ltrue
+  | Tast.TUnop (Ast.Not, a) -> compile_cond_true em a lbl
+  | Tast.TBinop
+      (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne) as op), a, b)
+    ->
+    compile_expr em a;
+    compile_expr em b;
+    emit em (Insn.CmpJmp (a.Tast.tty, negate (cond_of_binop op), lbl))
+  | Tast.TLit (Ast.LBool true) -> ()
+  | Tast.TLit (Ast.LBool false) -> emit em (Insn.Goto lbl)
+  | _ ->
+    compile_expr em e;
+    emit em (Insn.IfFalse lbl)
+
+(* Jump to [lbl] when the condition is true. *)
+and compile_cond_true em (e : Tast.texpr) lbl =
+  match e.Tast.te with
+  | Tast.TBinop (Ast.Or, a, b) ->
+    compile_cond_true em a lbl;
+    compile_cond_true em b lbl
+  | Tast.TBinop (Ast.And, a, b) ->
+    let lfalse = fresh_label em in
+    compile_cond_false em a lfalse;
+    compile_cond_true em b lbl;
+    place_label em lfalse
+  | Tast.TUnop (Ast.Not, a) -> compile_cond_false em a lbl
+  | Tast.TBinop
+      (((Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne) as op), a, b)
+    ->
+    compile_expr em a;
+    compile_expr em b;
+    emit em (Insn.CmpJmp (a.Tast.tty, cond_of_binop op, lbl))
+  | Tast.TLit (Ast.LBool false) -> ()
+  | Tast.TLit (Ast.LBool true) -> emit em (Insn.Goto lbl)
+  | _ ->
+    compile_expr em e;
+    let lfall = fresh_label em in
+    emit em (Insn.IfFalse lfall);
+    emit em (Insn.Goto lbl);
+    place_label em lfall
+
+(* Compile an rhs (possibly an if-expression or boolean compound) into a
+   slot, keeping the stack empty across all jumps. *)
+and compile_rhs_to_slot em (e : Tast.texpr) slot =
+  match e.Tast.te with
+  | Tast.TIf (c, a, b) ->
+    let lelse = fresh_label em in
+    let lend = fresh_label em in
+    compile_cond_false em c lelse;
+    compile_rhs_to_slot em a slot;
+    emit em (Insn.Goto lend);
+    place_label em lelse;
+    compile_rhs_to_slot em b slot;
+    place_label em lend
+  | Tast.TBinop ((Ast.And | Ast.Or | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge
+                 | Ast.Eq | Ast.Ne), _, _)
+  | Tast.TUnop (Ast.Not, _) ->
+    let lfalse = fresh_label em in
+    let lend = fresh_label em in
+    compile_cond_false em e lfalse;
+    emit em (Insn.Ldc (Ast.LBool true));
+    emit em (Insn.Store slot);
+    emit em (Insn.Goto lend);
+    place_label em lfalse;
+    emit em (Insn.Ldc (Ast.LBool false));
+    emit em (Insn.Store slot);
+    place_label em lend
+  | _ ->
+    compile_expr em e;
+    emit em (Insn.Store slot)
+
+let rec compile_stmt em (s : Tast.tstmt) =
+  match s with
+  | Tast.TsDecl (_, n, _, e) ->
+    let slot = alloc_slot em n in
+    compile_rhs_to_slot em e slot
+  | Tast.TsAssign (n, e) -> compile_rhs_to_slot em e (slot_of em n)
+  | Tast.TsArrStore (a, i, v) ->
+    compile_expr em a;
+    compile_expr em i;
+    compile_expr em v;
+    emit em Insn.AStore
+  | Tast.TsWhile (c, body) ->
+    let lcond = fresh_label em in
+    let lend = fresh_label em in
+    place_label em lcond;
+    compile_cond_false em c lend;
+    compile_block_scoped em body;
+    emit em (Insn.Goto lcond);
+    place_label em lend
+  | Tast.TsFor (v, lo, hi, incl, body) ->
+    let saved = em.slots in
+    let slot = alloc_slot em v in
+    compile_expr em lo;
+    emit em (Insn.Store slot);
+    let lcond = fresh_label em in
+    let lend = fresh_label em in
+    place_label em lcond;
+    emit em (Insn.Load slot);
+    compile_expr em hi;
+    emit em (Insn.CmpJmp (Ast.TInt, (if incl then Insn.Cgt else Insn.Cge), lend));
+    compile_block em body;
+    emit em (Insn.Load slot);
+    emit em (Insn.Ldc (Ast.LInt 1));
+    emit em (Insn.Bin (Ast.TInt, Ast.Add));
+    emit em (Insn.Store slot);
+    emit em (Insn.Goto lcond);
+    place_label em lend;
+    em.slots <- saved
+  | Tast.TsIf (c, a, b) ->
+    let lelse = fresh_label em in
+    let lend = fresh_label em in
+    compile_cond_false em c lelse;
+    compile_block_scoped em a;
+    emit em (Insn.Goto lend);
+    place_label em lelse;
+    compile_block_scoped em b;
+    place_label em lend
+  | Tast.TsExpr e ->
+    compile_expr em e;
+    if not (Ast.equal_ty e.Tast.tty Ast.TUnit) then emit em Insn.Pop
+
+and compile_block em (b : Tast.tblock) =
+  List.iter (compile_stmt em) b.Tast.tstmts
+
+and compile_block_scoped em b =
+  let saved = em.slots in
+  compile_block em b;
+  em.slots <- saved
+
+let resolve em =
+  let resolve_target l =
+    match Hashtbl.find_opt em.labels l with
+    | Some pc -> pc
+    | None -> raise (Unsupported "unresolved label")
+  in
+  let arr = Array.of_list (List.rev em.code) in
+  Array.map
+    (function
+      | Insn.CmpJmp (t, c, l) -> Insn.CmpJmp (t, c, resolve_target l)
+      | Insn.IfFalse l -> Insn.IfFalse (resolve_target l)
+      | Insn.Goto l -> Insn.Goto (resolve_target l)
+      | i -> i)
+    arr
+
+let compile_method (m : Tast.tmethod) : Insn.methd =
+  let em = new_emitter () in
+  List.iter (fun (n, _) -> ignore (alloc_slot em n)) m.Tast.tmparams;
+  let body = hoist_block m.Tast.tmbody in
+  compile_block em body;
+  (match (body.Tast.tvalue, m.Tast.tmret) with
+  | None, Ast.TUnit -> emit em Insn.RetVoid
+  | None, _ -> raise (Unsupported "non-unit method without a return value")
+  | Some v, Ast.TUnit ->
+    compile_expr em v;
+    emit em Insn.RetVoid
+  | Some v, _ ->
+    compile_expr em v;
+    emit em Insn.Ret);
+  { Insn.jname = m.Tast.tmname;
+    jargs = m.Tast.tmparams;
+    jret = m.Tast.tmret;
+    jslots = em.nslots;
+    jcode = resolve em;
+    jslot_names = Array.of_list (List.rev em.slot_names) }
+
+let compile_class (c : Tast.tclass) : Insn.cls =
+  { Insn.jcname = c.Tast.tcname;
+    jfields = c.Tast.tcfields;
+    jconsts = c.Tast.tcconsts;
+    jaccel = c.Tast.tcaccel;
+    jmethods = List.map compile_method c.Tast.tcmethods }
+
+let compile_program (p : Tast.tprogram) = List.map compile_class p.Tast.tclasses
+
+let compile_source src =
+  let prog = Parser.parse_program src in
+  let tprog = Typecheck.check_program prog in
+  compile_program tprog

@@ -1,0 +1,23 @@
+module Ast = S2fa_scala.Ast
+module Tast = S2fa_scala.Tast
+module Parser = S2fa_scala.Parser
+module Typecheck = S2fa_scala.Typecheck
+
+(** Compilation of typed MiniScala to JVM-substrate bytecode.
+
+    The generated code maintains a strong structural invariant: {b the
+    operand stack is empty at every jump target}. Boolean-valued compound
+    expressions and if-expressions are hoisted into fresh local slots
+    before code generation so that all control transfers happen with a
+    clean stack. The bytecode-to-C decompiler ({!S2fa_b2c}) relies on this
+    to recover statements by symbolic execution of straight-line blocks. *)
+
+exception Unsupported of string
+
+val compile_class : Tast.tclass -> Insn.cls
+(** Compile every method of a class. *)
+
+val compile_program : Tast.tprogram -> Insn.cls list
+
+val compile_source : string -> Insn.cls list
+(** Convenience: parse, type-check and compile MiniScala source text. *)

@@ -1,0 +1,106 @@
+module Ast = S2fa_scala.Ast
+
+exception Verify_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Verify_error m)) fmt
+
+(* Net stack effect of an instruction, with the number of values it pops
+   (to detect underflow separately from the net effect). *)
+let stack_effect cls = function
+  | Insn.Ldc _ -> (0, 1)
+  | Insn.Load _ -> (0, 1)
+  | Insn.Store _ -> (1, 0)
+  | Insn.ALoad -> (2, 1)
+  | Insn.AStore -> (3, 0)
+  | Insn.ArrayLength -> (1, 1)
+  | Insn.NewArr _ -> (0, 1)
+  | Insn.NewTup n -> (n, 1)
+  | Insn.TupGet _ -> (1, 1)
+  | Insn.GetField _ -> (0, 1)
+  | Insn.Bin _ -> (2, 1)
+  | Insn.Un _ -> (1, 1)
+  | Insn.Conv _ -> (1, 1)
+  | Insn.MathOp f -> (Insn.math_arity f, 1)
+  | Insn.Invoke (name, n) -> (
+    match Insn.find_jmethod cls name with
+    | None -> err "invoke of unknown method %s" name
+    | Some m ->
+      let pushes = if Ast.equal_ty m.Insn.jret Ast.TUnit then 0 else 1 in
+      (n, pushes))
+  | Insn.CmpJmp _ -> (2, 0)
+  | Insn.IfFalse _ -> (1, 0)
+  | Insn.Goto _ -> (0, 0)
+  | Insn.Ret -> (1, 0)
+  | Insn.RetVoid -> (0, 0)
+  | Insn.Dup -> (1, 2)
+  | Insn.Pop -> (1, 0)
+
+let jump_targets = function
+  | Insn.CmpJmp (_, _, l) | Insn.IfFalse l | Insn.Goto l -> [ l ]
+  | Insn.Ldc _ | Insn.Load _ | Insn.Store _ | Insn.ALoad | Insn.AStore
+  | Insn.ArrayLength | Insn.NewArr _ | Insn.NewTup _ | Insn.TupGet _
+  | Insn.GetField _ | Insn.Bin _ | Insn.Un _ | Insn.Conv _ | Insn.MathOp _
+  | Insn.Invoke _ | Insn.Ret | Insn.RetVoid | Insn.Dup | Insn.Pop ->
+    []
+
+let verify_method cls (m : Insn.methd) =
+  let code = m.Insn.jcode in
+  let n = Array.length code in
+  if n = 0 then err "%s: empty code" m.Insn.jname;
+  (* Collect jump targets for the empty-stack-at-target check. *)
+  let is_target = Array.make n false in
+  Array.iter
+    (fun i ->
+      List.iter
+        (fun l ->
+          if l < 0 || l >= n then
+            err "%s: jump target %d out of range" m.Insn.jname l;
+          is_target.(l) <- true)
+        (jump_targets i))
+    code;
+  let depth = Array.make n (-1) in
+  let worklist = Queue.create () in
+  Queue.add (0, 0) worklist;
+  let visit pc d =
+    if pc >= n then err "%s: control flow falls off the end" m.Insn.jname;
+    if depth.(pc) = -1 then begin
+      depth.(pc) <- d;
+      Queue.add (pc, d) worklist
+    end
+    else if depth.(pc) <> d then
+      err "%s: inconsistent stack depth at pc %d (%d vs %d)" m.Insn.jname pc
+        depth.(pc) d
+  in
+  depth.(0) <- 0;
+  Queue.add (0, 0) worklist;
+  while not (Queue.is_empty worklist) do
+    let pc, d = Queue.pop worklist in
+    let ins = code.(pc) in
+    if is_target.(pc) && d <> 0 then
+      err "%s: non-empty stack (%d) at jump target %d" m.Insn.jname d pc;
+    (match ins with
+    | Insn.Load s | Insn.Store s ->
+      if s < 0 || s >= m.Insn.jslots then
+        err "%s: slot %d out of range at pc %d" m.Insn.jname s pc
+    | _ -> ());
+    let pops, pushes = stack_effect cls ins in
+    if d < pops then
+      err "%s: stack underflow at pc %d (%d < %d)" m.Insn.jname pc d pops;
+    let d' = d - pops + pushes in
+    (match ins with
+    | Insn.Ret ->
+      if d <> 1 then
+        err "%s: ret with stack depth %d at pc %d" m.Insn.jname d pc
+    | Insn.RetVoid ->
+      if d <> 0 then
+        err "%s: retvoid with stack depth %d at pc %d" m.Insn.jname d pc
+    | Insn.Goto l -> visit l d'
+    | Insn.CmpJmp (_, _, l) | Insn.IfFalse l ->
+      if d' <> 0 then
+        err "%s: branch with non-empty stack (%d) at pc %d" m.Insn.jname d' pc;
+      visit l d';
+      visit (pc + 1) d'
+    | _ -> visit (pc + 1) d')
+  done
+
+let verify_class cls = List.iter (verify_method cls) cls.Insn.jmethods

@@ -1,0 +1,22 @@
+module Ast = S2fa_scala.Ast
+
+(** Static bytecode verification.
+
+    Checks stack discipline by abstract interpretation of stack depths
+    over the control-flow graph:
+
+    - the depth at any program point is consistent across all paths;
+    - the depth at every jump target is exactly 0 (the invariant
+      {!Compile} guarantees and {!S2fa_b2c} depends on);
+    - [Ret] executes with exactly one value on the stack, [RetVoid] with
+      zero;
+    - no instruction underflows the stack;
+    - local slot indices are within the frame;
+    - execution cannot fall off the end of the code. *)
+
+exception Verify_error of string
+
+val verify_method : Insn.cls -> Insn.methd -> unit
+(** Raises {!Verify_error} with a diagnostic on violation. *)
+
+val verify_class : Insn.cls -> unit

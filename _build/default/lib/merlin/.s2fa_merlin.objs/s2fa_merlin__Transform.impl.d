@@ -1,0 +1,1 @@
+lib/merlin/transform.ml: Format List Option Printf S2fa_hlsc String

@@ -1,0 +1,1 @@
+lib/merlin/transform.mli: Format S2fa_hlsc

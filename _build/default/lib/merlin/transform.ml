@@ -1,0 +1,169 @@
+module Csyntax = S2fa_hlsc.Csyntax
+open Csyntax
+
+type loop_cfg = {
+  lc_tile : int;
+  lc_parallel : int;
+  lc_pipeline : pipeline_mode;
+}
+
+let default_loop_cfg = { lc_tile = 1; lc_parallel = 1; lc_pipeline = PipeOff }
+
+type config = {
+  cfg_loops : (int * loop_cfg) list;
+  cfg_bitwidths : (string * int) list;
+}
+
+let empty_config = { cfg_loops = []; cfg_bitwidths = [] }
+
+let loop_cfg_of cfg id =
+  Option.value ~default:default_loop_cfg (List.assoc_opt id cfg.cfg_loops)
+
+let pp_config ppf cfg =
+  let pipe = function
+    | PipeOn -> "on"
+    | PipeOff -> "off"
+    | PipeFlatten -> "flatten"
+  in
+  Format.fprintf ppf "{";
+  List.iter
+    (fun (id, lc) ->
+      Format.fprintf ppf " L%d:(tile=%d,par=%d,pipe=%s)" id lc.lc_tile
+        lc.lc_parallel (pipe lc.lc_pipeline))
+    cfg.cfg_loops;
+  List.iter
+    (fun (b, w) -> Format.fprintf ppf " %s:bw=%d" b w)
+    cfg.cfg_bitwidths;
+  Format.fprintf ppf " }"
+
+exception Transform_error of string
+
+let err fmt = Printf.ksprintf (fun m -> raise (Transform_error m)) fmt
+
+(* ---------- expression substitution ---------- *)
+
+let rec subst_expr v repl e =
+  match e with
+  | EVar x when String.equal x v -> repl
+  | EVar _ | EInt _ | ELong _ | EFloat _ | EDouble _ | EChar _ | EBool _ -> e
+  | EBin (op, a, b) -> EBin (op, subst_expr v repl a, subst_expr v repl b)
+  | EUn (op, a) -> EUn (op, subst_expr v repl a)
+  | EIndex (a, i) -> EIndex (subst_expr v repl a, subst_expr v repl i)
+  | ECall (f, args) -> ECall (f, List.map (subst_expr v repl) args)
+  | ECond (c, a, b) ->
+    ECond (subst_expr v repl c, subst_expr v repl a, subst_expr v repl b)
+  | ECast (t, a) -> ECast (t, subst_expr v repl a)
+
+let rec subst_stmts v repl stmts =
+  List.map
+    (function
+      | SDecl (t, n, i) -> SDecl (t, n, Option.map (subst_expr v repl) i)
+      | SAssign (lv, e) -> SAssign (subst_expr v repl lv, subst_expr v repl e)
+      | SIf (c, a, b) ->
+        SIf (subst_expr v repl c, subst_stmts v repl a, subst_stmts v repl b)
+      | SWhile (c, b) -> SWhile (subst_expr v repl c, subst_stmts v repl b)
+      | SFor l ->
+        SFor
+          { l with
+            llo = subst_expr v repl l.llo;
+            lhi = subst_expr v repl l.lhi;
+            lbody = subst_stmts v repl l.lbody }
+      | SExpr e -> SExpr (subst_expr v repl e)
+      | SReturn e -> SReturn (Option.map (subst_expr v repl) e))
+    stmts
+
+(* ---------- tiling ---------- *)
+
+(* Tile loop [l] by factor [t]:
+     for (v = lo; v < hi; v++) body
+   becomes
+     for (v_t = lo; v_t < hi; v_t += t)          <- keeps the original id
+       #pragma parallel factor=p (inner)
+       for (v_i = 0; v_i < t; v_i++) {
+         int v = v_t + v_i; if (v < hi) body
+       }
+   The inner loop is fresh; the caller attaches pragmas. *)
+let tile_loop (l : loop) ~tile ~inner_pragmas ~outer_pragmas =
+  if l.lstep <> 1 then err "tiling a loop with step %d" l.lstep;
+  let vt = l.lvar ^ "_t" in
+  let vi = l.lvar ^ "_i" in
+  let body =
+    SAssign (EVar l.lvar, EBin (CAdd, EVar vt, EVar vi))
+    :: [ SIf (EBin (CLt, EVar l.lvar, l.lhi), l.lbody, []) ]
+  in
+  let body =
+    SDecl (CInt, l.lvar, None) :: body
+  in
+  let inner =
+    { (Csyntax.mk_loop ~var:vi ~lo:(EInt 0) ~hi:(EInt tile) body) with
+      lpragmas = inner_pragmas }
+  in
+  { l with
+    lvar = vt;
+    lstep = tile;
+    lbody = [ SFor inner ];
+    lpragmas = outer_pragmas }
+
+(* ---------- applying a config ---------- *)
+
+let apply cfg prog =
+  List.iter
+    (fun (id, lc) ->
+      if lc.lc_tile < 1 then err "loop %d: tile factor %d" id lc.lc_tile;
+      if lc.lc_parallel < 1 then
+        err "loop %d: parallel factor %d" id lc.lc_parallel)
+    cfg.cfg_loops;
+  let rewrite_loop (l : loop) =
+    match List.assoc_opt l.lid cfg.cfg_loops with
+    | None -> l
+    | Some lc ->
+      let pipe = [ Pipeline lc.lc_pipeline ] in
+      if lc.lc_tile > 1 then
+        tile_loop l ~tile:lc.lc_tile
+          ~inner_pragmas:[ Parallel lc.lc_parallel ]
+          ~outer_pragmas:(Tile lc.lc_tile :: pipe)
+      else
+        { l with lpragmas = (Parallel lc.lc_parallel :: pipe) }
+  in
+  let rewrite_func f =
+    let params =
+      List.map
+        (fun p ->
+          match (p.cpty, List.assoc_opt p.cpname cfg.cfg_bitwidths) with
+          | CPtr _, Some bw -> { p with cpbitwidth = Some bw }
+          | _ -> p)
+        f.cfparams
+    in
+    { f with cfparams = params; cfbody = map_loops rewrite_loop f.cfbody }
+  in
+  { cfuncs = List.map rewrite_func prog.cfuncs }
+
+(* ---------- real unrolling (for tests) ---------- *)
+
+let real_unroll ~factor ~loop_id prog =
+  if factor < 1 then err "unroll factor %d" factor;
+  let rewrite (l : loop) =
+    if l.lid <> loop_id || factor = 1 then l
+    else begin
+      (* for (v = lo; v < hi; v++) body
+         ->
+         for (v_u = lo; v_u < hi; v_u += factor)
+           for each k in 0..factor-1:
+             if (v_u + k < hi) body[v := v_u + k]      *)
+      if l.lstep <> 1 then err "unrolling a loop with step %d" l.lstep;
+      let vu = l.lvar ^ "_u" in
+      let copies =
+        List.concat_map
+          (fun k ->
+            let idx = EBin (CAdd, EVar vu, EInt k) in
+            let body = subst_stmts l.lvar idx l.lbody in
+            [ SIf (EBin (CLt, idx, l.lhi), body, []) ])
+          (List.init factor (fun k -> k))
+      in
+      { l with lvar = vu; lstep = factor; lbody = copies }
+    end
+  in
+  { cfuncs =
+      List.map
+        (fun f -> { f with cfbody = map_loops rewrite f.cfbody })
+        prog.cfuncs }

@@ -1,0 +1,46 @@
+module Csyntax = S2fa_hlsc.Csyntax
+
+(** The Merlin-style source-to-source transformation library.
+
+    A design point (one assignment of Table 1's factors) is applied to the
+    generated C: loop tiling physically splits loops, parallel and pipeline
+    factors become [#pragma ACCEL] annotations interpreted by the HLS
+    estimator, and buffer bit-widths are set on the kernel interface.
+
+    [real_unroll] additionally performs textual unrolling; it exists so
+    property tests can check that unrolling preserves semantics. *)
+
+(** Per-loop design factors. *)
+type loop_cfg = {
+  lc_tile : int;                          (** 1 = no tiling. *)
+  lc_parallel : int;                      (** 1 = sequential. *)
+  lc_pipeline : Csyntax.pipeline_mode;
+}
+
+val default_loop_cfg : loop_cfg
+
+(** A full design point. *)
+type config = {
+  cfg_loops : (int * loop_cfg) list;      (** Keyed by loop id. *)
+  cfg_bitwidths : (string * int) list;    (** Buffer name -> bits. *)
+}
+
+val empty_config : config
+
+val loop_cfg_of : config -> int -> loop_cfg
+
+val pp_config : Format.formatter -> config -> unit
+
+exception Transform_error of string
+
+val apply : config -> Csyntax.cprog -> Csyntax.cprog
+(** Rewrite the program for a design point. Tiling a loop of id [l]
+    produces an outer loop that keeps id [l] (carrying the pipeline
+    pragma) and a fresh inner loop carrying the parallel pragma; an
+    untiled loop receives both pragmas directly. Unknown loop ids are
+    ignored (they may belong to a sibling function). Raises
+    {!Transform_error} for invalid factors (tile or parallel < 1). *)
+
+val real_unroll : factor:int -> loop_id:int -> Csyntax.cprog -> Csyntax.cprog
+(** Textually unroll a counted loop by [factor] (with a remainder guard),
+    for semantics-preservation tests. *)

@@ -1,0 +1,1 @@
+lib/scala_front/ast.mli:

@@ -1,0 +1,1 @@
+lib/scala_front/lexer.ml: Ast Buffer Int64 List Printf String

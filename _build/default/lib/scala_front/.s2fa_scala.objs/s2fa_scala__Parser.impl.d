@@ -1,0 +1,1 @@
+lib/scala_front/parser.ml: Array Ast Lexer List Printf String

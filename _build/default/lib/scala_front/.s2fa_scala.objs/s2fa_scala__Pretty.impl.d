@@ -1,0 +1,1 @@
+lib/scala_front/pretty.ml: Ast Format List String

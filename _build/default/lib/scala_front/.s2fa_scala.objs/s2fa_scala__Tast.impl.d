@@ -1,0 +1,1 @@
+lib/scala_front/tast.ml: Ast List String

@@ -1,0 +1,1 @@
+lib/scala_front/typecheck.ml: Ast List Option Printf String Tast

@@ -1,0 +1,140 @@
+type pos = { line : int; col : int }
+
+let dummy_pos = { line = 0; col = 0 }
+
+type ty =
+  | TInt
+  | TLong
+  | TFloat
+  | TDouble
+  | TBoolean
+  | TChar
+  | TUnit
+  | TString
+  | TArray of ty
+  | TTuple of ty list
+  | TClass of string
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+  | BAnd | BOr | BXor | Shl | Shr | Lshr
+
+type unop = Neg | Not | BNot
+
+type lit =
+  | LInt of int
+  | LLong of int64
+  | LFloat of float
+  | LDouble of float
+  | LBool of bool
+  | LChar of char
+  | LString of string
+  | LUnit
+
+type expr = { e : expr_kind; epos : pos }
+
+and expr_kind =
+  | Lit of lit
+  | Ident of string
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | IfE of expr * expr * expr
+  | Apply of expr * expr list
+  | Select of expr * string
+  | TupleE of expr list
+  | NewArray of ty * expr list
+  | NewObj of string * expr list
+  | MathCall of string * expr list
+  | CallSelf of string * expr list
+  | Block of block
+
+and stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | SVal of string * ty option * expr
+  | SVar of string * ty option * expr
+  | SAssign of expr * expr
+  | SWhile of expr * block
+  | SFor of string * expr * expr * range_kind * block
+  | SIf of expr * block * block option
+  | SExpr of expr
+
+and range_kind = Until | To
+
+and block = { stmts : stmt list; value : expr option }
+
+type param = { pname : string; pty : ty }
+
+type methd = {
+  mname : string;
+  mparams : param list;
+  mret : ty;
+  mbody : block;
+}
+
+type cls = {
+  cname : string;
+  cparams : param list;
+  cextends : (string * ty list) option;
+  cvals : (string * ty option * expr) list;
+  cmethods : methd list;
+}
+
+type program = { classes : cls list }
+
+let rec string_of_ty = function
+  | TInt -> "Int"
+  | TLong -> "Long"
+  | TFloat -> "Float"
+  | TDouble -> "Double"
+  | TBoolean -> "Boolean"
+  | TChar -> "Char"
+  | TUnit -> "Unit"
+  | TString -> "String"
+  | TArray t -> "Array[" ^ string_of_ty t ^ "]"
+  | TTuple ts -> "(" ^ String.concat ", " (List.map string_of_ty ts) ^ ")"
+  | TClass c -> c
+
+let string_of_binop = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">=" | Eq -> "==" | Ne -> "!="
+  | And -> "&&" | Or -> "||"
+  | BAnd -> "&" | BOr -> "|" | BXor -> "^"
+  | Shl -> "<<" | Shr -> ">>" | Lshr -> ">>>"
+
+let string_of_unop = function Neg -> "-" | Not -> "!" | BNot -> "~"
+
+let rec equal_ty a b =
+  match (a, b) with
+  | TInt, TInt | TLong, TLong | TFloat, TFloat | TDouble, TDouble
+  | TBoolean, TBoolean | TChar, TChar | TUnit, TUnit | TString, TString ->
+    true
+  | TArray x, TArray y -> equal_ty x y
+  | TTuple xs, TTuple ys ->
+    List.length xs = List.length ys && List.for_all2 equal_ty xs ys
+  | TClass x, TClass y -> String.equal x y
+  | ( ( TInt | TLong | TFloat | TDouble | TBoolean | TChar | TUnit | TString
+      | TArray _ | TTuple _ | TClass _ ),
+      _ ) ->
+    false
+
+let is_numeric = function
+  | TInt | TLong | TFloat | TDouble | TChar -> true
+  | TBoolean | TUnit | TString | TArray _ | TTuple _ | TClass _ -> false
+
+let is_integral = function
+  | TInt | TLong | TChar | TBoolean -> true
+  | TFloat | TDouble | TUnit | TString | TArray _ | TTuple _ | TClass _ ->
+    false
+
+let find_class prog name =
+  List.find_opt (fun c -> String.equal c.cname name) prog.classes
+
+let find_method cls name =
+  List.find_opt (fun m -> String.equal m.mname name) cls.cmethods
+
+let mk ?(pos = dummy_pos) e = { e; epos = pos }
+
+let mks ?(pos = dummy_pos) s = { s; spos = pos }

@@ -1,0 +1,131 @@
+(** Abstract syntax of MiniScala, the Scala subset accepted by S2FA.
+
+    The subset matches the restrictions of Section 3.3 of the paper:
+    primitive types, [Array], [Tuple2]/[Tuple3], [String] (with a fixed
+    capacity chosen at integration time), user classes whose kernel method is
+    [call], no library calls other than [math.*] intrinsics, and [new] with
+    compile-time-constant sizes only. *)
+
+type pos = { line : int; col : int }
+(** Source position (1-based line, 1-based column). *)
+
+val dummy_pos : pos
+
+(** Surface types. *)
+type ty =
+  | TInt
+  | TLong
+  | TFloat
+  | TDouble
+  | TBoolean
+  | TChar
+  | TUnit
+  | TString
+  | TArray of ty
+  | TTuple of ty list
+  | TClass of string
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Lt | Le | Gt | Ge | Eq | Ne
+  | And | Or
+  | BAnd | BOr | BXor | Shl | Shr | Lshr
+
+type unop = Neg | Not | BNot
+
+type lit =
+  | LInt of int
+  | LLong of int64
+  | LFloat of float
+  | LDouble of float
+  | LBool of bool
+  | LChar of char
+  | LString of string
+  | LUnit
+
+type expr = { e : expr_kind; epos : pos }
+
+and expr_kind =
+  | Lit of lit
+  | Ident of string
+      (** Local, parameter, or (resolved during type checking) a field of
+          the enclosing class. *)
+  | Binop of binop * expr * expr
+  | Unop of unop * expr
+  | IfE of expr * expr * expr  (** [if (c) a else b] as an expression. *)
+  | Apply of expr * expr list
+      (** [f(args)]: array indexing [a(i)], or a method call when [f] is a
+          {!Select}. Disambiguated during type checking. *)
+  | Select of expr * string  (** [e.name]: tuple [_1], [length], fields. *)
+  | TupleE of expr list
+  | NewArray of ty * expr list
+      (** [new Array\[ty\](n)] or [new Array\[Array\[ty\]\](n, m)]. *)
+  | NewObj of string * expr list
+  | MathCall of string * expr list  (** [math.sqrt(x)] and friends. *)
+  | CallSelf of string * expr list  (** Call to a method of the same class. *)
+  | Block of block  (** [{ stmts; value }] as an expression. *)
+
+and stmt = { s : stmt_kind; spos : pos }
+
+and stmt_kind =
+  | SVal of string * ty option * expr   (** [val x = e] *)
+  | SVar of string * ty option * expr   (** [var x = e] *)
+  | SAssign of expr * expr
+      (** Target is an [Ident], [Apply] (array store) or [Select]. *)
+  | SWhile of expr * block
+  | SFor of string * expr * expr * range_kind * block
+      (** [for (i <- lo until/to hi) body]. *)
+  | SIf of expr * block * block option
+  | SExpr of expr
+
+and range_kind = Until | To
+
+and block = { stmts : stmt list; value : expr option }
+(** A Scala block: statements followed by an optional trailing expression
+    whose value is the block's value. *)
+
+type param = { pname : string; pty : ty }
+
+type methd = {
+  mname : string;
+  mparams : param list;
+  mret : ty;
+  mbody : block;
+}
+
+type cls = {
+  cname : string;
+  cparams : param list;  (** Constructor parameters; become class fields. *)
+  cextends : (string * ty list) option;
+      (** [extends Accelerator\[I, O\]] for kernel classes. *)
+  cvals : (string * ty option * expr) list;
+      (** Top-level [val] members (constants such as the Blaze [id]). *)
+  cmethods : methd list;
+}
+
+type program = { classes : cls list }
+
+val string_of_ty : ty -> string
+(** Scala-syntax rendering, e.g. ["(String, String)"] or ["Array[Double]"]. *)
+
+val string_of_binop : binop -> string
+
+val string_of_unop : unop -> string
+
+val equal_ty : ty -> ty -> bool
+
+val is_numeric : ty -> bool
+(** Int, Long, Float, Double or Char. *)
+
+val is_integral : ty -> bool
+(** Int, Long, Char or Boolean (as bit). *)
+
+val find_class : program -> string -> cls option
+
+val find_method : cls -> string -> methd option
+
+val mk : ?pos:pos -> expr_kind -> expr
+(** Expression constructor with a default dummy position. *)
+
+val mks : ?pos:pos -> stmt_kind -> stmt
+(** Statement constructor with a default dummy position. *)

@@ -1,0 +1,261 @@
+type token =
+  | INT of int
+  | LONG of int64
+  | FLOATLIT of float
+  | DOUBLELIT of float
+  | BOOL of bool
+  | CHARLIT of char
+  | STRINGLIT of string
+  | IDENT of string
+  | KW of string
+  | OP of string
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | COLON | SEMI | DOT
+  | EOF
+
+type located = { tok : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+let keywords =
+  [ "class"; "def"; "val"; "var"; "if"; "else"; "while"; "for"; "new";
+    "extends"; "return"; "true"; "false"; "until"; "to"; "object"; "this" ]
+
+let is_keyword s = List.mem s keywords
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+(* Multi-character operators, longest first so that the greedy scan below
+   picks e.g. ">>>" before ">>". *)
+let operators =
+  [ ">>>"; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||"; "<-"; "=>";
+    "+"; "-"; "*"; "/"; "%"; "<"; ">"; "="; "!"; "&"; "|"; "^"; "~" ]
+
+type cursor = {
+  src : string;
+  mutable off : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek cur =
+  if cur.off < String.length cur.src then Some cur.src.[cur.off] else None
+
+let peek2 cur =
+  if cur.off + 1 < String.length cur.src then Some cur.src.[cur.off + 1]
+  else None
+
+let advance cur =
+  (match peek cur with
+  | Some '\n' ->
+    cur.line <- cur.line + 1;
+    cur.col <- 1
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.off <- cur.off + 1
+
+let pos_of cur = { Ast.line = cur.line; col = cur.col }
+
+let error cur msg = raise (Lex_error (msg, pos_of cur))
+
+let rec skip_trivia cur =
+  match peek cur with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance cur;
+    skip_trivia cur
+  | Some '/' when peek2 cur = Some '/' ->
+    let rec to_eol () =
+      match peek cur with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance cur;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia cur
+  | Some '/' when peek2 cur = Some '*' ->
+    advance cur;
+    advance cur;
+    let rec to_close () =
+      match (peek cur, peek2 cur) with
+      | Some '*', Some '/' ->
+        advance cur;
+        advance cur
+      | Some _, _ ->
+        advance cur;
+        to_close ()
+      | None, _ -> error cur "unterminated block comment"
+    in
+    to_close ();
+    skip_trivia cur
+  | Some _ | None -> ()
+
+let lex_number cur =
+  let start = cur.off in
+  while (match peek cur with Some c -> is_digit c | None -> false) do
+    advance cur
+  done;
+  let is_float =
+    match (peek cur, peek2 cur) with
+    | Some '.', Some c when is_digit c -> true
+    | _ -> false
+  in
+  if is_float then begin
+    advance cur;
+    while (match peek cur with Some c -> is_digit c | None -> false) do
+      advance cur
+    done;
+    (match peek cur with
+    | Some ('e' | 'E') ->
+      advance cur;
+      (match peek cur with
+      | Some ('+' | '-') -> advance cur
+      | _ -> ());
+      while (match peek cur with Some c -> is_digit c | None -> false) do
+        advance cur
+      done
+    | _ -> ());
+    let text = String.sub cur.src start (cur.off - start) in
+    match peek cur with
+    | Some ('f' | 'F') ->
+      advance cur;
+      FLOATLIT (float_of_string text)
+    | _ -> DOUBLELIT (float_of_string text)
+  end
+  else begin
+    let text = String.sub cur.src start (cur.off - start) in
+    match peek cur with
+    | Some ('l' | 'L') ->
+      advance cur;
+      LONG (Int64.of_string text)
+    | Some ('f' | 'F') ->
+      advance cur;
+      FLOATLIT (float_of_string text)
+    | _ -> INT (int_of_string text)
+  end
+
+let lex_escaped cur =
+  advance cur;
+  match peek cur with
+  | Some 'n' -> advance cur; '\n'
+  | Some 't' -> advance cur; '\t'
+  | Some 'r' -> advance cur; '\r'
+  | Some '0' -> advance cur; '\000'
+  | Some '\\' -> advance cur; '\\'
+  | Some '\'' -> advance cur; '\''
+  | Some '"' -> advance cur; '"'
+  | Some c -> error cur (Printf.sprintf "unknown escape '\\%c'" c)
+  | None -> error cur "unterminated escape"
+
+let lex_string cur =
+  advance cur;
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | Some '"' ->
+      advance cur;
+      STRINGLIT (Buffer.contents buf)
+    | Some '\\' ->
+      Buffer.add_char buf (lex_escaped cur);
+      loop ()
+    | Some c ->
+      advance cur;
+      Buffer.add_char buf c;
+      loop ()
+    | None -> error cur "unterminated string literal"
+  in
+  loop ()
+
+let lex_char cur =
+  advance cur;
+  let c =
+    match peek cur with
+    | Some '\\' -> lex_escaped cur
+    | Some c ->
+      advance cur;
+      c
+    | None -> error cur "unterminated char literal"
+  in
+  match peek cur with
+  | Some '\'' ->
+    advance cur;
+    CHARLIT c
+  | _ -> error cur "unterminated char literal"
+
+let try_operator cur =
+  let rest = String.length cur.src - cur.off in
+  let matches op =
+    let n = String.length op in
+    n <= rest && String.equal (String.sub cur.src cur.off n) op
+  in
+  match List.find_opt matches operators with
+  | Some op ->
+    String.iter (fun _ -> advance cur) op;
+    Some (OP op)
+  | None -> None
+
+let next_token cur =
+  skip_trivia cur;
+  let pos = pos_of cur in
+  let tok =
+    match peek cur with
+    | None -> EOF
+    | Some '(' -> advance cur; LPAREN
+    | Some ')' -> advance cur; RPAREN
+    | Some '{' -> advance cur; LBRACE
+    | Some '}' -> advance cur; RBRACE
+    | Some '[' -> advance cur; LBRACKET
+    | Some ']' -> advance cur; RBRACKET
+    | Some ',' -> advance cur; COMMA
+    | Some ';' -> advance cur; SEMI
+    | Some ':' -> advance cur; COLON
+    | Some '.' -> advance cur; DOT
+    | Some '"' -> lex_string cur
+    | Some '\'' -> lex_char cur
+    | Some c when is_digit c -> lex_number cur
+    | Some c when is_ident_start c ->
+      let start = cur.off in
+      while (match peek cur with Some c -> is_ident_char c | None -> false) do
+        advance cur
+      done;
+      let text = String.sub cur.src start (cur.off - start) in
+      if String.equal text "true" then BOOL true
+      else if String.equal text "false" then BOOL false
+      else if is_keyword text then KW text
+      else IDENT text
+    | Some c -> (
+      match try_operator cur with
+      | Some t -> t
+      | None -> error cur (Printf.sprintf "unexpected character '%c'" c))
+  in
+  { tok; pos }
+
+let tokenize src =
+  let cur = { src; off = 0; line = 1; col = 1 } in
+  let rec loop acc =
+    let t = next_token cur in
+    match t.tok with EOF -> List.rev (t :: acc) | _ -> loop (t :: acc)
+  in
+  loop []
+
+let string_of_token = function
+  | INT n -> string_of_int n
+  | LONG n -> Int64.to_string n ^ "L"
+  | FLOATLIT f -> string_of_float f ^ "f"
+  | DOUBLELIT f -> string_of_float f
+  | BOOL b -> string_of_bool b
+  | CHARLIT c -> Printf.sprintf "'%c'" c
+  | STRINGLIT s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW s -> s
+  | OP s -> s
+  | LPAREN -> "(" | RPAREN -> ")"
+  | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | COMMA -> "," | COLON -> ":" | SEMI -> ";" | DOT -> "."
+  | EOF -> "<eof>"

@@ -1,0 +1,27 @@
+(** Hand-written lexer for MiniScala source text. *)
+
+type token =
+  | INT of int
+  | LONG of int64
+  | FLOATLIT of float       (** literal with an [f]/[F] suffix *)
+  | DOUBLELIT of float
+  | BOOL of bool
+  | CHARLIT of char
+  | STRINGLIT of string
+  | IDENT of string
+  | KW of string            (** keyword: class, def, val, var, if, ... *)
+  | OP of string            (** operator or punctuation: + - * <= => ... *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | COLON | SEMI | DOT
+  | EOF
+
+type located = { tok : token; pos : Ast.pos }
+
+exception Lex_error of string * Ast.pos
+
+val tokenize : string -> located list
+(** Full tokenization of a source string; raises {!Lex_error} on malformed
+    input (unterminated string/char literal, unknown character). Line
+    comments [//] and block comments [/* */] are skipped. *)
+
+val string_of_token : token -> string

@@ -1,0 +1,522 @@
+exception Parse_error of string * Ast.pos
+
+type state = { toks : Lexer.located array; mutable idx : int }
+
+let current st = st.toks.(st.idx)
+
+let peek_tok st = (current st).tok
+
+let peek_pos st = (current st).pos
+
+let advance st = if st.idx < Array.length st.toks - 1 then st.idx <- st.idx + 1
+
+let error st msg = raise (Parse_error (msg, peek_pos st))
+
+let expect st tok what =
+  if peek_tok st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found '%s'" what
+         (Lexer.string_of_token (peek_tok st)))
+
+let expect_ident st what =
+  match peek_tok st with
+  | Lexer.IDENT name ->
+    advance st;
+    name
+  | t ->
+    error st
+      (Printf.sprintf "expected %s but found '%s'" what
+         (Lexer.string_of_token t))
+
+let accept_op st op =
+  match peek_tok st with
+  | Lexer.OP o when String.equal o op ->
+    advance st;
+    true
+  | _ -> false
+
+let accept_kw st kw =
+  match peek_tok st with
+  | Lexer.KW k when String.equal k kw ->
+    advance st;
+    true
+  | _ -> false
+
+(* ---------- types ---------- *)
+
+let rec parse_ty st =
+  match peek_tok st with
+  | Lexer.LPAREN ->
+    advance st;
+    let first = parse_ty st in
+    let rec rest acc =
+      if peek_tok st = Lexer.COMMA then begin
+        advance st;
+        let t = parse_ty st in
+        rest (t :: acc)
+      end
+      else List.rev acc
+    in
+    let ts = rest [ first ] in
+    expect st Lexer.RPAREN "')' closing tuple type";
+    (match ts with [ t ] -> t | _ -> Ast.TTuple ts)
+  | Lexer.IDENT name ->
+    advance st;
+    (match name with
+    | "Int" -> Ast.TInt
+    | "Long" -> Ast.TLong
+    | "Float" -> Ast.TFloat
+    | "Double" -> Ast.TDouble
+    | "Boolean" -> Ast.TBoolean
+    | "Char" -> Ast.TChar
+    | "Unit" -> Ast.TUnit
+    | "String" -> Ast.TString
+    | "Array" ->
+      expect st Lexer.LBRACKET "'[' after Array";
+      let t = parse_ty st in
+      expect st Lexer.RBRACKET "']' closing Array type";
+      Ast.TArray t
+    | "Tuple2" | "Tuple3" ->
+      expect st Lexer.LBRACKET "'[' after tuple type";
+      let first = parse_ty st in
+      let rec rest acc =
+        if peek_tok st = Lexer.COMMA then begin
+          advance st;
+          let t = parse_ty st in
+          rest (t :: acc)
+        end
+        else List.rev acc
+      in
+      let ts = rest [ first ] in
+      expect st Lexer.RBRACKET "']' closing tuple type";
+      Ast.TTuple ts
+    | other -> Ast.TClass other)
+  | t ->
+    error st
+      (Printf.sprintf "expected a type but found '%s'"
+         (Lexer.string_of_token t))
+
+(* ---------- expressions ---------- *)
+
+(* Precedence levels, loosest first. *)
+let binop_levels : (string * Ast.binop) list list =
+  [ [ ("||", Ast.Or) ];
+    [ ("&&", Ast.And) ];
+    [ ("|", Ast.BOr) ];
+    [ ("^", Ast.BXor) ];
+    [ ("&", Ast.BAnd) ];
+    [ ("==", Ast.Eq); ("!=", Ast.Ne) ];
+    [ ("<=", Ast.Le); (">=", Ast.Ge); ("<", Ast.Lt); (">", Ast.Gt) ];
+    [ ("<<", Ast.Shl); (">>>", Ast.Lshr); (">>", Ast.Shr) ];
+    [ ("+", Ast.Add); ("-", Ast.Sub) ];
+    [ ("*", Ast.Mul); ("/", Ast.Div); ("%", Ast.Rem) ] ]
+
+let rec parse_expr_st st = parse_binop st binop_levels
+
+and parse_binop st levels =
+  match levels with
+  | [] -> parse_unary st
+  | ops :: tighter ->
+    let lhs = parse_binop st tighter in
+    let rec loop lhs =
+      let matched =
+        match peek_tok st with
+        | Lexer.OP o -> List.assoc_opt o ops
+        | _ -> None
+      in
+      match matched with
+      | Some op ->
+        let pos = peek_pos st in
+        advance st;
+        let rhs = parse_binop st tighter in
+        loop (Ast.mk ~pos (Ast.Binop (op, lhs, rhs)))
+      | None -> lhs
+    in
+    loop lhs
+
+and parse_unary st =
+  let pos = peek_pos st in
+  if accept_op st "-" then
+    let e = parse_unary st in
+    Ast.mk ~pos (Ast.Unop (Ast.Neg, e))
+  else if accept_op st "!" then
+    let e = parse_unary st in
+    Ast.mk ~pos (Ast.Unop (Ast.Not, e))
+  else if accept_op st "~" then
+    let e = parse_unary st in
+    Ast.mk ~pos (Ast.Unop (Ast.BNot, e))
+  else parse_postfix st
+
+and parse_postfix st =
+  let base = parse_primary st in
+  (* Scala newline inference, simplified: an argument list must open on the
+     same line as the expression it applies to, otherwise the '(' starts a
+     new statement. *)
+  let same_line () =
+    st.idx > 0
+    && (current st).pos.Ast.line = st.toks.(st.idx - 1).pos.Ast.line
+  in
+  let rec loop e =
+    match peek_tok st with
+    | Lexer.DOT ->
+      advance st;
+      let name = expect_ident st "member name after '.'" in
+      loop (Ast.mk ~pos:e.Ast.epos (Ast.Select (e, name)))
+    | Lexer.LPAREN when same_line () ->
+      advance st;
+      let args = parse_args st in
+      expect st Lexer.RPAREN "')' closing arguments";
+      loop (Ast.mk ~pos:e.Ast.epos (Ast.Apply (e, args)))
+    | _ -> e
+  in
+  loop base
+
+and parse_args st =
+  if peek_tok st = Lexer.RPAREN then []
+  else begin
+    let first = parse_expr_st st in
+    let rec rest acc =
+      if peek_tok st = Lexer.COMMA then begin
+        advance st;
+        rest (parse_expr_st st :: acc)
+      end
+      else List.rev acc
+    in
+    rest [ first ]
+  end
+
+and parse_primary st =
+  let pos = peek_pos st in
+  match peek_tok st with
+  | Lexer.INT n ->
+    advance st;
+    Ast.mk ~pos (Ast.Lit (Ast.LInt n))
+  | Lexer.LONG n ->
+    advance st;
+    Ast.mk ~pos (Ast.Lit (Ast.LLong n))
+  | Lexer.FLOATLIT f ->
+    advance st;
+    Ast.mk ~pos (Ast.Lit (Ast.LFloat f))
+  | Lexer.DOUBLELIT f ->
+    advance st;
+    Ast.mk ~pos (Ast.Lit (Ast.LDouble f))
+  | Lexer.BOOL b ->
+    advance st;
+    Ast.mk ~pos (Ast.Lit (Ast.LBool b))
+  | Lexer.CHARLIT c ->
+    advance st;
+    Ast.mk ~pos (Ast.Lit (Ast.LChar c))
+  | Lexer.STRINGLIT s ->
+    advance st;
+    Ast.mk ~pos (Ast.Lit (Ast.LString s))
+  | Lexer.IDENT name ->
+    advance st;
+    Ast.mk ~pos (Ast.Ident name)
+  | Lexer.KW "this" ->
+    advance st;
+    Ast.mk ~pos (Ast.Ident "this")
+  | Lexer.KW "if" ->
+    advance st;
+    expect st Lexer.LPAREN "'(' after if";
+    let cond = parse_expr_st st in
+    expect st Lexer.RPAREN "')' after if condition";
+    let thn = parse_expr_st st in
+    if accept_kw st "else" then
+      let els = parse_expr_st st in
+      Ast.mk ~pos (Ast.IfE (cond, thn, els))
+    else error st "if-expression requires an else branch"
+  | Lexer.KW "new" ->
+    advance st;
+    let name = expect_ident st "class or Array after new" in
+    if String.equal name "Array" then begin
+      expect st Lexer.LBRACKET "'[' after new Array";
+      let t = parse_ty st in
+      expect st Lexer.RBRACKET "']' closing Array element type";
+      expect st Lexer.LPAREN "'(' with the array size";
+      let sizes = parse_args st in
+      expect st Lexer.RPAREN "')' closing array size";
+      Ast.mk ~pos (Ast.NewArray (t, sizes))
+    end
+    else begin
+      expect st Lexer.LPAREN "'(' after class name";
+      let args = parse_args st in
+      expect st Lexer.RPAREN "')' closing constructor arguments";
+      Ast.mk ~pos (Ast.NewObj (name, args))
+    end
+  | Lexer.LPAREN ->
+    advance st;
+    let first = parse_expr_st st in
+    if peek_tok st = Lexer.COMMA then begin
+      let rec rest acc =
+        if peek_tok st = Lexer.COMMA then begin
+          advance st;
+          rest (parse_expr_st st :: acc)
+        end
+        else List.rev acc
+      in
+      let es = rest [ first ] in
+      expect st Lexer.RPAREN "')' closing tuple";
+      Ast.mk ~pos (Ast.TupleE es)
+    end
+    else begin
+      expect st Lexer.RPAREN "')'";
+      first
+    end
+  | Lexer.LBRACE ->
+    let b = parse_block st in
+    Ast.mk ~pos (Ast.Block b)
+  | t ->
+    error st
+      (Printf.sprintf "expected an expression but found '%s'"
+         (Lexer.string_of_token t))
+
+(* ---------- statements and blocks ---------- *)
+
+and parse_block st =
+  expect st Lexer.LBRACE "'{' opening block";
+  let rec loop acc =
+    match peek_tok st with
+    | Lexer.RBRACE ->
+      advance st;
+      List.rev acc
+    | Lexer.SEMI ->
+      advance st;
+      loop acc
+    | _ -> loop (parse_stmt st :: acc)
+  in
+  let stmts = loop [] in
+  (* A trailing expression-statement is the block's value. *)
+  match List.rev stmts with
+  | { Ast.s = Ast.SExpr e; _ } :: before ->
+    { Ast.stmts = List.rev before; value = Some e }
+  | _ -> { Ast.stmts; value = None }
+
+and parse_block_or_stmt st =
+  if peek_tok st = Lexer.LBRACE then parse_block st
+  else
+    let s = parse_stmt st in
+    { Ast.stmts = [ s ]; value = None }
+
+and parse_stmt st =
+  let pos = peek_pos st in
+  match peek_tok st with
+  | Lexer.KW "val" ->
+    advance st;
+    let name = expect_ident st "name after val" in
+    let ty =
+      if peek_tok st = Lexer.COLON then begin
+        advance st;
+        Some (parse_ty st)
+      end
+      else None
+    in
+    if not (accept_op st "=") then error st "expected '=' in val definition";
+    let e = parse_expr_st st in
+    Ast.mks ~pos (Ast.SVal (name, ty, e))
+  | Lexer.KW "var" ->
+    advance st;
+    let name = expect_ident st "name after var" in
+    let ty =
+      if peek_tok st = Lexer.COLON then begin
+        advance st;
+        Some (parse_ty st)
+      end
+      else None
+    in
+    if not (accept_op st "=") then error st "expected '=' in var definition";
+    let e = parse_expr_st st in
+    Ast.mks ~pos (Ast.SVar (name, ty, e))
+  | Lexer.KW "while" ->
+    advance st;
+    expect st Lexer.LPAREN "'(' after while";
+    let cond = parse_expr_st st in
+    expect st Lexer.RPAREN "')' after while condition";
+    let body = parse_block_or_stmt st in
+    Ast.mks ~pos (Ast.SWhile (cond, body))
+  | Lexer.KW "for" ->
+    advance st;
+    expect st Lexer.LPAREN "'(' after for";
+    let var = expect_ident st "loop variable" in
+    if not (accept_op st "<-") then error st "expected '<-' in for generator";
+    let lo = parse_expr_st st in
+    let kind =
+      if accept_kw st "until" then Ast.Until
+      else if accept_kw st "to" then Ast.To
+      else error st "expected 'until' or 'to' in for range"
+    in
+    let hi = parse_expr_st st in
+    expect st Lexer.RPAREN "')' closing for generator";
+    let body = parse_block_or_stmt st in
+    Ast.mks ~pos (Ast.SFor (var, lo, hi, kind, body))
+  | Lexer.KW "if" ->
+    (* Statement-position if: no else branch required. Re-parsed as an
+       expression when it is the trailing value of a block and has an
+       else branch — the type checker handles that case. *)
+    let save = st.idx in
+    advance st;
+    expect st Lexer.LPAREN "'(' after if";
+    let cond = parse_expr_st st in
+    expect st Lexer.RPAREN "')' after if condition";
+    if peek_tok st = Lexer.LBRACE then begin
+      let thn = parse_block st in
+      let els = if accept_kw st "else" then Some (parse_block_or_stmt st) else None in
+      Ast.mks ~pos (Ast.SIf (cond, thn, els))
+    end
+    else begin
+      (* 'if (c) simple-stmt [else ...]' or an if-expression statement;
+         restart and parse as expression when an else exists with
+         non-braced branches. *)
+      st.idx <- save;
+      let e = parse_expr_or_if st in
+      finish_expr_stmt st pos e
+    end
+  | _ ->
+    let e = parse_expr_st st in
+    finish_expr_stmt st pos e
+
+and parse_expr_or_if st =
+  (* Expression parsing that also accepts a bare if-else. *)
+  parse_expr_st st
+
+and finish_expr_stmt st pos e =
+  if accept_op st "=" then
+    let rhs = parse_expr_st st in
+    Ast.mks ~pos (Ast.SAssign (e, rhs))
+  else Ast.mks ~pos (Ast.SExpr e)
+
+(* ---------- declarations ---------- *)
+
+let parse_params st =
+  expect st Lexer.LPAREN "'(' opening parameter list";
+  if peek_tok st = Lexer.RPAREN then begin
+    advance st;
+    []
+  end
+  else begin
+    let one () =
+      let name = expect_ident st "parameter name" in
+      expect st Lexer.COLON "':' after parameter name";
+      let ty = parse_ty st in
+      { Ast.pname = name; pty = ty }
+    in
+    let first = one () in
+    let rec rest acc =
+      if peek_tok st = Lexer.COMMA then begin
+        advance st;
+        rest (one () :: acc)
+      end
+      else List.rev acc
+    in
+    let ps = rest [ first ] in
+    expect st Lexer.RPAREN "')' closing parameter list";
+    ps
+  end
+
+let parse_method st =
+  let name = expect_ident st "method name" in
+  let params = parse_params st in
+  expect st Lexer.COLON "':' before return type";
+  let ret = parse_ty st in
+  if not (accept_op st "=") then error st "expected '=' before method body";
+  let body =
+    if peek_tok st = Lexer.LBRACE then parse_block st
+    else
+      let e = parse_expr_st st in
+      { Ast.stmts = []; value = Some e }
+  in
+  { Ast.mname = name; mparams = params; mret = ret; mbody = body }
+
+let parse_class st =
+  expect st (Lexer.KW "class") "'class'";
+  let name = expect_ident st "class name" in
+  let cparams = if peek_tok st = Lexer.LPAREN then parse_params st else [] in
+  let cextends =
+    if accept_kw st "extends" then begin
+      let parent = expect_ident st "parent class name" in
+      let tys =
+        if peek_tok st = Lexer.LBRACKET then begin
+          advance st;
+          let first = parse_ty st in
+          let rec rest acc =
+            if peek_tok st = Lexer.COMMA then begin
+              advance st;
+              rest (parse_ty st :: acc)
+            end
+            else List.rev acc
+          in
+          let ts = rest [ first ] in
+          expect st Lexer.RBRACKET "']' closing type arguments";
+          ts
+        end
+        else []
+      in
+      (* Parent constructor arguments, ignored (Accelerator has none). *)
+      if peek_tok st = Lexer.LPAREN then begin
+        advance st;
+        let _ = parse_args st in
+        expect st Lexer.RPAREN "')'"
+      end;
+      Some (parent, tys)
+    end
+    else None
+  in
+  expect st Lexer.LBRACE "'{' opening class body";
+  let vals = ref [] in
+  let methods = ref [] in
+  let rec members () =
+    match peek_tok st with
+    | Lexer.RBRACE -> advance st
+    | Lexer.SEMI ->
+      advance st;
+      members ()
+    | Lexer.KW "val" ->
+      advance st;
+      let vname = expect_ident st "val name" in
+      let ty =
+        if peek_tok st = Lexer.COLON then begin
+          advance st;
+          Some (parse_ty st)
+        end
+        else None
+      in
+      if not (accept_op st "=") then error st "expected '=' in val member";
+      let e = parse_expr_st st in
+      vals := (vname, ty, e) :: !vals;
+      members ()
+    | Lexer.KW "def" ->
+      advance st;
+      methods := parse_method st :: !methods;
+      members ()
+    | t ->
+      error st
+        (Printf.sprintf "unexpected '%s' in class body"
+           (Lexer.string_of_token t))
+  in
+  members ();
+  { Ast.cname = name;
+    cparams;
+    cextends;
+    cvals = List.rev !vals;
+    cmethods = List.rev !methods }
+
+let make_state src =
+  { toks = Array.of_list (Lexer.tokenize src); idx = 0 }
+
+let parse_program src =
+  let st = make_state src in
+  let rec loop acc =
+    match peek_tok st with
+    | Lexer.EOF -> List.rev acc
+    | Lexer.SEMI ->
+      advance st;
+      loop acc
+    | _ -> loop (parse_class st :: acc)
+  in
+  { Ast.classes = loop [] }
+
+let parse_expr src =
+  let st = make_state src in
+  let e = parse_expr_st st in
+  if peek_tok st <> Lexer.EOF then error st "trailing input after expression";
+  e

@@ -1,0 +1,13 @@
+(** Recursive-descent parser for MiniScala.
+
+    Operator precedence follows Scala's first-character rule:
+    [||] < [&&] < [|] < [^] < [&] < [== !=] < [< > <= >=] < [<< >> >>>]
+    < [+ -] < [* / %] < unary < postfix selection/application. *)
+
+exception Parse_error of string * Ast.pos
+
+val parse_program : string -> Ast.program
+(** Parse a whole source file (a sequence of class definitions). *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression — used by tests. *)

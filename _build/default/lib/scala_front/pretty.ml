@@ -1,0 +1,157 @@
+open Format
+
+(* Binary operators sit on the precedence ladder of {!Parser}; printing
+   tracks the enclosing level and parenthesizes only when needed. *)
+let level_of = function
+  | Ast.Or -> 1
+  | Ast.And -> 2
+  | Ast.BOr -> 3
+  | Ast.BXor -> 4
+  | Ast.BAnd -> 5
+  | Ast.Eq | Ast.Ne -> 6
+  | Ast.Le | Ast.Ge | Ast.Lt | Ast.Gt -> 7
+  | Ast.Shl | Ast.Lshr | Ast.Shr -> 8
+  | Ast.Add | Ast.Sub -> 9
+  | Ast.Mul | Ast.Div | Ast.Rem -> 10
+
+let pp_lit ppf = function
+  | Ast.LInt n -> if n < 0 then fprintf ppf "(%d)" n else fprintf ppf "%d" n
+  | Ast.LLong n -> fprintf ppf "%LdL" n
+  | Ast.LFloat f -> fprintf ppf "%.17gf" f
+  | Ast.LDouble f ->
+    let s = sprintf "%.17g" f in
+    if String.contains s '.' then pp_print_string ppf s
+    else if String.contains s 'e' then begin
+      (* The lexer requires a decimal point before an exponent. *)
+      match String.index_opt s 'e' with
+      | Some i ->
+        fprintf ppf "%s.0%s" (String.sub s 0 i)
+          (String.sub s i (String.length s - i))
+      | None -> pp_print_string ppf s
+    end
+    else fprintf ppf "%s.0" s
+  | Ast.LBool b -> fprintf ppf "%b" b
+  | Ast.LChar c -> fprintf ppf "'%s'"
+      (match c with
+      | '\n' -> "\\n"
+      | '\t' -> "\\t"
+      | '\r' -> "\\r"
+      | '\\' -> "\\\\"
+      | '\'' -> "\\'"
+      | c -> String.make 1 c)
+  | Ast.LString s -> fprintf ppf "%S" s
+  | Ast.LUnit -> fprintf ppf "()"
+
+let rec pp_expr_prec ppf (prec, (e : Ast.expr)) =
+  match e.Ast.e with
+  | Ast.Lit l -> pp_lit ppf l
+  | Ast.Ident name -> pp_print_string ppf name
+  | Ast.Binop (op, a, b) ->
+    let q = level_of op in
+    if q < prec then
+      fprintf ppf "(%a %s %a)" pp_expr_prec (q, a) (Ast.string_of_binop op)
+        pp_expr_prec (q + 1, b)
+    else
+      fprintf ppf "%a %s %a" pp_expr_prec (q, a) (Ast.string_of_binop op)
+        pp_expr_prec (q + 1, b)
+  | Ast.Unop (op, a) ->
+    fprintf ppf "%s%a" (Ast.string_of_unop op) pp_expr_prec (11, a)
+  | Ast.IfE (c, a, b) ->
+    fprintf ppf "(if (%a) %a else %a)" pp_expr_prec (0, c) pp_expr_prec (11, a)
+      pp_expr_prec (11, b)
+  | Ast.Apply (f, args) ->
+    fprintf ppf "%a(%a)" pp_expr_prec (12, f) pp_args args
+  | Ast.Select (obj, name) ->
+    fprintf ppf "%a.%s" pp_expr_prec (12, obj) name
+  | Ast.TupleE es -> fprintf ppf "(%a)" pp_args es
+  | Ast.NewArray (t, sizes) ->
+    fprintf ppf "new Array[%s](%a)" (Ast.string_of_ty t) pp_args sizes
+  | Ast.NewObj (name, args) -> fprintf ppf "new %s(%a)" name pp_args args
+  | Ast.MathCall (f, args) -> fprintf ppf "math.%s(%a)" f pp_args args
+  | Ast.CallSelf (f, args) -> fprintf ppf "%s(%a)" f pp_args args
+  | Ast.Block b ->
+    (* Only trivial blocks appear in expression position. *)
+    (match b with
+    | { Ast.stmts = []; value = Some v } -> pp_expr_prec ppf (prec, v)
+    | _ -> fprintf ppf "{ %a }" pp_block b)
+
+and pp_args ppf args =
+  pp_print_list
+    ~pp_sep:(fun ppf () -> fprintf ppf ", ")
+    (fun ppf e -> pp_expr_prec ppf (0, e))
+    ppf args
+
+and pp_expr ppf e = pp_expr_prec ppf (0, e)
+
+and pp_stmt ppf (s : Ast.stmt) =
+  match s.Ast.s with
+  | Ast.SVal (name, ann, e) ->
+    fprintf ppf "val %s%a = %a" name pp_ann ann pp_expr e
+  | Ast.SVar (name, ann, e) ->
+    fprintf ppf "var %s%a = %a" name pp_ann ann pp_expr e
+  | Ast.SAssign (lv, e) -> fprintf ppf "%a = %a" pp_expr lv pp_expr e
+  | Ast.SWhile (c, body) ->
+    fprintf ppf "while (%a) {@;<1 2>@[<v>%a@]@ }" pp_expr c pp_block body
+  | Ast.SFor (v, lo, hi, kind, body) ->
+    fprintf ppf "for (%s <- %a %s %a) {@;<1 2>@[<v>%a@]@ }" v pp_expr lo
+      (match kind with Ast.Until -> "until" | Ast.To -> "to")
+      pp_expr hi pp_block body
+  | Ast.SIf (c, thn, els) -> (
+    fprintf ppf "if (%a) {@;<1 2>@[<v>%a@]@ }" pp_expr c pp_block thn;
+    match els with
+    | None -> ()
+    | Some b -> fprintf ppf " else {@;<1 2>@[<v>%a@]@ }" pp_block b)
+  | Ast.SExpr e -> pp_expr ppf e
+
+and pp_ann ppf = function
+  | None -> ()
+  | Some t -> fprintf ppf ": %s" (Ast.string_of_ty t)
+
+and pp_block ppf (b : Ast.block) =
+  let items =
+    List.map (fun s ppf -> pp_stmt ppf s) b.Ast.stmts
+    @
+    match b.Ast.value with
+    | None -> []
+    | Some v -> [ (fun ppf -> pp_expr ppf v) ]
+  in
+  pp_print_list ~pp_sep:pp_print_cut (fun ppf f -> f ppf) ppf items
+
+let pp_param ppf (p : Ast.param) =
+  fprintf ppf "%s: %s" p.Ast.pname (Ast.string_of_ty p.Ast.pty)
+
+let pp_params ppf params =
+  pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf ", ") pp_param ppf params
+
+let pp_method ppf (m : Ast.methd) =
+  fprintf ppf "@[<v>def %s(%a): %s = {@;<1 2>@[<v>%a@]@ }@]" m.Ast.mname
+    pp_params m.Ast.mparams
+    (Ast.string_of_ty m.Ast.mret)
+    pp_block m.Ast.mbody
+
+let pp_class ppf (c : Ast.cls) =
+  fprintf ppf "@[<v>class %s(%a)" c.Ast.cname pp_params c.Ast.cparams;
+  (match c.Ast.cextends with
+  | None -> ()
+  | Some (parent, []) -> fprintf ppf " extends %s" parent
+  | Some (parent, tys) ->
+    fprintf ppf " extends %s[%s]" parent
+      (String.concat ", " (List.map Ast.string_of_ty tys)));
+  fprintf ppf " {";
+  List.iter
+    (fun (name, ann, e) ->
+      fprintf ppf "@;<1 2>val %s%a = %a" name pp_ann ann pp_expr e)
+    c.Ast.cvals;
+  List.iter
+    (fun m -> fprintf ppf "@;<1 2>%a" pp_method m)
+    c.Ast.cmethods;
+  fprintf ppf "@ }@]"
+
+let pp_program ppf (p : Ast.program) =
+  pp_print_list ~pp_sep:(fun ppf () -> fprintf ppf "@\n@\n") pp_class ppf
+    p.Ast.classes;
+  pp_print_newline ppf ()
+
+let to_string p = asprintf "%a" pp_program p
+
+let expr_to_string e = asprintf "%a" pp_expr e

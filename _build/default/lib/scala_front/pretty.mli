@@ -1,0 +1,17 @@
+(** Pretty-printer from the surface AST back to parseable MiniScala.
+
+    [Parser.parse_program (to_string p)] is structurally equal to [p]
+    modulo source positions — the round-trip property enforced by the
+    test suite. Used by tooling that echoes or rewrites kernels. *)
+
+val pp_expr : Format.formatter -> Ast.expr -> unit
+
+val pp_stmt : Format.formatter -> Ast.stmt -> unit
+
+val pp_class : Format.formatter -> Ast.cls -> unit
+
+val pp_program : Format.formatter -> Ast.program -> unit
+
+val to_string : Ast.program -> string
+
+val expr_to_string : Ast.expr -> string

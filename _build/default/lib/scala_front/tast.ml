@@ -1,0 +1,71 @@
+type ty = Ast.ty
+
+type texpr = { te : texpr_kind; tty : ty }
+
+and texpr_kind =
+  | TLit of Ast.lit
+  | TLocal of string
+  | TField of string
+  | TBinop of Ast.binop * texpr * texpr
+  | TUnop of Ast.unop * texpr
+  | TIf of texpr * texpr * texpr
+  | TIndex of texpr * texpr
+  | TTupleGet of texpr * int
+  | TTupleMk of texpr list
+  | TArrayLen of texpr
+  | TNewArray of ty * int list
+  | TMathCall of string * texpr list
+  | TCallMethod of string * texpr list
+  | TCast of ty * texpr
+
+and tstmt =
+  | TsDecl of bool * string * ty * texpr
+  | TsAssign of string * texpr
+  | TsArrStore of texpr * texpr * texpr
+  | TsWhile of texpr * tblock
+  | TsFor of string * texpr * texpr * bool * tblock
+  | TsIf of texpr * tblock * tblock
+  | TsExpr of texpr
+
+and tblock = { tstmts : tstmt list; tvalue : texpr option }
+
+type tmethod = {
+  tmname : string;
+  tmparams : (string * ty) list;
+  tmret : ty;
+  tmbody : tblock;
+}
+
+type tclass = {
+  tcname : string;
+  tcfields : (string * ty) list;
+  tcconsts : (string * Ast.lit) list;
+  tcaccel : (ty * ty) option;
+  tcmethods : tmethod list;
+}
+
+type tprogram = { tclasses : tclass list }
+
+let rec canon_ty = function
+  | Ast.TString -> Ast.TArray Ast.TChar
+  | Ast.TArray t -> Ast.TArray (canon_ty t)
+  | Ast.TTuple ts -> Ast.TTuple (List.map canon_ty ts)
+  | ( Ast.TInt | Ast.TLong | Ast.TFloat | Ast.TDouble | Ast.TBoolean
+    | Ast.TChar | Ast.TUnit | Ast.TClass _ ) as t ->
+    t
+
+let find_tclass prog name =
+  List.find_opt (fun c -> String.equal c.tcname name) prog.tclasses
+
+let find_tmethod cls name =
+  List.find_opt (fun m -> String.equal m.tmname name) cls.tcmethods
+
+let ty_of_lit = function
+  | Ast.LInt _ -> Ast.TInt
+  | Ast.LLong _ -> Ast.TLong
+  | Ast.LFloat _ -> Ast.TFloat
+  | Ast.LDouble _ -> Ast.TDouble
+  | Ast.LBool _ -> Ast.TBoolean
+  | Ast.LChar _ -> Ast.TChar
+  | Ast.LString _ -> Ast.TArray Ast.TChar
+  | Ast.LUnit -> Ast.TUnit

@@ -1,0 +1,70 @@
+(** Typed abstract syntax produced by {!Typecheck}.
+
+    [String] is canonicalized to [Array\[Char\]] here: a MiniScala [String]
+    behaves as a fixed-capacity character buffer on the accelerator path
+    (the capacity is supplied by the integration layer), which is exactly
+    the representation S2FA's flattening produces. *)
+
+type ty = Ast.ty
+
+type texpr = { te : texpr_kind; tty : ty }
+
+and texpr_kind =
+  | TLit of Ast.lit
+  | TLocal of string          (** Local variable or method parameter. *)
+  | TField of string          (** Field of the enclosing class ([this.x]). *)
+  | TBinop of Ast.binop * texpr * texpr
+  | TUnop of Ast.unop * texpr
+  | TIf of texpr * texpr * texpr
+  | TIndex of texpr * texpr   (** Array element read. *)
+  | TTupleGet of texpr * int  (** 0-based component of a tuple ([._1] is 0). *)
+  | TTupleMk of texpr list
+  | TArrayLen of texpr
+  | TNewArray of ty * int list
+      (** Element type and compile-time-constant dimension sizes
+          (Section 3.3: no dynamic allocation). *)
+  | TMathCall of string * texpr list
+  | TCallMethod of string * texpr list  (** Same-class method call. *)
+  | TCast of ty * texpr       (** Numeric widening/narrowing. *)
+
+and tstmt =
+  | TsDecl of bool * string * ty * texpr
+      (** [TsDecl (mutable, name, ty, init)]; [val] gives [false]. *)
+  | TsAssign of string * texpr           (** Local variable assignment. *)
+  | TsArrStore of texpr * texpr * texpr  (** [arr(idx) = value]. *)
+  | TsWhile of texpr * tblock
+  | TsFor of string * texpr * texpr * bool * tblock
+      (** [TsFor (var, lo, hi, inclusive, body)]. *)
+  | TsIf of texpr * tblock * tblock
+  | TsExpr of texpr
+
+and tblock = { tstmts : tstmt list; tvalue : texpr option }
+
+type tmethod = {
+  tmname : string;
+  tmparams : (string * ty) list;
+  tmret : ty;
+  tmbody : tblock;
+}
+
+type tclass = {
+  tcname : string;
+  tcfields : (string * ty) list;
+      (** Constructor parameters, visible as immutable fields. *)
+  tcconsts : (string * Ast.lit) list;
+      (** Class-level [val] members with literal values (e.g. Blaze [id]). *)
+  tcaccel : (ty * ty) option;
+      (** [(input, output)] types when the class extends [Accelerator]. *)
+  tcmethods : tmethod list;
+}
+
+type tprogram = { tclasses : tclass list }
+
+val canon_ty : Ast.ty -> ty
+(** Replace [TString] by [TArray TChar], recursively. *)
+
+val find_tclass : tprogram -> string -> tclass option
+
+val find_tmethod : tclass -> string -> tmethod option
+
+val ty_of_lit : Ast.lit -> ty

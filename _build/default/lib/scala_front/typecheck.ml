@@ -1,0 +1,562 @@
+exception Type_error of string * Ast.pos
+
+let math_intrinsics =
+  [ ("sqrt", 1); ("exp", 1); ("log", 1); ("pow", 2); ("abs", 1);
+    ("min", 2); ("max", 2); ("floor", 1); ("ceil", 1) ]
+
+let err pos fmt = Printf.ksprintf (fun m -> raise (Type_error (m, pos))) fmt
+
+(* ---------- environments ---------- *)
+
+type binding = { bty : Tast.ty; bmutable : bool }
+
+type env = {
+  locals : (string * binding) list;      (* innermost first *)
+  fields : (string * Tast.ty) list;
+  consts : (string * Ast.lit) list;
+  const_ints : (string * int) list;      (* for array-size folding *)
+  methods : Ast.methd list;
+  prog : Ast.program;
+}
+
+let lookup_local env name = List.assoc_opt name env.locals
+
+let add_local env name ty mut =
+  { env with locals = (name, { bty = ty; bmutable = mut }) :: env.locals }
+
+(* ---------- numeric promotion ---------- *)
+
+let rank = function
+  | Ast.TChar -> 0
+  | Ast.TInt -> 1
+  | Ast.TLong -> 2
+  | Ast.TFloat -> 3
+  | Ast.TDouble -> 4
+  | Ast.TBoolean | Ast.TUnit | Ast.TString | Ast.TArray _ | Ast.TTuple _
+  | Ast.TClass _ ->
+    -1
+
+let widen (e : Tast.texpr) target =
+  if Ast.equal_ty e.Tast.tty target then e
+  else { Tast.te = Tast.TCast (target, e); tty = target }
+
+let promote pos a b =
+  let ra = rank a.Tast.tty and rb = rank b.Tast.tty in
+  if ra < 0 || rb < 0 then
+    err pos "numeric operation on non-numeric operands (%s, %s)"
+      (Ast.string_of_ty a.Tast.tty)
+      (Ast.string_of_ty b.Tast.tty);
+  (* Char participates in arithmetic as Int, as on the JVM. *)
+  let target =
+    let t = if ra >= rb then a.Tast.tty else b.Tast.tty in
+    if Ast.equal_ty t Ast.TChar then Ast.TInt else t
+  in
+  (widen a target, widen b target, target)
+
+(* ---------- constant folding ---------- *)
+
+let rec fold_int env (e : Ast.expr) =
+  match e.Ast.e with
+  | Ast.Lit (Ast.LInt n) -> Some n
+  | Ast.Ident name -> List.assoc_opt name env
+  | Ast.Binop (op, a, b) -> (
+    match (fold_int env a, fold_int env b) with
+    | Some x, Some y -> (
+      match op with
+      | Ast.Add -> Some (x + y)
+      | Ast.Sub -> Some (x - y)
+      | Ast.Mul -> Some (x * y)
+      | Ast.Div -> if y = 0 then None else Some (x / y)
+      | Ast.Rem -> if y = 0 then None else Some (x mod y)
+      | Ast.Shl -> Some (x lsl y)
+      | Ast.Shr -> Some (x asr y)
+      | Ast.Lshr -> Some (x lsr y)
+      | Ast.BAnd -> Some (x land y)
+      | Ast.BOr -> Some (x lor y)
+      | Ast.BXor -> Some (x lxor y)
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne | Ast.And
+      | Ast.Or ->
+        None)
+    | _, _ -> None)
+  | Ast.Unop (Ast.Neg, a) -> Option.map (fun x -> -x) (fold_int env a)
+  | Ast.Unop ((Ast.Not | Ast.BNot), _)
+  | Ast.Lit _ | Ast.IfE _ | Ast.Apply _ | Ast.Select _ | Ast.TupleE _
+  | Ast.NewArray _ | Ast.NewObj _ | Ast.MathCall _ | Ast.CallSelf _
+  | Ast.Block _ ->
+    None
+
+let fold_const_int e = fold_int [] e
+
+(* ---------- expression checking ---------- *)
+
+let rec check_expr env (e : Ast.expr) : Tast.texpr =
+  let pos = e.Ast.epos in
+  match e.Ast.e with
+  | Ast.Lit l -> { Tast.te = Tast.TLit l; tty = Tast.ty_of_lit l }
+  | Ast.Ident name -> (
+    match lookup_local env name with
+    | Some b -> { Tast.te = Tast.TLocal name; tty = b.bty }
+    | None -> (
+      match List.assoc_opt name env.fields with
+      | Some ty -> { Tast.te = Tast.TField name; tty = ty }
+      | None -> (
+        match List.assoc_opt name env.consts with
+        | Some lit -> { Tast.te = Tast.TLit lit; tty = Tast.ty_of_lit lit }
+        | None -> err pos "unbound identifier '%s'" name)))
+  | Ast.Binop (op, a, b) -> check_binop env pos op a b
+  | Ast.Unop (op, a) -> (
+    let ta = check_expr env a in
+    match op with
+    | Ast.Neg ->
+      if rank ta.Tast.tty < 0 then err pos "unary '-' on non-numeric operand";
+      let tty = if Ast.equal_ty ta.Tast.tty Ast.TChar then Ast.TInt else ta.Tast.tty in
+      { Tast.te = Tast.TUnop (Ast.Neg, widen ta tty); tty }
+    | Ast.Not ->
+      if not (Ast.equal_ty ta.Tast.tty Ast.TBoolean) then
+        err pos "'!' expects a Boolean";
+      { Tast.te = Tast.TUnop (Ast.Not, ta); tty = Ast.TBoolean }
+    | Ast.BNot ->
+      if not (Ast.is_integral ta.Tast.tty) then err pos "'~' expects an integer";
+      { Tast.te = Tast.TUnop (Ast.BNot, ta); tty = ta.Tast.tty })
+  | Ast.IfE (c, a, b) ->
+    let tc = check_expr env c in
+    if not (Ast.equal_ty tc.Tast.tty Ast.TBoolean) then
+      err pos "if condition must be Boolean";
+    let ta = check_branch env a in
+    let tb = check_branch env b in
+    if Ast.equal_ty ta.Tast.tty tb.Tast.tty then
+      { Tast.te = Tast.TIf (tc, ta, tb); tty = ta.Tast.tty }
+    else if rank ta.Tast.tty >= 0 && rank tb.Tast.tty >= 0 then begin
+      let ta', tb', tty = promote pos ta tb in
+      { Tast.te = Tast.TIf (tc, ta', tb'); tty }
+    end
+    else
+      err pos "if branches have incompatible types %s and %s"
+        (Ast.string_of_ty ta.Tast.tty)
+        (Ast.string_of_ty tb.Tast.tty)
+  | Ast.Apply (f, args) -> check_apply env pos f args
+  | Ast.Select (obj, name) -> check_select env pos obj name
+  | Ast.TupleE es ->
+    let tes = List.map (check_expr env) es in
+    { Tast.te = Tast.TTupleMk tes;
+      tty = Ast.TTuple (List.map (fun t -> t.Tast.tty) tes) }
+  | Ast.NewArray (elem_ty, sizes) ->
+    let elem_ty = Tast.canon_ty elem_ty in
+    let fold_size se =
+      match fold_int env.const_ints se with
+      | Some n when n > 0 -> n
+      | Some n -> err se.Ast.epos "array size must be positive, got %d" n
+      | None ->
+        err se.Ast.epos
+          "array size must be a compile-time constant (S2FA does not \
+           support dynamic allocation on the FPGA)"
+    in
+    let dims = List.map fold_size sizes in
+    let depth = List.length dims in
+    (* For k sizes the element type must nest k-1 arrays. *)
+    let rec strip k t =
+      if k = 0 then Some t
+      else match t with Ast.TArray inner -> strip (k - 1) inner | _ -> None
+    in
+    (match strip (depth - 1) elem_ty with
+    | Some _ -> ()
+    | None ->
+      err pos "array dimensions (%d) do not match element type %s" depth
+        (Ast.string_of_ty elem_ty));
+    { Tast.te = Tast.TNewArray (elem_ty, dims); tty = Ast.TArray elem_ty }
+  | Ast.NewObj (name, args) ->
+    if String.equal name "Tuple2" || String.equal name "Tuple3" then begin
+      let tes = List.map (check_expr env) args in
+      { Tast.te = Tast.TTupleMk tes;
+        tty = Ast.TTuple (List.map (fun t -> t.Tast.tty) tes) }
+    end
+    else
+      err pos
+        "constructing class '%s' is not supported inside kernels (only \
+         tuples)"
+        name
+  | Ast.MathCall (f, args) -> check_math env pos f args
+  | Ast.CallSelf (name, args) -> check_self_call env pos name args
+  | Ast.Block b -> (
+    match b with
+    | { Ast.stmts = []; value = Some v } -> check_expr env v
+    | _ ->
+      err pos
+        "block expressions with statements are only allowed as method \
+         bodies")
+
+and check_branch env (e : Ast.expr) =
+  (* If branches may be written with braces: unwrap trivial blocks. *)
+  match e.Ast.e with
+  | Ast.Block { Ast.stmts = []; value = Some v } -> check_expr env v
+  | _ -> check_expr env e
+
+and check_binop env pos op a b =
+  let ta = check_expr env a in
+  let tb = check_expr env b in
+  match op with
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Div | Ast.Rem ->
+    let ta', tb', tty = promote pos ta tb in
+    { Tast.te = Tast.TBinop (op, ta', tb'); tty }
+  | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge ->
+    let ta', tb', _ = promote pos ta tb in
+    { Tast.te = Tast.TBinop (op, ta', tb'); tty = Ast.TBoolean }
+  | Ast.Eq | Ast.Ne ->
+    if Ast.equal_ty ta.Tast.tty Ast.TBoolean
+       && Ast.equal_ty tb.Tast.tty Ast.TBoolean
+    then { Tast.te = Tast.TBinop (op, ta, tb); tty = Ast.TBoolean }
+    else begin
+      let ta', tb', _ = promote pos ta tb in
+      { Tast.te = Tast.TBinop (op, ta', tb'); tty = Ast.TBoolean }
+    end
+  | Ast.And | Ast.Or ->
+    if
+      Ast.equal_ty ta.Tast.tty Ast.TBoolean
+      && Ast.equal_ty tb.Tast.tty Ast.TBoolean
+    then { Tast.te = Tast.TBinop (op, ta, tb); tty = Ast.TBoolean }
+    else err pos "logical operator expects Boolean operands"
+  | Ast.BAnd | Ast.BOr | Ast.BXor ->
+    if Ast.is_integral ta.Tast.tty && Ast.is_integral tb.Tast.tty then begin
+      let ta', tb', tty = promote pos ta tb in
+      { Tast.te = Tast.TBinop (op, ta', tb'); tty }
+    end
+    else err pos "bitwise operator expects integer operands"
+  | Ast.Shl | Ast.Shr | Ast.Lshr ->
+    if Ast.is_integral ta.Tast.tty && Ast.is_integral tb.Tast.tty then begin
+      let tty = if Ast.equal_ty ta.Tast.tty Ast.TChar then Ast.TInt else ta.Tast.tty in
+      { Tast.te = Tast.TBinop (op, widen ta tty, widen tb Ast.TInt); tty }
+    end
+    else err pos "shift operator expects integer operands"
+
+and check_apply env pos f args =
+  match f.Ast.e with
+  | Ast.Ident name -> (
+    (* Either array indexing of a variable/field, or a same-class call. *)
+    let as_value =
+      match lookup_local env name with
+      | Some b -> Some { Tast.te = Tast.TLocal name; tty = b.bty }
+      | None -> (
+        match List.assoc_opt name env.fields with
+        | Some ty -> Some { Tast.te = Tast.TField name; tty = ty }
+        | None -> None)
+    in
+    match as_value with
+    | Some base -> check_indexing env pos base args
+    | None ->
+      if List.exists (fun m -> String.equal m.Ast.mname name) env.methods
+      then check_self_call env pos name args
+      else err pos "unbound identifier '%s'" name)
+  | Ast.Select ({ Ast.e = Ast.Ident "math"; _ }, fname) ->
+    check_math env pos fname args
+  | Ast.Select (obj, "charAt") -> (
+    let tobj = check_expr env obj in
+    match (tobj.Tast.tty, args) with
+    | Ast.TArray Ast.TChar, [ i ] ->
+      let ti = widen (check_expr env i) Ast.TInt in
+      { Tast.te = Tast.TIndex (tobj, ti); tty = Ast.TChar }
+    | _ -> err pos "charAt expects a String receiver and one Int argument")
+  | Ast.Select _ | Ast.Apply _ ->
+    let base = check_expr env f in
+    check_indexing env pos base args
+  | Ast.Lit _ | Ast.Binop _ | Ast.Unop _ | Ast.IfE _ | Ast.TupleE _
+  | Ast.NewArray _ | Ast.NewObj _ | Ast.MathCall _ | Ast.CallSelf _
+  | Ast.Block _ ->
+    err pos "this expression cannot be applied"
+
+and check_indexing env pos base args =
+  match args with
+  | [ idx ] -> (
+    match base.Tast.tty with
+    | Ast.TArray elem ->
+      let ti = widen (check_expr env idx) Ast.TInt in
+      { Tast.te = Tast.TIndex (base, ti); tty = elem }
+    | t -> err pos "cannot index a value of type %s" (Ast.string_of_ty t))
+  | _ ->
+    (* a(i)(j) arrives as nested Apply, so multiple args means misuse. *)
+    err pos "array indexing takes exactly one argument"
+
+and check_math env pos fname args =
+  match List.assoc_opt fname math_intrinsics with
+  | None -> err pos "unknown math function 'math.%s'" fname
+  | Some arity ->
+    if List.length args <> arity then
+      err pos "math.%s expects %d argument(s)" fname arity;
+    let targs = List.map (check_expr env) args in
+    (match fname with
+    | "abs" | "min" | "max" -> (
+      (* Polymorphic over Int/Long/Double: promote to the common type. *)
+      match targs with
+      | [ a ] ->
+        let tty = if rank a.Tast.tty <= 1 then a.Tast.tty else Ast.TDouble in
+        let tty = if Ast.equal_ty tty Ast.TChar then Ast.TInt else tty in
+        { Tast.te = Tast.TMathCall (fname, [ widen a tty ]); tty }
+      | [ a; b ] ->
+        let a', b', tty = promote pos a b in
+        { Tast.te = Tast.TMathCall (fname, [ a'; b' ]); tty }
+      | _ -> assert false)
+    | _ ->
+      (* The rest operate on Double. *)
+      let targs = List.map (fun a -> widen a Ast.TDouble) targs in
+      { Tast.te = Tast.TMathCall (fname, targs); tty = Ast.TDouble })
+
+and check_self_call env pos name args =
+  match List.find_opt (fun m -> String.equal m.Ast.mname name) env.methods with
+  | None -> err pos "no method '%s' in this class" name
+  | Some m ->
+    if List.length args <> List.length m.Ast.mparams then
+      err pos "method '%s' expects %d argument(s)" name
+        (List.length m.Ast.mparams);
+    let targs =
+      List.map2
+        (fun arg (p : Ast.param) ->
+          let t = check_expr env arg in
+          let want = Tast.canon_ty p.Ast.pty in
+          if Ast.equal_ty t.Tast.tty want then t
+          else if rank t.Tast.tty >= 0 && rank want >= rank t.Tast.tty then
+            widen t want
+          else
+            err arg.Ast.epos "argument of type %s where %s is expected"
+              (Ast.string_of_ty t.Tast.tty)
+              (Ast.string_of_ty want))
+        args m.Ast.mparams
+    in
+    { Tast.te = Tast.TCallMethod (name, targs);
+      tty = Tast.canon_ty m.Ast.mret }
+
+and check_select env pos obj name =
+  (* Conversions first: e.toDouble etc. *)
+  let conversion =
+    match name with
+    | "toInt" -> Some Ast.TInt
+    | "toLong" -> Some Ast.TLong
+    | "toFloat" -> Some Ast.TFloat
+    | "toDouble" -> Some Ast.TDouble
+    | "toChar" -> Some Ast.TChar
+    | _ -> None
+  in
+  match conversion with
+  | Some target ->
+    let tobj = check_expr env obj in
+    if rank tobj.Tast.tty < 0 then
+      err pos "conversion %s on non-numeric value" name;
+    if Ast.equal_ty tobj.Tast.tty target then tobj
+    else { Tast.te = Tast.TCast (target, tobj); tty = target }
+  | None -> (
+    match obj.Ast.e with
+    | Ast.Ident "this" -> (
+      match List.assoc_opt name env.fields with
+      | Some ty -> { Tast.te = Tast.TField name; tty = ty }
+      | None -> err pos "no field '%s' on this" name)
+    | _ -> (
+      let tobj = check_expr env obj in
+      match (tobj.Tast.tty, name) with
+      | Ast.TTuple ts, ("_1" | "_2" | "_3") ->
+        let i = int_of_string (String.sub name 1 1) - 1 in
+        if i >= List.length ts then
+          err pos "tuple has no component %s" name;
+        { Tast.te = Tast.TTupleGet (tobj, i); tty = List.nth ts i }
+      | Ast.TArray _, "length" ->
+        { Tast.te = Tast.TArrayLen tobj; tty = Ast.TInt }
+      | t, _ ->
+        err pos "no member '%s' on type %s" name (Ast.string_of_ty t)))
+
+(* ---------- statements ---------- *)
+
+let rec check_block env (b : Ast.block) : env * Tast.tblock =
+  let env', rev_stmts =
+    List.fold_left
+      (fun (env, acc) s ->
+        let env', ts = check_stmt env s in
+        (env', ts :: acc))
+      (env, []) b.Ast.stmts
+  in
+  let tvalue = Option.map (check_expr env') b.Ast.value in
+  (env', { Tast.tstmts = List.rev rev_stmts; tvalue })
+
+and check_scoped_block env b =
+  (* Declarations inside do not escape. *)
+  let _, tb = check_block env b in
+  tb
+
+and check_stmt env (s : Ast.stmt) : env * Tast.tstmt =
+  let pos = s.Ast.spos in
+  match s.Ast.s with
+  | Ast.SVal (name, ann, e) | Ast.SVar (name, ann, e) ->
+    let mut = match s.Ast.s with Ast.SVar _ -> true | _ -> false in
+    let te = check_expr env e in
+    let ty =
+      match ann with
+      | None -> te.Tast.tty
+      | Some want ->
+        let want = Tast.canon_ty want in
+        if Ast.equal_ty te.Tast.tty want then want
+        else if rank te.Tast.tty >= 0 && rank want >= 0 then want
+        else
+          err pos "initializer of type %s does not match annotation %s"
+            (Ast.string_of_ty te.Tast.tty)
+            (Ast.string_of_ty want)
+    in
+    let te = if Ast.equal_ty te.Tast.tty ty then te else widen te ty in
+    let env' = add_local env name ty mut in
+    let const_ints =
+      if (not mut) && Ast.equal_ty ty Ast.TInt then
+        match fold_int env.const_ints e with
+        | Some n -> (name, n) :: env.const_ints
+        | None -> env.const_ints
+      else env.const_ints
+    in
+    ({ env' with const_ints }, Tast.TsDecl (mut, name, ty, te))
+  | Ast.SAssign (target, rhs) -> (
+    let trhs = check_expr env rhs in
+    match target.Ast.e with
+    | Ast.Ident name -> (
+      match lookup_local env name with
+      | Some b ->
+        if not b.bmutable then
+          err pos "cannot assign to val '%s' (declare it with var)" name;
+        let trhs =
+          if Ast.equal_ty trhs.Tast.tty b.bty then trhs
+          else if rank trhs.Tast.tty >= 0 && rank b.bty >= 0 then
+            widen trhs b.bty
+          else
+            err pos "assignment of type %s to variable of type %s"
+              (Ast.string_of_ty trhs.Tast.tty)
+              (Ast.string_of_ty b.bty)
+        in
+        (env, Tast.TsAssign (name, trhs))
+      | None ->
+        if List.mem_assoc name env.fields then
+          err pos "fields are immutable; cannot assign to '%s'" name
+        else err pos "unbound identifier '%s'" name)
+    | Ast.Apply (arr, [ idx ]) -> (
+      let tarr = check_expr env arr in
+      match tarr.Tast.tty with
+      | Ast.TArray elem ->
+        let tidx = widen (check_expr env idx) Ast.TInt in
+        let trhs =
+          if Ast.equal_ty trhs.Tast.tty elem then trhs
+          else if rank trhs.Tast.tty >= 0 && rank elem >= 0 then
+            widen trhs elem
+          else
+            err pos "stored value of type %s into array of %s"
+              (Ast.string_of_ty trhs.Tast.tty)
+              (Ast.string_of_ty elem)
+        in
+        (env, Tast.TsArrStore (tarr, tidx, trhs))
+      | t -> err pos "cannot index-assign type %s" (Ast.string_of_ty t))
+    | Ast.Lit _ | Ast.Binop _ | Ast.Unop _ | Ast.IfE _ | Ast.Apply _
+    | Ast.Select _ | Ast.TupleE _ | Ast.NewArray _ | Ast.NewObj _
+    | Ast.MathCall _ | Ast.CallSelf _ | Ast.Block _ ->
+      err pos "invalid assignment target")
+  | Ast.SWhile (cond, body) ->
+    let tc = check_expr env cond in
+    if not (Ast.equal_ty tc.Tast.tty Ast.TBoolean) then
+      err pos "while condition must be Boolean";
+    let tb = check_scoped_block env body in
+    (env, Tast.TsWhile (tc, tb))
+  | Ast.SFor (var, lo, hi, kind, body) ->
+    let tlo = widen (check_expr env lo) Ast.TInt in
+    let thi = widen (check_expr env hi) Ast.TInt in
+    let env_body = add_local env var Ast.TInt false in
+    let tb = check_scoped_block env_body body in
+    (env, Tast.TsFor (var, tlo, thi, (kind = Ast.To), tb))
+  | Ast.SIf (cond, thn, els) ->
+    let tc = check_expr env cond in
+    if not (Ast.equal_ty tc.Tast.tty Ast.TBoolean) then
+      err pos "if condition must be Boolean";
+    let tthn = check_scoped_block env thn in
+    let tels =
+      match els with
+      | Some b -> check_scoped_block env b
+      | None -> { Tast.tstmts = []; tvalue = None }
+    in
+    (env, Tast.TsIf (tc, tthn, tels))
+  | Ast.SExpr e ->
+    let te = check_expr env e in
+    (env, Tast.TsExpr te)
+
+(* ---------- classes ---------- *)
+
+let check_method env (m : Ast.methd) : Tast.tmethod =
+  let params =
+    List.map (fun (p : Ast.param) -> (p.Ast.pname, Tast.canon_ty p.Ast.pty)) m.Ast.mparams
+  in
+  let env =
+    List.fold_left (fun e (n, t) -> add_local e n t false) env params
+  in
+  let _, body = check_block env m.Ast.mbody in
+  let ret = Tast.canon_ty m.Ast.mret in
+  (match (body.Tast.tvalue, ret) with
+  | None, Ast.TUnit -> ()
+  | None, _ ->
+    err Ast.dummy_pos "method '%s' must end with an expression of type %s"
+      m.Ast.mname (Ast.string_of_ty ret)
+  | Some v, _ ->
+    if not (Ast.equal_ty v.Tast.tty ret) then
+      err Ast.dummy_pos
+        "method '%s' returns %s but its body has type %s" m.Ast.mname
+        (Ast.string_of_ty ret)
+        (Ast.string_of_ty v.Tast.tty));
+  { Tast.tmname = m.Ast.mname; tmparams = params; tmret = ret; tmbody = body }
+
+let check_class prog (c : Ast.cls) : Tast.tclass =
+  let fields =
+    List.map (fun (p : Ast.param) -> (p.Ast.pname, Tast.canon_ty p.Ast.pty)) c.Ast.cparams
+  in
+  let consts =
+    List.filter_map
+      (fun (name, _ann, e) ->
+        match e.Ast.e with
+        | Ast.Lit l -> Some (name, l)
+        | _ -> (
+          match fold_const_int e with
+          | Some n -> Some (name, Ast.LInt n)
+          | None -> None))
+      c.Ast.cvals
+  in
+  let const_ints =
+    List.filter_map
+      (fun (n, l) -> match l with Ast.LInt v -> Some (n, v) | _ -> None)
+      consts
+  in
+  let env =
+    { locals = [];
+      fields;
+      consts;
+      const_ints;
+      methods = c.Ast.cmethods;
+      prog }
+  in
+  let tcaccel =
+    match c.Ast.cextends with
+    | Some ("Accelerator", [ i; o ]) ->
+      Some (Tast.canon_ty i, Tast.canon_ty o)
+    | Some ("Accelerator", _) ->
+      err Ast.dummy_pos "Accelerator expects two type arguments"
+    | Some _ | None -> None
+  in
+  let tcmethods = List.map (check_method env) c.Ast.cmethods in
+  (match tcaccel with
+  | Some (i, o) -> (
+    match List.find_opt (fun m -> String.equal m.Tast.tmname "call") tcmethods with
+    | None ->
+      err Ast.dummy_pos "Accelerator class '%s' must define call" c.Ast.cname
+    | Some m -> (
+      match m.Tast.tmparams with
+      | [ (_, pi) ] ->
+        if not (Ast.equal_ty pi i) then
+          err Ast.dummy_pos
+            "call parameter type differs from the Accelerator input type";
+        if not (Ast.equal_ty m.Tast.tmret o) then
+          err Ast.dummy_pos
+            "call return type differs from the Accelerator output type"
+      | _ -> err Ast.dummy_pos "call must take exactly one parameter"))
+  | None -> ());
+  { Tast.tcname = c.Ast.cname;
+    tcfields = fields;
+    tcconsts = consts;
+    tcaccel;
+    tcmethods }
+
+let check_program prog =
+  { Tast.tclasses = List.map (check_class prog) prog.Ast.classes }

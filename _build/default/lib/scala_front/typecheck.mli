@@ -1,0 +1,26 @@
+(** Type checker and elaborator from the surface {!Ast} to {!Tast}.
+
+    Besides ordinary checking it enforces the S2FA restrictions of
+    Section 3.3 of the paper:
+
+    - [new Array] sizes must fold to compile-time integer constants
+      (no dynamic allocation on the FPGA);
+    - only [math.*] intrinsics and same-class methods may be called
+      (no library calls);
+    - assignment is only legal to [var] locals and array elements. *)
+
+exception Type_error of string * Ast.pos
+
+val math_intrinsics : (string * int) list
+(** Supported [math.*] functions with their arities: sqrt, exp, log, pow,
+    abs, min, max, floor, ceil. *)
+
+val check_program : Ast.program -> Tast.tprogram
+(** Check every class of a program. Raises {!Type_error} on ill-typed
+    input with a source position. *)
+
+val check_class : Ast.program -> Ast.cls -> Tast.tclass
+
+val fold_const_int : Ast.expr -> int option
+(** Best-effort constant folding of an integer expression built from
+    literals and arithmetic; used for array sizes and loop bounds. *)

@@ -1,0 +1,1 @@
+lib/tuner/bandit.ml: Array Queue S2fa_util

@@ -1,0 +1,1 @@
+lib/tuner/bandit.mli: S2fa_util

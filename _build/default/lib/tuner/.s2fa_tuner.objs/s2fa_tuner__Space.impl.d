@@ -1,0 +1,1 @@
+lib/tuner/space.ml: Array Float Format List Printf S2fa_util String

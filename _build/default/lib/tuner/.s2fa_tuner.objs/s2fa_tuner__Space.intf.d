@@ -1,0 +1,1 @@
+lib/tuner/space.mli: Format S2fa_util

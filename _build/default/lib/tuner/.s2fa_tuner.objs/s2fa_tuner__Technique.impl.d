@@ -1,0 +1,1 @@
+lib/tuner/technique.ml: Array Float Hashtbl List S2fa_util Space

@@ -1,0 +1,1 @@
+lib/tuner/technique.mli: S2fa_util Space

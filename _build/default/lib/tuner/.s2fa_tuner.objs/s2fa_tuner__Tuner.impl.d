@@ -1,0 +1,1 @@
+lib/tuner/tuner.ml: Array Bandit Float Hashtbl List Option S2fa_util Space Technique

@@ -1,0 +1,1 @@
+lib/tuner/tuner.mli: S2fa_util Space Technique

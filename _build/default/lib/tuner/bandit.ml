@@ -1,0 +1,65 @@
+module Rng = S2fa_util.Rng
+
+type t = {
+  window : int;
+  explore : float;
+  history : (int * bool) Queue.t;  (* (arm, improved) *)
+  use_counts : int array;
+  mutable total : int;
+}
+
+let create ?(window = 50) ?(explore = 0.3) n_arms =
+  { window;
+    explore;
+    history = Queue.create ();
+    use_counts = Array.make n_arms 0;
+    total = 0 }
+
+let auc_scores t =
+  let n = Array.length t.use_counts in
+  let num = Array.make n 0.0 in
+  let den = Array.make n 0.0 in
+  let i = ref 0 in
+  Queue.iter
+    (fun (arm, improved) ->
+      incr i;
+      (* Newer entries (larger i) weigh more, as in AUC credit. *)
+      let w = float_of_int !i in
+      if improved then num.(arm) <- num.(arm) +. w;
+      den.(arm) <- den.(arm) +. w)
+    t.history;
+  Array.init n (fun a -> if den.(a) > 0.0 then num.(a) /. den.(a) else 0.0)
+
+let select t rng =
+  let n = Array.length t.use_counts in
+  let scores = auc_scores t in
+  let total = float_of_int (max 1 t.total) in
+  let value a =
+    let uses = float_of_int t.use_counts.(a) in
+    if uses = 0.0 then infinity
+    else scores.(a) +. (t.explore *. sqrt (2.0 *. log total /. uses))
+  in
+  let best_v = ref neg_infinity in
+  let best = ref [] in
+  for a = 0 to n - 1 do
+    let v = value a in
+    if v > !best_v then begin
+      best_v := v;
+      best := [ a ]
+    end
+    else if v = !best_v then best := a :: !best
+  done;
+  let arm =
+    match !best with
+    | [ a ] -> a
+    | l -> Rng.choose_list rng l
+  in
+  t.use_counts.(arm) <- t.use_counts.(arm) + 1;
+  t.total <- t.total + 1;
+  arm
+
+let reward t arm improved =
+  Queue.add (arm, improved) t.history;
+  if Queue.length t.history > t.window then ignore (Queue.pop t.history)
+
+let uses t = Array.copy t.use_counts

@@ -1,0 +1,25 @@
+module Rng = S2fa_util.Rng
+
+(** Search techniques, mirroring the set the paper assembles inside
+    OpenTuner: uniform greedy mutation, a differential-evolution genetic
+    algorithm, particle swarm optimization, and simulated annealing. Each
+    technique proposes candidate configurations and learns from the
+    measured quality (lower is better). *)
+
+type t = {
+  name : string;
+  propose : best:(Space.cfg * float) option -> Rng.t -> Space.cfg;
+  feedback : Space.cfg -> float -> unit;
+      (** Called once per evaluated proposal with its quality. *)
+}
+
+val uniform_greedy_mutation : Space.space -> t
+
+val differential_evolution : ?population:int -> Space.space -> Rng.t -> t
+
+val particle_swarm : ?particles:int -> Space.space -> Rng.t -> t
+
+val simulated_annealing : ?t0:float -> ?cooling:float -> Space.space -> Rng.t -> t
+
+val default_suite : Space.space -> Rng.t -> t list
+(** The four techniques above with default settings. *)

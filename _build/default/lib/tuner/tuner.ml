@@ -1,0 +1,164 @@
+module Rng = S2fa_util.Rng
+module Stats = S2fa_util.Stats
+
+type eval_result = { e_perf : float; e_feasible : bool; e_minutes : float }
+
+type objective = Space.cfg -> eval_result
+
+type outcome = {
+  o_cfg : Space.cfg;
+  o_perf : float;
+  o_feasible : bool;
+  o_minutes : float;
+  o_improved : bool;
+}
+
+type stop_rule =
+  | No_stop
+  | Trivial_stop of int
+  | Entropy_stop of { theta : float; consecutive : int; min_evals : int }
+
+type t = {
+  space : Space.space;
+  objective : objective;
+  rng : Rng.t;
+  techniques : Technique.t array;
+  bandit : Bandit.t;
+  seen : (string, unit) Hashtbl.t;
+  mutable pending_seeds : Space.cfg list;
+  mutable best : (Space.cfg * float) option;
+  mutable evaluated : int;
+  mutable last : (Space.cfg * float) option;
+  uphill_counts : (string, int) Hashtbl.t;
+  mutable entropy_trace : float list;  (* newest first *)
+  mutable no_improve_streak : int;
+  mutable history : (int * float * float) list;  (* newest first *)
+}
+
+let create ?(seeds = []) ?techniques space objective rng =
+  let techniques =
+    match techniques with
+    | Some ts -> Array.of_list ts
+    | None -> Array.of_list (Technique.default_suite space rng)
+  in
+  { space;
+    objective;
+    rng;
+    techniques;
+    bandit = Bandit.create (Array.length techniques);
+    seen = Hashtbl.create 64;
+    pending_seeds = seeds;
+    best = None;
+    evaluated = 0;
+    last = None;
+    uphill_counts = Hashtbl.create 16;
+    entropy_trace = [ 0.0 ];
+    no_improve_streak = 0;
+    history = [] }
+
+let best t = t.best
+
+let evaluated t = t.evaluated
+
+let current_entropy t =
+  let counts =
+    Hashtbl.fold (fun _ c acc -> float_of_int c :: acc) t.uphill_counts []
+  in
+  match counts with
+  | [] -> 0.0
+  | _ -> Stats.shannon_entropy (Array.of_list counts)
+
+let entropy t = current_entropy t
+
+let propose t =
+  (* Seeds first; then bandit-selected technique, retrying on duplicates. *)
+  match t.pending_seeds with
+  | s :: rest ->
+    t.pending_seeds <- rest;
+    (s, None)
+  | [] ->
+    let rec attempt k =
+      let arm = Bandit.select t.bandit t.rng in
+      let cfg = t.techniques.(arm).Technique.propose ~best:t.best t.rng in
+      if Hashtbl.mem t.seen (Space.key cfg) && k < 16 then attempt (k + 1)
+      else if Hashtbl.mem t.seen (Space.key cfg) then
+        (* Fall back to a fresh random point. *)
+        (Space.random_cfg t.rng t.space, Some arm)
+      else (cfg, Some arm)
+    in
+    attempt 0
+
+let record t cfg (r : eval_result) arm =
+  t.evaluated <- t.evaluated + 1;
+  let improved =
+    r.e_feasible
+    && (match t.best with None -> true | Some (_, b) -> r.e_perf < b)
+  in
+  if improved then t.best <- Some (cfg, r.e_perf);
+  t.no_improve_streak <- (if improved then 0 else t.no_improve_streak + 1);
+  (match t.last with
+  | Some (prev_cfg, prev_perf) when r.e_perf < prev_perf ->
+    List.iter
+      (fun p ->
+        let c = Option.value ~default:0 (Hashtbl.find_opt t.uphill_counts p) in
+        Hashtbl.replace t.uphill_counts p (c + 1))
+      (Space.changed_params cfg prev_cfg)
+  | _ -> ());
+  t.last <- Some (cfg, r.e_perf);
+  t.entropy_trace <- current_entropy t :: t.entropy_trace;
+  (match arm with
+  | Some a ->
+    t.techniques.(a).Technique.feedback cfg r.e_perf;
+    Bandit.reward t.bandit a improved
+  | None ->
+    Array.iter (fun tech -> tech.Technique.feedback cfg r.e_perf) t.techniques);
+  let best_so_far = match t.best with Some (_, b) -> b | None -> infinity in
+  t.history <- (t.evaluated, r.e_perf, best_so_far) :: t.history;
+  { o_cfg = cfg;
+    o_perf = r.e_perf;
+    o_feasible = r.e_feasible;
+    o_minutes = r.e_minutes;
+    o_improved = improved }
+
+let step_batch t k =
+  (* Propose the whole batch first: no proposal sees the results of its
+     batch-mates, exactly like parallel measurement in OpenTuner. *)
+  let proposals =
+    List.init k (fun _ ->
+        let cfg, arm = propose t in
+        let cfg = Space.normalize cfg in
+        Hashtbl.replace t.seen (Space.key cfg) ();
+        (cfg, arm))
+  in
+  let measured =
+    List.map (fun (cfg, arm) -> (cfg, arm, t.objective cfg)) proposals
+  in
+  List.map (fun (cfg, arm, r) -> record t cfg r arm) measured
+
+let step t =
+  let cfg, arm = propose t in
+  let cfg = Space.normalize cfg in
+  Hashtbl.replace t.seen (Space.key cfg) ();
+  let r = t.objective cfg in
+  record t cfg r arm
+
+let should_stop t = function
+  | No_stop -> false
+  | Trivial_stop k -> t.no_improve_streak >= k
+  | Entropy_stop { theta; consecutive; min_evals } ->
+    t.evaluated >= min_evals
+    &&
+    let rec stable n = function
+      | a :: (b :: _ as rest) ->
+        if n = 0 then true
+        else Float.abs (a -. b) <= theta && stable (n - 1) rest
+      | _ -> n <= 0
+    in
+    stable consecutive t.entropy_trace
+
+let technique_uses t =
+  let uses = Bandit.uses t.bandit in
+  Array.to_list
+    (Array.mapi (fun i tech -> (tech.Technique.name, uses.(i))) t.techniques)
+
+let history t = List.rev t.history

@@ -1,0 +1,71 @@
+module Rng = S2fa_util.Rng
+
+(** The steppable search driver: seeds, then bandit-allocated technique
+    proposals, with the paper's stopping criteria.
+
+    One [step] evaluates exactly one design point and reports its
+    simulated HLS evaluation time, so callers (the vanilla-OpenTuner
+    batch runner and the S2FA parallel partition scheduler) control
+    simulated wall-clock themselves. *)
+
+type eval_result = {
+  e_perf : float;     (** Quality, lower is better ([infinity] when the
+                          design point is infeasible). *)
+  e_feasible : bool;
+  e_minutes : float;  (** Simulated duration of this evaluation. *)
+}
+
+type objective = Space.cfg -> eval_result
+
+type outcome = {
+  o_cfg : Space.cfg;
+  o_perf : float;
+  o_feasible : bool;
+  o_minutes : float;
+  o_improved : bool;  (** Strictly improved the best-so-far. *)
+}
+
+(** Stopping criteria (Section 4.3.3). *)
+type stop_rule =
+  | No_stop
+  | Trivial_stop of int
+      (** Stop after [k] consecutive non-improving evaluations. *)
+  | Entropy_stop of { theta : float; consecutive : int; min_evals : int }
+      (** Stop when the Shannon entropy of the per-factor uphill
+          distribution changes by at most [theta] for [consecutive]
+          iterations (Eq. 2), after at least [min_evals] evaluations. *)
+
+type t
+
+val create :
+  ?seeds:Space.cfg list ->
+  ?techniques:Technique.t list ->
+  Space.space ->
+  objective ->
+  Rng.t ->
+  t
+
+val step : t -> outcome
+(** Evaluate the next design point (seeds first). *)
+
+val step_batch : t -> int -> outcome list
+(** Propose [k] design points from the current state {e without}
+    intermediate feedback (how OpenTuner farms candidates to parallel
+    measurement slots — footnote 3 of the paper), evaluate them all,
+    then apply feedback once. *)
+
+val best : t -> (Space.cfg * float) option
+(** Best feasible point so far. *)
+
+val evaluated : t -> int
+
+val entropy : t -> float
+(** Current Shannon entropy of the uphill distribution. *)
+
+val should_stop : t -> stop_rule -> bool
+
+val technique_uses : t -> (string * int) list
+(** How many proposals each technique produced (bandit allocation). *)
+
+val history : t -> (int * float * float) list
+(** Per evaluation: (index, perf, best-so-far), oldest first. *)

@@ -1,0 +1,72 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix64 t.state
+
+let split t =
+  let s = int64 t in
+  { state = mix64 s }
+
+let copy t = { state = t.state }
+
+let int t bound =
+  assert (bound > 0);
+  (* Keep 62 bits: [Int64.to_int] reinterprets bit 62 as the sign of the
+     63-bit OCaml int, so a single logical shift is not enough. *)
+  let r = Int64.to_int (Int64.shift_right_logical (int64 t) 2) in
+  r mod bound
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  let r = Int64.to_float (Int64.shift_right_logical (int64 t) 11) in
+  (* 53 significant bits, as in the standard double-from-bits recipe. *)
+  r /. 9007199254740992.0 *. bound
+
+let bool t = Int64.logand (int64 t) 1L = 1L
+
+let gaussian t =
+  let rec draw () =
+    let u = (2.0 *. float t 1.0) -. 1.0 in
+    let v = (2.0 *. float t 1.0) -. 1.0 in
+    let s = (u *. u) +. (v *. v) in
+    if s >= 1.0 || s = 0.0 then draw ()
+    else u *. sqrt (-2.0 *. log s /. s)
+  in
+  draw ()
+
+let choose t arr =
+  assert (Array.length arr > 0);
+  arr.(int t (Array.length arr))
+
+let choose_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.choose_list: empty list"
+  | _ -> List.nth l (int t (List.length l))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let sample t k arr =
+  let n = Array.length arr in
+  let k = min k n in
+  let copy = Array.copy arr in
+  shuffle t copy;
+  Array.sub copy 0 k

@@ -1,0 +1,52 @@
+(** Deterministic pseudo-random number generation.
+
+    All stochastic components of the framework (search techniques, workload
+    generators, the bandit) draw from this splittable SplitMix64 generator so
+    that every experiment is reproducible from an explicit integer seed.
+    No library code ever reads the wall clock or the global [Random] state. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] makes a fresh generator from an integer seed. Two
+    generators created from the same seed produce identical streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator from [t], advancing [t].
+    Streams of the parent and child do not overlap in practice. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in [\[lo, hi\]] inclusive. Requires
+    [lo <= hi]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val gaussian : t -> float
+(** Standard normal deviate (Box-Muller). *)
+
+val choose : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val choose_list : t -> 'a list -> 'a
+(** Uniform element of a non-empty list. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val sample : t -> int -> 'a array -> 'a array
+(** [sample t k arr] draws [min k (Array.length arr)] distinct elements
+    uniformly without replacement, in random order. *)

@@ -1,0 +1,36 @@
+(** Basic statistics used across the DSE layer: sample moments, variance
+    impurity for the partitioning decision tree (Eq. 1 of the paper), and
+    Shannon entropy for the early-stopping criterion (Eq. 2). *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 on an empty array. *)
+
+val variance : float array -> float
+(** Population variance (the paper's impurity measure for regression
+    partitions); 0 on arrays shorter than 2. *)
+
+val stddev : float array -> float
+(** Square root of {!variance}. *)
+
+val min_max : float array -> float * float
+(** Smallest and largest element. Raises [Invalid_argument] on empty. *)
+
+val median : float array -> float
+(** Median (average of the two middle elements for even lengths);
+    0 on an empty array. Does not mutate its argument. *)
+
+val shannon_entropy : float array -> float
+(** [shannon_entropy p] is [-sum p_i * log p_i] over the strictly positive
+    entries, in nats. The input need not be normalized: it is normalized to
+    a probability distribution first. Returns 0 if all mass is zero. *)
+
+val normalize : float array -> float array
+(** Scale a non-negative array so it sums to 1; an all-zero array maps to
+    the uniform distribution. *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank method.
+    Raises [Invalid_argument] on empty. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly positive values; 0 on empty input. *)

@@ -1,0 +1,1 @@
+lib/workloads/workloads.ml: Array Char List Option S2fa_core S2fa_dse S2fa_hlsc S2fa_jvm S2fa_scala S2fa_tuner S2fa_util String

@@ -1,0 +1,1 @@
+lib/workloads/workloads.mli: S2fa_core S2fa_dse S2fa_jvm S2fa_tuner S2fa_util

@@ -1,0 +1,1 @@
+test/test_b2c.ml: Alcotest Array List Option Printf QCheck QCheck_alcotest S2fa_b2c S2fa_blaze S2fa_core S2fa_dse S2fa_hlsc S2fa_jvm S2fa_scala S2fa_tuner S2fa_util S2fa_workloads String

@@ -1,0 +1,1 @@
+test/test_b2c.mli:

@@ -1,0 +1,1 @@
+test/test_blaze.ml: Alcotest Array Char Gen Lazy List Option Printf QCheck QCheck_alcotest S2fa_b2c S2fa_blaze S2fa_core S2fa_hlsc S2fa_jvm S2fa_scala S2fa_util S2fa_workloads String

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Int64 List Option Printf S2fa_blaze S2fa_core S2fa_dse S2fa_hls S2fa_jvm S2fa_tuner S2fa_util S2fa_workloads String

@@ -1,0 +1,1 @@
+test/test_dse.ml: Alcotest Lazy List Option Printf S2fa_core S2fa_dse S2fa_hlsc S2fa_merlin S2fa_tuner S2fa_util S2fa_workloads

@@ -1,0 +1,1 @@
+test/test_hls.ml: Alcotest Lazy List Option QCheck QCheck_alcotest S2fa_core S2fa_dse S2fa_hls S2fa_hlsc S2fa_merlin S2fa_tuner S2fa_util S2fa_workloads

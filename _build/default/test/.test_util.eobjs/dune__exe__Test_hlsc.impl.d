@@ -1,0 +1,1 @@
+test/test_hlsc.ml: Alcotest Array Format List Option QCheck QCheck_alcotest S2fa_hlsc String

@@ -1,0 +1,1 @@
+test/test_jvm.ml: Alcotest List Printf QCheck QCheck_alcotest S2fa_jvm S2fa_scala S2fa_workloads String

@@ -1,0 +1,1 @@
+test/test_merlin.ml: Alcotest Array Gen List Option Printf QCheck QCheck_alcotest S2fa_blaze S2fa_core S2fa_dse S2fa_hlsc S2fa_jvm S2fa_merlin S2fa_tuner S2fa_util S2fa_workloads String

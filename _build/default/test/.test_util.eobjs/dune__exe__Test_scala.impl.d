@@ -1,0 +1,1 @@
+test/test_scala.ml: Alcotest List Option Printf QCheck QCheck_alcotest S2fa_jvm S2fa_scala S2fa_util S2fa_workloads String

@@ -1,0 +1,1 @@
+test/test_tuner.ml: Alcotest Array Fun List QCheck QCheck_alcotest S2fa_tuner S2fa_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Gen Int64 List QCheck QCheck_alcotest S2fa_util

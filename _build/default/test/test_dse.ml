@@ -1,0 +1,335 @@
+(* S2FA DSE layer tests: design-space identification, partitioning,
+   seeds and the simulated-time drivers. *)
+module Rng = S2fa_util.Rng
+module Space = S2fa_tuner.Space
+module Tuner = S2fa_tuner.Tuner
+module Dspace = S2fa_dse.Dspace
+module Partition = S2fa_dse.Partition
+module Seed = S2fa_dse.Seed
+module Driver = S2fa_dse.Driver
+module W = S2fa_workloads.Workloads
+module S2fa = S2fa_core.S2fa
+
+let sw = lazy (W.compile (Option.get (W.find "S-W")))
+let kmeans = lazy (W.compile (Option.get (W.find "KMeans")))
+
+(* ---------- design-space identification (Table 1) ---------- *)
+
+let test_identify_factors_per_loop () =
+  let c = Lazy.force sw in
+  let ds = c.S2fa.c_dspace in
+  (* Every loop gets a pipeline factor; tileable loops get tile and
+     parallel factors. *)
+  List.iter
+    (fun id ->
+      Alcotest.(check bool)
+        (Printf.sprintf "pipe for L%d" id)
+        true
+        (List.exists
+           (fun p -> Space.param_name p = Dspace.pipe_name id)
+           ds.Dspace.ds_space))
+    ds.Dspace.ds_loop_ids
+
+let test_identify_buffers () =
+  let c = Lazy.force sw in
+  let ds = c.S2fa.c_dspace in
+  List.iter
+    (fun b ->
+      Alcotest.(check bool) ("bw for " ^ b) true
+        (List.exists
+           (fun p -> Space.param_name p = Dspace.bw_name b)
+           ds.Dspace.ds_space))
+    ds.Dspace.ds_buffers;
+  Alcotest.(check int) "S-W has 4 interface buffers" 4
+    (List.length ds.Dspace.ds_buffers)
+
+let test_identify_space_size_sw () =
+  (* The paper: "the design space of the S-W example contains more than
+     a thousand trillion design points". *)
+  let c = Lazy.force sw in
+  Alcotest.(check bool) "space > 1e15" true
+    (Space.cardinality c.S2fa.c_dspace.Dspace.ds_space > 1e15)
+
+let test_bitwidth_values_follow_table1 () =
+  (* 8 < b = 2^n <= 512 *)
+  let c = Lazy.force sw in
+  let ds = c.S2fa.c_dspace in
+  let p =
+    List.find
+      (fun p ->
+        Space.param_name p = Dspace.bw_name (List.hd ds.Dspace.ds_buffers))
+      ds.Dspace.ds_space
+  in
+  let values =
+    List.filter_map
+      (function Space.VInt v -> Some v | _ -> None)
+      (Space.values_of p)
+  in
+  Alcotest.(check (list int)) "powers of two in (8,512]"
+    [ 16; 32; 64; 128; 256; 512 ] values
+
+let test_to_merlin_mapping () =
+  let c = Lazy.force kmeans in
+  let ds = c.S2fa.c_dspace in
+  let inner = List.hd ds.Dspace.ds_inner_ids in
+  let cfg =
+    Space.set
+      (Space.set (Seed.area_seed ds) (Dspace.par_name inner) (Space.VInt 8))
+      (Dspace.pipe_name inner) (Space.VStr "flatten")
+  in
+  let m = Dspace.to_merlin ds cfg in
+  let lc = S2fa_merlin.Transform.loop_cfg_of m inner in
+  Alcotest.(check int) "parallel" 8 lc.S2fa_merlin.Transform.lc_parallel;
+  Alcotest.(check bool) "flatten" true
+    (lc.S2fa_merlin.Transform.lc_pipeline = S2fa_hlsc.Csyntax.PipeFlatten)
+
+(* ---------- partitioning ---------- *)
+
+let demo_space =
+  [ Space.PPow2 ("par", 1, 64); Space.PEnum ("pipe", [ "off"; "on" ]) ]
+
+let demo_samples =
+  (* Latency depends strongly on pipe: a perfect split exists. *)
+  let rng = Rng.create 42 in
+  List.init 40 (fun _ ->
+      let cfg = Space.random_cfg rng demo_space in
+      let lat =
+        (if Space.get_str cfg "pipe" = "on" then 1.0 else 10.0)
+        +. Rng.float rng 0.1
+      in
+      { Partition.s_cfg = cfg; s_latency = lat })
+
+let test_info_gain_positive_on_split () =
+  let l = [| 1.0; 1.1; 0.9 |] and r = [| 10.0; 10.2; 9.8 |] in
+  Alcotest.(check bool) "gain > 0" true (Partition.info_gain l r > 0.0)
+
+let test_info_gain_zero_on_identical () =
+  let l = [| 5.0; 5.0 |] and r = [| 5.0; 5.0 |] in
+  Alcotest.(check (float 1e-9)) "no gain" 0.0 (Partition.info_gain l r)
+
+let test_build_splits_on_informative_factor () =
+  let parts =
+    Partition.build ~depth:1 ~rule_params:[ [] ] demo_space demo_samples
+  in
+  Alcotest.(check int) "two partitions" 2 (List.length parts);
+  (* The split must be on "pipe". *)
+  List.iter
+    (fun p ->
+      match p.Partition.p_constrs with
+      | [ Partition.CIn ("pipe", _) ] -> ()
+      | _ -> Alcotest.fail "expected a pipe split")
+    parts
+
+let test_partitions_disjoint_cover () =
+  let parts =
+    Partition.build ~depth:2 ~rule_params:[ [] ] demo_space demo_samples
+  in
+  let rng = Rng.create 43 in
+  for _ = 1 to 300 do
+    let cfg = Space.random_cfg rng demo_space in
+    let inside =
+      List.filter
+        (fun p ->
+          List.for_all (Partition.satisfies cfg) p.Partition.p_constrs)
+        parts
+    in
+    Alcotest.(check int) "exactly one partition" 1 (List.length inside)
+  done
+
+let test_restrict_narrows () =
+  let s = Partition.restrict demo_space (Partition.CLe ("par", 8)) in
+  match List.find (fun p -> Space.param_name p = "par") s with
+  | Space.PPow2 (_, 1, 8) -> ()
+  | _ -> Alcotest.fail "range not narrowed"
+
+let test_project_into_partition () =
+  let part =
+    { Partition.p_constrs = [ Partition.CLe ("par", 8) ];
+      p_space = Partition.restrict demo_space (Partition.CLe ("par", 8)) }
+  in
+  let cfg = [ ("par", Space.VInt 64); ("pipe", Space.VStr "on") ] in
+  let projected = Partition.project part cfg in
+  Alcotest.(check int) "clamped to 8" 8 (Space.get_int projected "par");
+  Alcotest.(check string) "pipe kept" "on" (Space.get_str projected "pipe")
+
+(* ---------- seeds ---------- *)
+
+let test_seed_shapes () =
+  let c = Lazy.force sw in
+  let ds = c.S2fa.c_dspace in
+  let perf = Seed.performance_seed ds in
+  let area = Seed.area_seed ds in
+  let inner = List.hd ds.Dspace.ds_inner_ids in
+  Alcotest.(check int) "perf: parallel 32" 32
+    (Space.get_int perf (Dspace.par_name inner));
+  Alcotest.(check string) "perf: pipeline on" "on"
+    (Space.get_str perf (Dspace.pipe_name inner));
+  Alcotest.(check int) "perf: bw 512" 512
+    (Space.get_int perf (Dspace.bw_name (List.hd ds.Dspace.ds_buffers)));
+  Alcotest.(check int) "area: parallel 1" 1
+    (Space.get_int area (Dspace.par_name inner));
+  Alcotest.(check string) "area: pipeline off" "off"
+    (Space.get_str area (Dspace.pipe_name inner));
+  Alcotest.(check int) "area: bw 16" 16
+    (Space.get_int area (Dspace.bw_name (List.hd ds.Dspace.ds_buffers)))
+
+let test_structured_seed_flattens_inner () =
+  let c = Lazy.force sw in
+  let ds = c.S2fa.c_dspace in
+  let s = Seed.structured_seed ds in
+  List.iter
+    (fun id ->
+      Alcotest.(check string) "inner flatten" "flatten"
+        (Space.get_str s (Dspace.pipe_name id)))
+    ds.Dspace.ds_inner_ids;
+  Alcotest.(check string) "task off" "off"
+    (Space.get_str s (Dspace.pipe_name ds.Dspace.ds_task_loop))
+
+let test_area_seed_always_feasible () =
+  List.iter
+    (fun (w : W.t) ->
+      let c = W.compile w in
+      let r = S2fa.estimate c (Seed.area_seed c.S2fa.c_dspace) in
+      Alcotest.(check bool)
+        (w.W.w_name ^ " area seed feasible")
+        true r.S2fa.Estimate.r_feasible)
+    W.all
+
+(* ---------- drivers ---------- *)
+
+let cheap_objective counter cfg =
+  incr counter;
+  let par = Space.get_int cfg "par" in
+  { Tuner.e_perf = 100.0 /. float_of_int par;
+    e_feasible = par <= 32;
+    e_minutes = 5.0 }
+
+let demo_dspace =
+  { Dspace.ds_space = demo_space;
+    ds_loop_ids = [];
+    ds_task_loop = 0;
+    ds_inner_ids = [];
+    ds_buffers = [] }
+
+let test_vanilla_respects_time_limit () =
+  let counter = ref 0 in
+  let r =
+    Driver.run_vanilla ~cores:4 ~time_limit:60.0 demo_dspace
+      (cheap_objective counter) (Rng.create 44)
+  in
+  Alcotest.(check (float 1e-9)) "reported limit" 60.0 r.Driver.rr_minutes;
+  (* 4 cores, 5 minutes per eval, 60-minute budget: 12 rounds of 4. *)
+  Alcotest.(check int) "48 evals" 48 r.Driver.rr_evals
+
+let test_best_curve_monotone () =
+  let counter = ref 0 in
+  let r =
+    Driver.run_vanilla ~cores:4 ~time_limit:60.0 demo_dspace
+      (cheap_objective counter) (Rng.create 45)
+  in
+  let curve = Driver.best_curve r in
+  let rec decreasing = function
+    | (_, a) :: ((_, b) :: _ as rest) -> a > b && decreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "strictly improving" true (decreasing curve);
+  let rec times_sorted = function
+    | (t1, _) :: ((t2, _) :: _ as rest) -> t1 <= t2 && times_sorted rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "times sorted" true (times_sorted curve)
+
+let test_best_at () =
+  let r =
+    { Driver.rr_events =
+        [ { Driver.ev_minutes = 10.0; ev_perf = 5.0; ev_feasible = true };
+          { Driver.ev_minutes = 20.0; ev_perf = 2.0; ev_feasible = true };
+          { Driver.ev_minutes = 30.0; ev_perf = 9.0; ev_feasible = true } ];
+      rr_best = None;
+      rr_minutes = 30.0;
+      rr_evals = 3 }
+  in
+  Alcotest.(check (float 1e-9)) "before anything" infinity
+    (Driver.best_at r 5.0);
+  Alcotest.(check (float 1e-9)) "after first" 5.0 (Driver.best_at r 10.0);
+  Alcotest.(check (float 1e-9)) "end" 2.0 (Driver.best_at r 30.0)
+
+let test_s2fa_run_terminates_and_finds () =
+  let c = Lazy.force kmeans in
+  let r = S2fa.explore c (Rng.create 46) in
+  Alcotest.(check bool) "found something" true (r.Driver.rr_best <> None);
+  Alcotest.(check bool) "within limit" true (r.Driver.rr_minutes <= 240.0);
+  Alcotest.(check bool) "did evaluate" true (r.Driver.rr_evals > 10)
+
+let test_s2fa_deterministic () =
+  let c = Lazy.force kmeans in
+  let r1 = S2fa.explore c (Rng.create 47) in
+  let r2 = S2fa.explore c (Rng.create 47) in
+  Alcotest.(check int) "same evals" r1.Driver.rr_evals r2.Driver.rr_evals;
+  Alcotest.(check bool) "same best" true
+    ((match (r1.Driver.rr_best, r2.Driver.rr_best) with
+     | Some (a, pa), Some (b, pb) -> Space.key a = Space.key b && pa = pb
+     | None, None -> true
+     | _ -> false))
+
+let test_dynamic_driver_runs () =
+  let c = Lazy.force kmeans in
+  let r =
+    Driver.run_dynamic c.S2fa.c_dspace (S2fa.objective c) (Rng.create 50)
+  in
+  Alcotest.(check bool) "found something" true (r.Driver.rr_best <> None);
+  Alcotest.(check bool) "within limit" true (r.Driver.rr_minutes <= 240.0);
+  Alcotest.(check bool) "did evaluate" true (r.Driver.rr_evals > 20)
+
+let test_ablation_switches_run () =
+  let c = Lazy.force kmeans in
+  let base = Driver.default_s2fa_opts in
+  List.iter
+    (fun opts ->
+      let r = S2fa.explore ~opts c (Rng.create 48) in
+      Alcotest.(check bool) "runs" true (r.Driver.rr_evals > 0))
+    [ { base with Driver.so_partition = false };
+      { base with Driver.so_seed_mode = `Area_only };
+      { base with Driver.so_seed_mode = `None };
+      { base with Driver.so_stop = `Trivial 10 };
+      { base with Driver.so_stop = `Time_only; so_time_limit = 60.0 } ]
+
+let () =
+  Alcotest.run "dse"
+    [ ( "dspace",
+        [ Alcotest.test_case "factors per loop" `Quick
+            test_identify_factors_per_loop;
+          Alcotest.test_case "buffers" `Quick test_identify_buffers;
+          Alcotest.test_case "S-W space size" `Quick test_identify_space_size_sw;
+          Alcotest.test_case "bit-width values" `Quick
+            test_bitwidth_values_follow_table1;
+          Alcotest.test_case "to_merlin" `Quick test_to_merlin_mapping ] );
+      ( "partition",
+        [ Alcotest.test_case "info gain positive" `Quick
+            test_info_gain_positive_on_split;
+          Alcotest.test_case "info gain zero" `Quick
+            test_info_gain_zero_on_identical;
+          Alcotest.test_case "splits on informative factor" `Quick
+            test_build_splits_on_informative_factor;
+          Alcotest.test_case "disjoint cover" `Quick
+            test_partitions_disjoint_cover;
+          Alcotest.test_case "restrict narrows" `Quick test_restrict_narrows;
+          Alcotest.test_case "project" `Quick test_project_into_partition ] );
+      ( "seeds",
+        [ Alcotest.test_case "paper shapes" `Quick test_seed_shapes;
+          Alcotest.test_case "structured flattens inner" `Quick
+            test_structured_seed_flattens_inner;
+          Alcotest.test_case "area seed always feasible" `Slow
+            test_area_seed_always_feasible ] );
+      ( "driver",
+        [ Alcotest.test_case "vanilla time limit" `Quick
+            test_vanilla_respects_time_limit;
+          Alcotest.test_case "best curve monotone" `Quick
+            test_best_curve_monotone;
+          Alcotest.test_case "best_at" `Quick test_best_at;
+          Alcotest.test_case "s2fa terminates" `Slow
+            test_s2fa_run_terminates_and_finds;
+          Alcotest.test_case "s2fa deterministic" `Slow test_s2fa_deterministic;
+          Alcotest.test_case "dynamic driver" `Slow test_dynamic_driver_runs;
+          Alcotest.test_case "ablation switches" `Slow
+            test_ablation_switches_run ] ) ]

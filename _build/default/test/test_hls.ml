@@ -1,0 +1,174 @@
+(* HLS estimator tests: qualitative responses to design factors. *)
+module Csyntax = S2fa_hlsc.Csyntax
+module E = S2fa_hls.Estimate
+module Device = S2fa_hls.Device
+module T = S2fa_merlin.Transform
+module W = S2fa_workloads.Workloads
+module S2fa = S2fa_core.S2fa
+module Dspace = S2fa_dse.Dspace
+module Seed = S2fa_dse.Seed
+
+let sw = Option.get (W.find "S-W")
+let lr = Option.get (W.find "LR")
+
+let compiled = lazy (W.compile sw)
+let compiled_lr = lazy (W.compile lr)
+
+let est c cfg = S2fa.estimate ~tasks:1024 c cfg
+
+let test_area_seed_feasible () =
+  let c = Lazy.force compiled in
+  let r = est c (Seed.area_seed c.S2fa.c_dspace) in
+  Alcotest.(check bool) "feasible" true r.E.r_feasible;
+  Alcotest.(check bool) "small" true (r.E.r_lut_pct < 0.2)
+
+let test_perf_seed_infeasible_for_sw () =
+  (* Pipeline everything with parallel factor 32: blows the device, as
+     the paper anticipates for complex kernels. *)
+  let c = Lazy.force compiled in
+  let r = est c (Seed.performance_seed c.S2fa.c_dspace) in
+  Alcotest.(check bool) "infeasible" false r.E.r_feasible
+
+let test_unroll_reduces_cycles () =
+  let c = Lazy.force compiled in
+  let ds = c.S2fa.c_dspace in
+  let base = Seed.area_seed ds in
+  let inner = List.hd ds.Dspace.ds_inner_ids in
+  let with_par p =
+    S2fa_tuner.Space.set base (Dspace.par_name inner) (S2fa_tuner.Space.VInt p)
+  in
+  let r1 = est c (with_par 1) in
+  let r8 = est c (with_par 8) in
+  Alcotest.(check bool) "8x unroll is faster" true
+    (r8.E.r_cycles < r1.E.r_cycles);
+  Alcotest.(check bool) "8x unroll uses more area" true
+    (r8.E.r_lut_pct > r1.E.r_lut_pct || r8.E.r_dsp_pct > r1.E.r_dsp_pct)
+
+let test_pipeline_reduces_cycles () =
+  let c = Lazy.force compiled in
+  let ds = c.S2fa.c_dspace in
+  let base = Seed.area_seed ds in
+  let inner = List.hd ds.Dspace.ds_inner_ids in
+  let piped =
+    S2fa_tuner.Space.set base (Dspace.pipe_name inner)
+      (S2fa_tuner.Space.VStr "on")
+  in
+  let r_off = est c base in
+  let r_on = est c piped in
+  Alcotest.(check bool) "pipelining helps" true
+    (r_on.E.r_cycles < r_off.E.r_cycles)
+
+let test_lr_recurrence_ii () =
+  (* The LR dot-product loop carries a floating accumulation: pipelining
+     it cannot reach II 1 (the paper reports II 13). *)
+  let c = Lazy.force compiled_lr in
+  let ds = c.S2fa.c_dspace in
+  let base = Seed.area_seed ds in
+  let cfg =
+    List.fold_left
+      (fun acc id ->
+        S2fa_tuner.Space.set acc (Dspace.pipe_name id)
+          (S2fa_tuner.Space.VStr "on"))
+      base ds.Dspace.ds_loop_ids
+  in
+  let r = est c cfg in
+  Alcotest.(check (float 0.01)) "II = 13" 13.0 r.E.r_ii
+
+let test_frequency_bounds () =
+  let c = Lazy.force compiled in
+  let ds = c.S2fa.c_dspace in
+  List.iter
+    (fun cfg ->
+      let r = est c cfg in
+      Alcotest.(check bool) "100 <= f <= 250" true
+        (r.E.r_freq_mhz >= 100.0 && r.E.r_freq_mhz <= 250.0))
+    [ Seed.area_seed ds; Seed.structured_seed ds; Seed.performance_seed ds ]
+
+let test_eval_minutes_bounds () =
+  let c = Lazy.force compiled in
+  let ds = c.S2fa.c_dspace in
+  List.iter
+    (fun cfg ->
+      let r = est c cfg in
+      Alcotest.(check bool) "3..20 minutes" true
+        (r.E.r_eval_minutes >= 3.0 && r.E.r_eval_minutes <= 20.0))
+    [ Seed.area_seed ds; Seed.structured_seed ds ]
+
+let test_bitwidth_affects_transfer () =
+  let c = Lazy.force compiled in
+  let ds = c.S2fa.c_dspace in
+  let base = Seed.area_seed ds in
+  let wide =
+    List.fold_left
+      (fun acc b ->
+        S2fa_tuner.Space.set acc (Dspace.bw_name b) (S2fa_tuner.Space.VInt 512))
+      base ds.Dspace.ds_buffers
+  in
+  let r_narrow = est c base in
+  let r_wide = est c wide in
+  Alcotest.(check bool) "wider interface transfers faster" true
+    (r_wide.E.r_xfer_seconds < r_narrow.E.r_xfer_seconds)
+
+let test_more_tasks_more_time () =
+  let c = Lazy.force compiled in
+  let cfg = Seed.area_seed c.S2fa.c_dspace in
+  let r1 = S2fa.estimate ~tasks:512 c cfg in
+  let r4 = S2fa.estimate ~tasks:2048 c cfg in
+  Alcotest.(check bool) "time scales with tasks" true
+    (r4.E.r_seconds > r1.E.r_seconds *. 2.0)
+
+let test_utilization_consistency () =
+  let c = Lazy.force compiled in
+  let r = est c (Seed.area_seed c.S2fa.c_dspace) in
+  List.iter
+    (fun (n, v) ->
+      Alcotest.(check bool) (n ^ " in [0,1.5]") true (v >= 0.0 && v < 1.5))
+    [ ("lut", r.E.r_lut_pct); ("ff", r.E.r_ff_pct); ("bram", r.E.r_bram_pct);
+      ("dsp", r.E.r_dsp_pct) ]
+
+let test_device_model () =
+  Alcotest.(check string) "device name" "xcvu9p (EC2 F1)" Device.vu9p.Device.name;
+  Alcotest.(check bool) "usable cap" true
+    (Device.vu9p.Device.usable_frac = 0.75);
+  Alcotest.(check bool) "div slower than add" true
+    (Device.int_div.Device.lat > Device.int_add.Device.lat);
+  Alcotest.(check bool) "exp uses DSPs" true
+    ((Device.math_op "exp").Device.dsp > 0.0)
+
+(* property: estimates are deterministic *)
+let prop_estimate_deterministic =
+  QCheck.Test.make ~name:"estimate is deterministic" ~count:30
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let c = Lazy.force compiled in
+      let rng = S2fa_util.Rng.create seed in
+      let cfg =
+        S2fa_tuner.Space.random_cfg rng c.S2fa.c_dspace.Dspace.ds_space
+      in
+      let a = est c cfg and b = est c cfg in
+      a = b)
+
+let () =
+  Alcotest.run "hls"
+    [ ( "estimator",
+        [ Alcotest.test_case "area seed feasible" `Quick
+            test_area_seed_feasible;
+          Alcotest.test_case "perf seed infeasible (S-W)" `Quick
+            test_perf_seed_infeasible_for_sw;
+          Alcotest.test_case "unroll trades area for cycles" `Quick
+            test_unroll_reduces_cycles;
+          Alcotest.test_case "pipelining helps" `Quick
+            test_pipeline_reduces_cycles;
+          Alcotest.test_case "LR recurrence II" `Quick test_lr_recurrence_ii;
+          Alcotest.test_case "frequency bounds" `Quick test_frequency_bounds;
+          Alcotest.test_case "eval minutes bounds" `Quick
+            test_eval_minutes_bounds;
+          Alcotest.test_case "bit-width vs transfer" `Quick
+            test_bitwidth_affects_transfer;
+          Alcotest.test_case "tasks scale time" `Quick test_more_tasks_more_time;
+          Alcotest.test_case "utilization sanity" `Quick
+            test_utilization_consistency;
+          Alcotest.test_case "device model" `Quick test_device_model ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_estimate_deterministic ] )
+    ]

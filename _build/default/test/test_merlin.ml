@@ -1,0 +1,210 @@
+(* Merlin transformation tests: pragma application and semantics
+   preservation of the structural rewrites. *)
+module Csyntax = S2fa_hlsc.Csyntax
+module Cinterp = S2fa_hlsc.Cinterp
+module Canalysis = S2fa_hlsc.Canalysis
+module T = S2fa_merlin.Transform
+module W = S2fa_workloads.Workloads
+module S2fa = S2fa_core.S2fa
+module Dspace = S2fa_dse.Dspace
+module Rng = S2fa_util.Rng
+open Csyntax
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* A reference kernel used for semantics checks: prefix sums into a
+   buffer. *)
+let prefix_prog () =
+  let loop =
+    mk_loop ~var:"i" ~lo:(EInt 0) ~hi:(EInt 16)
+      [ SAssign (EVar "acc", EBin (CAdd, EVar "acc", EIndex (EVar "a", EVar "i")));
+        SAssign (EIndex (EVar "o", EVar "i"), EVar "acc") ]
+  in
+  let f =
+    { cfname = "kernel";
+      cfparams =
+        [ { cpname = "a"; cpty = CPtr CInt; cpbitwidth = None };
+          { cpname = "o"; cpty = CPtr CInt; cpbitwidth = None } ];
+      cfret = None;
+      cfbody = [ SDecl (CInt, "acc", Some (EInt 0)); SFor loop ] }
+  in
+  ({ cfuncs = [ f ] }, loop.lid)
+
+let run_prefix prog input =
+  let a = Array.map (fun x -> Cinterp.VI x) input in
+  let o = Array.make (Array.length input) (Cinterp.VI 0) in
+  ignore
+    (Cinterp.run_func prog "kernel" [ ("a", Cinterp.VA a); ("o", Cinterp.VA o) ]);
+  Array.map (function Cinterp.VI v -> v | _ -> -1) o
+
+let reference_prefix input =
+  let acc = ref 0 in
+  Array.map
+    (fun x ->
+      acc := !acc + x;
+      !acc)
+    input
+
+let test_apply_pragmas () =
+  let prog, lid = prefix_prog () in
+  let cfg =
+    { T.cfg_loops =
+        [ (lid, { T.lc_tile = 1; lc_parallel = 4; lc_pipeline = PipeOn }) ];
+      cfg_bitwidths = [ ("a", 256) ] }
+  in
+  let p = T.apply cfg prog in
+  let s = to_string p in
+  Alcotest.(check bool) "parallel pragma" true
+    (contains s "#pragma ACCEL parallel factor=4");
+  Alcotest.(check bool) "pipeline pragma" true
+    (contains s "#pragma ACCEL pipeline");
+  Alcotest.(check bool) "bitwidth set" true (contains s "bitwidth=256")
+
+let test_pragmas_do_not_change_semantics () =
+  let prog, lid = prefix_prog () in
+  let cfg =
+    { T.cfg_loops =
+        [ (lid, { T.lc_tile = 1; lc_parallel = 8; lc_pipeline = PipeFlatten }) ];
+      cfg_bitwidths = [] }
+  in
+  let p = T.apply cfg prog in
+  let input = Array.init 16 (fun i -> (i * 7) - 20) in
+  Alcotest.(check (array int)) "same outputs" (reference_prefix input)
+    (run_prefix p input)
+
+let test_tiling_preserves_semantics () =
+  let input = Array.init 16 (fun i -> (i * i) - (3 * i)) in
+  List.iter
+    (fun tile ->
+      let prog, lid = prefix_prog () in
+      let cfg =
+        { T.cfg_loops =
+            [ (lid, { T.lc_tile = tile; lc_parallel = 2; lc_pipeline = PipeOff }) ];
+          cfg_bitwidths = [] }
+      in
+      let p = T.apply cfg prog in
+      Alcotest.(check (array int))
+        (Printf.sprintf "tile=%d" tile)
+        (reference_prefix input) (run_prefix p input))
+    [ 2; 3; 4; 5; 7; 16 ]
+
+let test_tiling_changes_loop_structure () =
+  let prog, lid = prefix_prog () in
+  let cfg =
+    { T.cfg_loops =
+        [ (lid, { T.lc_tile = 4; lc_parallel = 2; lc_pipeline = PipeOn }) ];
+      cfg_bitwidths = [] }
+  in
+  let p = T.apply cfg prog in
+  let f = Option.get (find_cfunc p "kernel") in
+  let s = Canalysis.analyze f in
+  Alcotest.(check int) "two loops after tiling" 2
+    (List.length s.Canalysis.loops);
+  let outer = Option.get (Canalysis.find_loop s lid) in
+  Alcotest.(check (option int)) "outer trips" (Some 4) outer.Canalysis.li_trip
+
+let test_real_unroll_preserves_semantics () =
+  let input = Array.init 16 (fun i -> 100 - (9 * i)) in
+  List.iter
+    (fun factor ->
+      let prog, lid = prefix_prog () in
+      let p = T.real_unroll ~factor ~loop_id:lid prog in
+      Alcotest.(check (array int))
+        (Printf.sprintf "unroll=%d" factor)
+        (reference_prefix input) (run_prefix p input))
+    [ 2; 3; 4; 16 ]
+
+let test_invalid_factor_rejected () =
+  let prog, lid = prefix_prog () in
+  let cfg =
+    { T.cfg_loops =
+        [ (lid, { T.lc_tile = 0; lc_parallel = 1; lc_pipeline = PipeOff }) ];
+      cfg_bitwidths = [] }
+  in
+  try
+    ignore (T.apply cfg prog);
+    Alcotest.fail "tile factor 0 should be rejected"
+  with T.Transform_error _ -> ()
+
+let test_unknown_loop_ignored () =
+  let prog, _ = prefix_prog () in
+  let cfg =
+    { T.cfg_loops =
+        [ (99_999, { T.lc_tile = 2; lc_parallel = 2; lc_pipeline = PipeOn }) ];
+      cfg_bitwidths = [] }
+  in
+  let p = T.apply cfg prog in
+  Alcotest.(check string) "unchanged" (to_string prog) (to_string p)
+
+(* ---------- transformed workloads stay correct ---------- *)
+
+let test_workload_transformed_equivalence () =
+  (* Apply a real-unroll-checkable design (tiling only, which rewrites
+     structure) to S-W and re-check JVM/FPGA agreement. *)
+  let w = Option.get (W.find "S-W") in
+  let c = W.compile w in
+  let ds = c.S2fa.c_dspace in
+  (* Tile every tileable loop by 4, everything else default. *)
+  let cfg =
+    List.filter_map
+      (fun p ->
+        let name = S2fa_tuner.Space.param_name p in
+        if String.length name > 5 && String.sub name 0 5 = "tile_" then
+          Some (name, S2fa_tuner.Space.VInt 4)
+        else None)
+      ds.Dspace.ds_space
+  in
+  let rng = Rng.create 5 in
+  let tasks = w.W.w_gen rng 6 in
+  let jvm = S2fa_blaze.Blaze.map_jvm c.S2fa.c_class ~fields:[] tasks in
+  let mgr = S2fa_blaze.Blaze.create_manager () in
+  S2fa_blaze.Blaze.register mgr
+    (S2fa.make_accelerator ~design:cfg c ~fields:[]);
+  let fpga = S2fa_blaze.Blaze.map_accelerated mgr ~id:"S-W" tasks in
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check bool)
+        (Printf.sprintf "task %d" i)
+        true
+        (S2fa_jvm.Interp.equal_value v fpga.S2fa_blaze.Blaze.tr_values.(i)))
+    jvm.S2fa_blaze.Blaze.tr_values
+
+(* ---------- property: random tiling of random kernels is sound ---------- *)
+
+let prop_tiling_sound =
+  QCheck.Test.make ~name:"tiling preserves prefix sums" ~count:100
+    QCheck.(pair (int_range 2 16) (list_of_size (Gen.return 16) (int_range (-50) 50)))
+    (fun (tile, input) ->
+      let input = Array.of_list input in
+      let prog, lid = prefix_prog () in
+      let cfg =
+        { T.cfg_loops =
+            [ (lid, { T.lc_tile = tile; lc_parallel = 1; lc_pipeline = PipeOff }) ];
+          cfg_bitwidths = [] }
+      in
+      let p = T.apply cfg prog in
+      run_prefix p input = reference_prefix input)
+
+let () =
+  Alcotest.run "merlin"
+    [ ( "transform",
+        [ Alcotest.test_case "pragma application" `Quick test_apply_pragmas;
+          Alcotest.test_case "pragmas keep semantics" `Quick
+            test_pragmas_do_not_change_semantics;
+          Alcotest.test_case "tiling keeps semantics" `Quick
+            test_tiling_preserves_semantics;
+          Alcotest.test_case "tiling splits the loop" `Quick
+            test_tiling_changes_loop_structure;
+          Alcotest.test_case "real unroll keeps semantics" `Quick
+            test_real_unroll_preserves_semantics;
+          Alcotest.test_case "invalid factor rejected" `Quick
+            test_invalid_factor_rejected;
+          Alcotest.test_case "unknown loop ignored" `Quick
+            test_unknown_loop_ignored;
+          Alcotest.test_case "transformed workload equivalence" `Quick
+            test_workload_transformed_equivalence ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_tiling_sound ] ) ]

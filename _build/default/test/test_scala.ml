@@ -1,0 +1,507 @@
+(* Frontend tests: lexer, parser, type checker. *)
+module Ast = S2fa_scala.Ast
+module Lexer = S2fa_scala.Lexer
+module Parser = S2fa_scala.Parser
+module Typecheck = S2fa_scala.Typecheck
+module Tast = S2fa_scala.Tast
+
+(* ---------- lexer ---------- *)
+
+let toks src = List.map (fun l -> l.Lexer.tok) (Lexer.tokenize src)
+
+let test_lex_basic () =
+  match toks "val x = 1 + 2" with
+  | [ Lexer.KW "val"; Lexer.IDENT "x"; Lexer.OP "="; Lexer.INT 1;
+      Lexer.OP "+"; Lexer.INT 2; Lexer.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "unexpected token stream"
+
+let test_lex_numbers () =
+  (match toks "1.5 2 3L 4.0f 1e3" with
+  | [ Lexer.DOUBLELIT a; Lexer.INT 2; Lexer.LONG 3L; Lexer.FLOATLIT b;
+      Lexer.INT 1; Lexer.IDENT "e3"; Lexer.EOF ] ->
+    (* 1e3 without a decimal point lexes as INT then IDENT — the subset
+       requires a decimal point for exponent notation. *)
+    Alcotest.(check (float 1e-9)) "double" 1.5 a;
+    Alcotest.(check (float 1e-9)) "float" 4.0 b
+  | _ -> Alcotest.fail "unexpected numeric tokens");
+  match toks "1.5e3" with
+  | [ Lexer.DOUBLELIT v; Lexer.EOF ] ->
+    Alcotest.(check (float 1e-9)) "exponent" 1500.0 v
+  | _ -> Alcotest.fail "exponent literal"
+
+let test_lex_strings_chars () =
+  match toks {|"hi\n" 'c' '\t'|} with
+  | [ Lexer.STRINGLIT s; Lexer.CHARLIT 'c'; Lexer.CHARLIT '\t'; Lexer.EOF ] ->
+    Alcotest.(check string) "escape" "hi\n" s
+  | _ -> Alcotest.fail "unexpected string tokens"
+
+let test_lex_comments () =
+  Alcotest.(check int) "comments skipped"
+    (List.length (toks "x"))
+    (List.length (toks "// line\n/* block\n comment */ x"))
+
+let test_lex_operators_longest_match () =
+  match toks "a >>> b >> c >= d" with
+  | [ Lexer.IDENT "a"; Lexer.OP ">>>"; Lexer.IDENT "b"; Lexer.OP ">>";
+      Lexer.IDENT "c"; Lexer.OP ">="; Lexer.IDENT "d"; Lexer.EOF ] ->
+    ()
+  | _ -> Alcotest.fail "operator maximal munch broken"
+
+let test_lex_error_unterminated () =
+  Alcotest.check_raises "unterminated string"
+    (Lexer.Lex_error ("unterminated string literal", { Ast.line = 1; col = 6 }))
+    (fun () -> ignore (Lexer.tokenize {|"oops|}))
+
+(* ---------- parser ---------- *)
+
+let test_parse_precedence () =
+  (* a + b * c parses as a + (b * c) *)
+  let e = Parser.parse_expr "a + b * c" in
+  match e.Ast.e with
+  | Ast.Binop (Ast.Add, { Ast.e = Ast.Ident "a"; _ },
+               { Ast.e = Ast.Binop (Ast.Mul, _, _); _ }) ->
+    ()
+  | _ -> Alcotest.fail "precedence of * over +"
+
+let test_parse_comparison_precedence () =
+  let e = Parser.parse_expr "a + 1 < b && c" in
+  match e.Ast.e with
+  | Ast.Binop (Ast.And, { Ast.e = Ast.Binop (Ast.Lt, _, _); _ }, _) -> ()
+  | _ -> Alcotest.fail "&& loosest, < over &&"
+
+let test_parse_left_assoc () =
+  let e = Parser.parse_expr "a - b - c" in
+  match e.Ast.e with
+  | Ast.Binop (Ast.Sub, { Ast.e = Ast.Binop (Ast.Sub, _, _); _ },
+               { Ast.e = Ast.Ident "c"; _ }) ->
+    ()
+  | _ -> Alcotest.fail "subtraction left-associative"
+
+let test_parse_unary () =
+  let e = Parser.parse_expr "-a * b" in
+  match e.Ast.e with
+  | Ast.Binop (Ast.Mul, { Ast.e = Ast.Unop (Ast.Neg, _); _ }, _) -> ()
+  | _ -> Alcotest.fail "unary binds tighter than *"
+
+let test_parse_postfix_chain () =
+  let e = Parser.parse_expr "in._1.length" in
+  match e.Ast.e with
+  | Ast.Select ({ Ast.e = Ast.Select _; _ }, "length") -> ()
+  | _ -> Alcotest.fail "postfix chain"
+
+let test_parse_apply () =
+  let e = Parser.parse_expr "m(i * 65 + j)" in
+  match e.Ast.e with
+  | Ast.Apply ({ Ast.e = Ast.Ident "m"; _ }, [ _ ]) -> ()
+  | _ -> Alcotest.fail "apply"
+
+let test_parse_tuple () =
+  let e = Parser.parse_expr "(a, b, c)" in
+  match e.Ast.e with
+  | Ast.TupleE [ _; _; _ ] -> ()
+  | _ -> Alcotest.fail "tuple expression"
+
+let test_parse_new_array () =
+  let e = Parser.parse_expr "new Array[Int](10)" in
+  match e.Ast.e with
+  | Ast.NewArray (Ast.TInt, [ _ ]) -> ()
+  | _ -> Alcotest.fail "new Array"
+
+let test_parse_newline_no_apply () =
+  (* An argument list on the following line must not be treated as an
+     application (Scala newline inference). *)
+  let src = {|
+class C() {
+  def f(x: Int): (Int, Int) = {
+    val y = x.toInt
+    (y, y)
+  }
+}
+|} in
+  let prog = Parser.parse_program src in
+  Alcotest.(check int) "one class" 1 (List.length prog.Ast.classes)
+
+let test_parse_class_shape () =
+  let src = {|
+class Pair(a: Int) extends Accelerator[Int, Int] {
+  val id: String = "p"
+  def call(in: Int): Int = in + a
+}
+|} in
+  let prog = Parser.parse_program src in
+  match prog.Ast.classes with
+  | [ c ] ->
+    Alcotest.(check string) "name" "Pair" c.Ast.cname;
+    Alcotest.(check int) "ctor params" 1 (List.length c.Ast.cparams);
+    Alcotest.(check int) "vals" 1 (List.length c.Ast.cvals);
+    Alcotest.(check int) "methods" 1 (List.length c.Ast.cmethods);
+    (match c.Ast.cextends with
+    | Some ("Accelerator", [ Ast.TInt; Ast.TInt ]) -> ()
+    | _ -> Alcotest.fail "extends clause")
+  | _ -> Alcotest.fail "expected one class"
+
+let test_parse_for_until_to () =
+  let src = {|
+class C() {
+  def f(n: Int): Int = {
+    var s = 0
+    for (i <- 0 until n) { s = s + i }
+    for (i <- 0 to n) { s = s + i }
+    s
+  }
+}
+|} in
+  ignore (Parser.parse_program src)
+
+let test_parse_error_position () =
+  try
+    ignore (Parser.parse_program "class C() { def f(: Int = 1 }");
+    Alcotest.fail "should not parse"
+  with Parser.Parse_error (_, pos) ->
+    Alcotest.(check bool) "line is 1" true (pos.Ast.line = 1)
+
+(* ---------- type checker ---------- *)
+
+let check_class_src src = Typecheck.check_program (Parser.parse_program src)
+
+let expect_type_error src =
+  try
+    ignore (check_class_src src);
+    Alcotest.fail "expected a type error"
+  with Typecheck.Type_error _ -> ()
+
+let test_ty_simple_ok () =
+  let p =
+    check_class_src
+      {|
+class C() extends Accelerator[Int, Double] {
+  val id: String = "c"
+  def call(in: Int): Double = in.toDouble * 2.0
+}
+|}
+  in
+  match p.Tast.tclasses with
+  | [ c ] -> Alcotest.(check bool) "accel" true (c.Tast.tcaccel <> None)
+  | _ -> Alcotest.fail "one class"
+
+let test_ty_promotion () =
+  (* Int + Double promotes to Double. *)
+  ignore
+    (check_class_src
+       {|
+class C() {
+  def f(a: Int, b: Double): Double = a + b
+}
+|})
+
+let test_ty_string_is_char_array () =
+  ignore
+    (check_class_src
+       {|
+class C() {
+  def f(s: String): Char = s(0)
+  def g(s: String): Int = s.length
+}
+|})
+
+let test_ty_assign_to_val_rejected () =
+  expect_type_error
+    {|
+class C() {
+  def f(x: Int): Int = {
+    val y = 1
+    y = 2
+    y
+  }
+}
+|}
+
+let test_ty_unbound_rejected () =
+  expect_type_error {|
+class C() {
+  def f(x: Int): Int = zz + 1
+}
+|}
+
+let test_ty_dynamic_array_size_rejected () =
+  (* Section 3.3: new with non-constant size is not allowed. *)
+  expect_type_error
+    {|
+class C() {
+  def f(n: Int): Int = {
+    val a = new Array[Int](n)
+    a(0)
+  }
+}
+|}
+
+let test_ty_const_folded_array_size_ok () =
+  ignore
+    (check_class_src
+       {|
+class C() {
+  def f(x: Int): Int = {
+    val k = 8
+    val a = new Array[Int](k * (k + 1))
+    a(0)
+  }
+}
+|})
+
+let test_ty_bad_condition_rejected () =
+  expect_type_error
+    {|
+class C() {
+  def f(x: Int): Int = {
+    if (x) 1 else 2
+  }
+}
+|}
+
+let test_ty_tuple_access () =
+  ignore
+    (check_class_src
+       {|
+class C() {
+  def f(p: (Int, Double)): Double = p._1 + p._2
+}
+|})
+
+let test_ty_tuple_out_of_range () =
+  expect_type_error
+    {|
+class C() {
+  def f(p: (Int, Double)): Double = p._3
+}
+|}
+
+let test_ty_math_intrinsics () =
+  ignore
+    (check_class_src
+       {|
+class C() {
+  def f(x: Double): Double = math.sqrt(math.exp(x)) + math.max(x, 1.0)
+  def g(a: Int, b: Int): Int = math.min(a, b) + math.abs(a)
+}
+|})
+
+let test_ty_unknown_math_rejected () =
+  expect_type_error {|
+class C() {
+  def f(x: Double): Double = math.tan(x)
+}
+|}
+
+let test_ty_method_call_arity () =
+  expect_type_error
+    {|
+class C() {
+  def g(a: Int, b: Int): Int = a + b
+  def f(x: Int): Int = g(x)
+}
+|}
+
+let test_ty_accel_call_signature_enforced () =
+  expect_type_error
+    {|
+class C() extends Accelerator[Int, Int] {
+  val id: String = "c"
+  def call(in: Double): Int = 1
+}
+|}
+
+let test_fold_const () =
+  let e = Parser.parse_expr "(64 + 1) * (64 + 1)" in
+  Alcotest.(check (option int)) "folds" (Some 4225)
+    (Typecheck.fold_const_int e);
+  let e2 = Parser.parse_expr "x + 1" in
+  Alcotest.(check (option int)) "non-const" None (Typecheck.fold_const_int e2)
+
+(* ---------- pretty-printer round trips ---------- *)
+
+module Pretty = S2fa_scala.Pretty
+module W = S2fa_workloads.Workloads
+
+let test_pretty_roundtrip_workloads () =
+  List.iter
+    (fun (w : W.t) ->
+      let p1 = Parser.parse_program w.W.w_source in
+      let printed = Pretty.to_string p1 in
+      let p2 =
+        try Parser.parse_program printed
+        with Parser.Parse_error (m, pos) ->
+          Alcotest.failf "%s: reprint does not parse (%s at %d:%d)\n%s"
+            w.W.w_name m pos.Ast.line pos.Ast.col printed
+      in
+      (* Print-stable fixpoint: a second print must be identical. *)
+      Alcotest.(check string)
+        (w.W.w_name ^ " print fixpoint")
+        printed (Pretty.to_string p2);
+      (* And the reprinted program still type-checks. *)
+      ignore (Typecheck.check_program p2))
+    W.all
+
+let test_pretty_roundtrip_preserves_semantics () =
+  (* Compile both the original and the reprinted S-W kernel and compare
+     bytecode execution on the same input. *)
+  let w = Option.get (W.find "S-W") in
+  let src2 =
+    Pretty.to_string (Parser.parse_program w.W.w_source)
+  in
+  let module I = S2fa_jvm.Interp in
+  let run src =
+    let cls = List.hd (S2fa_jvm.Compile.compile_source src) in
+    let inst = { I.icls = cls; ifields = [] } in
+    let input =
+      I.VTuple
+        [| W.random_string (S2fa_util.Rng.create 3) 64;
+           W.random_string (S2fa_util.Rng.create 4) 64 |]
+    in
+    (I.run_method inst "call" [ input ]).I.rvalue
+  in
+  Alcotest.(check bool) "same result" true
+    (I.equal_value (run w.W.w_source) (run src2))
+
+let test_pretty_expr_precedence () =
+  let roundtrip s =
+    Pretty.expr_to_string (Parser.parse_expr s)
+  in
+  Alcotest.(check string) "keeps precedence" "a + b * c" (roundtrip "a + b * c");
+  Alcotest.(check string) "keeps parens" "(a + b) * c" (roundtrip "(a + b) * c");
+  Alcotest.(check string) "drops redundant parens" "a + b * c"
+    (roundtrip "a + (b * c)")
+
+(* ---------- property: random arithmetic round-trips the parser ---------- *)
+
+let gen_arith_src =
+  (* Generate random arithmetic over two identifiers and literals, render
+     with full parentheses, and check the parser accepts it. *)
+  let open QCheck.Gen in
+  let rec gen depth =
+    if depth = 0 then
+      oneof [ map string_of_int (int_range 0 99); return "a"; return "b" ]
+    else
+      let sub = gen (depth - 1) in
+      oneof
+        [ map2 (fun x y -> Printf.sprintf "(%s + %s)" x y) sub sub;
+          map2 (fun x y -> Printf.sprintf "(%s * %s)" x y) sub sub;
+          map2 (fun x y -> Printf.sprintf "(%s - %s)" x y) sub sub;
+          sub ]
+  in
+  gen 4
+
+let prop_parse_arith =
+  QCheck.Test.make ~name:"parser accepts parenthesized arithmetic" ~count:200
+    (QCheck.make gen_arith_src) (fun src ->
+      match (Parser.parse_expr src).Ast.e with
+      | Ast.Lit _ | Ast.Ident _ | Ast.Binop _ -> true
+      | _ -> false)
+
+let prop_pretty_expr_roundtrip =
+  (* print (parse s) reparses to something that prints identically. *)
+  QCheck.Test.make ~name:"expression print round-trip" ~count:300
+    (QCheck.make gen_arith_src) (fun src ->
+      let e1 = Parser.parse_expr src in
+      let printed = Pretty.expr_to_string e1 in
+      let e2 = Parser.parse_expr printed in
+      String.equal printed (Pretty.expr_to_string e2))
+
+let gen_tiny_class =
+  let open QCheck.Gen in
+  let atom = oneof [ map string_of_int (int_range 0 20); return "a" ] in
+  let expr =
+    map3
+      (fun x op y -> Printf.sprintf "%s %s %s" x op y)
+      atom
+      (oneofl [ "+"; "*"; "-" ])
+      atom
+  in
+  let stmt =
+    oneof
+      [ map (fun e -> "r = " ^ e) expr;
+        map2
+          (fun n e -> Printf.sprintf "for (i <- 0 until %d) { r = r + %s }" n e)
+          (int_range 1 5) expr;
+        map2
+          (fun e1 e2 -> Printf.sprintf "if (a < %s) { r = %s }" e1 e2)
+          expr expr ]
+  in
+  map
+    (fun stmts ->
+      Printf.sprintf
+        "class T() {\n  def f(a: Int): Int = {\n    var r = 0\n    %s\n    r\n  }\n}\n"
+        (String.concat "\n    " stmts))
+    (list_size (int_range 1 5) stmt)
+
+let prop_pretty_class_roundtrip =
+  QCheck.Test.make ~name:"class print round-trip" ~count:200
+    (QCheck.make gen_tiny_class) (fun src ->
+      let p1 = Parser.parse_program src in
+      let printed = Pretty.to_string p1 in
+      let p2 = Parser.parse_program printed in
+      String.equal printed (Pretty.to_string p2))
+
+let () =
+  Alcotest.run "scala_front"
+    [ ( "lexer",
+        [ Alcotest.test_case "basic" `Quick test_lex_basic;
+          Alcotest.test_case "numbers" `Quick test_lex_numbers;
+          Alcotest.test_case "strings and chars" `Quick test_lex_strings_chars;
+          Alcotest.test_case "comments" `Quick test_lex_comments;
+          Alcotest.test_case "maximal munch" `Quick
+            test_lex_operators_longest_match;
+          Alcotest.test_case "unterminated string" `Quick
+            test_lex_error_unterminated ] );
+      ( "parser",
+        [ Alcotest.test_case "precedence" `Quick test_parse_precedence;
+          Alcotest.test_case "comparison precedence" `Quick
+            test_parse_comparison_precedence;
+          Alcotest.test_case "left associativity" `Quick test_parse_left_assoc;
+          Alcotest.test_case "unary" `Quick test_parse_unary;
+          Alcotest.test_case "postfix chain" `Quick test_parse_postfix_chain;
+          Alcotest.test_case "apply" `Quick test_parse_apply;
+          Alcotest.test_case "tuple" `Quick test_parse_tuple;
+          Alcotest.test_case "new array" `Quick test_parse_new_array;
+          Alcotest.test_case "newline inference" `Quick
+            test_parse_newline_no_apply;
+          Alcotest.test_case "class shape" `Quick test_parse_class_shape;
+          Alcotest.test_case "for until/to" `Quick test_parse_for_until_to;
+          Alcotest.test_case "error position" `Quick test_parse_error_position
+        ] );
+      ( "typecheck",
+        [ Alcotest.test_case "simple class" `Quick test_ty_simple_ok;
+          Alcotest.test_case "numeric promotion" `Quick test_ty_promotion;
+          Alcotest.test_case "string as char array" `Quick
+            test_ty_string_is_char_array;
+          Alcotest.test_case "assign to val" `Quick
+            test_ty_assign_to_val_rejected;
+          Alcotest.test_case "unbound name" `Quick test_ty_unbound_rejected;
+          Alcotest.test_case "dynamic array size" `Quick
+            test_ty_dynamic_array_size_rejected;
+          Alcotest.test_case "const-folded size" `Quick
+            test_ty_const_folded_array_size_ok;
+          Alcotest.test_case "non-bool condition" `Quick
+            test_ty_bad_condition_rejected;
+          Alcotest.test_case "tuple access" `Quick test_ty_tuple_access;
+          Alcotest.test_case "tuple out of range" `Quick
+            test_ty_tuple_out_of_range;
+          Alcotest.test_case "math intrinsics" `Quick test_ty_math_intrinsics;
+          Alcotest.test_case "unknown math" `Quick
+            test_ty_unknown_math_rejected;
+          Alcotest.test_case "method arity" `Quick test_ty_method_call_arity;
+          Alcotest.test_case "accelerator signature" `Quick
+            test_ty_accel_call_signature_enforced;
+          Alcotest.test_case "constant folding" `Quick test_fold_const ] );
+      ( "pretty",
+        [ Alcotest.test_case "workloads round-trip" `Quick
+            test_pretty_roundtrip_workloads;
+          Alcotest.test_case "round-trip preserves semantics" `Quick
+            test_pretty_roundtrip_preserves_semantics;
+          Alcotest.test_case "expression precedence" `Quick
+            test_pretty_expr_precedence ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_parse_arith;
+            prop_pretty_expr_roundtrip;
+            prop_pretty_class_roundtrip ] ) ]

@@ -1,0 +1,191 @@
+(* Unit and property tests for the utility substrate. *)
+module Rng = S2fa_util.Rng
+module Stats = S2fa_util.Stats
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_rng_deterministic () =
+  let a = Rng.create 123 and b = Rng.create 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_seed_matters () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" false
+    (Int64.equal (Rng.int64 a) (Rng.int64 b))
+
+let test_rng_split_independent () =
+  let parent = Rng.create 7 in
+  let child = Rng.split parent in
+  let x = Rng.int64 child and y = Rng.int64 parent in
+  Alcotest.(check bool) "split diverges" false (Int64.equal x y)
+
+let test_rng_copy () =
+  let a = Rng.create 9 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Rng.int64 a)
+    (Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0,17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_in () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int_in rng 4 64 in
+    Alcotest.(check bool) "in [4,64]" true (v >= 4 && v <= 64)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 3.5 in
+    Alcotest.(check bool) "in [0,3.5)" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let arr = Array.init 50 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let test_rng_sample_distinct () =
+  let rng = Rng.create 3 in
+  let arr = Array.init 30 (fun i -> i) in
+  let s = Rng.sample rng 10 arr in
+  Alcotest.(check int) "ten elements" 10 (Array.length s);
+  let sorted = Array.to_list s |> List.sort_uniq compare in
+  Alcotest.(check int) "distinct" 10 (List.length sorted)
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 17 in
+  let xs = Array.init 20_000 (fun _ -> Rng.gaussian rng) in
+  let m = Stats.mean xs in
+  let v = Stats.variance xs in
+  Alcotest.(check bool) "mean near 0" true (Float.abs m < 0.05);
+  Alcotest.(check bool) "variance near 1" true (Float.abs (v -. 1.0) < 0.05)
+
+let test_stats_mean () =
+  check_float "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "empty mean" 0.0 (Stats.mean [||])
+
+let test_stats_variance () =
+  check_float "variance" 1.25 (Stats.variance [| 1.0; 2.0; 3.0; 4.0 |]);
+  check_float "constant" 0.0 (Stats.variance [| 5.0; 5.0; 5.0 |]);
+  check_float "single" 0.0 (Stats.variance [| 42.0 |])
+
+let test_stats_median () =
+  check_float "odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  check_float "even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |])
+
+let test_stats_min_max () =
+  let lo, hi = Stats.min_max [| 3.0; -1.0; 7.0 |] in
+  check_float "min" (-1.0) lo;
+  check_float "max" 7.0 hi
+
+let test_stats_entropy_uniform () =
+  (* Uniform distribution over 4 outcomes: H = ln 4. *)
+  check_float "uniform entropy" (log 4.0)
+    (Stats.shannon_entropy [| 1.0; 1.0; 1.0; 1.0 |])
+
+let test_stats_entropy_point_mass () =
+  check_float "point mass" 0.0 (Stats.shannon_entropy [| 0.0; 9.0; 0.0 |])
+
+let test_stats_entropy_unnormalized () =
+  (* Scaling the counts must not change the entropy. *)
+  check_float "scale invariant"
+    (Stats.shannon_entropy [| 1.0; 3.0 |])
+    (Stats.shannon_entropy [| 10.0; 30.0 |])
+
+let test_stats_normalize () =
+  let p = Stats.normalize [| 2.0; 6.0 |] in
+  check_float "first" 0.25 p.(0);
+  check_float "second" 0.75 p.(1);
+  let u = Stats.normalize [| 0.0; 0.0 |] in
+  check_float "zero mass -> uniform" 0.5 u.(0)
+
+let test_stats_percentile () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50.0 (Stats.percentile xs 50.0);
+  check_float "p100" 100.0 (Stats.percentile xs 100.0)
+
+let test_stats_geometric_mean () =
+  check_float "geomean" 4.0 (Stats.geometric_mean [| 2.0; 8.0 |])
+
+(* ---------- properties ---------- *)
+
+let prop_entropy_bounds =
+  QCheck.Test.make ~name:"entropy in [0, ln n]" ~count:500
+    QCheck.(array_of_size (Gen.int_range 1 20) (float_range 0.0 100.0))
+    (fun xs ->
+      let h = Stats.shannon_entropy xs in
+      h >= -1e-9 && h <= log (float_of_int (Array.length xs)) +. 1e-9)
+
+let prop_normalize_sums_to_one =
+  QCheck.Test.make ~name:"normalize sums to 1" ~count:500
+    QCheck.(array_of_size (Gen.int_range 1 20) (float_range 0.0 100.0))
+    (fun xs ->
+      let s = Array.fold_left ( +. ) 0.0 (Stats.normalize xs) in
+      Float.abs (s -. 1.0) < 1e-9)
+
+let prop_variance_nonneg =
+  QCheck.Test.make ~name:"variance non-negative" ~count:500
+    QCheck.(array_of_size (Gen.int_range 0 20) (float_range (-50.0) 50.0))
+    (fun xs -> Stats.variance xs >= 0.0)
+
+let prop_rng_int_uniformish =
+  QCheck.Test.make ~name:"rng int covers range" ~count:50
+    QCheck.(int_range 2 40)
+    (fun bound ->
+      let rng = Rng.create bound in
+      let seen = Array.make bound false in
+      for _ = 1 to bound * 200 do
+        seen.(Rng.int rng bound) <- true
+      done;
+      Array.for_all (fun b -> b) seen)
+
+let () =
+  Alcotest.run "util"
+    [ ( "rng",
+        [ Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed matters" `Quick test_rng_seed_matters;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy" `Quick test_rng_copy;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "shuffle is a permutation" `Quick
+            test_rng_shuffle_permutation;
+          Alcotest.test_case "sample distinct" `Quick test_rng_sample_distinct;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments
+        ] );
+      ( "stats",
+        [ Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "variance" `Quick test_stats_variance;
+          Alcotest.test_case "median" `Quick test_stats_median;
+          Alcotest.test_case "min_max" `Quick test_stats_min_max;
+          Alcotest.test_case "entropy uniform" `Quick test_stats_entropy_uniform;
+          Alcotest.test_case "entropy point mass" `Quick
+            test_stats_entropy_point_mass;
+          Alcotest.test_case "entropy unnormalized" `Quick
+            test_stats_entropy_unnormalized;
+          Alcotest.test_case "normalize" `Quick test_stats_normalize;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_entropy_bounds;
+            prop_normalize_sums_to_one;
+            prop_variance_nonneg;
+            prop_rng_int_uniformish ] ) ]
