@@ -6,6 +6,8 @@
    Sections (also indexed in DESIGN.md):
      [T1]  Table 1  - identified design spaces and their sizes
      [F3]  Fig. 3   - DSE curves, S2FA vs vanilla OpenTuner + summary
+     [C1]  Result DB - the same DSE with/without the shared result
+                      database (duplicate evaluations absorbed)
      [T2]  Table 2  - resource utilization and clock frequency
      [F4]  Fig. 4   - speedups over the JVM, manual vs S2FA designs
      [A1..A3]       - ablations: partitioning, seeds, stopping criteria
@@ -18,6 +20,7 @@ module Driver = S2fa_dse.Driver
 module Dspace = S2fa_dse.Dspace
 module Seed = S2fa_dse.Seed
 module Space = S2fa_tuner.Space
+module Resultdb = S2fa_tuner.Resultdb
 module E = S2fa_hls.Estimate
 module Stats = S2fa_util.Stats
 module Rng = S2fa_util.Rng
@@ -153,6 +156,44 @@ let fig3 () =
     (Stats.geometric_mean
        (Array.of_list (List.map (fun r -> r.f3_first_norm) seed_rows)))
     (List.length seed_rows) (List.length rows)
+
+(* ------------------------------------------------------------------ *)
+(* C1: the shared result database, before/after *)
+(* ------------------------------------------------------------------ *)
+
+let cache_before_after () =
+  section "C1"
+    "Result DB - identical DSE with vs without the shared result database";
+  Printf.printf
+    "same kernel, same seed; hits are duplicate design points served from \
+     the DB at zero virtual minutes instead of re-running the estimator:\n\n";
+  Printf.printf "%-8s | %-22s | %-42s | %s\n" "kernel" "no-db (evals, min)"
+    "shared-db (evals, min, hits, min saved)" "best =";
+  List.iter
+    (fun name ->
+      let w = Option.get (W.find name) in
+      let c = List.assoc w compiled in
+      let plain = S2fa.explore ~tasks:w.W.w_tasks c (Rng.create 7) in
+      let db = Resultdb.create () in
+      let shared = S2fa.explore ~tasks:w.W.w_tasks ~db c (Rng.create 7) in
+      let best r =
+        match r.Driver.rr_best with Some (_, p) -> p | None -> infinity
+      in
+      let s =
+        match shared.Driver.rr_cache with
+        | Some s -> s
+        | None -> Resultdb.snapshot db
+      in
+      Printf.printf
+        "%-8s | %6d evals %7.1fm | %6d evals %7.1fm %5d hits %8.1fm | %b\n"
+        name plain.Driver.rr_evals plain.Driver.rr_minutes
+        shared.Driver.rr_evals shared.Driver.rr_minutes
+        s.Resultdb.sn_hits s.Resultdb.sn_minutes_saved
+        (best plain = best shared))
+    [ "KMeans"; "LR"; "S-W" ];
+  Printf.printf
+    "\n(the clock with the DB is never later than without it; measured \
+     qualities are bit-identical — see test/test_resultdb.ml)\n"
 
 (* ------------------------------------------------------------------ *)
 (* Table 2 / Fig. 4 *)
@@ -435,7 +476,16 @@ let bechamel_bench () =
         (Staged.stage (fun () ->
              E.estimate prog ~tasks:4096 ~buffer_elems:c.S2fa.c_buffer_elems));
       Test.make ~name:"fig4.compile-kernel"
-        (Staged.stage (fun () -> W.compile w)) ]
+        (Staged.stage (fun () -> W.compile w));
+      (* Before/after of the result DB: a cache hit replaces one full
+         objective evaluation (the miss benchmark) with a table lookup. *)
+      Test.make ~name:"cache.objective-miss"
+        (Staged.stage (fun () -> S2fa.objective ~tasks:4096 c cfg));
+      (let db = Resultdb.create () in
+       Resultdb.insert db cfg (S2fa.objective ~tasks:4096 c cfg);
+       Test.make ~name:"cache.objective-hit"
+         (Staged.stage (fun () ->
+              Resultdb.memoize db (S2fa.objective ~tasks:4096 c) cfg))) ]
   in
   let run_cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) () in
   let ols =
@@ -460,6 +510,7 @@ let () =
     "S2FA reproduction - experiment harness (simulated Amazon F1, VU9P)\n%!";
   table1 ();
   fig3 ();
+  cache_before_after ();
   table2 ();
   fig4 ();
   ablation_partition ();

@@ -3,6 +3,8 @@
      s2fa list
      s2fa compile  (-w KERNEL | -f FILE) [--design seed]
      s2fa dse      -w KERNEL [--mode s2fa|vanilla] [--seed N] [--minutes M]
+                   [--shared-db]
+     s2fa cache    -w KERNEL [--seed N] [--minutes M]  (result-DB stats)
      s2fa report   -w KERNEL [--seed N]     (Table-2-style row)
      s2fa speedup  -w KERNEL [--tasks N]    (Fig-4-style row)
 
@@ -14,6 +16,7 @@ module Blaze = S2fa_blaze.Blaze
 module Driver = S2fa_dse.Driver
 module Seed = S2fa_dse.Seed
 module E = S2fa_hls.Estimate
+module Resultdb = S2fa_tuner.Resultdb
 module Rng = S2fa_util.Rng
 open Cmdliner
 
@@ -141,17 +144,25 @@ let dse_cmd =
     let doc = "Simulated time budget in minutes." in
     Arg.(value & opt float 240.0 & info [ "minutes" ] ~doc)
   in
-  let run workload file mode seed minutes =
+  let shared_db_arg =
+    let doc =
+      "Share one HLS result database across all partitions and techniques \
+       (duplicate design points cost a lookup, not a re-run)."
+    in
+    Arg.(value & flag & info [ "shared-db" ] ~doc)
+  in
+  let run workload file mode seed minutes shared_db =
     let _, c = compiled_of ~workload ~file in
     let rng = Rng.create seed in
+    let db = if shared_db then Some (Resultdb.create ()) else None in
     let result =
       match mode with
       | "s2fa" ->
         let opts =
           { Driver.default_s2fa_opts with Driver.so_time_limit = minutes }
         in
-        S2fa.explore ~opts c rng
-      | "vanilla" -> S2fa.explore_vanilla ~time_limit:minutes c rng
+        S2fa.explore ~opts ?db c rng
+      | "vanilla" -> S2fa.explore_vanilla ~time_limit:minutes ?db c rng
       | other ->
         Printf.eprintf "unknown mode %s\n" other;
         exit 1
@@ -165,12 +176,64 @@ let dse_cmd =
       Printf.printf "# best %.6f s after %.0f min and %d evaluations\n" perf
         result.Driver.rr_minutes result.Driver.rr_evals;
       Format.printf "# %a@." S2fa_tuner.Space.pp_cfg cfg
-    | None -> Printf.printf "# nothing feasible found\n")
+    | None -> Printf.printf "# nothing feasible found\n");
+    match result.Driver.rr_cache with
+    | Some s -> Format.printf "# cache: %a@." Resultdb.pp_snapshot s
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "dse" ~doc:"Run design-space exploration on a kernel.")
     Term.(
-      const run $ workload_arg $ file_arg $ mode_arg $ seed_arg $ minutes_arg)
+      const run $ workload_arg $ file_arg $ mode_arg $ seed_arg $ minutes_arg
+      $ shared_db_arg)
+
+(* ---------- cache ---------- *)
+
+let cache_cmd =
+  let minutes_arg =
+    let doc = "Simulated time budget in minutes." in
+    Arg.(value & opt float 240.0 & info [ "minutes" ] ~doc)
+  in
+  let run workload file seed minutes =
+    let _, c = compiled_of ~workload ~file in
+    let opts =
+      { Driver.default_s2fa_opts with Driver.so_time_limit = minutes }
+    in
+    let plain = S2fa.explore ~opts c (Rng.create seed) in
+    let db = Resultdb.create () in
+    let shared = S2fa.explore ~opts ~db c (Rng.create seed) in
+    let best r =
+      match r.Driver.rr_best with Some (_, p) -> p | None -> infinity
+    in
+    Printf.printf "# same DSE under the same seed, without / with the \
+                   shared result DB\n";
+    Printf.printf "%-12s %12s %16s %14s\n" "" "evaluations"
+      "virtual minutes" "best (s)";
+    Printf.printf "%-12s %12d %16.1f %14.6f\n" "no-db" plain.Driver.rr_evals
+      plain.Driver.rr_minutes (best plain);
+    Printf.printf "%-12s %12d %16.1f %14.6f\n" "shared-db"
+      shared.Driver.rr_evals shared.Driver.rr_minutes (best shared);
+    (match shared.Driver.rr_cache with
+    | Some s ->
+      Format.printf "# cache: %a@." Resultdb.pp_snapshot s;
+      Printf.printf
+        "# every hit is one SDx re-run the no-db flow paid for; hits never \
+         advance the virtual clock or change a measured quality\n"
+    | None -> ());
+    Printf.printf "# best design unchanged by the DB: %b\n"
+      (match (plain.Driver.rr_best, shared.Driver.rr_best) with
+      | Some (a, pa), Some (b, pb) ->
+        S2fa_tuner.Space.key a = S2fa_tuner.Space.key b && pa = pb
+      | None, None -> true
+      | _ -> false)
+  in
+  Cmd.v
+    (Cmd.info "cache"
+       ~doc:
+         "Run a DSE twice (with and without the shared HLS result \
+          database) and report the duplicate evaluations the database \
+          absorbed.")
+    Term.(const run $ workload_arg $ file_arg $ seed_arg $ minutes_arg)
 
 (* ---------- report ---------- *)
 
@@ -241,4 +304,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; compile_cmd; echo_cmd; bytecode_cmd; dse_cmd;
-            report_cmd; speedup_cmd ]))
+            cache_cmd; report_cmd; speedup_cmd ]))

@@ -11,6 +11,7 @@ module Transform = S2fa_merlin.Transform
 module Estimate = S2fa_hls.Estimate
 module Space = S2fa_tuner.Space
 module Tuner = S2fa_tuner.Tuner
+module Resultdb = S2fa_tuner.Resultdb
 module Dspace = S2fa_dse.Dspace
 module Driver = S2fa_dse.Driver
 module Rng = S2fa_util.Rng
@@ -105,12 +106,27 @@ let estimate ?(tasks = 4096) c cfg =
   Estimate.estimate (apply_design c cfg) ~tasks
     ~buffer_elems:c.c_buffer_elems
 
-let objective ?(tasks = 4096) c cfg =
+let detail_of_report (r : Estimate.report) =
+  { Resultdb.d_cycles = r.Estimate.r_cycles;
+    d_freq_mhz = r.Estimate.r_freq_mhz;
+    d_lut_pct = r.Estimate.r_lut_pct;
+    d_ff_pct = r.Estimate.r_ff_pct;
+    d_bram_pct = r.Estimate.r_bram_pct;
+    d_dsp_pct = r.Estimate.r_dsp_pct }
+
+let objective ?(tasks = 4096) ?db c cfg =
   (* The DSE optimizes steady-state kernel throughput: compute cycles at
      the achieved frequency (Fig. 3's "normalized execution cycle"),
      overlapped with off-chip transfer by double buffering — so the
      binding term is whichever is slower. *)
   let r = estimate ~tasks c cfg in
+  (* When a result DB is in play, enrich this point's (future) entry with
+     the full estimator tuple — cycles, frequency, resources. The DB
+     itself is consulted by the tuner, not here: memoization lives in one
+     place so hit/miss counters stay meaningful. *)
+  (match db with
+  | Some db -> Resultdb.attach_detail db cfg (detail_of_report r)
+  | None -> ());
   { Tuner.e_perf =
       (if r.Estimate.r_feasible then
          Float.max r.Estimate.r_compute_seconds r.Estimate.r_xfer_seconds
@@ -118,11 +134,11 @@ let objective ?(tasks = 4096) c cfg =
     e_feasible = r.Estimate.r_feasible;
     e_minutes = r.Estimate.r_eval_minutes }
 
-let explore ?opts ?tasks c rng =
-  Driver.run_s2fa ?opts c.c_dspace (objective ?tasks c) rng
+let explore ?opts ?tasks ?db c rng =
+  Driver.run_s2fa ?opts ?db c.c_dspace (objective ?tasks ?db c) rng
 
-let explore_vanilla ?time_limit ?tasks c rng =
-  Driver.run_vanilla ?time_limit c.c_dspace (objective ?tasks c) rng
+let explore_vanilla ?time_limit ?tasks ?db c rng =
+  Driver.run_vanilla ?time_limit ?db c.c_dspace (objective ?tasks ?db c) rng
 
 let accel_id (cls : Insn.cls) =
   match List.assoc_opt "id" cls.Insn.jconsts with

@@ -7,6 +7,7 @@ module Transform = S2fa_merlin.Transform
 module Estimate = S2fa_hls.Estimate
 module Space = S2fa_tuner.Space
 module Tuner = S2fa_tuner.Tuner
+module Resultdb = S2fa_tuner.Resultdb
 module Dspace = S2fa_dse.Dspace
 module Driver = S2fa_dse.Driver
 module Rng = S2fa_util.Rng
@@ -56,19 +57,30 @@ val apply_design : compiled -> Space.cfg -> Csyntax.cprog
 val estimate : ?tasks:int -> compiled -> Space.cfg -> Estimate.report
 (** HLS-estimate a design point (default 4096 tasks). *)
 
-val objective : ?tasks:int -> compiled -> Space.cfg -> Tuner.eval_result
+val objective :
+  ?tasks:int -> ?db:Resultdb.t -> compiled -> Space.cfg -> Tuner.eval_result
 (** The DSE objective: the kernel's estimated execution cycles at the
     achieved frequency (Fig. 3's "normalized execution cycle" metric),
-    infinite when infeasible, with the simulated evaluation cost. *)
+    infinite when infeasible, with the simulated evaluation cost. [db]
+    does {e not} memoize here (the tuner owns memoization); it only
+    enriches the point's database entry with the full estimator tuple
+    (cycles, frequency, resource percentages). *)
 
 val explore :
-  ?opts:Driver.s2fa_opts -> ?tasks:int -> compiled -> Rng.t ->
-  Driver.run_result
-(** Run the full S2FA DSE flow. *)
+  ?opts:Driver.s2fa_opts -> ?tasks:int -> ?db:Resultdb.t -> compiled ->
+  Rng.t -> Driver.run_result
+(** Run the full S2FA DSE flow. With [db], all partitions, techniques and
+    the offline sampling pass share one result database: duplicate design
+    points cost a zero-minute lookup instead of a simulated HLS run, with
+    every measured quality unchanged ({!Resultdb}'s clock contract), and
+    the run's cache counters are reported in
+    {!Driver.run_result.rr_cache}. *)
 
 val explore_vanilla :
-  ?time_limit:float -> ?tasks:int -> compiled -> Rng.t -> Driver.run_result
-(** Run the vanilla-OpenTuner baseline. *)
+  ?time_limit:float -> ?tasks:int -> ?db:Resultdb.t -> compiled -> Rng.t ->
+  Driver.run_result
+(** Run the vanilla-OpenTuner baseline (same [db] semantics as
+    {!explore}). *)
 
 val make_accelerator :
   ?design:Space.cfg -> compiled -> fields:(string * Interp.value) list ->

@@ -1,5 +1,6 @@
 module Space = S2fa_tuner.Space
 module Tuner = S2fa_tuner.Tuner
+module Resultdb = S2fa_tuner.Resultdb
 module Rng = S2fa_util.Rng
 
 type event = { ev_minutes : float; ev_perf : float; ev_feasible : bool }
@@ -9,7 +10,26 @@ type run_result = {
   rr_best : (Space.cfg * float) option;
   rr_minutes : float;
   rr_evals : int;
+  rr_cache : Resultdb.snapshot option;
 }
+
+(* Shared-result-database plumbing, common to the three flows. [wrap]
+   memoizes an objective for use outside any tuner (offline sampling);
+   [stuck] detects a tuner whose whole space has been proposed — with a
+   database every further step would be a free duplicate, so the driver
+   must stop it rather than spin on 0-minute hits; [finish] reports the
+   cache-counter delta of this run. *)
+let db_wrap db objective =
+  match db with
+  | None -> objective
+  | Some db -> Resultdb.memoize db objective
+
+let db_stuck db tuner = db <> None && Tuner.exhausted tuner
+
+let db_finish db before =
+  match (db, before) with
+  | Some db, Some s0 -> Some (Resultdb.diff (Resultdb.snapshot db) s0)
+  | _ -> None
 
 let best_curve rr =
   let sorted =
@@ -91,10 +111,12 @@ let rule_sets dspace =
   in
   [ pipe_params; task_params; inner_params; [] ]
 
-let run_s2fa ?(opts = default_s2fa_opts) dspace objective rng =
+let run_s2fa ?(opts = default_s2fa_opts) ?db dspace objective rng =
+  let db_before = Option.map Resultdb.snapshot db in
   let samples =
     if opts.so_partition || opts.so_seed_mode = `Both then
-      offline_samples dspace objective (Rng.split rng) opts.so_samples
+      offline_samples dspace (db_wrap db objective) (Rng.split rng)
+        opts.so_samples
     else []
   in
   let partitions =
@@ -143,7 +165,7 @@ let run_s2fa ?(opts = default_s2fa_opts) dspace objective rng =
       | `Area_only -> [ Partition.project part (Seed.area_seed dspace) ]
       | `None -> []
     in
-    Tuner.create ~seeds part.Partition.p_space objective (Rng.split rng)
+    Tuner.create ~seeds ?db part.Partition.p_space objective (Rng.split rng)
   in
   let queue = Queue.create () in
   List.iter (fun p -> Queue.add p queue) partitions;
@@ -162,6 +184,7 @@ let run_s2fa ?(opts = default_s2fa_opts) dspace objective rng =
     let continue_ = ref true in
     while !continue_ do
       if core_time.(core) >= opts.so_time_limit then continue_ := false
+      else if db_stuck db tuner then continue_ := false
       else begin
         let o = Tuner.step tuner in
         incr evals;
@@ -195,15 +218,18 @@ let run_s2fa ?(opts = default_s2fa_opts) dspace objective rng =
   { rr_events = List.rev !events;
     rr_best = !global_best;
     rr_minutes = Float.min finish opts.so_time_limit;
-    rr_evals = !evals }
+    rr_evals = !evals;
+    rr_cache = db_finish db db_before }
 
-let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) dspace
+let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db dspace
     objective rng =
   (* Same partition tree as the static flow, but per DATuner: random
      starting points, an on-line sampling phase per partition, then
      greedy core reallocation toward the best-performing partitions. *)
+  let db_before = Option.map Resultdb.snapshot db in
   let samples =
-    offline_samples dspace objective (Rng.split rng) opts.so_samples
+    offline_samples dspace (db_wrap db objective) (Rng.split rng)
+      opts.so_samples
   in
   let partitions =
     Partition.build ~depth:opts.so_depth ~rule_params:(rule_sets dspace)
@@ -214,7 +240,8 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) dspace
       (fun part ->
         (* Random seed, not the generated ones. *)
         let seeds = [ Space.random_cfg rng part.Partition.p_space ] in
-        Tuner.create ~seeds part.Partition.p_space objective (Rng.split rng))
+        Tuner.create ~seeds ?db part.Partition.p_space objective
+          (Rng.split rng))
       partitions
     |> Array.of_list
   in
@@ -247,11 +274,13 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) dspace
     Array.iteri (fun i t -> if t < core_time.(!best) then best := i) core_time;
     !best
   in
+  let eligible p = not (db_stuck db tuners.(p)) in
   (* Phase 1: sampling set-up, round-robin over partitions. *)
   for p = 0 to n - 1 do
     for _ = 1 to setup_evals do
       let core = next_free_core () in
-      if core_time.(core) < opts.so_time_limit then step_on core p
+      if core_time.(core) < opts.so_time_limit && eligible p then
+        step_on core p
     done
   done;
   (* Phase 2: greedy reallocation — each freed core works on the
@@ -262,36 +291,42 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) dspace
     let core = next_free_core () in
     if core_time.(core) >= opts.so_time_limit then continue_ := false
     else begin
-      let best_p = ref 0 in
-      for p = 1 to n - 1 do
+      let best_p = ref (-1) in
+      for p = 0 to n - 1 do
         if
-          part_best.(p) < part_best.(!best_p)
-          || (part_best.(p) = part_best.(!best_p)
-             && part_evals.(p) < part_evals.(!best_p))
+          eligible p
+          && (!best_p < 0
+             || part_best.(p) < part_best.(!best_p)
+             || (part_best.(p) = part_best.(!best_p)
+                && part_evals.(p) < part_evals.(!best_p)))
         then best_p := p
       done;
-      step_on core !best_p
+      match !best_p with
+      | -1 -> continue_ := false
+      | p -> step_on core p
     end
   done;
   { rr_events = List.rev !events;
     rr_best = !global_best;
     rr_minutes = Float.min (Array.fold_left Float.max 0.0 core_time)
         opts.so_time_limit;
-    rr_evals = !evals }
+    rr_evals = !evals;
+    rr_cache = db_finish db db_before }
 
-let run_vanilla ?(cores = 8) ?(time_limit = 240.0) dspace objective rng =
+let run_vanilla ?(cores = 8) ?(time_limit = 240.0) ?db dspace objective rng =
   (* One random starting point, no partitions, no systematic stopping:
      per iteration the 8 cores evaluate the next 8 proposals and the
      clock advances by the slowest of them. *)
+  let db_before = Option.map Resultdb.snapshot db in
   let seeds = [ Space.random_cfg rng dspace.Dspace.ds_space ] in
   let tuner =
-    Tuner.create ~seeds dspace.Dspace.ds_space objective (Rng.split rng)
+    Tuner.create ~seeds ?db dspace.Dspace.ds_space objective (Rng.split rng)
   in
   let clock = ref 0.0 in
   let events = ref [] in
   let evals = ref 0 in
   let global_best = ref None in
-  while !clock < time_limit do
+  while !clock < time_limit && not (db_stuck db tuner) do
     let batch = Tuner.step_batch tuner cores in
     let slowest =
       List.fold_left (fun m o -> Float.max m o.Tuner.o_minutes) 0.0 batch
@@ -313,5 +348,6 @@ let run_vanilla ?(cores = 8) ?(time_limit = 240.0) dspace objective rng =
   done;
   { rr_events = List.rev !events;
     rr_best = !global_best;
-    rr_minutes = time_limit;
-    rr_evals = !evals }
+    rr_minutes = (if !clock < time_limit then !clock else time_limit);
+    rr_evals = !evals;
+    rr_cache = db_finish db db_before }

@@ -1,5 +1,6 @@
 module Space = S2fa_tuner.Space
 module Tuner = S2fa_tuner.Tuner
+module Resultdb = S2fa_tuner.Resultdb
 module Rng = S2fa_util.Rng
 
 (** DSE drivers over simulated wall-clock time.
@@ -9,7 +10,15 @@ module Rng = S2fa_util.Rng
     concurrently: the S2FA flow assigns partitions to cores
     first-come-first-serve (Fig. 2), while the vanilla-OpenTuner baseline
     evaluates its top-8 candidates per iteration on the same 8 cores
-    (footnote 3 of the paper). *)
+    (footnote 3 of the paper).
+
+    Every driver accepts an optional shared {!Resultdb.t}. One database
+    instance is threaded through the offline sampling pass and every
+    partition tuner, so a design point measured once is never re-estimated:
+    duplicates cost a lookup with zero virtual minutes (see {!Resultdb}'s
+    clock contract). Quality values are unchanged by sharing — only
+    duplicate work is skipped — and when a tuner has proposed its whole
+    (sub)space the driver stops it instead of spinning on free hits. *)
 
 (** One evaluated point in global simulated time. *)
 type event = {
@@ -23,6 +32,9 @@ type run_result = {
   rr_best : (Space.cfg * float) option;
   rr_minutes : float;              (** When the whole DSE terminated. *)
   rr_evals : int;
+  rr_cache : Resultdb.snapshot option;
+      (** Result-database counter deltas of this run ([None] when the
+          run was not given a database). *)
 }
 
 val best_curve : run_result -> (float * float) list
@@ -49,6 +61,7 @@ val default_s2fa_opts : s2fa_opts
 
 val run_s2fa :
   ?opts:s2fa_opts ->
+  ?db:Resultdb.t ->
   Dspace.t ->
   (Space.cfg -> Tuner.eval_result) ->
   Rng.t ->
@@ -60,6 +73,7 @@ val run_s2fa :
 val run_dynamic :
   ?opts:s2fa_opts ->
   ?setup_evals:int ->
+  ?db:Resultdb.t ->
   Dspace.t ->
   (Space.cfg -> Tuner.eval_result) ->
   Rng.t ->
@@ -74,6 +88,7 @@ val run_dynamic :
 val run_vanilla :
   ?cores:int ->
   ?time_limit:float ->
+  ?db:Resultdb.t ->
   Dspace.t ->
   (Space.cfg -> Tuner.eval_result) ->
   Rng.t ->

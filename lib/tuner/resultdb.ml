@@ -1,0 +1,109 @@
+type eval_result = { e_perf : float; e_feasible : bool; e_minutes : float }
+
+type detail = {
+  d_cycles : float;
+  d_freq_mhz : float;
+  d_lut_pct : float;
+  d_ff_pct : float;
+  d_bram_pct : float;
+  d_dsp_pct : float;
+}
+
+type entry = { en_result : eval_result; en_detail : detail option }
+
+type t = {
+  tbl : (string, entry) Hashtbl.t;
+  pending : (string, detail) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+  mutable inserts : int;
+  mutable minutes_saved : float;
+}
+
+type snapshot = {
+  sn_entries : int;
+  sn_hits : int;
+  sn_misses : int;
+  sn_inserts : int;
+  sn_minutes_saved : float;
+}
+
+let create ?(size = 256) () =
+  { tbl = Hashtbl.create size;
+    pending = Hashtbl.create 8;
+    hits = 0;
+    misses = 0;
+    inserts = 0;
+    minutes_saved = 0.0 }
+
+let length db = Hashtbl.length db.tbl
+
+let key_of cfg = Space.key (Space.normalize cfg)
+
+let lookup db cfg =
+  match Hashtbl.find_opt db.tbl (key_of cfg) with
+  | Some e ->
+    db.hits <- db.hits + 1;
+    db.minutes_saved <- db.minutes_saved +. e.en_result.e_minutes;
+    (* A hit is a database read, not an SDx run: it costs no HLS clock. *)
+    Some { e.en_result with e_minutes = 0.0 }
+  | None ->
+    db.misses <- db.misses + 1;
+    None
+
+let peek db cfg = Hashtbl.find_opt db.tbl (key_of cfg)
+
+let insert db ?detail cfg r =
+  let key = key_of cfg in
+  if not (Hashtbl.mem db.tbl key) then begin
+    let detail =
+      match detail with
+      | Some _ -> detail
+      | None ->
+        let d = Hashtbl.find_opt db.pending key in
+        Hashtbl.remove db.pending key;
+        d
+    in
+    Hashtbl.replace db.tbl key { en_result = r; en_detail = detail };
+    db.inserts <- db.inserts + 1
+  end
+
+let attach_detail db cfg d =
+  let key = key_of cfg in
+  match Hashtbl.find_opt db.tbl key with
+  | Some e -> Hashtbl.replace db.tbl key { e with en_detail = Some d }
+  | None -> Hashtbl.replace db.pending key d
+
+let memoize db f cfg =
+  match lookup db cfg with
+  | Some r -> r
+  | None ->
+    let r = f cfg in
+    insert db cfg r;
+    r
+
+let snapshot db =
+  { sn_entries = Hashtbl.length db.tbl;
+    sn_hits = db.hits;
+    sn_misses = db.misses;
+    sn_inserts = db.inserts;
+    sn_minutes_saved = db.minutes_saved }
+
+let diff later earlier =
+  { sn_entries = later.sn_entries;
+    sn_hits = later.sn_hits - earlier.sn_hits;
+    sn_misses = later.sn_misses - earlier.sn_misses;
+    sn_inserts = later.sn_inserts - earlier.sn_inserts;
+    sn_minutes_saved = later.sn_minutes_saved -. earlier.sn_minutes_saved }
+
+let hit_rate s =
+  let total = s.sn_hits + s.sn_misses in
+  if total = 0 then 0.0 else float_of_int s.sn_hits /. float_of_int total
+
+let pp_snapshot ppf s =
+  Format.fprintf ppf
+    "%d entries, %d hits / %d misses (%.1f%% hit rate), %d inserts, %.1f \
+     simulated minutes saved"
+    s.sn_entries s.sn_hits s.sn_misses
+    (100.0 *. hit_rate s)
+    s.sn_inserts s.sn_minutes_saved

@@ -1,7 +1,11 @@
 module Rng = S2fa_util.Rng
 module Stats = S2fa_util.Stats
 
-type eval_result = { e_perf : float; e_feasible : bool; e_minutes : float }
+type eval_result = Resultdb.eval_result = {
+  e_perf : float;
+  e_feasible : bool;
+  e_minutes : float;
+}
 
 type objective = Space.cfg -> eval_result
 
@@ -24,7 +28,15 @@ type t = {
   rng : Rng.t;
   techniques : Technique.t array;
   bandit : Bandit.t;
+  db : Resultdb.t option;
+      (* Shared result database: evaluations are memoized through it, so a
+         design point already measured by any tuner of the exploration
+         costs a lookup (zero simulated minutes) instead of an HLS run. *)
   seen : (string, unit) Hashtbl.t;
+      (* Proposal-deduplication stays tuner-local even when the result DB
+         is shared: techniques retry only on points *this* tuner proposed,
+         so a tuner's trajectory is independent of who else shares the DB
+         (the determinism contract of test_resultdb.ml). *)
   mutable pending_seeds : Space.cfg list;
   mutable best : (Space.cfg * float) option;
   mutable evaluated : int;
@@ -35,7 +47,7 @@ type t = {
   mutable history : (int * float * float) list;  (* newest first *)
 }
 
-let create ?(seeds = []) ?techniques space objective rng =
+let create ?(seeds = []) ?techniques ?db space objective rng =
   let techniques =
     match techniques with
     | Some ts -> Array.of_list ts
@@ -46,6 +58,7 @@ let create ?(seeds = []) ?techniques space objective rng =
     rng;
     techniques;
     bandit = Bandit.create (Array.length techniques);
+    db;
     seen = Hashtbl.create 64;
     pending_seeds = seeds;
     best = None;
@@ -59,6 +72,18 @@ let create ?(seeds = []) ?techniques space objective rng =
 let best t = t.best
 
 let evaluated t = t.evaluated
+
+let exhausted t =
+  float_of_int (Hashtbl.length t.seen) >= Space.cardinality t.space
+
+(* All evaluations funnel through here. With a result DB, this is also the
+   duplicate-proposal fallback path: when [propose] gives up after 16
+   retries and returns an already-seen point, re-measuring it costs a DB
+   lookup (zero simulated minutes), not another HLS run. *)
+let evaluate t cfg =
+  match t.db with
+  | None -> t.objective cfg
+  | Some db -> Resultdb.memoize db t.objective cfg
 
 let current_entropy t =
   let counts =
@@ -131,7 +156,7 @@ let step_batch t k =
         (cfg, arm))
   in
   let measured =
-    List.map (fun (cfg, arm) -> (cfg, arm, t.objective cfg)) proposals
+    List.map (fun (cfg, arm) -> (cfg, arm, evaluate t cfg)) proposals
   in
   List.map (fun (cfg, arm, r) -> record t cfg r arm) measured
 
@@ -139,7 +164,7 @@ let step t =
   let cfg, arm = propose t in
   let cfg = Space.normalize cfg in
   Hashtbl.replace t.seen (Space.key cfg) ();
-  let r = t.objective cfg in
+  let r = evaluate t cfg in
   record t cfg r arm
 
 let should_stop t = function

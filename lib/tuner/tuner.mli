@@ -8,7 +8,7 @@ module Rng = S2fa_util.Rng
     batch runner and the S2FA parallel partition scheduler) control
     simulated wall-clock themselves. *)
 
-type eval_result = {
+type eval_result = Resultdb.eval_result = {
   e_perf : float;     (** Quality, lower is better ([infinity] when the
                           design point is infeasible). *)
   e_feasible : bool;
@@ -40,10 +40,21 @@ type t
 val create :
   ?seeds:Space.cfg list ->
   ?techniques:Technique.t list ->
+  ?db:Resultdb.t ->
   Space.space ->
   objective ->
   Rng.t ->
   t
+(** [db] is the shared result database of the surrounding exploration:
+    when given, every evaluation is memoized through it, so a design
+    point already measured anywhere (another technique, another
+    partition's tuner, an offline sampling pass) is served from the
+    database with {e zero} simulated minutes and its stored quality
+    unchanged (see {!Resultdb}'s clock contract). Proposal
+    de-duplication remains tuner-local: sharing a database never changes
+    which points a tuner proposes, only what duplicates cost. Without
+    [db] the tuner evaluates the objective directly (the seed
+    behaviour). *)
 
 val step : t -> outcome
 (** Evaluate the next design point (seeds first). *)
@@ -58,6 +69,12 @@ val best : t -> (Space.cfg * float) option
 (** Best feasible point so far. *)
 
 val evaluated : t -> int
+
+val exhausted : t -> bool
+(** Every point of the space has been proposed at least once. With a
+    shared result database further steps are free but informationless;
+    drivers use this to terminate instead of spinning on 0-minute cache
+    hits. *)
 
 val entropy : t -> float
 (** Current Shannon entropy of the uphill distribution. *)

@@ -1,0 +1,83 @@
+(* End-to-end smoke tests of the s2fa command-line tool: each subcommand
+   must exit 0 and produce non-empty output. Runs the freshly built
+   executable (a dune dependency of this test). *)
+
+(* The CLI is built next to this test's directory; resolve it relative to
+   the test binary so the suite works from any working directory. *)
+let exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bin/s2fa_cli.exe"
+
+(* Run [exe args], returning (exit_code, stdout). *)
+let run args =
+  let out = Filename.temp_file "s2fa_cli" ".out" in
+  let code = Sys.command (Printf.sprintf "%s %s > %s 2>&1" exe args out) in
+  let ic = open_in out in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove out;
+  (code, s)
+
+let contains hay needle =
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let check_ok name args =
+  let code, out = run args in
+  Alcotest.(check int) (name ^ ": exit code") 0 code;
+  Alcotest.(check bool) (name ^ ": non-empty output") true
+    (String.length (String.trim out) > 0);
+  out
+
+let test_list () =
+  let out = check_ok "list" "list" in
+  (* All eight evaluation kernels are present. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) ("lists " ^ k) true (contains out k))
+    [ "PR"; "KMeans"; "KNN"; "LR"; "SVM"; "LLS"; "AES"; "S-W" ]
+
+let test_compile () =
+  let out = check_ok "compile" "compile -w KMeans" in
+  Alcotest.(check bool) "generated a kernel function" true
+    (contains out "kernel")
+
+let test_compile_with_design () =
+  let out = check_ok "compile --design" "compile -w KMeans --design area" in
+  Alcotest.(check bool) "kernel present" true (contains out "kernel")
+
+let test_dse () =
+  let out = check_ok "dse" "dse -w KMeans --minutes 30 --seed 3" in
+  Alcotest.(check bool) "prints a best line" true (contains out "# best")
+
+let test_dse_shared_db () =
+  let out =
+    check_ok "dse --shared-db" "dse -w KMeans --minutes 30 --seed 3 --shared-db"
+  in
+  Alcotest.(check bool) "prints cache stats" true (contains out "# cache:")
+
+let test_cache () =
+  let out = check_ok "cache" "cache -w KMeans --minutes 30 --seed 3" in
+  Alcotest.(check bool) "reports DB equivalence" true
+    (contains out "# best design unchanged by the DB: true")
+
+let test_report () =
+  let out = check_ok "report" "report -w KMeans" in
+  Alcotest.(check bool) "prints a resource row" true (contains out "BRAM")
+
+let test_bad_kernel_fails () =
+  let code, _ = run "dse -w NoSuchKernel" in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
+let () =
+  Alcotest.run "cli"
+    [ ( "smoke",
+        [ Alcotest.test_case "list" `Quick test_list;
+          Alcotest.test_case "compile" `Quick test_compile;
+          Alcotest.test_case "compile --design" `Quick test_compile_with_design;
+          Alcotest.test_case "dse" `Quick test_dse;
+          Alcotest.test_case "dse --shared-db" `Quick test_dse_shared_db;
+          Alcotest.test_case "cache" `Quick test_cache;
+          Alcotest.test_case "report" `Quick test_report;
+          Alcotest.test_case "unknown kernel" `Quick test_bad_kernel_fails ] ) ]

@@ -247,7 +247,8 @@ let test_best_at () =
           { Driver.ev_minutes = 30.0; ev_perf = 9.0; ev_feasible = true } ];
       rr_best = None;
       rr_minutes = 30.0;
-      rr_evals = 3 }
+      rr_evals = 3;
+      rr_cache = None }
   in
   Alcotest.(check (float 1e-9)) "before anything" infinity
     (Driver.best_at r 5.0);

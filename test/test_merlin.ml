@@ -188,6 +188,64 @@ let prop_tiling_sound =
       let p = T.apply cfg prog in
       run_prefix p input = reference_prefix input)
 
+(* ---------- property: chains of transforms compose soundly ---------- *)
+
+(* A random chain of 2-4 legal Merlin transforms, each picking its target
+   loop from the program produced by the previous step (so a tile can
+   land on the fresh inner loop of an earlier tile). Legality constraint
+   of the rewriters: structural transforms (tiling, real unrolling) only
+   apply to step-1 loops; pragma-only configs apply anywhere. *)
+
+let collect_loops prog =
+  let acc = ref [] in
+  List.iter
+    (fun (f : cfunc) ->
+      Csyntax.iter_loops (fun _path l -> acc := l :: !acc) f.cfbody)
+    prog.cfuncs;
+  List.rev !acc
+
+let random_transform rng prog =
+  let loops = collect_loops prog in
+  let unit_step = List.filter (fun (l : loop) -> l.lstep = 1) loops in
+  let pipe_modes = [| PipeOff; PipeOn; PipeFlatten |] in
+  let pragma_only () =
+    (* Always legal, on any loop of the current program. *)
+    let l = Rng.choose_list rng loops in
+    let lc =
+      { T.lc_tile = 1;
+        lc_parallel = Rng.int_in rng 2 8;
+        lc_pipeline = Rng.choose rng pipe_modes }
+    in
+    T.apply { T.cfg_loops = [ (l.lid, lc) ]; cfg_bitwidths = [] } prog
+  in
+  match (Rng.int rng 3, unit_step) with
+  | _, [] | 2, _ -> pragma_only ()
+  | 0, candidates ->
+    let l = Rng.choose_list rng candidates in
+    let lc =
+      { T.lc_tile = Rng.int_in rng 2 8;
+        lc_parallel = Rng.int_in rng 2 8;
+        lc_pipeline = Rng.choose rng pipe_modes }
+    in
+    T.apply { T.cfg_loops = [ (l.lid, lc) ]; cfg_bitwidths = [] } prog
+  | _, candidates ->
+    let l = Rng.choose_list rng candidates in
+    T.real_unroll ~factor:(Rng.int_in rng 2 8) ~loop_id:l.lid prog
+
+let prop_transform_chains_sound =
+  QCheck.Test.make ~name:"chains of 2-4 transforms preserve semantics"
+    ~count:200
+    QCheck.(pair (int_range 2 4) (int_range 0 1_000_000))
+    (fun (len, seed) ->
+      let rng = Rng.create seed in
+      let prog, _ = prefix_prog () in
+      let prog = ref prog in
+      for _ = 1 to len do
+        prog := random_transform rng !prog
+      done;
+      let input = Array.init 16 (fun i -> Rng.int_in rng (-50) 50 + i) in
+      run_prefix !prog input = reference_prefix input)
+
 let () =
   Alcotest.run "merlin"
     [ ( "transform",
@@ -207,4 +265,5 @@ let () =
           Alcotest.test_case "transformed workload equivalence" `Quick
             test_workload_transformed_equivalence ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_tiling_sound ] ) ]
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_tiling_sound; prop_transform_chains_sound ] ) ]
