@@ -11,7 +11,8 @@
      [T2]  Table 2  - resource utilization and clock frequency
      [F4]  Fig. 4   - speedups over the JVM, manual vs S2FA designs
      [A1..A3]       - ablations: partitioning, seeds, stopping criteria
-     [BENCH]        - Bechamel throughput of each pipeline stage *)
+     [BENCH]        - Bechamel throughput of each pipeline stage
+     [TRACE]        - telemetry overhead: off / collector / JSONL sink *)
 
 module W = S2fa_workloads.Workloads
 module S2fa = S2fa_core.S2fa
@@ -24,6 +25,7 @@ module Resultdb = S2fa_tuner.Resultdb
 module E = S2fa_hls.Estimate
 module Stats = S2fa_util.Stats
 module Rng = S2fa_util.Rng
+module Telemetry = S2fa_telemetry.Telemetry
 
 let fig3_seeds = [ 1; 7; 13 ]
 
@@ -460,6 +462,26 @@ let ablation_larger_fpga () =
 (* Bechamel micro-benchmarks: one per table/figure *)
 (* ------------------------------------------------------------------ *)
 
+let run_bechamel tests =
+  let open Bechamel in
+  let run_cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) () in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw =
+        Benchmark.all run_cfg [ Toolkit.Instance.monotonic_clock ] test
+      in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name est ->
+          match Analyze.OLS.estimates est with
+          | Some [ ns ] -> Printf.printf "  %-26s %14.0f ns/run\n%!" name ns
+          | _ -> Printf.printf "  %-26s (no estimate)\n%!" name)
+        results)
+    tests
+
 let bechamel_bench () =
   section "BENCH" "Bechamel - throughput of each reproduced artifact's stage";
   let open Bechamel in
@@ -487,23 +509,43 @@ let bechamel_bench () =
          (Staged.stage (fun () ->
               Resultdb.memoize db (S2fa.objective ~tasks:4096 c) cfg))) ]
   in
-  let run_cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) () in
-  let ols =
-    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  run_bechamel tests
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry overhead: the same small DSE with tracing off, with the
+   in-memory ring collector, and with the JSONL serializer *)
+(* ------------------------------------------------------------------ *)
+
+let telemetry_overhead () =
+  section "TRACE" "Bechamel - telemetry overhead on a small KMeans DSE";
+  Printf.printf
+    "identical runs (same seed, same trajectory); the deltas are pure \
+     observation cost:\n";
+  let open Bechamel in
+  let w = Option.get (W.find "KMeans") in
+  let c = List.assoc w compiled in
+  let opts =
+    { Driver.default_s2fa_opts with
+      Driver.so_time_limit = 20.0;
+      so_samples = 16 }
   in
-  List.iter
-    (fun test ->
-      let raw =
-        Benchmark.all run_cfg [ Toolkit.Instance.monotonic_clock ] test
-      in
-      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name est ->
-          match Analyze.OLS.estimates est with
-          | Some [ ns ] -> Printf.printf "  %-26s %14.0f ns/run\n%!" name ns
-          | _ -> Printf.printf "  %-26s (no estimate)\n%!" name)
-        results)
-    tests
+  let run ?trace () =
+    S2fa.explore ~opts ~tasks:w.W.w_tasks ?trace c (Rng.create 7)
+  in
+  let tests =
+    [ Test.make ~name:"telemetry.disabled" (Staged.stage (fun () -> run ()));
+      Test.make ~name:"telemetry.collector"
+        (Staged.stage (fun () ->
+             let sink, _ = Telemetry.collector () in
+             run ~trace:(Telemetry.create ~sinks:[ sink ] ()) ()));
+      Test.make ~name:"telemetry.jsonl"
+        (Staged.stage (fun () ->
+             let buf = Buffer.create 65536 in
+             run
+               ~trace:(Telemetry.create ~sinks:[ Telemetry.buffer_sink buf ] ())
+               ())) ]
+  in
+  run_bechamel tests
 
 let () =
   Printf.printf
@@ -519,4 +561,5 @@ let () =
   ablation_dynamic_partition ();
   ablation_larger_fpga ();
   bechamel_bench ();
+  telemetry_overhead ();
   Printf.printf "\ndone.\n"

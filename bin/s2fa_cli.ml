@@ -3,7 +3,8 @@
      s2fa list
      s2fa compile  (-w KERNEL | -f FILE) [--design seed]
      s2fa dse      -w KERNEL [--mode s2fa|vanilla] [--seed N] [--minutes M]
-                   [--shared-db]
+                   [--shared-db] [--trace FILE]
+     s2fa trace    FILE                     (replay a --trace JSONL file)
      s2fa cache    -w KERNEL [--seed N] [--minutes M]  (result-DB stats)
      s2fa report   -w KERNEL [--seed N]     (Table-2-style row)
      s2fa speedup  -w KERNEL [--tasks N]    (Fig-4-style row)
@@ -18,6 +19,8 @@ module Seed = S2fa_dse.Seed
 module E = S2fa_hls.Estimate
 module Resultdb = S2fa_tuner.Resultdb
 module Rng = S2fa_util.Rng
+module Telemetry = S2fa_telemetry.Telemetry
+module Trace = S2fa_telemetry.Trace
 open Cmdliner
 
 let workload_arg =
@@ -39,20 +42,40 @@ let load_workload name =
     Printf.eprintf "unknown kernel %s; try `s2fa list`\n" name;
     exit 1
 
-let compiled_of ~workload ~file =
+let compiled_of ?trace ~workload ~file () =
   match (workload, file) with
   | Some name, _ ->
     let w = load_workload name in
-    (Some w, W.compile w)
+    (Some w, W.compile ?trace w)
   | None, Some path ->
     let ic = open_in path in
     let n = in_channel_length ic in
     let src = really_input_string ic n in
     close_in ic;
-    (None, S2fa.compile src)
+    (None, S2fa.compile ?trace src)
   | None, None ->
     Printf.eprintf "one of -w or -f is required\n";
     exit 1
+
+(* --trace FILE plumbing: a JSONL channel sink, plus a human-readable
+   logs sink when S2FA_LOGS names a level ("debug", "info", ...). *)
+let make_tracer path =
+  let oc = open_out path in
+  let sinks = [ Telemetry.channel_sink oc ] in
+  let sinks =
+    match Sys.getenv_opt "S2FA_LOGS" with
+    | None | Some "" -> sinks
+    | Some lvl ->
+      let level =
+        match Logs.level_of_string lvl with
+        | Ok (Some l) -> l
+        | _ -> Logs.Debug
+      in
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.Src.set_level Telemetry.log_src (Some level);
+      Telemetry.logs_sink ~level () :: sinks
+  in
+  (Telemetry.create ~sinks (), oc)
 
 (* ---------- list ---------- *)
 
@@ -75,7 +98,7 @@ let compile_cmd =
     Arg.(value & opt (some string) None & info [ "design" ] ~doc)
   in
   let run workload file design =
-    let _, c = compiled_of ~workload ~file in
+    let _, c = compiled_of ~workload ~file () in
     let design =
       match design with
       | None -> None
@@ -97,7 +120,7 @@ let compile_cmd =
 
 let echo_cmd =
   let run workload file =
-    let w, c = compiled_of ~workload ~file in
+    let w, c = compiled_of ~workload ~file () in
     ignore c;
     let src =
       match (w, file) with
@@ -122,7 +145,7 @@ let echo_cmd =
 
 let bytecode_cmd =
   let run workload file =
-    let _, c = compiled_of ~workload ~file in
+    let _, c = compiled_of ~workload ~file () in
     List.iter
       (fun m ->
         Format.printf "%a@." S2fa_jvm.Insn.pp_method m)
@@ -151,8 +174,17 @@ let dse_cmd =
     in
     Arg.(value & flag & info [ "shared-db" ] ~doc)
   in
-  let run workload file mode seed minutes shared_db =
-    let _, c = compiled_of ~workload ~file in
+  let trace_arg =
+    let doc =
+      "Write a JSONL telemetry trace of the run (virtual-clock \
+       timestamps; replay it with `s2fa trace FILE`)."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let run workload file mode seed minutes shared_db trace_file =
+    let tracer = Option.map make_tracer trace_file in
+    let trace = Option.map fst tracer in
+    let _, c = compiled_of ?trace ~workload ~file () in
     let rng = Rng.create seed in
     let db = if shared_db then Some (Resultdb.create ()) else None in
     let result =
@@ -161,8 +193,8 @@ let dse_cmd =
         let opts =
           { Driver.default_s2fa_opts with Driver.so_time_limit = minutes }
         in
-        S2fa.explore ~opts ?db c rng
-      | "vanilla" -> S2fa.explore_vanilla ~time_limit:minutes ?db c rng
+        S2fa.explore ~opts ?db ?trace c rng
+      | "vanilla" -> S2fa.explore_vanilla ~time_limit:minutes ?db ?trace c rng
       | other ->
         Printf.eprintf "unknown mode %s\n" other;
         exit 1
@@ -177,15 +209,42 @@ let dse_cmd =
         result.Driver.rr_minutes result.Driver.rr_evals;
       Format.printf "# %a@." S2fa_tuner.Space.pp_cfg cfg
     | None -> Printf.printf "# nothing feasible found\n");
-    match result.Driver.rr_cache with
+    (match result.Driver.rr_cache with
     | Some s -> Format.printf "# cache: %a@." Resultdb.pp_snapshot s
-    | None -> ()
+    | None -> ());
+    match (tracer, trace_file) with
+    | Some (tr, oc), Some path ->
+      close_out oc;
+      Printf.printf "# trace: %d events -> %s\n" (Telemetry.emitted tr) path
+    | _ -> ()
   in
   Cmd.v
     (Cmd.info "dse" ~doc:"Run design-space exploration on a kernel.")
     Term.(
       const run $ workload_arg $ file_arg $ mode_arg $ seed_arg $ minutes_arg
-      $ shared_db_arg)
+      $ shared_db_arg $ trace_arg)
+
+(* ---------- trace ---------- *)
+
+let trace_cmd =
+  let trace_file_arg =
+    let doc = "JSONL trace written by `s2fa dse --trace`." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let run path =
+    match Trace.load path with
+    | Error m ->
+      Printf.eprintf "%s\n" m;
+      exit 1
+    | Ok t -> Trace.print_report Format.std_formatter t
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Replay a telemetry trace: best-so-far curve, per-partition core \
+          occupancy, technique attribution and entropy timelines, all \
+          reconstructed from the event stream alone.")
+    Term.(const run $ trace_file_arg)
 
 (* ---------- cache ---------- *)
 
@@ -195,7 +254,7 @@ let cache_cmd =
     Arg.(value & opt float 240.0 & info [ "minutes" ] ~doc)
   in
   let run workload file seed minutes =
-    let _, c = compiled_of ~workload ~file in
+    let _, c = compiled_of ~workload ~file () in
     let opts =
       { Driver.default_s2fa_opts with Driver.so_time_limit = minutes }
     in
@@ -239,7 +298,7 @@ let cache_cmd =
 
 let report_cmd =
   let run workload file seed =
-    let w, c = compiled_of ~workload ~file in
+    let w, c = compiled_of ~workload ~file () in
     let dse = S2fa.explore c (Rng.create seed) in
     match dse.Driver.rr_best with
     | None -> Printf.eprintf "nothing feasible found\n"
@@ -304,4 +363,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; compile_cmd; echo_cmd; bytecode_cmd; dse_cmd;
-            cache_cmd; report_cmd; speedup_cmd ]))
+            trace_cmd; cache_cmd; report_cmd; speedup_cmd ]))

@@ -5,6 +5,7 @@ module Cinterp = S2fa_hlsc.Cinterp
 module Csyntax = S2fa_hlsc.Csyntax
 module Decompile = S2fa_b2c.Decompile
 module Estimate = S2fa_hls.Estimate
+module Telemetry = S2fa_telemetry.Telemetry
 
 exception Blaze_error of string
 
@@ -20,14 +21,31 @@ type accel = {
   acc_buffer_elems : (string * int) list;
 }
 
-type manager = { mutable accels : (string * accel) list }
+type manager = {
+  mutable accels : (string * accel) list;
+  trace : Telemetry.t option;
+      (* Dispatch accounting only: the manager bumps metrics counters,
+         never emits events, so it works with any tracer (or none). *)
+}
 
-let create_manager () = { accels = [] }
+let create_manager ?trace () = { accels = []; trace }
 
 let register m a =
   m.accels <- (a.acc_id, a) :: List.remove_assoc a.acc_id m.accels
 
 let find m id = List.assoc_opt id m.accels
+
+(* Per-dispatch metrics: a global and a per-accelerator counter, plus a
+   histogram of simulated batch seconds. *)
+let note_dispatch m ~op ~id ~tasks ~seconds =
+  match m.trace with
+  | None -> ()
+  | Some tr ->
+    let ms = Telemetry.metrics tr in
+    Telemetry.Metrics.incr ms "blaze.dispatch";
+    Telemetry.Metrics.incr ms (Printf.sprintf "blaze.dispatch.%s.%s" op id);
+    Telemetry.Metrics.incr ~by:tasks ms "blaze.tasks";
+    Telemetry.Metrics.observe ms "blaze.batch_seconds" seconds
 
 type timed_result = {
   tr_values : Interp.value array;
@@ -83,6 +101,7 @@ let map_accelerated m ~id tasks =
       let bytes = Serde.bytes_of_iface a.acc_iface ~tasks:n in
       let serde_s = bytes /. serde_bytes_per_second in
       let fpga_s = report.Estimate.r_seconds in
+      note_dispatch m ~op:"map" ~id ~tasks:n ~seconds:(serde_s +. fpga_s);
       { tr_values = values;
         tr_seconds = serde_s +. fpga_s;
         tr_detail = [ ("serde", serde_s); ("fpga", fpga_s) ] }
@@ -117,6 +136,7 @@ let reduce_accelerated m ~id tasks =
     let bytes = Serde.bytes_of_iface a.acc_iface ~tasks:n in
     let serde_s = bytes /. serde_bytes_per_second in
     let fpga_s = report.Estimate.r_seconds in
+    note_dispatch m ~op:"reduce" ~id ~tasks:n ~seconds:(serde_s +. fpga_s);
     { tr_values = [| value |];
       tr_seconds = serde_s +. fpga_s;
       tr_detail = [ ("serde", serde_s); ("fpga", fpga_s) ] }

@@ -15,6 +15,7 @@ module Resultdb = S2fa_tuner.Resultdb
 module Dspace = S2fa_dse.Dspace
 module Driver = S2fa_dse.Driver
 module Rng = S2fa_util.Rng
+module Telemetry = S2fa_telemetry.Telemetry
 
 exception Error of string
 
@@ -32,22 +33,26 @@ type compiled = {
 }
 
 let compile ?class_name ?(operator = `Map) ?(in_caps = []) ?(out_caps = [])
-    ?(field_caps = []) source =
+    ?(field_caps = []) ?trace source =
   let prog =
-    try Parser.parse_program source with
-    | Parser.Parse_error (m, p) ->
-      fail "parse" (Printf.sprintf "%s at %d:%d" m p.Ast.line p.Ast.col)
-    | S2fa_scala.Lexer.Lex_error (m, p) ->
-      fail "lex" (Printf.sprintf "%s at %d:%d" m p.Ast.line p.Ast.col)
+    Telemetry.with_span trace Telemetry.Parse (fun () ->
+        try Parser.parse_program source with
+        | Parser.Parse_error (m, p) ->
+          fail "parse" (Printf.sprintf "%s at %d:%d" m p.Ast.line p.Ast.col)
+        | S2fa_scala.Lexer.Lex_error (m, p) ->
+          fail "lex" (Printf.sprintf "%s at %d:%d" m p.Ast.line p.Ast.col))
   in
   let tprog =
-    try Typecheck.check_program prog
-    with Typecheck.Type_error (m, p) ->
-      fail "typecheck" (Printf.sprintf "%s at %d:%d" m p.Ast.line p.Ast.col)
+    Telemetry.with_span trace Telemetry.Typecheck (fun () ->
+        try Typecheck.check_program prog
+        with Typecheck.Type_error (m, p) ->
+          fail "typecheck"
+            (Printf.sprintf "%s at %d:%d" m p.Ast.line p.Ast.col))
   in
   let classes =
-    try Compile.compile_program tprog
-    with Compile.Unsupported m -> fail "bytecode" m
+    Telemetry.with_span trace Telemetry.Bytecode (fun () ->
+        try Compile.compile_program tprog
+        with Compile.Unsupported m -> fail "bytecode" m)
   in
   let cls =
     let accelerators =
@@ -69,13 +74,19 @@ let compile ?class_name ?(operator = `Map) ?(in_caps = []) ?(out_caps = [])
   in
   (try Verify.verify_class cls
    with Verify.Verify_error m -> fail "verify" m);
-  let pretty, iface =
-    try Decompile.decompile_class ~operator ~in_caps ~out_caps ~field_caps cls
-    with Decompile.Decompile_error m -> fail "bytecode-to-C" m
-  in
-  let flat =
-    try Decompile.flat_kernel pretty
-    with Decompile.Decompile_error m -> fail "inline" m
+  let pretty, iface, flat =
+    Telemetry.with_span trace Telemetry.Decompile (fun () ->
+        let pretty, iface =
+          try
+            Decompile.decompile_class ~operator ~in_caps ~out_caps ~field_caps
+              cls
+          with Decompile.Decompile_error m -> fail "bytecode-to-C" m
+        in
+        let flat =
+          try Decompile.flat_kernel pretty
+          with Decompile.Decompile_error m -> fail "inline" m
+        in
+        (pretty, iface, flat))
   in
   let dspace = Dspace.identify flat in
   let buffer_elems =
@@ -114,12 +125,19 @@ let detail_of_report (r : Estimate.report) =
     d_bram_pct = r.Estimate.r_bram_pct;
     d_dsp_pct = r.Estimate.r_dsp_pct }
 
-let objective ?(tasks = 4096) ?db c cfg =
+let objective ?(tasks = 4096) ?db ?trace c cfg =
   (* The DSE optimizes steady-state kernel throughput: compute cycles at
      the achieved frequency (Fig. 3's "normalized execution cycle"),
      overlapped with off-chip transfer by double buffering — so the
      binding term is whichever is slower. *)
-  let r = estimate ~tasks c cfg in
+  let prog =
+    Telemetry.with_span trace Telemetry.Transform (fun () ->
+        apply_design c cfg)
+  in
+  let r =
+    Telemetry.with_span trace Telemetry.Estimate (fun () ->
+        Estimate.estimate prog ~tasks ~buffer_elems:c.c_buffer_elems)
+  in
   (* When a result DB is in play, enrich this point's (future) entry with
      the full estimator tuple — cycles, frequency, resources. The DB
      itself is consulted by the tuner, not here: memoization lives in one
@@ -134,11 +152,13 @@ let objective ?(tasks = 4096) ?db c cfg =
     e_feasible = r.Estimate.r_feasible;
     e_minutes = r.Estimate.r_eval_minutes }
 
-let explore ?opts ?tasks ?db c rng =
-  Driver.run_s2fa ?opts ?db c.c_dspace (objective ?tasks ?db c) rng
+let explore ?opts ?tasks ?db ?trace c rng =
+  Driver.run_s2fa ?opts ?db ?trace c.c_dspace
+    (objective ?tasks ?db ?trace c) rng
 
-let explore_vanilla ?time_limit ?tasks ?db c rng =
-  Driver.run_vanilla ?time_limit ?db c.c_dspace (objective ?tasks ?db c) rng
+let explore_vanilla ?time_limit ?tasks ?db ?trace c rng =
+  Driver.run_vanilla ?time_limit ?db ?trace c.c_dspace
+    (objective ?tasks ?db ?trace c) rng
 
 let accel_id (cls : Insn.cls) =
   match List.assoc_opt "id" cls.Insn.jconsts with

@@ -11,6 +11,7 @@ module Resultdb = S2fa_tuner.Resultdb
 module Dspace = S2fa_dse.Dspace
 module Driver = S2fa_dse.Driver
 module Rng = S2fa_util.Rng
+module Telemetry = S2fa_telemetry.Telemetry
 
 (** The S2FA framework facade (Fig. 1 of the paper): one entry point per
     stage of the flow, from Scala source text to a deployed Blaze
@@ -44,11 +45,14 @@ val compile :
   ?in_caps:int list ->
   ?out_caps:int list ->
   ?field_caps:(string * int) list ->
+  ?trace:Telemetry.t ->
   string ->
   compiled
 (** Parse, type-check, compile to bytecode, verify, decompile to C and
     identify the design space. [class_name] selects a class when the
-    source defines several (default: the first [Accelerator] class). *)
+    source defines several (default: the first [Accelerator] class).
+    With [trace], the parse / typecheck / bytecode / decompile stages
+    are bracketed by [span_begin]/[span_end] events. *)
 
 val apply_design : compiled -> Space.cfg -> Csyntax.cprog
 (** The flat kernel with a design point's Merlin transformations
@@ -58,29 +62,38 @@ val estimate : ?tasks:int -> compiled -> Space.cfg -> Estimate.report
 (** HLS-estimate a design point (default 4096 tasks). *)
 
 val objective :
-  ?tasks:int -> ?db:Resultdb.t -> compiled -> Space.cfg -> Tuner.eval_result
+  ?tasks:int ->
+  ?db:Resultdb.t ->
+  ?trace:Telemetry.t ->
+  compiled ->
+  Space.cfg ->
+  Tuner.eval_result
 (** The DSE objective: the kernel's estimated execution cycles at the
     achieved frequency (Fig. 3's "normalized execution cycle" metric),
     infinite when infeasible, with the simulated evaluation cost. [db]
     does {e not} memoize here (the tuner owns memoization); it only
     enriches the point's database entry with the full estimator tuple
-    (cycles, frequency, resource percentages). *)
+    (cycles, frequency, resource percentages). With [trace], the Merlin
+    transform and the HLS estimate are bracketed by span events. *)
 
 val explore :
-  ?opts:Driver.s2fa_opts -> ?tasks:int -> ?db:Resultdb.t -> compiled ->
-  Rng.t -> Driver.run_result
+  ?opts:Driver.s2fa_opts -> ?tasks:int -> ?db:Resultdb.t ->
+  ?trace:Telemetry.t -> compiled -> Rng.t -> Driver.run_result
 (** Run the full S2FA DSE flow. With [db], all partitions, techniques and
     the offline sampling pass share one result database: duplicate design
     points cost a zero-minute lookup instead of a simulated HLS run, with
     every measured quality unchanged ({!Resultdb}'s clock contract), and
     the run's cache counters are reported in
-    {!Driver.run_result.rr_cache}. *)
+    {!Driver.run_result.rr_cache}. With [trace], the run is recorded as
+    a structured event stream (see {!Driver.run_s2fa}) and the metrics
+    snapshot lands in {!Driver.run_result.rr_metrics}; tracing never
+    changes the search trajectory. *)
 
 val explore_vanilla :
-  ?time_limit:float -> ?tasks:int -> ?db:Resultdb.t -> compiled -> Rng.t ->
-  Driver.run_result
-(** Run the vanilla-OpenTuner baseline (same [db] semantics as
-    {!explore}). *)
+  ?time_limit:float -> ?tasks:int -> ?db:Resultdb.t ->
+  ?trace:Telemetry.t -> compiled -> Rng.t -> Driver.run_result
+(** Run the vanilla-OpenTuner baseline (same [db] and [trace] semantics
+    as {!explore}). *)
 
 val make_accelerator :
   ?design:Space.cfg -> compiled -> fields:(string * Interp.value) list ->

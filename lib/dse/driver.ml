@@ -2,8 +2,15 @@ module Space = S2fa_tuner.Space
 module Tuner = S2fa_tuner.Tuner
 module Resultdb = S2fa_tuner.Resultdb
 module Rng = S2fa_util.Rng
+module Telemetry = S2fa_telemetry.Telemetry
 
-type event = { ev_minutes : float; ev_perf : float; ev_feasible : bool }
+type event = {
+  ev_minutes : float;
+  ev_perf : float;
+  ev_feasible : bool;
+  ev_partition : int;
+  ev_technique : string;
+}
 
 type run_result = {
   rr_events : event list;
@@ -11,6 +18,7 @@ type run_result = {
   rr_minutes : float;
   rr_evals : int;
   rr_cache : Resultdb.snapshot option;
+  rr_metrics : Telemetry.Metrics.snapshot option;
 }
 
 (* Shared-result-database plumbing, common to the three flows. [wrap]
@@ -30,6 +38,82 @@ let db_finish db before =
   match (db, before) with
   | Some db, Some s0 -> Some (Resultdb.diff (Resultdb.snapshot db) s0)
   | _ -> None
+
+(* ---------- telemetry plumbing (read-only observation) ---------- *)
+
+let constr_string = function
+  | Partition.CLe (p, v) -> Printf.sprintf "%s<=%d" p v
+  | Partition.CGt (p, v) -> Printf.sprintf "%s>%d" p v
+  | Partition.CIn (p, vs) ->
+    Printf.sprintf "%s in {%s}" p (String.concat "," vs)
+
+let constrs_string = function
+  | [] -> "(whole space)"
+  | cs -> String.concat " & " (List.map constr_string cs)
+
+(* Offline rule-fitting probes carry [partition = -1] so replay can tell
+   them apart from search evaluations (they consume no DSE wall-clock,
+   exactly as the paper's ahead-of-time training data). *)
+let traced_objective trace db objective =
+  let wrapped = db_wrap db objective in
+  match trace with
+  | None -> wrapped
+  | Some tr ->
+    fun cfg ->
+      let hit =
+        match db with
+        | Some db -> Resultdb.peek db cfg <> None
+        | None -> false
+      in
+      let r = wrapped cfg in
+      Telemetry.emit tr
+        (Telemetry.Eval_done
+           { cfg_key = Space.key cfg;
+             quality = r.Tuner.e_perf;
+             feasible = r.Tuner.e_feasible;
+             eval_minutes = r.Tuner.e_minutes;
+             cache_hit = hit;
+             partition = -1;
+             technique = "";
+             improved = false });
+      r
+
+let trace_run_begin trace ~flow ~cores ~time_limit =
+  match trace with
+  | None -> ()
+  | Some tr -> Telemetry.emit tr (Telemetry.Run_begin { flow; cores; time_limit })
+
+let trace_eval_done trace ~clock ~partition (o : Tuner.outcome) =
+  match trace with
+  | None -> ()
+  | Some tr ->
+    Telemetry.set_clock tr clock;
+    Telemetry.emit tr
+      (Telemetry.Eval_done
+         { cfg_key = Space.key o.Tuner.o_cfg;
+           quality = o.Tuner.o_perf;
+           feasible = o.Tuner.o_feasible;
+           eval_minutes = o.Tuner.o_minutes;
+           cache_hit = o.Tuner.o_cache_hit;
+           partition;
+           technique = o.Tuner.o_technique;
+           improved = o.Tuner.o_improved })
+
+(* Shared epilogue: [run_end], flush every sink, snapshot the metrics
+   registry into the run result. *)
+let trace_finish trace ~minutes ~evals ~best =
+  match trace with
+  | None -> None
+  | Some tr ->
+    Telemetry.set_partition tr (-1);
+    Telemetry.set_clock tr minutes;
+    Telemetry.emit tr
+      (Telemetry.Run_end
+         { minutes;
+           evals;
+           best = (match best with Some (_, b) -> b | None -> infinity) });
+    Telemetry.flush tr;
+    Some (Telemetry.Metrics.snapshot (Telemetry.metrics tr))
 
 let best_curve rr =
   let sorted =
@@ -111,12 +195,14 @@ let rule_sets dspace =
   in
   [ pipe_params; task_params; inner_params; [] ]
 
-let run_s2fa ?(opts = default_s2fa_opts) ?db dspace objective rng =
+let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace dspace objective rng =
   let db_before = Option.map Resultdb.snapshot db in
+  trace_run_begin trace ~flow:"s2fa" ~cores:opts.so_cores
+    ~time_limit:opts.so_time_limit;
   let samples =
     if opts.so_partition || opts.so_seed_mode = `Both then
-      offline_samples dspace (db_wrap db objective) (Rng.split rng)
-        opts.so_samples
+      offline_samples dspace (traced_objective trace db objective)
+        (Rng.split rng) opts.so_samples
     else []
   in
   let partitions =
@@ -165,10 +251,11 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db dspace objective rng =
       | `Area_only -> [ Partition.project part (Seed.area_seed dspace) ]
       | `None -> []
     in
-    Tuner.create ~seeds ?db part.Partition.p_space objective (Rng.split rng)
+    Tuner.create ~seeds ?db ?trace part.Partition.p_space objective
+      (Rng.split rng)
   in
   let queue = Queue.create () in
-  List.iter (fun p -> Queue.add p queue) partitions;
+  List.iteri (fun i p -> Queue.add (i, p) queue) partitions;
   let core_time = Array.make opts.so_cores 0.0 in
   let events = ref [] in
   let evals = ref 0 in
@@ -179,25 +266,67 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db dspace objective rng =
       | Some (_, b) when b <= perf -> ()
       | _ -> global_best := Some (cfg, perf)
   in
-  let run_partition core part =
+  let run_partition core idx part =
     let tuner = make_tuner part in
+    (match trace with
+    | None -> ()
+    | Some tr ->
+      Telemetry.set_partition tr idx;
+      Telemetry.set_clock tr core_time.(core);
+      Telemetry.emit tr
+        (Telemetry.Partition_start
+           { partition = idx;
+             core;
+             constrs = constrs_string part.Partition.p_constrs;
+             points = Space.cardinality part.Partition.p_space }));
+    let stop = ref Telemetry.Stop_time in
     let continue_ = ref true in
     while !continue_ do
-      if core_time.(core) >= opts.so_time_limit then continue_ := false
-      else if db_stuck db tuner then continue_ := false
+      if core_time.(core) >= opts.so_time_limit then begin
+        stop := Telemetry.Stop_time;
+        continue_ := false
+      end
+      else if db_stuck db tuner then begin
+        stop := Telemetry.Stop_exhausted;
+        continue_ := false
+      end
       else begin
+        (match trace with
+        | None -> ()
+        | Some tr -> Telemetry.set_clock tr core_time.(core));
         let o = Tuner.step tuner in
         incr evals;
         core_time.(core) <- core_time.(core) +. o.Tuner.o_minutes;
         events :=
           { ev_minutes = core_time.(core);
             ev_perf = o.Tuner.o_perf;
-            ev_feasible = o.Tuner.o_feasible }
+            ev_feasible = o.Tuner.o_feasible;
+            ev_partition = idx;
+            ev_technique = o.Tuner.o_technique }
           :: !events;
+        trace_eval_done trace ~clock:core_time.(core) ~partition:idx o;
         note_best o.Tuner.o_cfg o.Tuner.o_perf o.Tuner.o_feasible;
-        if Tuner.should_stop tuner stop_rule then continue_ := false
+        if Tuner.should_stop tuner stop_rule then begin
+          stop :=
+            (match stop_rule with
+            | Tuner.Entropy_stop _ -> Telemetry.Stop_entropy
+            | Tuner.Trivial_stop _ -> Telemetry.Stop_trivial
+            | Tuner.No_stop -> Telemetry.Stop_time);
+          continue_ := false
+        end
       end
-    done
+    done;
+    match trace with
+    | None -> ()
+    | Some tr ->
+      Telemetry.set_clock tr core_time.(core);
+      Telemetry.emit tr
+        (Telemetry.Partition_stop
+           { partition = idx;
+             core;
+             reason = !stop;
+             evals = Tuner.evaluated tuner });
+      Telemetry.set_partition tr (-1)
   in
   (* FCFS: whenever a core frees up, it takes the next waiting
      partition. *)
@@ -210,26 +339,31 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db dspace objective rng =
     let core = next_free_core () in
     if core_time.(core) >= opts.so_time_limit then Queue.clear queue
     else begin
-      let part = Queue.pop queue in
-      run_partition core part
+      let idx, part = Queue.pop queue in
+      run_partition core idx part
     end
   done;
   let finish = Array.fold_left Float.max 0.0 core_time in
+  let rr_minutes = Float.min finish opts.so_time_limit in
   { rr_events = List.rev !events;
     rr_best = !global_best;
-    rr_minutes = Float.min finish opts.so_time_limit;
+    rr_minutes;
     rr_evals = !evals;
-    rr_cache = db_finish db db_before }
+    rr_cache = db_finish db db_before;
+    rr_metrics =
+      trace_finish trace ~minutes:rr_minutes ~evals:!evals ~best:!global_best }
 
-let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db dspace
-    objective rng =
+let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db ?trace
+    dspace objective rng =
   (* Same partition tree as the static flow, but per DATuner: random
      starting points, an on-line sampling phase per partition, then
      greedy core reallocation toward the best-performing partitions. *)
   let db_before = Option.map Resultdb.snapshot db in
+  trace_run_begin trace ~flow:"dynamic" ~cores:opts.so_cores
+    ~time_limit:opts.so_time_limit;
   let samples =
-    offline_samples dspace (db_wrap db objective) (Rng.split rng)
-      opts.so_samples
+    offline_samples dspace (traced_objective trace db objective)
+      (Rng.split rng) opts.so_samples
   in
   let partitions =
     Partition.build ~depth:opts.so_depth ~rule_params:(rule_sets dspace)
@@ -240,7 +374,7 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db dspace
       (fun part ->
         (* Random seed, not the generated ones. *)
         let seeds = [ Space.random_cfg rng part.Partition.p_space ] in
-        Tuner.create ~seeds ?db part.Partition.p_space objective
+        Tuner.create ~seeds ?db ?trace part.Partition.p_space objective
           (Rng.split rng))
       partitions
     |> Array.of_list
@@ -253,6 +387,11 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db dspace
   let part_best = Array.make n infinity in
   let part_evals = Array.make n 0 in
   let step_on core p =
+    (match trace with
+    | None -> ()
+    | Some tr ->
+      Telemetry.set_partition tr p;
+      Telemetry.set_clock tr core_time.(core));
     let o = Tuner.step tuners.(p) in
     incr evals;
     part_evals.(p) <- part_evals.(p) + 1;
@@ -260,8 +399,11 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db dspace
     events :=
       { ev_minutes = core_time.(core);
         ev_perf = o.Tuner.o_perf;
-        ev_feasible = o.Tuner.o_feasible }
+        ev_feasible = o.Tuner.o_feasible;
+        ev_partition = p;
+        ev_technique = o.Tuner.o_technique }
       :: !events;
+    trace_eval_done trace ~clock:core_time.(core) ~partition:p o;
     if o.Tuner.o_feasible then begin
       if o.Tuner.o_perf < part_best.(p) then part_best.(p) <- o.Tuner.o_perf;
       match !global_best with
@@ -306,27 +448,37 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db dspace
       | p -> step_on core p
     end
   done;
+  let rr_minutes =
+    Float.min (Array.fold_left Float.max 0.0 core_time) opts.so_time_limit
+  in
   { rr_events = List.rev !events;
     rr_best = !global_best;
-    rr_minutes = Float.min (Array.fold_left Float.max 0.0 core_time)
-        opts.so_time_limit;
+    rr_minutes;
     rr_evals = !evals;
-    rr_cache = db_finish db db_before }
+    rr_cache = db_finish db db_before;
+    rr_metrics =
+      trace_finish trace ~minutes:rr_minutes ~evals:!evals ~best:!global_best }
 
-let run_vanilla ?(cores = 8) ?(time_limit = 240.0) ?db dspace objective rng =
+let run_vanilla ?(cores = 8) ?(time_limit = 240.0) ?db ?trace dspace objective
+    rng =
   (* One random starting point, no partitions, no systematic stopping:
      per iteration the 8 cores evaluate the next 8 proposals and the
      clock advances by the slowest of them. *)
   let db_before = Option.map Resultdb.snapshot db in
+  trace_run_begin trace ~flow:"vanilla" ~cores ~time_limit;
   let seeds = [ Space.random_cfg rng dspace.Dspace.ds_space ] in
   let tuner =
-    Tuner.create ~seeds ?db dspace.Dspace.ds_space objective (Rng.split rng)
+    Tuner.create ~seeds ?db ?trace dspace.Dspace.ds_space objective
+      (Rng.split rng)
   in
   let clock = ref 0.0 in
   let events = ref [] in
   let evals = ref 0 in
   let global_best = ref None in
+  (* The single whole-space tuner is "partition 0" in the trace. *)
+  (match trace with None -> () | Some tr -> Telemetry.set_partition tr 0);
   while !clock < time_limit && not (db_stuck db tuner) do
+    (match trace with None -> () | Some tr -> Telemetry.set_clock tr !clock);
     let batch = Tuner.step_batch tuner cores in
     let slowest =
       List.fold_left (fun m o -> Float.max m o.Tuner.o_minutes) 0.0 batch
@@ -338,16 +490,22 @@ let run_vanilla ?(cores = 8) ?(time_limit = 240.0) ?db dspace objective rng =
         events :=
           { ev_minutes = !clock;
             ev_perf = o.Tuner.o_perf;
-            ev_feasible = o.Tuner.o_feasible }
+            ev_feasible = o.Tuner.o_feasible;
+            ev_partition = 0;
+            ev_technique = o.Tuner.o_technique }
           :: !events;
+        trace_eval_done trace ~clock:!clock ~partition:0 o;
         if o.Tuner.o_feasible then
           match !global_best with
           | Some (_, b) when b <= o.Tuner.o_perf -> ()
           | _ -> global_best := Some (o.Tuner.o_cfg, o.Tuner.o_perf))
       batch
   done;
+  let rr_minutes = if !clock < time_limit then !clock else time_limit in
   { rr_events = List.rev !events;
     rr_best = !global_best;
-    rr_minutes = (if !clock < time_limit then !clock else time_limit);
+    rr_minutes;
     rr_evals = !evals;
-    rr_cache = db_finish db db_before }
+    rr_cache = db_finish db db_before;
+    rr_metrics =
+      trace_finish trace ~minutes:rr_minutes ~evals:!evals ~best:!global_best }

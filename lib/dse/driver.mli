@@ -2,6 +2,7 @@ module Space = S2fa_tuner.Space
 module Tuner = S2fa_tuner.Tuner
 module Resultdb = S2fa_tuner.Resultdb
 module Rng = S2fa_util.Rng
+module Telemetry = S2fa_telemetry.Telemetry
 
 (** DSE drivers over simulated wall-clock time.
 
@@ -25,6 +26,9 @@ type event = {
   ev_minutes : float;   (** Completion time. *)
   ev_perf : float;      (** Quality of this point (seconds; lower wins). *)
   ev_feasible : bool;
+  ev_partition : int;   (** Originating partition (0 in vanilla). *)
+  ev_technique : string;
+      (** Name of the proposing search technique; [""] for seeds. *)
 }
 
 type run_result = {
@@ -35,6 +39,9 @@ type run_result = {
   rr_cache : Resultdb.snapshot option;
       (** Result-database counter deltas of this run ([None] when the
           run was not given a database). *)
+  rr_metrics : Telemetry.Metrics.snapshot option;
+      (** Telemetry metrics accumulated over the run ([None] when the
+          run was not given a tracer). *)
 }
 
 val best_curve : run_result -> (float * float) list
@@ -62,18 +69,29 @@ val default_s2fa_opts : s2fa_opts
 val run_s2fa :
   ?opts:s2fa_opts ->
   ?db:Resultdb.t ->
+  ?trace:Telemetry.t ->
   Dspace.t ->
   (Space.cfg -> Tuner.eval_result) ->
   Rng.t ->
   run_result
 (** The full S2FA flow of Fig. 2: offline rule fitting, static
     partitioning, per-partition seeded tuners with entropy stopping,
-    FCFS scheduling onto the virtual cores. *)
+    FCFS scheduling onto the virtual cores.
+
+    [trace] records the run: [run_begin]/[run_end] bracket the flow,
+    every evaluation emits [eval_start]/[eval_done] stamped with the
+    executing core's virtual clock (offline rule-fitting probes carry
+    [partition = -1]), partitions emit [partition_start]/[partition_stop]
+    with their stop reason, and the tuners contribute [bandit_select],
+    [seed_injected] and [entropy_sample]. Tracing never draws from the
+    RNG: a traced run and an untraced run under the same seed produce
+    bit-identical results. *)
 
 val run_dynamic :
   ?opts:s2fa_opts ->
   ?setup_evals:int ->
   ?db:Resultdb.t ->
+  ?trace:Telemetry.t ->
   Dspace.t ->
   (Space.cfg -> Tuner.eval_result) ->
   Rng.t ->
@@ -89,6 +107,7 @@ val run_vanilla :
   ?cores:int ->
   ?time_limit:float ->
   ?db:Resultdb.t ->
+  ?trace:Telemetry.t ->
   Dspace.t ->
   (Space.cfg -> Tuner.eval_result) ->
   Rng.t ->

@@ -1,0 +1,658 @@
+(* Virtual-clock telemetry: all timestamps are simulated minutes plus a
+   monotonic sequence number, never the wall clock, so traces under a
+   fixed RNG seed are byte-reproducible. *)
+
+type stage = Parse | Typecheck | Bytecode | Decompile | Transform | Estimate
+
+let stage_name = function
+  | Parse -> "parse"
+  | Typecheck -> "typecheck"
+  | Bytecode -> "bytecode"
+  | Decompile -> "decompile"
+  | Transform -> "transform"
+  | Estimate -> "estimate"
+
+let stage_of_name = function
+  | "parse" -> Some Parse
+  | "typecheck" -> Some Typecheck
+  | "bytecode" -> Some Bytecode
+  | "decompile" -> Some Decompile
+  | "transform" -> Some Transform
+  | "estimate" -> Some Estimate
+  | _ -> None
+
+type stop_reason = Stop_time | Stop_exhausted | Stop_entropy | Stop_trivial
+
+let stop_reason_name = function
+  | Stop_time -> "time_limit"
+  | Stop_exhausted -> "exhausted"
+  | Stop_entropy -> "entropy"
+  | Stop_trivial -> "trivial"
+
+let stop_reason_of_name = function
+  | "time_limit" -> Some Stop_time
+  | "exhausted" -> Some Stop_exhausted
+  | "entropy" -> Some Stop_entropy
+  | "trivial" -> Some Stop_trivial
+  | _ -> None
+
+type kind =
+  | Run_begin of { flow : string; cores : int; time_limit : float }
+  | Run_end of { minutes : float; evals : int; best : float }
+  | Span_begin of stage
+  | Span_end of stage
+  | Eval_start of { cfg_key : string; partition : int; technique : string }
+  | Eval_done of {
+      cfg_key : string;
+      quality : float;
+      feasible : bool;
+      eval_minutes : float;
+      cache_hit : bool;
+      partition : int;
+      technique : string;
+      improved : bool;
+    }
+  | Bandit_select of { arm : int; technique : string; scores : float array }
+  | Partition_start of {
+      partition : int;
+      core : int;
+      constrs : string;
+      points : float;
+    }
+  | Partition_stop of {
+      partition : int;
+      core : int;
+      reason : stop_reason;
+      evals : int;
+    }
+  | Entropy_sample of { partition : int; evaluated : int; entropy : float }
+  | Seed_injected of { cfg_key : string; partition : int }
+
+type event = { e_seq : int; e_minutes : float; e_kind : kind }
+
+type sink = { on_event : event -> unit; on_flush : unit -> unit }
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+(* ------------------------------------------------------------------ *)
+
+module Metrics = struct
+  type hstate = {
+    hs_buckets : float array;
+    hs_counts : int array;  (* one per bucket + overflow *)
+    mutable hs_count : int;
+    mutable hs_sum : float;
+  }
+
+  type t = {
+    counters : (string, int ref) Hashtbl.t;
+    gauges : (string, float ref) Hashtbl.t;
+    histos : (string, hstate) Hashtbl.t;
+  }
+
+  let create () =
+    { counters = Hashtbl.create 32;
+      gauges = Hashtbl.create 8;
+      histos = Hashtbl.create 8 }
+
+  let incr ?(by = 1) t name =
+    match Hashtbl.find_opt t.counters name with
+    | Some r -> r := !r + by
+    | None -> Hashtbl.add t.counters name (ref by)
+
+  let set_gauge t name v =
+    match Hashtbl.find_opt t.gauges name with
+    | Some r -> r := v
+    | None -> Hashtbl.add t.gauges name (ref v)
+
+  let default_buckets = [| 0.001; 0.01; 0.1; 1.0; 10.0; 100.0 |]
+
+  let observe ?(buckets = default_buckets) t name v =
+    let h =
+      match Hashtbl.find_opt t.histos name with
+      | Some h -> h
+      | None ->
+        let h =
+          { hs_buckets = Array.copy buckets;
+            hs_counts = Array.make (Array.length buckets + 1) 0;
+            hs_count = 0;
+            hs_sum = 0.0 }
+        in
+        Hashtbl.add t.histos name h;
+        h
+    in
+    let n = Array.length h.hs_buckets in
+    let rec slot i = if i >= n || v <= h.hs_buckets.(i) then i else slot (i + 1) in
+    let i = slot 0 in
+    h.hs_counts.(i) <- h.hs_counts.(i) + 1;
+    h.hs_count <- h.hs_count + 1;
+    if Float.is_finite v then h.hs_sum <- h.hs_sum +. v
+
+  type histogram = {
+    h_buckets : float array;
+    h_counts : int array;
+    h_count : int;
+    h_sum : float;
+  }
+
+  type snapshot = {
+    ms_counters : (string * int) list;
+    ms_gauges : (string * float) list;
+    ms_histograms : (string * histogram) list;
+  }
+
+  let sorted_bindings fold conv tbl =
+    fold (fun k v acc -> (k, conv v) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+  let snapshot t =
+    { ms_counters = sorted_bindings Hashtbl.fold (fun r -> !r) t.counters;
+      ms_gauges = sorted_bindings Hashtbl.fold (fun r -> !r) t.gauges;
+      ms_histograms =
+        sorted_bindings Hashtbl.fold
+          (fun h ->
+            { h_buckets = Array.copy h.hs_buckets;
+              h_counts = Array.copy h.hs_counts;
+              h_count = h.hs_count;
+              h_sum = h.hs_sum })
+          t.histos }
+
+  let counter s name =
+    match List.assoc_opt name s.ms_counters with Some n -> n | None -> 0
+
+  let pp_snapshot ppf s =
+    List.iter
+      (fun (n, v) -> Format.fprintf ppf "%-36s %12d@." n v)
+      s.ms_counters;
+    List.iter
+      (fun (n, v) -> Format.fprintf ppf "%-36s %12g@." n v)
+      s.ms_gauges;
+    List.iter
+      (fun (n, h) ->
+        Format.fprintf ppf "%-36s n=%d sum=%g@." n h.h_count h.h_sum;
+        Array.iteri
+          (fun i c ->
+            if c > 0 then
+              if i < Array.length h.h_buckets then
+                Format.fprintf ppf "  le %-10g %12d@." h.h_buckets.(i) c
+              else Format.fprintf ppf "  le %-10s %12d@." "+inf" c)
+          h.h_counts)
+      s.ms_histograms
+end
+
+(* ------------------------------------------------------------------ *)
+(* Built-in metric derivation from the event stream *)
+(* ------------------------------------------------------------------ *)
+
+let minute_buckets = [| 1.0; 2.0; 5.0; 10.0; 15.0; 20.0; 30.0 |]
+
+let quality_buckets =
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 |]
+
+let fold_into_metrics m ev =
+  match ev.e_kind with
+  | Eval_done d ->
+    (* "evals" counts search evaluations (it matches rr_evals); offline
+       rule-fitting probes get their own counter. *)
+    if d.partition < 0 then Metrics.incr m "evals.offline"
+    else Metrics.incr m "evals";
+    if d.feasible then Metrics.incr m "evals.feasible";
+    if d.cache_hit then Metrics.incr m "evals.cache_hits";
+    if d.improved then Metrics.incr m "evals.improved";
+    if d.technique <> "" then begin
+      Metrics.incr m ("technique." ^ d.technique ^ ".proposals");
+      if d.improved then Metrics.incr m ("technique." ^ d.technique ^ ".wins")
+    end;
+    Metrics.observe ~buckets:minute_buckets m "eval_minutes" d.eval_minutes;
+    if d.feasible then
+      Metrics.observe ~buckets:quality_buckets m "quality" d.quality
+  | Eval_start _ -> ()
+  | Bandit_select s -> Metrics.incr m ("bandit.select." ^ s.technique)
+  | Seed_injected _ -> Metrics.incr m "seeds.injected"
+  | Partition_start _ -> Metrics.incr m "partitions.started"
+  | Partition_stop p ->
+    Metrics.incr m ("partitions.stopped." ^ stop_reason_name p.reason)
+  | Entropy_sample s -> Metrics.set_gauge m "entropy" s.entropy
+  | Span_begin _ -> ()
+  | Span_end st -> Metrics.incr m ("spans." ^ stage_name st)
+  | Run_begin _ -> Metrics.incr m "runs"
+  | Run_end r -> Metrics.set_gauge m "best_quality" r.best
+
+(* ------------------------------------------------------------------ *)
+(* The tracer *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  mutable sinks : sink list;
+  t_metrics : Metrics.t;
+  mutable t_clock : float;
+  mutable t_seq : int;
+  mutable t_partition : int;
+}
+
+let create ?(sinks = []) () =
+  { sinks;
+    t_metrics = Metrics.create ();
+    t_clock = 0.0;
+    t_seq = 0;
+    t_partition = -1 }
+
+let add_sink t s = t.sinks <- t.sinks @ [ s ]
+
+let metrics t = t.t_metrics
+
+let set_clock t m = t.t_clock <- m
+
+let clock t = t.t_clock
+
+let set_partition t p = t.t_partition <- p
+
+let partition t = t.t_partition
+
+let emitted t = t.t_seq
+
+let emit t kind =
+  let ev = { e_seq = t.t_seq; e_minutes = t.t_clock; e_kind = kind } in
+  t.t_seq <- t.t_seq + 1;
+  fold_into_metrics t.t_metrics ev;
+  List.iter (fun s -> s.on_event ev) t.sinks
+
+let flush t = List.iter (fun s -> s.on_flush ()) t.sinks
+
+let with_span t stage f =
+  match t with
+  | None -> f ()
+  | Some tr ->
+    emit tr (Span_begin stage);
+    let r = f () in
+    emit tr (Span_end stage);
+    r
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: one JSON object per event *)
+(* ------------------------------------------------------------------ *)
+
+(* 17 significant digits round-trip every IEEE double exactly; the
+   non-finite values JSON cannot express are quoted strings that
+   [float_of_string] maps back bit-exactly. *)
+let fstr x =
+  if Float.is_nan x then "\"nan\""
+  else if x = infinity then "\"inf\""
+  else if x = neg_infinity then "\"-inf\""
+  else Printf.sprintf "%.17g" x
+
+let jstring s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 32 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let json_of_event e =
+  let b = Buffer.create 160 in
+  let field name value =
+    if Buffer.length b > 1 then Buffer.add_char b ',';
+    Buffer.add_string b (jstring name);
+    Buffer.add_char b ':';
+    Buffer.add_string b value
+  in
+  let str name s = field name (jstring s) in
+  let num name f = field name (fstr f) in
+  let int_ name i = field name (string_of_int i) in
+  let bool_ name v = field name (if v then "true" else "false") in
+  Buffer.add_char b '{';
+  int_ "seq" e.e_seq;
+  num "min" e.e_minutes;
+  (match e.e_kind with
+  | Run_begin r ->
+    str "ev" "run_begin";
+    str "flow" r.flow;
+    int_ "cores" r.cores;
+    num "limit" r.time_limit
+  | Run_end r ->
+    str "ev" "run_end";
+    num "minutes" r.minutes;
+    int_ "evals" r.evals;
+    num "best" r.best
+  | Span_begin st ->
+    str "ev" "span_begin";
+    str "stage" (stage_name st)
+  | Span_end st ->
+    str "ev" "span_end";
+    str "stage" (stage_name st)
+  | Eval_start v ->
+    str "ev" "eval_start";
+    str "cfg" v.cfg_key;
+    int_ "part" v.partition;
+    str "tech" v.technique
+  | Eval_done v ->
+    str "ev" "eval_done";
+    str "cfg" v.cfg_key;
+    num "q" v.quality;
+    bool_ "feas" v.feasible;
+    num "emin" v.eval_minutes;
+    bool_ "hit" v.cache_hit;
+    int_ "part" v.partition;
+    str "tech" v.technique;
+    bool_ "imp" v.improved
+  | Bandit_select s ->
+    str "ev" "bandit_select";
+    int_ "arm" s.arm;
+    str "tech" s.technique;
+    field "scores"
+      ("["
+      ^ String.concat "," (Array.to_list (Array.map fstr s.scores))
+      ^ "]")
+  | Partition_start p ->
+    str "ev" "partition_start";
+    int_ "part" p.partition;
+    int_ "core" p.core;
+    str "constrs" p.constrs;
+    num "points" p.points
+  | Partition_stop p ->
+    str "ev" "partition_stop";
+    int_ "part" p.partition;
+    int_ "core" p.core;
+    str "reason" (stop_reason_name p.reason);
+    int_ "evals" p.evals
+  | Entropy_sample s ->
+    str "ev" "entropy_sample";
+    int_ "part" s.partition;
+    int_ "evals" s.evaluated;
+    num "entropy" s.entropy
+  | Seed_injected s ->
+    str "ev" "seed_injected";
+    str "cfg" s.cfg_key;
+    int_ "part" s.partition);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* ---------- the matching mini JSON reader ---------- *)
+
+type jv = Jstr of string | Jnum of float | Jbool of bool | Jarr of float list
+
+exception Bad
+
+let parse_obj line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos >= n then raise Bad else line.[!pos] in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (peek () = ' ' || peek () = '\t') do advance () done
+  in
+  let expect c = skip_ws (); if peek () <> c then raise Bad; advance () in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      let c = peek () in
+      advance ();
+      if c = '"' then Buffer.contents b
+      else if c = '\\' then begin
+        let e = peek () in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char b '"'
+        | '\\' -> Buffer.add_char b '\\'
+        | 'n' -> Buffer.add_char b '\n'
+        | 'r' -> Buffer.add_char b '\r'
+        | 't' -> Buffer.add_char b '\t'
+        | 'u' ->
+          if !pos + 4 > n then raise Bad;
+          let code = int_of_string ("0x" ^ String.sub line !pos 4) in
+          pos := !pos + 4;
+          if code > 255 then raise Bad;
+          Buffer.add_char b (Char.chr code)
+        | _ -> raise Bad);
+        go ()
+      end
+      else begin
+        Buffer.add_char b c;
+        go ()
+      end
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let num_char c =
+      (c >= '0' && c <= '9') || c = '-' || c = '+' || c = '.' || c = 'e'
+      || c = 'E'
+    in
+    while !pos < n && num_char line.[!pos] do advance () done;
+    if !pos = start then raise Bad;
+    float_of_string (String.sub line start (!pos - start))
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> (
+      let s = parse_string () in
+      (* Quoted non-finite floats come back as strings; callers that
+         expect a float coerce via [as_float]. *)
+      Jstr s)
+    | 't' ->
+      if !pos + 4 > n || String.sub line !pos 4 <> "true" then raise Bad;
+      pos := !pos + 4;
+      Jbool true
+    | 'f' ->
+      if !pos + 5 > n || String.sub line !pos 5 <> "false" then raise Bad;
+      pos := !pos + 5;
+      Jbool false
+    | '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = ']' then begin advance (); Jarr [] end
+      else begin
+        let rec go acc =
+          skip_ws ();
+          let v =
+            match peek () with '"' -> float_of_string (parse_string ()) | _ -> parse_number ()
+          in
+          skip_ws ();
+          match peek () with
+          | ',' -> advance (); go (v :: acc)
+          | ']' -> advance (); List.rev (v :: acc)
+          | _ -> raise Bad
+        in
+        Jarr (go [])
+      end
+    | _ -> Jnum (parse_number ())
+  in
+  expect '{';
+  let rec fields acc =
+    skip_ws ();
+    if peek () = '}' then begin advance (); List.rev acc end
+    else begin
+      let k = parse_string () in
+      expect ':';
+      let v = parse_value () in
+      skip_ws ();
+      match peek () with
+      | ',' -> advance (); fields ((k, v) :: acc)
+      | '}' -> advance (); List.rev ((k, v) :: acc)
+      | _ -> raise Bad
+    end
+  in
+  fields []
+
+let as_float = function
+  | Jnum f -> f
+  | Jstr s -> float_of_string s
+  | _ -> raise Bad
+
+let fget fields k =
+  match List.assoc_opt k fields with Some v -> as_float v | None -> raise Bad
+
+let iget fields k = int_of_float (fget fields k)
+
+let sget fields k =
+  match List.assoc_opt k fields with Some (Jstr s) -> s | _ -> raise Bad
+
+let bget fields k =
+  match List.assoc_opt k fields with Some (Jbool b) -> b | _ -> raise Bad
+
+let aget fields k =
+  match List.assoc_opt k fields with Some (Jarr l) -> l | _ -> raise Bad
+
+let event_of_json line =
+  match
+    let fields = parse_obj line in
+    let stage_of fields =
+      match stage_of_name (sget fields "stage") with
+      | Some s -> s
+      | None -> raise Bad
+    in
+    let kind =
+      match sget fields "ev" with
+      | "run_begin" ->
+        Run_begin
+          { flow = sget fields "flow";
+            cores = iget fields "cores";
+            time_limit = fget fields "limit" }
+      | "run_end" ->
+        Run_end
+          { minutes = fget fields "minutes";
+            evals = iget fields "evals";
+            best = fget fields "best" }
+      | "span_begin" -> Span_begin (stage_of fields)
+      | "span_end" -> Span_end (stage_of fields)
+      | "eval_start" ->
+        Eval_start
+          { cfg_key = sget fields "cfg";
+            partition = iget fields "part";
+            technique = sget fields "tech" }
+      | "eval_done" ->
+        Eval_done
+          { cfg_key = sget fields "cfg";
+            quality = fget fields "q";
+            feasible = bget fields "feas";
+            eval_minutes = fget fields "emin";
+            cache_hit = bget fields "hit";
+            partition = iget fields "part";
+            technique = sget fields "tech";
+            improved = bget fields "imp" }
+      | "bandit_select" ->
+        Bandit_select
+          { arm = iget fields "arm";
+            technique = sget fields "tech";
+            scores = Array.of_list (aget fields "scores") }
+      | "partition_start" ->
+        Partition_start
+          { partition = iget fields "part";
+            core = iget fields "core";
+            constrs = sget fields "constrs";
+            points = fget fields "points" }
+      | "partition_stop" ->
+        Partition_stop
+          { partition = iget fields "part";
+            core = iget fields "core";
+            reason =
+              (match stop_reason_of_name (sget fields "reason") with
+              | Some r -> r
+              | None -> raise Bad);
+            evals = iget fields "evals" }
+      | "entropy_sample" ->
+        Entropy_sample
+          { partition = iget fields "part";
+            evaluated = iget fields "evals";
+            entropy = fget fields "entropy" }
+      | "seed_injected" ->
+        Seed_injected
+          { cfg_key = sget fields "cfg"; partition = iget fields "part" }
+      | _ -> raise Bad
+    in
+    { e_seq = iget fields "seq"; e_minutes = fget fields "min"; e_kind = kind }
+  with
+  | ev -> Some ev
+  | exception _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Human-readable rendering (the logs sink's format) *)
+(* ------------------------------------------------------------------ *)
+
+let pp_event ppf e =
+  let p fmt = Format.fprintf ppf fmt in
+  p "[%6d] %8.1fm " e.e_seq e.e_minutes;
+  match e.e_kind with
+  | Run_begin r ->
+    p "run_begin flow=%s cores=%d limit=%.0fm" r.flow r.cores r.time_limit
+  | Run_end r ->
+    p "run_end minutes=%.1f evals=%d best=%g" r.minutes r.evals r.best
+  | Span_begin st -> p "span_begin %s" (stage_name st)
+  | Span_end st -> p "span_end %s" (stage_name st)
+  | Eval_start v ->
+    p "eval_start part=%d tech=%s cfg=%s" v.partition
+      (if v.technique = "" then "-" else v.technique)
+      v.cfg_key
+  | Eval_done v ->
+    p "eval_done part=%d tech=%s q=%g feas=%b %.1fm%s%s cfg=%s" v.partition
+      (if v.technique = "" then "-" else v.technique)
+      v.quality v.feasible v.eval_minutes
+      (if v.cache_hit then " hit" else "")
+      (if v.improved then " improved" else "")
+      v.cfg_key
+  | Bandit_select s ->
+    p "bandit_select arm=%d tech=%s scores=[%s]" s.arm s.technique
+      (String.concat " "
+         (Array.to_list (Array.map (Printf.sprintf "%.3f") s.scores)))
+  | Partition_start q ->
+    p "partition_start part=%d core=%d points=%g constrs=%s" q.partition
+      q.core q.points
+      (if q.constrs = "" then "-" else q.constrs)
+  | Partition_stop q ->
+    p "partition_stop part=%d core=%d reason=%s evals=%d" q.partition q.core
+      (stop_reason_name q.reason) q.evals
+  | Entropy_sample s ->
+    p "entropy_sample part=%d evals=%d entropy=%.4f" s.partition s.evaluated
+      s.entropy
+  | Seed_injected s -> p "seed_injected part=%d cfg=%s" s.partition s.cfg_key
+
+(* ------------------------------------------------------------------ *)
+(* Built-in sinks *)
+(* ------------------------------------------------------------------ *)
+
+let collector ?(capacity = 65536) () =
+  let q = Queue.create () in
+  let sink =
+    { on_event =
+        (fun e ->
+          Queue.add e q;
+          if Queue.length q > capacity then ignore (Queue.pop q));
+      on_flush = (fun () -> ()) }
+  in
+  (sink, fun () -> List.of_seq (Queue.to_seq q))
+
+let buffer_sink b =
+  { on_event =
+      (fun e ->
+        Buffer.add_string b (json_of_event e);
+        Buffer.add_char b '\n');
+    on_flush = (fun () -> ()) }
+
+let channel_sink oc =
+  { on_event =
+      (fun e ->
+        output_string oc (json_of_event e);
+        output_char oc '\n');
+    on_flush = (fun () -> Stdlib.flush oc) }
+
+let log_src = Logs.Src.create "s2fa.telemetry" ~doc:"S2FA DSE trace events"
+
+let logs_sink ?(level = Logs.Debug) () =
+  { on_event =
+      (fun e ->
+        Logs.msg ~src:log_src level (fun m -> m "%a" pp_event e));
+    on_flush = (fun () -> ()) }

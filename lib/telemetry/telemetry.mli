@@ -1,0 +1,198 @@
+(** Virtual-clock telemetry for the DSE stack.
+
+    A deterministic observability layer: every event is stamped with the
+    emitting flow's {e simulated} minutes (the same virtual clock Fig. 3
+    plots) plus a monotonic sequence number — never the wall clock — so a
+    trace taken under a fixed RNG seed is bit-reproducible, byte for byte
+    of its JSONL encoding.
+
+    The tracer is opt-in everywhere (mirroring the [?db] threading of the
+    shared result database): instrumented code holds a [t option] and
+    emits nothing — not even an allocation — when tracing is off. Sinks
+    fan events out; three are built in: an in-memory ring ({!collector}),
+    a JSONL writer ({!buffer_sink} / {!channel_sink}) and a human-readable
+    {!logs_sink} over the [logs] library. A {!Metrics} registry rides on
+    the tracer and folds every event into counters, gauges and
+    fixed-bucket histograms as it passes through. *)
+
+(** Pipeline stages bracketed by {!Span_begin}/{!Span_end}. *)
+type stage = Parse | Typecheck | Bytecode | Decompile | Transform | Estimate
+
+val stage_name : stage -> string
+
+val stage_of_name : string -> stage option
+
+(** Why a partition's tuner stopped (the [partition_stop] payload). *)
+type stop_reason =
+  | Stop_time       (** The core ran out of simulated budget. *)
+  | Stop_exhausted  (** Shared-DB exhaustion guard: whole subspace proposed. *)
+  | Stop_entropy    (** Entropy criterion (Eq. 2) fired. *)
+  | Stop_trivial    (** Trivial consecutive-no-improvement criterion. *)
+
+val stop_reason_name : stop_reason -> string
+
+val stop_reason_of_name : string -> stop_reason option
+
+(** The typed trace-event vocabulary. Conventions: [partition = -1] marks
+    work outside any partition tuner (the offline rule-fitting samples);
+    [technique = ""] marks an evaluation not proposed by a search
+    technique (an injected seed, an offline sample). *)
+type kind =
+  | Run_begin of { flow : string; cores : int; time_limit : float }
+  | Run_end of { minutes : float; evals : int; best : float }
+      (** [best] is [infinity] when nothing feasible was found. *)
+  | Span_begin of stage
+  | Span_end of stage
+  | Eval_start of { cfg_key : string; partition : int; technique : string }
+  | Eval_done of {
+      cfg_key : string;
+      quality : float;        (** [infinity] when infeasible. *)
+      feasible : bool;
+      eval_minutes : float;   (** Simulated cost; [0.] on a cache hit. *)
+      cache_hit : bool;       (** Served by the shared result database. *)
+      partition : int;
+      technique : string;
+      improved : bool;        (** Strictly improved its tuner's best. *)
+    }
+  | Bandit_select of { arm : int; technique : string; scores : float array }
+      (** AUC exploitation scores of {e all} arms at selection time. *)
+  | Partition_start of {
+      partition : int;
+      core : int;
+      constrs : string;       (** Human-readable constraint conjunction. *)
+      points : float;         (** Cardinality of the sub-space. *)
+    }
+  | Partition_stop of {
+      partition : int;
+      core : int;
+      reason : stop_reason;
+      evals : int;            (** Evaluations this partition consumed. *)
+    }
+  | Entropy_sample of { partition : int; evaluated : int; entropy : float }
+  | Seed_injected of { cfg_key : string; partition : int }
+
+type event = {
+  e_seq : int;       (** Monotonic per tracer, gapless from 0. *)
+  e_minutes : float; (** Virtual minutes of the emitting core/flow. *)
+  e_kind : kind;
+}
+
+(** An event consumer. [on_flush] is called by {!flush} (end of run). *)
+type sink = { on_event : event -> unit; on_flush : unit -> unit }
+
+(** {1 Metrics registry}
+
+    String-named counters, gauges and fixed-bucket histograms. The
+    tracer updates a built-in set from the event stream (see
+    {!val:metrics}); instrumented code may also bump its own (e.g. the
+    Blaze dispatch counters). Snapshots are sorted by name, so they are
+    deterministic under a fixed seed. *)
+module Metrics : sig
+  type t
+
+  val create : unit -> t
+
+  val incr : ?by:int -> t -> string -> unit
+
+  val set_gauge : t -> string -> float -> unit
+
+  val observe : ?buckets:float array -> t -> string -> float -> unit
+  (** Add one observation to a histogram. [buckets] (ascending upper
+      bounds) takes effect on the histogram's first observation and is
+      ignored afterwards; the default is {!default_buckets}. *)
+
+  val default_buckets : float array
+
+  type histogram = {
+    h_buckets : float array;  (** Ascending upper bounds. *)
+    h_counts : int array;     (** One per bucket plus a final overflow. *)
+    h_count : int;
+    h_sum : float;
+  }
+
+  type snapshot = {
+    ms_counters : (string * int) list;        (** Sorted by name. *)
+    ms_gauges : (string * float) list;
+    ms_histograms : (string * histogram) list;
+  }
+
+  val snapshot : t -> snapshot
+
+  val counter : snapshot -> string -> int
+  (** [0] when absent. *)
+
+  val pp_snapshot : Format.formatter -> snapshot -> unit
+end
+
+(** {1 The tracer} *)
+
+type t
+
+val create : ?sinks:sink list -> unit -> t
+(** Sequence starts at 0, clock at 0.0, partition context at -1. *)
+
+val add_sink : t -> sink -> unit
+
+val metrics : t -> Metrics.t
+(** The registry this tracer folds its events into. *)
+
+val set_clock : t -> float -> unit
+(** Set the virtual minutes subsequent events are stamped with. Drivers
+    call this with the active core's clock before handing control to
+    instrumented code. *)
+
+val clock : t -> float
+
+val set_partition : t -> int -> unit
+(** Set the partition-id context lower layers (the tuner) stamp into
+    their events; -1 means "outside any partition". *)
+
+val partition : t -> int
+
+val emitted : t -> int
+(** Events emitted so far (the next sequence number). *)
+
+val emit : t -> kind -> unit
+(** Stamp with the current clock and next sequence number, fold into the
+    metrics registry, fan out to every sink. *)
+
+val flush : t -> unit
+
+val with_span : t option -> stage -> (unit -> 'a) -> 'a
+(** Bracket a computation with [Span_begin]/[Span_end]; just runs it
+    when the tracer is [None]. *)
+
+(** {1 Built-in sinks} *)
+
+val collector : ?capacity:int -> unit -> sink * (unit -> event list)
+(** In-memory ring: keeps the most recent [capacity] events (default
+    65536); the thunk returns them oldest first. *)
+
+val buffer_sink : Buffer.t -> sink
+(** JSONL: appends one {!json_of_event} line per event. *)
+
+val channel_sink : out_channel -> sink
+(** JSONL to a channel; [on_flush] flushes the channel (does not close
+    it). *)
+
+val logs_sink : ?level:Logs.level -> unit -> sink
+(** Human-readable lines through the [logs] library (source
+    ["s2fa.telemetry"], default level [Debug]). Silent unless the
+    application enables a reporter and the level — the default
+    [Logs] state prints nothing. *)
+
+val log_src : Logs.src
+
+(** {1 Serialization} *)
+
+val json_of_event : event -> string
+(** One JSON object, no trailing newline. Floats are printed with 17
+    significant digits, so parsing the line back yields bit-identical
+    values; non-finite floats are encoded as the strings ["inf"],
+    ["-inf"], ["nan"]. *)
+
+val event_of_json : string -> event option
+(** Inverse of {!json_of_event}; [None] on anything malformed. *)
+
+val pp_event : Format.formatter -> event -> unit
+(** The human-readable rendering the logs sink uses. *)

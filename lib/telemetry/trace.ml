@@ -1,0 +1,276 @@
+module T = Telemetry
+
+type t = { t_events : T.event list }
+
+let of_events evs =
+  { t_events =
+      List.sort (fun (a : T.event) b -> compare a.T.e_seq b.T.e_seq) evs }
+
+let events t = t.t_events
+
+let parse_lines lines =
+  let rec go i acc = function
+    | [] -> Ok (of_events (List.rev acc))
+    | line :: rest ->
+      let line = String.trim line in
+      if line = "" then go (i + 1) acc rest
+      else (
+        match T.event_of_json line with
+        | Some ev -> go (i + 1) (ev :: acc) rest
+        | None -> Error (Printf.sprintf "malformed trace line %d: %s" i line))
+  in
+  go 1 [] lines
+
+let load path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    let rec read acc =
+      match input_line ic with
+      | line -> read (line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let lines = read [] in
+    close_in ic;
+    parse_lines lines
+
+(* Best-so-far reconstruction. This mirrors Driver.best_curve operation
+   for operation (same sort, same fold, same comparisons) over the same
+   event sequence, so the floats come out bit-identical. *)
+let best_curve t =
+  let evals =
+    List.filter_map
+      (fun (e : T.event) ->
+        match e.T.e_kind with
+        | T.Eval_done d when d.partition >= 0 ->
+          Some (e.T.e_minutes, d.quality, d.feasible)
+        | _ -> None)
+      t.t_events
+  in
+  let sorted =
+    List.sort (fun (a, _, _) (b, _, _) -> compare a b) evals
+  in
+  let _, rev =
+    List.fold_left
+      (fun (best, acc) (minutes, perf, feasible) ->
+        if feasible && perf < best then (perf, (minutes, perf) :: acc)
+        else (best, acc))
+      (infinity, []) sorted
+  in
+  List.rev rev
+
+type occ_row = {
+  oc_partition : int;
+  oc_core : int;
+  oc_start : float;
+  oc_stop : float;
+  oc_evals : int;
+  oc_reason : T.stop_reason;
+}
+
+type attr_row = {
+  at_technique : string;
+  at_proposals : int;
+  at_wins : int;
+  at_best : float;
+}
+
+type replay = {
+  rp_flow : string;
+  rp_cores : int;
+  rp_limit : float;
+  rp_minutes : float;
+  rp_evals : int;
+  rp_offline : int;
+  rp_feasible : int;
+  rp_cache_hits : int;
+  rp_best : float;
+  rp_curve : (float * float) list;
+  rp_occupancy : occ_row list;
+  rp_attribution : attr_row list;
+  rp_entropy : (int * (float * float) list) list;
+}
+
+let replay t =
+  let flow = ref "?" and cores = ref 0 and limit = ref 0.0 in
+  let minutes = ref 0.0 in
+  let evals = ref 0 and offline = ref 0 in
+  let feasible = ref 0 and hits = ref 0 in
+  let best = ref infinity in
+  let starts = Hashtbl.create 16 in
+  let occ = ref [] in
+  let attr = Hashtbl.create 8 in
+  let entropy = Hashtbl.create 16 in
+  List.iter
+    (fun (e : T.event) ->
+      match e.T.e_kind with
+      | T.Run_begin r ->
+        flow := r.flow;
+        cores := r.cores;
+        limit := r.time_limit
+      | T.Run_end r -> minutes := r.minutes
+      | T.Eval_done d ->
+        if d.partition < 0 then incr offline
+        else begin
+          incr evals;
+          if d.feasible then incr feasible;
+          if d.cache_hit then incr hits;
+          if d.feasible && d.quality < !best then best := d.quality;
+          let tech = if d.technique = "" then "seed" else d.technique in
+          let p, w, b =
+            Option.value ~default:(0, 0, infinity) (Hashtbl.find_opt attr tech)
+          in
+          Hashtbl.replace attr tech
+            ( p + 1,
+              (if d.improved then w + 1 else w),
+              if d.feasible then Float.min b d.quality else b )
+        end
+      | T.Partition_start p ->
+        Hashtbl.replace starts p.partition (p.core, e.T.e_minutes)
+      | T.Partition_stop p ->
+        let core, start =
+          Option.value
+            ~default:(p.core, 0.0)
+            (Hashtbl.find_opt starts p.partition)
+        in
+        occ :=
+          { oc_partition = p.partition;
+            oc_core = core;
+            oc_start = start;
+            oc_stop = e.T.e_minutes;
+            oc_evals = p.evals;
+            oc_reason = p.reason }
+          :: !occ
+      | T.Entropy_sample s ->
+        let samples =
+          Option.value ~default:[] (Hashtbl.find_opt entropy s.partition)
+        in
+        Hashtbl.replace entropy s.partition
+          ((e.T.e_minutes, s.entropy) :: samples)
+      | _ -> ())
+    t.t_events;
+  { rp_flow = !flow;
+    rp_cores = !cores;
+    rp_limit = !limit;
+    rp_minutes = !minutes;
+    rp_evals = !evals;
+    rp_offline = !offline;
+    rp_feasible = !feasible;
+    rp_cache_hits = !hits;
+    rp_best = !best;
+    rp_curve = best_curve t;
+    rp_occupancy = List.rev !occ;
+    rp_attribution =
+      Hashtbl.fold
+        (fun tech (p, w, b) acc ->
+          { at_technique = tech; at_proposals = p; at_wins = w; at_best = b }
+          :: acc)
+        attr []
+      |> List.sort (fun a b ->
+             match compare b.at_wins a.at_wins with
+             | 0 -> (
+               match compare b.at_proposals a.at_proposals with
+               | 0 -> String.compare a.at_technique b.at_technique
+               | c -> c)
+             | c -> c);
+    rp_entropy =
+      Hashtbl.fold (fun p samples acc -> (p, List.rev samples) :: acc) entropy
+        []
+      |> List.sort (fun (a, _) (b, _) -> compare a b) }
+
+(* ---------- the s2fa trace report ---------- *)
+
+let gantt_width = 60
+
+(* One row per core: each partition paints its [start, stop] interval
+   with its id (0-9a-z, '#' beyond that); '.' is idle virtual time. *)
+let gantt ppf rp =
+  let horizon =
+    List.fold_left (fun m r -> Float.max m r.oc_stop) rp.rp_minutes
+      rp.rp_occupancy
+  in
+  if horizon > 0.0 && rp.rp_occupancy <> [] then begin
+    let cores =
+      1 + List.fold_left (fun m r -> max m r.oc_core) 0 rp.rp_occupancy
+    in
+    let rows = Array.init cores (fun _ -> Bytes.make gantt_width '.') in
+    let col m =
+      min (gantt_width - 1)
+        (int_of_float (m /. horizon *. float_of_int gantt_width))
+    in
+    let glyph p =
+      if p < 10 then Char.chr (Char.code '0' + p)
+      else if p < 36 then Char.chr (Char.code 'a' + p - 10)
+      else '#'
+    in
+    List.iter
+      (fun r ->
+        if r.oc_core < cores then
+          for i = col r.oc_start to col r.oc_stop do
+            Bytes.set rows.(r.oc_core) i (glyph r.oc_partition)
+          done)
+      rp.rp_occupancy;
+    Format.fprintf ppf
+      "gantt: virtual time 0..%.0fm, cells are partition ids@." horizon;
+    Array.iteri
+      (fun c row ->
+        Format.fprintf ppf "  core %2d |%s|@." c (Bytes.to_string row))
+      rows
+  end
+
+let print_report ppf t =
+  let rp = replay t in
+  let p fmt = Format.fprintf ppf fmt in
+  p "== trace summary ==@.";
+  p "flow %s on %d cores, budget %.0f virtual minutes@." rp.rp_flow
+    rp.rp_cores rp.rp_limit;
+  p "events %d; evaluations %d search + %d offline (%d feasible, %d cache \
+     hits)@."
+    (List.length t.t_events) rp.rp_evals rp.rp_offline rp.rp_feasible
+    rp.rp_cache_hits;
+  if rp.rp_best < infinity then
+    p "best quality %.6g s; run ended at %.1f virtual minutes@." rp.rp_best
+      rp.rp_minutes
+  else p "nothing feasible found; run ended at %.1fm@." rp.rp_minutes;
+  p "@.== best-so-far curve (replayed from eval_done events) ==@.";
+  List.iter (fun (m, q) -> p "  %8.1fm  %.6g@." m q) rp.rp_curve;
+  p "@.== per-partition core occupancy ==@.";
+  if rp.rp_occupancy = [] then p "  (no partition events in this trace)@."
+  else begin
+    p "  %4s %4s %8s %8s %6s  %s@." "part" "core" "start" "stop" "evals"
+      "stop reason";
+    List.iter
+      (fun r ->
+        p "  %4d %4d %7.1fm %7.1fm %6d  %s@." r.oc_partition r.oc_core
+          r.oc_start r.oc_stop r.oc_evals
+          (T.stop_reason_name r.oc_reason))
+      rp.rp_occupancy;
+    gantt ppf rp
+  end;
+  p "@.== per-technique win attribution ==@.";
+  p "  %-16s %10s %6s %12s@." "technique" "proposals" "wins" "best";
+  List.iter
+    (fun a ->
+      p "  %-16s %10d %6d %12s@." a.at_technique a.at_proposals a.at_wins
+        (if a.at_best < infinity then Printf.sprintf "%.6g" a.at_best
+         else "-"))
+    rp.rp_attribution;
+  p "@.== entropy-stop timeline ==@.";
+  if rp.rp_entropy = [] then p "  (no entropy samples in this trace)@."
+  else
+    List.iter
+      (fun (part, samples) ->
+        let stop =
+          List.find_opt (fun r -> r.oc_partition = part) rp.rp_occupancy
+        in
+        let last =
+          match List.rev samples with (_, e) :: _ -> e | [] -> 0.0
+        in
+        p "  part %2d: %3d samples, final entropy %.4f%s@." part
+          (List.length samples) last
+          (match stop with
+          | Some r ->
+            Printf.sprintf ", stopped @%.1fm (%s)" r.oc_stop
+              (T.stop_reason_name r.oc_reason)
+          | None -> ""))
+      rp.rp_entropy

@@ -1,0 +1,70 @@
+(** Trace consumers: everything here is reconstructed from the event
+    stream alone — no access to the run that produced it — so a JSONL
+    file written on one machine replays identically anywhere.
+
+    The flagship guarantee: {!best_curve} applied to a trace of a DSE
+    run equals [Driver.best_curve] of that run's [run_result] {e
+    exactly} (bit-identical floats), proven by [test/test_telemetry.ml]. *)
+
+type t
+(** A loaded trace: events in sequence order. *)
+
+val of_events : Telemetry.event list -> t
+(** Sorts by sequence number. *)
+
+val events : t -> Telemetry.event list
+
+val parse_lines : string list -> (t, string) result
+(** One JSONL line per event; [Error] names the first malformed line. *)
+
+val load : string -> (t, string) result
+(** Read a JSONL trace file. *)
+
+val best_curve : t -> (float * float) list
+(** Best-so-far quality over time, [(minutes, quality)] steps,
+    reconstructed from the search-phase [eval_done] events (offline
+    samples, marked [partition = -1], are excluded — they never consume
+    DSE wall-clock). Mirrors [Driver.best_curve] operation for
+    operation. *)
+
+(** One partition's occupancy of its virtual core. *)
+type occ_row = {
+  oc_partition : int;
+  oc_core : int;
+  oc_start : float;
+  oc_stop : float;
+  oc_evals : int;
+  oc_reason : Telemetry.stop_reason;
+}
+
+(** Per-technique win attribution. *)
+type attr_row = {
+  at_technique : string;  (** ["seed"] groups injected seeds. *)
+  at_proposals : int;
+  at_wins : int;          (** Proposals that improved their tuner's best. *)
+  at_best : float;        (** Best quality this technique reached. *)
+}
+
+(** Everything {!replay} reconstructs. *)
+type replay = {
+  rp_flow : string;
+  rp_cores : int;
+  rp_limit : float;
+  rp_minutes : float;          (** From [run_end]; 0 when absent. *)
+  rp_evals : int;              (** Search-phase evaluations. *)
+  rp_offline : int;            (** Offline sampling evaluations. *)
+  rp_feasible : int;
+  rp_cache_hits : int;
+  rp_best : float;             (** [infinity] when nothing feasible. *)
+  rp_curve : (float * float) list;
+  rp_occupancy : occ_row list; (** In partition-start order. *)
+  rp_attribution : attr_row list;  (** Sorted by wins, then proposals. *)
+  rp_entropy : (int * (float * float) list) list;
+      (** Per partition: [(minutes, entropy)] samples in time order. *)
+}
+
+val replay : t -> replay
+
+val print_report : Format.formatter -> t -> unit
+(** The [s2fa trace] rendering: summary, best-so-far curve, Gantt-style
+    core occupancy, per-technique attribution, entropy-stop timeline. *)

@@ -1,5 +1,6 @@
 module Rng = S2fa_util.Rng
 module Stats = S2fa_util.Stats
+module Telemetry = S2fa_telemetry.Telemetry
 
 type eval_result = Resultdb.eval_result = {
   e_perf : float;
@@ -15,6 +16,8 @@ type outcome = {
   o_feasible : bool;
   o_minutes : float;
   o_improved : bool;
+  o_technique : string;
+  o_cache_hit : bool;
 }
 
 type stop_rule =
@@ -45,9 +48,13 @@ type t = {
   mutable entropy_trace : float list;  (* newest first *)
   mutable no_improve_streak : int;
   mutable history : (int * float * float) list;  (* newest first *)
+  trace : Telemetry.t option;
+      (* Telemetry is read-only observation: it never draws from [rng] or
+         touches the objective, so a traced and an untraced tuner under
+         the same seed walk identical trajectories. *)
 }
 
-let create ?(seeds = []) ?techniques ?db space objective rng =
+let create ?(seeds = []) ?techniques ?db ?trace space objective rng =
   let techniques =
     match techniques with
     | Some ts -> Array.of_list ts
@@ -57,7 +64,11 @@ let create ?(seeds = []) ?techniques ?db space objective rng =
     objective;
     rng;
     techniques;
-    bandit = Bandit.create (Array.length techniques);
+    bandit =
+      Bandit.create ?trace
+        ~names:
+          (Array.to_list (Array.map (fun t -> t.Technique.name) techniques))
+        (Array.length techniques);
     db;
     seen = Hashtbl.create 64;
     pending_seeds = seeds;
@@ -67,7 +78,8 @@ let create ?(seeds = []) ?techniques ?db space objective rng =
     uphill_counts = Hashtbl.create 16;
     entropy_trace = [ 0.0 ];
     no_improve_streak = 0;
-    history = [] }
+    history = [];
+    trace }
 
 let best t = t.best
 
@@ -82,8 +94,13 @@ let exhausted t =
    lookup (zero simulated minutes), not another HLS run. *)
 let evaluate t cfg =
   match t.db with
-  | None -> t.objective cfg
-  | Some db -> Resultdb.memoize db t.objective cfg
+  | None -> (t.objective cfg, false)
+  | Some db ->
+    (* [peek] is the uncounted raw accessor, so asking whether this will
+       be a hit leaves the database counters (and hence every report)
+       exactly as they were. *)
+    let hit = Resultdb.peek db cfg <> None in
+    (Resultdb.memoize db t.objective cfg, hit)
 
 let current_entropy t =
   let counts =
@@ -113,7 +130,7 @@ let propose t =
     in
     attempt 0
 
-let record t cfg (r : eval_result) arm =
+let record t cfg (r : eval_result) arm cache_hit =
   t.evaluated <- t.evaluated + 1;
   let improved =
     r.e_feasible
@@ -139,11 +156,41 @@ let record t cfg (r : eval_result) arm =
     Array.iter (fun tech -> tech.Technique.feedback cfg r.e_perf) t.techniques);
   let best_so_far = match t.best with Some (_, b) -> b | None -> infinity in
   t.history <- (t.evaluated, r.e_perf, best_so_far) :: t.history;
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Telemetry.emit tr
+      (Telemetry.Entropy_sample
+         { partition = Telemetry.partition tr;
+           evaluated = t.evaluated;
+           entropy = (match t.entropy_trace with e :: _ -> e | [] -> 0.0) }));
   { o_cfg = cfg;
     o_perf = r.e_perf;
     o_feasible = r.e_feasible;
     o_minutes = r.e_minutes;
-    o_improved = improved }
+    o_improved = improved;
+    o_technique =
+      (match arm with Some a -> t.techniques.(a).Technique.name | None -> "");
+    o_cache_hit = cache_hit }
+
+(* Trace a proposal as it enters measurement: seeds announce themselves
+   (they bypass the bandit), then every evaluation gets an [eval_start]. *)
+let trace_proposal t cfg arm =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    let partition = Telemetry.partition tr in
+    let key = Space.key cfg in
+    if arm = None then
+      Telemetry.emit tr (Telemetry.Seed_injected { cfg_key = key; partition });
+    Telemetry.emit tr
+      (Telemetry.Eval_start
+         { cfg_key = key;
+           partition;
+           technique =
+             (match arm with
+             | Some a -> t.techniques.(a).Technique.name
+             | None -> "") })
 
 let step_batch t k =
   (* Propose the whole batch first: no proposal sees the results of its
@@ -153,19 +200,21 @@ let step_batch t k =
         let cfg, arm = propose t in
         let cfg = Space.normalize cfg in
         Hashtbl.replace t.seen (Space.key cfg) ();
+        trace_proposal t cfg arm;
         (cfg, arm))
   in
   let measured =
     List.map (fun (cfg, arm) -> (cfg, arm, evaluate t cfg)) proposals
   in
-  List.map (fun (cfg, arm, r) -> record t cfg r arm) measured
+  List.map (fun (cfg, arm, (r, hit)) -> record t cfg r arm hit) measured
 
 let step t =
   let cfg, arm = propose t in
   let cfg = Space.normalize cfg in
   Hashtbl.replace t.seen (Space.key cfg) ();
-  let r = evaluate t cfg in
-  record t cfg r arm
+  trace_proposal t cfg arm;
+  let r, hit = evaluate t cfg in
+  record t cfg r arm hit
 
 let should_stop t = function
   | No_stop -> false

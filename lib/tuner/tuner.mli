@@ -23,6 +23,12 @@ type outcome = {
   o_feasible : bool;
   o_minutes : float;
   o_improved : bool;  (** Strictly improved the best-so-far. *)
+  o_technique : string;
+      (** Name of the technique that proposed this point; [""] for seeds
+          (they bypass the bandit). *)
+  o_cache_hit : bool;
+      (** The evaluation was served from the shared result database
+          (always [false] without a [db]). *)
 }
 
 (** Stopping criteria (Section 4.3.3). *)
@@ -41,6 +47,7 @@ val create :
   ?seeds:Space.cfg list ->
   ?techniques:Technique.t list ->
   ?db:Resultdb.t ->
+  ?trace:S2fa_telemetry.Telemetry.t ->
   Space.space ->
   objective ->
   Rng.t ->
@@ -54,7 +61,14 @@ val create :
     de-duplication remains tuner-local: sharing a database never changes
     which points a tuner proposes, only what duplicates cost. Without
     [db] the tuner evaluates the objective directly (the seed
-    behaviour). *)
+    behaviour).
+
+    [trace] attaches a telemetry tracer: proposals emit [eval_start]
+    (seeds additionally [seed_injected]), each recorded outcome emits an
+    [entropy_sample], and the bandit emits [bandit_select] per
+    selection. Tracing is read-only observation — it never draws from
+    the RNG nor touches the objective, so traced and untraced tuners
+    under the same seed walk identical trajectories. *)
 
 val step : t -> outcome
 (** Evaluate the next design point (seeds first). *)

@@ -33,8 +33,10 @@ val all : t list
 
 val find : string -> t option
 
-val compile : t -> S2fa_core.S2fa.compiled
-(** Convenience wrapper setting the capacities. *)
+val compile :
+  ?trace:S2fa_telemetry.Telemetry.t -> t -> S2fa_core.S2fa.compiled
+(** Convenience wrapper setting the capacities; [trace] records the
+    compile-stage spans as in {!S2fa_core.S2fa.compile}. *)
 
 (** Helpers for building JVM values (shared with tests). *)
 

@@ -57,6 +57,42 @@ let test_dse_shared_db () =
   in
   Alcotest.(check bool) "prints cache stats" true (contains out "# cache:")
 
+let test_dse_trace_and_replay () =
+  let trace_file = Filename.temp_file "s2fa_cli" ".jsonl" in
+  let out =
+    check_ok "dse --trace"
+      (Printf.sprintf "dse -w KMeans --minutes 20 --seed 3 --trace %s"
+         trace_file)
+  in
+  Alcotest.(check bool) "notes the trace file" true (contains out "# trace:");
+  let ic = open_in trace_file in
+  let n = in_channel_length ic in
+  let first = input_line ic in
+  close_in ic;
+  Alcotest.(check bool) "trace file non-empty" true (n > 0);
+  Alcotest.(check bool) "JSONL events" true (contains first "\"ev\":");
+  (* Feed the trace back through the replay subcommand. *)
+  let rep = check_ok "trace" ("trace " ^ trace_file) in
+  Sys.remove trace_file;
+  List.iter
+    (fun section ->
+      Alcotest.(check bool) ("report has " ^ section) true
+        (contains rep section))
+    [ "== trace summary ==";
+      "== best-so-far curve";
+      "== per-partition core occupancy ==";
+      "== per-technique win attribution ==";
+      "== entropy-stop timeline ==" ]
+
+let test_trace_rejects_garbage () =
+  let bad = Filename.temp_file "s2fa_cli" ".jsonl" in
+  let oc = open_out bad in
+  output_string oc "not json at all\n";
+  close_out oc;
+  let code, _ = run ("trace " ^ bad) in
+  Sys.remove bad;
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
 let test_cache () =
   let out = check_ok "cache" "cache -w KMeans --minutes 30 --seed 3" in
   Alcotest.(check bool) "reports DB equivalence" true
@@ -78,6 +114,10 @@ let () =
           Alcotest.test_case "compile --design" `Quick test_compile_with_design;
           Alcotest.test_case "dse" `Quick test_dse;
           Alcotest.test_case "dse --shared-db" `Quick test_dse_shared_db;
+          Alcotest.test_case "dse --trace + trace" `Quick
+            test_dse_trace_and_replay;
+          Alcotest.test_case "trace rejects garbage" `Quick
+            test_trace_rejects_garbage;
           Alcotest.test_case "cache" `Quick test_cache;
           Alcotest.test_case "report" `Quick test_report;
           Alcotest.test_case "unknown kernel" `Quick test_bad_kernel_fails ] ) ]

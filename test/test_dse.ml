@@ -241,14 +241,19 @@ let test_best_curve_monotone () =
 
 let test_best_at () =
   let r =
-    { Driver.rr_events =
-        [ { Driver.ev_minutes = 10.0; ev_perf = 5.0; ev_feasible = true };
-          { Driver.ev_minutes = 20.0; ev_perf = 2.0; ev_feasible = true };
-          { Driver.ev_minutes = 30.0; ev_perf = 9.0; ev_feasible = true } ];
+    let ev minutes perf =
+      { Driver.ev_minutes = minutes;
+        ev_perf = perf;
+        ev_feasible = true;
+        ev_partition = 0;
+        ev_technique = "" }
+    in
+    { Driver.rr_events = [ ev 10.0 5.0; ev 20.0 2.0; ev 30.0 9.0 ];
       rr_best = None;
       rr_minutes = 30.0;
       rr_evals = 3;
-      rr_cache = None }
+      rr_cache = None;
+      rr_metrics = None }
   in
   Alcotest.(check (float 1e-9)) "before anything" infinity
     (Driver.best_at r 5.0);
