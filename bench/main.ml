@@ -12,7 +12,8 @@
      [F4]  Fig. 4   - speedups over the JVM, manual vs S2FA designs
      [A1..A3]       - ablations: partitioning, seeds, stopping criteria
      [BENCH]        - Bechamel throughput of each pipeline stage
-     [TRACE]        - telemetry overhead: off / collector / JSONL sink *)
+     [TRACE]        - telemetry overhead: off / collector / JSONL sink
+     [FAULT]        - fault-injector overhead and virtual-minutes bill *)
 
 module W = S2fa_workloads.Workloads
 module S2fa = S2fa_core.S2fa
@@ -26,6 +27,7 @@ module E = S2fa_hls.Estimate
 module Stats = S2fa_util.Stats
 module Rng = S2fa_util.Rng
 module Telemetry = S2fa_telemetry.Telemetry
+module Fault = S2fa_fault.Fault
 
 let fig3_seeds = [ 1; 7; 13 ]
 
@@ -547,6 +549,59 @@ let telemetry_overhead () =
   in
   run_bechamel tests
 
+(* ------------------------------------------------------------------ *)
+(* Fault-injection overhead: the same small DSE with the injector off
+   vs a 5% crash / 2% hang schedule, plus the virtual-minutes bill *)
+(* ------------------------------------------------------------------ *)
+
+let fault_overhead () =
+  section "FAULT" "Bechamel - fault injector overhead on a small KMeans DSE";
+  Printf.printf
+    "injector-off vs crash=0.05,hang=0.02: the wall-clock delta is the \
+     retry machinery; faults cost virtual minutes, not host time:\n";
+  let open Bechamel in
+  let w = Option.get (W.find "KMeans") in
+  let c = List.assoc w compiled in
+  let opts =
+    { Driver.default_s2fa_opts with
+      Driver.so_time_limit = 20.0;
+      so_samples = 16 }
+  in
+  let spec =
+    match Fault.parse_spec "crash=0.05,hang=0.02" with
+    | Ok s -> s
+    | Error m -> failwith m
+  in
+  let run ?faults () =
+    S2fa.explore ~opts ~tasks:w.W.w_tasks ?faults c (Rng.create 7)
+  in
+  let tests =
+    [ Test.make ~name:"faults.off" (Staged.stage (fun () -> run ()));
+      Test.make ~name:"faults.crash5-hang2"
+        (Staged.stage (fun () ->
+             run ~faults:(Fault.create ~seed:7 spec) ())) ]
+  in
+  run_bechamel tests;
+  (* The virtual-clock side of the bill: minutes lost per failure class
+     on one representative faulted run. *)
+  let clean = run () in
+  let inj = Fault.create ~seed:7 spec in
+  let faulted = run ~faults:inj () in
+  let st = Fault.stats inj in
+  Printf.printf "\nvirtual-minutes bill (seed 7, 20-minute budget):\n";
+  Printf.printf "  %-12s %10s %14s\n" "class" "injected" "minutes lost";
+  List.iter2
+    (fun (cls, n) (_, lost) ->
+      Printf.printf "  %-12s %10d %14.1f\n" cls n lost)
+    st.Fault.st_injected st.Fault.st_lost;
+  Printf.printf "  retries %d (+%.1f min backoff), quarantined %d\n"
+    st.Fault.st_retries st.Fault.st_backoff st.Fault.st_quarantined;
+  Printf.printf
+    "  DSE clock: %.1f min clean vs %.1f min faulted; best %.6f vs %.6f s\n"
+    clean.Driver.rr_minutes faulted.Driver.rr_minutes
+    (match clean.Driver.rr_best with Some (_, q) -> q | None -> infinity)
+    (match faulted.Driver.rr_best with Some (_, q) -> q | None -> infinity)
+
 let () =
   Printf.printf
     "S2FA reproduction - experiment harness (simulated Amazon F1, VU9P)\n%!";
@@ -562,4 +617,5 @@ let () =
   ablation_larger_fpga ();
   bechamel_bench ();
   telemetry_overhead ();
+  fault_overhead ();
   Printf.printf "\ndone.\n"

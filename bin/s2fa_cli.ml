@@ -3,7 +3,9 @@
      s2fa list
      s2fa compile  (-w KERNEL | -f FILE) [--design seed]
      s2fa dse      -w KERNEL [--mode s2fa|vanilla] [--seed N] [--minutes M]
-                   [--shared-db] [--trace FILE]
+                   [--shared-db] [--trace FILE] [--faults SPEC]
+                   [--checkpoint FILE] [--ck-every M]
+     s2fa resume   FILE                     (recover a --checkpoint snapshot)
      s2fa trace    FILE                     (replay a --trace JSONL file)
      s2fa cache    -w KERNEL [--seed N] [--minutes M]  (result-DB stats)
      s2fa report   -w KERNEL [--seed N]     (Table-2-style row)
@@ -21,6 +23,7 @@ module Resultdb = S2fa_tuner.Resultdb
 module Rng = S2fa_util.Rng
 module Telemetry = S2fa_telemetry.Telemetry
 module Trace = S2fa_telemetry.Trace
+module Fault = S2fa_fault.Fault
 open Cmdliner
 
 let workload_arg =
@@ -158,6 +161,35 @@ let bytecode_cmd =
 
 (* ---------- dse ---------- *)
 
+(* --faults SPEC plumbing: parse, validate, and seed the injector with
+   the DSE seed so the schedule is reproducible. *)
+let make_injector ~seed spec_str =
+  match Fault.parse_spec spec_str with
+  | Ok spec -> Fault.create ~seed spec
+  | Error m ->
+    Printf.eprintf "bad --faults spec: %s\n" m;
+    exit 1
+
+(* Shared by `dse` and `resume`: curve, best line, cache and fault
+   footers. `resume` diffs the best line against the uninterrupted run. *)
+let print_dse_result result =
+  Printf.printf "# best-so-far curve (simulated minutes, seconds)\n";
+  List.iter
+    (fun (m, p) -> Printf.printf "%8.1f  %.6f\n" m p)
+    (Driver.best_curve result);
+  (match result.Driver.rr_best with
+  | Some (cfg, perf) ->
+    Printf.printf "# best %.6f s after %.0f min and %d evaluations\n" perf
+      result.Driver.rr_minutes result.Driver.rr_evals;
+    Format.printf "# %a@." S2fa_tuner.Space.pp_cfg cfg
+  | None -> Printf.printf "# nothing feasible found\n");
+  (match result.Driver.rr_cache with
+  | Some s -> Format.printf "# cache: %a@." Resultdb.pp_snapshot s
+  | None -> ());
+  match result.Driver.rr_fault with
+  | Some st -> Format.printf "# faults: %a@." Fault.pp_stats st
+  | None -> ()
+
 let dse_cmd =
   let mode_arg =
     let doc = "Exploration flow: s2fa or vanilla." in
@@ -181,36 +213,71 @@ let dse_cmd =
     in
     Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
   in
-  let run workload file mode seed minutes shared_db trace_file =
+  let faults_arg =
+    let doc =
+      "Inject seeded tool failures, e.g. crash=0.05,hang=0.02,timeout=45 \
+       (keys: crash, hang, transient, core_loss, timeout, retries, \
+       backoff). Same seed and spec reproduce the same fault schedule."
+    in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~docv:"SPEC" ~doc)
+  in
+  let checkpoint_arg =
+    let doc =
+      "Write a JSONL checkpoint of the DSE state, replaced every \
+       --ck-every virtual minutes; recover it with `s2fa resume FILE`."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let ck_every_arg =
+    let doc = "Virtual minutes between checkpoint snapshots." in
+    Arg.(value & opt float 30.0 & info [ "ck-every" ] ~docv:"MINUTES" ~doc)
+  in
+  let run workload file mode seed minutes shared_db trace_file fault_spec
+      ck_file ck_every =
     let tracer = Option.map make_tracer trace_file in
     let trace = Option.map fst tracer in
     let _, c = compiled_of ?trace ~workload ~file () in
     let rng = Rng.create seed in
     let db = if shared_db then Some (Resultdb.create ()) else None in
+    let faults = Option.map (make_injector ~seed) fault_spec in
+    let checkpoint =
+      Option.map
+        (fun path ->
+          (* Everything `s2fa resume` needs to rebuild this run. *)
+          let meta =
+            List.concat
+              [ (match workload with Some w -> [ ("workload", w) ] | None -> []);
+                (match file with Some f -> [ ("file", f) ] | None -> []);
+                [ ("seed", string_of_int seed);
+                  ("minutes", string_of_float minutes);
+                  ("shared_db", string_of_bool shared_db) ];
+                (match fault_spec with
+                | Some _ ->
+                  [ ("faults",
+                     Fault.spec_string (Fault.spec (Option.get faults))) ]
+                | None -> []) ]
+          in
+          Driver.checkpoint_to ~meta ~every:ck_every path)
+        ck_file
+    in
     let result =
       match mode with
       | "s2fa" ->
         let opts =
           { Driver.default_s2fa_opts with Driver.so_time_limit = minutes }
         in
-        S2fa.explore ~opts ?db ?trace c rng
-      | "vanilla" -> S2fa.explore_vanilla ~time_limit:minutes ?db ?trace c rng
+        S2fa.explore ~opts ?db ?trace ?faults ?checkpoint c rng
+      | "vanilla" ->
+        S2fa.explore_vanilla ~time_limit:minutes ?db ?trace ?faults
+          ?checkpoint c rng
       | other ->
         Printf.eprintf "unknown mode %s\n" other;
         exit 1
     in
-    Printf.printf "# best-so-far curve (simulated minutes, seconds)\n";
-    List.iter
-      (fun (m, p) -> Printf.printf "%8.1f  %.6f\n" m p)
-      (Driver.best_curve result);
-    (match result.Driver.rr_best with
-    | Some (cfg, perf) ->
-      Printf.printf "# best %.6f s after %.0f min and %d evaluations\n" perf
-        result.Driver.rr_minutes result.Driver.rr_evals;
-      Format.printf "# %a@." S2fa_tuner.Space.pp_cfg cfg
-    | None -> Printf.printf "# nothing feasible found\n");
-    (match result.Driver.rr_cache with
-    | Some s -> Format.printf "# cache: %a@." Resultdb.pp_snapshot s
+    print_dse_result result;
+    (match ck_file with
+    | Some path -> Printf.printf "# checkpoint: %s\n" path
     | None -> ());
     match (tracer, trace_file) with
     | Some (tr, oc), Some path ->
@@ -222,7 +289,63 @@ let dse_cmd =
     (Cmd.info "dse" ~doc:"Run design-space exploration on a kernel.")
     Term.(
       const run $ workload_arg $ file_arg $ mode_arg $ seed_arg $ minutes_arg
-      $ shared_db_arg $ trace_arg)
+      $ shared_db_arg $ trace_arg $ faults_arg $ checkpoint_arg
+      $ ck_every_arg)
+
+(* ---------- resume ---------- *)
+
+let resume_cmd =
+  let ck_file_arg =
+    let doc = "Checkpoint written by `s2fa dse --checkpoint`." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"CHECKPOINT" ~doc)
+  in
+  let run path =
+    match Driver.load_checkpoint path with
+    | Error m ->
+      Printf.eprintf "%s\n" m;
+      exit 1
+    | Ok snapshot ->
+      let meta k = List.assoc_opt k snapshot.Driver.ck_meta in
+      let workload = meta "workload" in
+      let file = meta "file" in
+      let seed =
+        match meta "seed" with Some s -> int_of_string s | None -> 7
+      in
+      let minutes =
+        match meta "minutes" with Some s -> float_of_string s | None -> 240.0
+      in
+      let shared_db = meta "shared_db" = Some "true" in
+      let faults = Option.map (make_injector ~seed) (meta "faults") in
+      let _, c = compiled_of ~workload ~file () in
+      let rng = Rng.create seed in
+      let db = if shared_db then Some (Resultdb.create ()) else None in
+      let opts =
+        { Driver.default_s2fa_opts with Driver.so_time_limit = minutes }
+      in
+      let checkpoint =
+        (* Keep refreshing the same file past the recovered snapshot. *)
+        Driver.checkpoint_to ~meta:snapshot.Driver.ck_meta
+          ~every:snapshot.Driver.ck_every path
+      in
+      (match
+         S2fa.resume ~opts ?db ?faults ~checkpoint ~snapshot c rng
+       with
+      | Error m ->
+        Printf.eprintf "%s\n" m;
+        exit 1
+      | Ok result ->
+        Printf.printf "# resumed %s flow from %s at %.1f virtual minutes\n"
+          snapshot.Driver.ck_flow path snapshot.Driver.ck_minutes;
+        print_dse_result result)
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:
+         "Recover a DSE from a checkpoint file: replay the recorded \
+          configuration deterministically, validate the regenerated state \
+          byte-for-byte against the snapshot, and run to completion. The \
+          final best is bit-identical to an uninterrupted run's.")
+    Term.(const run $ ck_file_arg)
 
 (* ---------- trace ---------- *)
 
@@ -363,4 +486,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; compile_cmd; echo_cmd; bytecode_cmd; dse_cmd;
-            trace_cmd; cache_cmd; report_cmd; speedup_cmd ]))
+            resume_cmd; trace_cmd; cache_cmd; report_cmd; speedup_cmd ]))

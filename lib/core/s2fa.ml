@@ -152,13 +152,19 @@ let objective ?(tasks = 4096) ?db ?trace c cfg =
     e_feasible = r.Estimate.r_feasible;
     e_minutes = r.Estimate.r_eval_minutes }
 
-let explore ?opts ?tasks ?db ?trace c rng =
-  Driver.run_s2fa ?opts ?db ?trace c.c_dspace
+let explore ?opts ?tasks ?db ?trace ?faults ?checkpoint c rng =
+  Driver.run_s2fa ?opts ?db ?trace ?faults ?checkpoint c.c_dspace
     (objective ?tasks ?db ?trace c) rng
 
-let explore_vanilla ?time_limit ?tasks ?db ?trace c rng =
-  Driver.run_vanilla ?time_limit ?db ?trace c.c_dspace
+let explore_vanilla ?time_limit ?tasks ?db ?trace ?faults ?checkpoint c rng =
+  Driver.run_vanilla ?time_limit ?db ?trace ?faults ?checkpoint c.c_dspace
     (objective ?tasks ?db ?trace c) rng
+
+let resume ?opts ?tasks ?db ?trace ?faults ?checkpoint ~snapshot c rng =
+  Driver.resume_from_checkpoint ?opts ?db ?trace ?faults ?checkpoint ~snapshot
+    c.c_dspace
+    (objective ?tasks ?db ?trace c)
+    rng
 
 let accel_id (cls : Insn.cls) =
   match List.assoc_opt "id" cls.Insn.jconsts with

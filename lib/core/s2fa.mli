@@ -78,7 +78,8 @@ val objective :
 
 val explore :
   ?opts:Driver.s2fa_opts -> ?tasks:int -> ?db:Resultdb.t ->
-  ?trace:Telemetry.t -> compiled -> Rng.t -> Driver.run_result
+  ?trace:Telemetry.t -> ?faults:S2fa_fault.Fault.t ->
+  ?checkpoint:Driver.ck_opts -> compiled -> Rng.t -> Driver.run_result
 (** Run the full S2FA DSE flow. With [db], all partitions, techniques and
     the offline sampling pass share one result database: duplicate design
     points cost a zero-minute lookup instead of a simulated HLS run, with
@@ -87,13 +88,26 @@ val explore :
     {!Driver.run_result.rr_cache}. With [trace], the run is recorded as
     a structured event stream (see {!Driver.run_s2fa}) and the metrics
     snapshot lands in {!Driver.run_result.rr_metrics}; tracing never
-    changes the search trajectory. *)
+    changes the search trajectory. With [faults], every search-phase
+    evaluation runs behind the injector's retry/backoff/quarantine
+    policy ({!Driver.run_s2fa}); [checkpoint] snapshots the run
+    periodically for {!resume}. *)
 
 val explore_vanilla :
   ?time_limit:float -> ?tasks:int -> ?db:Resultdb.t ->
-  ?trace:Telemetry.t -> compiled -> Rng.t -> Driver.run_result
-(** Run the vanilla-OpenTuner baseline (same [db] and [trace] semantics
-    as {!explore}). *)
+  ?trace:Telemetry.t -> ?faults:S2fa_fault.Fault.t ->
+  ?checkpoint:Driver.ck_opts -> compiled -> Rng.t -> Driver.run_result
+(** Run the vanilla-OpenTuner baseline (same [db], [trace], [faults]
+    and [checkpoint] semantics as {!explore}). *)
+
+val resume :
+  ?opts:Driver.s2fa_opts -> ?tasks:int -> ?db:Resultdb.t ->
+  ?trace:Telemetry.t -> ?faults:S2fa_fault.Fault.t ->
+  ?checkpoint:Driver.ck_opts -> snapshot:Driver.ck -> compiled -> Rng.t ->
+  (Driver.run_result, string) result
+(** {!Driver.resume_from_checkpoint} with this kernel's objective: the
+    replay-based recovery that re-runs the snapshot's flow and
+    validates the regenerated state byte for byte against it. *)
 
 val make_accelerator :
   ?design:Space.cfg -> compiled -> fields:(string * Interp.value) list ->

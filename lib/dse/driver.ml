@@ -3,6 +3,8 @@ module Tuner = S2fa_tuner.Tuner
 module Resultdb = S2fa_tuner.Resultdb
 module Rng = S2fa_util.Rng
 module Telemetry = S2fa_telemetry.Telemetry
+module Fault = S2fa_fault.Fault
+module Json = S2fa_telemetry.Telemetry.Json
 
 type event = {
   ev_minutes : float;
@@ -19,6 +21,7 @@ type run_result = {
   rr_evals : int;
   rr_cache : Resultdb.snapshot option;
   rr_metrics : Telemetry.Metrics.snapshot option;
+  rr_fault : Fault.stats option;
 }
 
 (* Shared-result-database plumbing, common to the three flows. [wrap]
@@ -115,6 +118,293 @@ let trace_finish trace ~minutes ~evals ~best =
     Telemetry.flush tr;
     Some (Telemetry.Metrics.snapshot (Telemetry.metrics tr))
 
+(* ---------- fault-injection plumbing ---------- *)
+
+(* The search objective behind the injector's retry/backoff/quarantine
+   policy. The wrapper stamps the config key and the tracer's current
+   partition context onto the injector's retry-loop events; with no
+   injector (or a zero-rate one, which makes no RNG draws) it is the
+   raw objective, which is what proves fault-free ≡ no injector. *)
+let fault_objective faults trace objective =
+  match faults with
+  | None -> objective
+  | Some inj ->
+    fun cfg ->
+      let on_event =
+        match trace with
+        | None -> fun _ -> ()
+        | Some tr ->
+          let cfg_key = Space.key cfg in
+          let partition = Telemetry.partition tr in
+          fun (e : Fault.event) ->
+            Telemetry.emit tr
+              (match e with
+              | Fault.Injected i ->
+                Telemetry.Fault_injected
+                  { cfg_key;
+                    partition;
+                    failure = Fault.failure_name i.failure;
+                    lost_minutes = i.lost_minutes;
+                    attempt = i.attempt }
+              | Fault.Retried r ->
+                Telemetry.Eval_retry
+                  { cfg_key;
+                    partition;
+                    attempt = r.attempt;
+                    backoff_minutes = r.backoff_minutes }
+              | Fault.Gave_up g ->
+                Telemetry.Quarantined
+                  { cfg_key;
+                    partition;
+                    attempts = g.attempts;
+                    lost_minutes = g.lost_minutes })
+      in
+      Fault.harden inj ~on_event objective cfg
+
+(* Mark [n] simulated cores dead: the core that ran the faulted
+   evaluation first, then (for simultaneous losses) the highest-indexed
+   survivors — a deterministic choice. *)
+let kill_cores ?trace alive ~clock ~first ~partition n =
+  let killed = ref 0 in
+  let kill c part =
+    if c >= 0 && c < Array.length alive && alive.(c) then begin
+      alive.(c) <- false;
+      incr killed;
+      match trace with
+      | None -> ()
+      | Some tr ->
+        Telemetry.set_clock tr clock;
+        Telemetry.emit tr (Telemetry.Core_lost { core = c; partition = part })
+    end
+  in
+  if n > 0 then kill first partition;
+  let c = ref (Array.length alive - 1) in
+  while !killed < n && !c >= 0 do
+    if alive.(!c) then kill !c (-1);
+    decr c
+  done
+
+(* ---------- checkpointing ---------- *)
+
+type ck_tuner = {
+  ct_partition : int;
+  ct_evaluated : int;
+  ct_best : float;
+  ct_entropy : float;
+}
+
+type ck = {
+  ck_flow : string;
+  ck_every : float;
+  ck_minutes : float;
+  ck_evals : int;
+  ck_best : (string * float) option;
+  ck_core_time : float array;
+  ck_db : (string * Resultdb.eval_result) list;
+  ck_tuners : ck_tuner list;
+  ck_meta : (string * string) list;
+}
+
+(* The snapshot reuses the trace encoding's float contract (17
+   significant digits, quoted non-finite values), so serializing the
+   regenerated state of a deterministic re-run reproduces the stored
+   file byte for byte — which is exactly how resume validation works. *)
+let ck_lines ck =
+  let header =
+    Printf.sprintf
+      "{\"ck\":\"header\",\"flow\":%s,\"every\":%s,\"min\":%s,\"evals\":%d%s,\"cores\":[%s]}"
+      (Json.quote ck.ck_flow) (Json.fstr ck.ck_every) (Json.fstr ck.ck_minutes)
+      ck.ck_evals
+      (match ck.ck_best with
+      | None -> ""
+      | Some (k, q) ->
+        Printf.sprintf ",\"best\":%s,\"bestq\":%s" (Json.quote k) (Json.fstr q))
+      (String.concat ","
+         (Array.to_list (Array.map Json.fstr ck.ck_core_time)))
+  in
+  let meta =
+    List.map
+      (fun (k, v) ->
+        Printf.sprintf "{\"ck\":\"meta\",\"k\":%s,\"v\":%s}" (Json.quote k)
+          (Json.quote v))
+      ck.ck_meta
+  in
+  let dbl =
+    List.map
+      (fun (key, (r : Resultdb.eval_result)) ->
+        Printf.sprintf "{\"ck\":\"db\",\"cfg\":%s,\"q\":%s,\"feas\":%b,\"emin\":%s}"
+          (Json.quote key) (Json.fstr r.Resultdb.e_perf) r.Resultdb.e_feasible
+          (Json.fstr r.Resultdb.e_minutes))
+      ck.ck_db
+  in
+  let tl =
+    List.map
+      (fun t ->
+        Printf.sprintf
+          "{\"ck\":\"tuner\",\"part\":%d,\"evals\":%d,\"best\":%s,\"entropy\":%s}"
+          t.ct_partition t.ct_evaluated (Json.fstr t.ct_best)
+          (Json.fstr t.ct_entropy))
+      ck.ck_tuners
+  in
+  let body = (header :: meta) @ dbl @ tl in
+  body @ [ Printf.sprintf "{\"ck\":\"end\",\"lines\":%d}" (List.length body) ]
+
+let ck_of_lines lines =
+  let lines =
+    List.filter (fun l -> l <> "") (List.map String.trim lines)
+  in
+  try
+    let parsed = List.map Json.parse_obj lines in
+    let rec split acc = function
+      | [] -> Error "checkpoint missing its end marker (truncated write?)"
+      | [ last ] ->
+        if Json.get_str last "ck" = "end" then
+          Ok (List.rev acc, Json.get_int last "lines")
+        else Error "checkpoint missing its end marker (truncated write?)"
+      | x :: rest -> split (x :: acc) rest
+    in
+    match split [] parsed with
+    | Error _ as e -> e
+    | Ok (body, n) ->
+      if List.length body <> n then
+        Error "checkpoint truncated: line count does not match its end marker"
+      else (
+        match body with
+        | [] -> Error "checkpoint has no header line"
+        | header :: rest ->
+          if Json.get_str header "ck" <> "header" then
+            Error "first checkpoint line is not the header"
+          else begin
+            let best =
+              match Json.find header "best" with
+              | Some (Json.Jstr k) -> Some (k, Json.get_float header "bestq")
+              | _ -> None
+            in
+            let meta = ref [] and dbl = ref [] and tl = ref [] in
+            List.iter
+              (fun fields ->
+                match Json.get_str fields "ck" with
+                | "meta" ->
+                  meta :=
+                    (Json.get_str fields "k", Json.get_str fields "v") :: !meta
+                | "db" ->
+                  dbl :=
+                    ( Json.get_str fields "cfg",
+                      { Resultdb.e_perf = Json.get_float fields "q";
+                        e_feasible = Json.get_bool fields "feas";
+                        e_minutes = Json.get_float fields "emin" } )
+                    :: !dbl
+                | "tuner" ->
+                  tl :=
+                    { ct_partition = Json.get_int fields "part";
+                      ct_evaluated = Json.get_int fields "evals";
+                      ct_best = Json.get_float fields "best";
+                      ct_entropy = Json.get_float fields "entropy" }
+                    :: !tl
+                | k -> failwith (Printf.sprintf "unknown checkpoint line %S" k))
+              rest;
+            Ok
+              { ck_flow = Json.get_str header "flow";
+                ck_every = Json.get_float header "every";
+                ck_minutes = Json.get_float header "min";
+                ck_evals = Json.get_int header "evals";
+                ck_best = best;
+                ck_core_time = Array.of_list (Json.get_arr header "cores");
+                ck_db = List.rev !dbl;
+                ck_tuners = List.rev !tl;
+                ck_meta = List.rev !meta }
+          end)
+  with
+  | Json.Bad -> Error "malformed checkpoint JSON"
+  | Failure m -> Error m
+
+let write_checkpoint path ck =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    (ck_lines ck);
+  close_out oc;
+  Sys.rename tmp path
+
+let load_checkpoint path =
+  match open_in path with
+  | exception Sys_error m -> Error m
+  | ic ->
+    let rec read acc =
+      match input_line ic with
+      | line -> read (line :: acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let lines = read [] in
+    close_in ic;
+    ck_of_lines lines
+
+type ck_opts = {
+  ck_path : string option;
+  ck_every : float;
+  ck_meta : (string * string) list;
+  ck_hook : (ck -> unit) option;
+}
+
+let checkpoint_to ?(meta = []) ~every path =
+  { ck_path = Some path; ck_every = every; ck_meta = meta; ck_hook = None }
+
+(* One stepper per run: fed the executing core's clock after every
+   evaluation, it snapshots whenever a [ck_every] boundary is crossed.
+   The boundary test only looks at the event stream, which prefix-
+   deterministic runs share, so a resumed run regenerates every
+   snapshot of the original bit for bit. *)
+let ck_machine checkpoint trace ~flow ~core_time ~evals ~global_best ~db
+    ~tuners =
+  match checkpoint with
+  | None -> fun _now -> ()
+  | Some c ->
+    let next = ref c.ck_every in
+    fun now ->
+      if now >= !next then begin
+        while now >= !next do
+          next := !next +. c.ck_every
+        done;
+        let ck =
+          { ck_flow = flow;
+            ck_every = c.ck_every;
+            ck_minutes = now;
+            ck_evals = !evals;
+            ck_best =
+              Option.map (fun (cfg, q) -> (Space.key cfg, q)) !global_best;
+            ck_core_time = core_time ();
+            ck_db =
+              (match db with Some d -> Resultdb.to_list d | None -> []);
+            ck_tuners =
+              List.map
+                (fun (idx, t) ->
+                  { ct_partition = idx;
+                    ct_evaluated = Tuner.evaluated t;
+                    ct_best =
+                      (match Tuner.best t with
+                      | Some (_, q) -> q
+                      | None -> infinity);
+                    ct_entropy = Tuner.entropy t })
+                !tuners
+              |> List.sort (fun a b -> compare a.ct_partition b.ct_partition);
+            ck_meta = c.ck_meta }
+        in
+        Option.iter (fun p -> write_checkpoint p ck) c.ck_path;
+        Option.iter (fun h -> h ck) c.ck_hook;
+        match trace with
+        | None -> ()
+        | Some tr ->
+          Telemetry.set_clock tr now;
+          Telemetry.emit tr
+            (Telemetry.Checkpoint_written
+               { path = Option.value ~default:"" c.ck_path;
+                 minutes = now;
+                 evals = !evals })
+      end
+
 let best_curve rr =
   let sorted =
     List.sort (fun a b -> compare a.ev_minutes b.ev_minutes) rr.rr_events
@@ -195,10 +485,15 @@ let rule_sets dspace =
   in
   [ pipe_params; task_params; inner_params; [] ]
 
-let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace dspace objective rng =
+let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace ?faults ?checkpoint dspace
+    objective rng =
   let db_before = Option.map Resultdb.snapshot db in
   trace_run_begin trace ~flow:"s2fa" ~cores:opts.so_cores
     ~time_limit:opts.so_time_limit;
+  (* Offline rule-fitting probes model ahead-of-time training runs, so
+     they are exempt from fault injection: only the search-phase
+     objective is hardened. *)
+  let search_objective = fault_objective faults trace objective in
   let samples =
     if opts.so_partition || opts.so_seed_mode = `Both then
       offline_samples dspace (traced_objective trace db objective)
@@ -251,23 +546,37 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace dspace objective rng =
       | `Area_only -> [ Partition.project part (Seed.area_seed dspace) ]
       | `None -> []
     in
-    Tuner.create ~seeds ?db ?trace part.Partition.p_space objective
+    Tuner.create ~seeds ?db ?trace part.Partition.p_space search_objective
       (Rng.split rng)
   in
   let queue = Queue.create () in
-  List.iteri (fun i p -> Queue.add (i, p) queue) partitions;
+  List.iteri (fun i p -> Queue.add (i, p, None) queue) partitions;
   let core_time = Array.make opts.so_cores 0.0 in
+  let alive = Array.make opts.so_cores true in
   let events = ref [] in
   let evals = ref 0 in
   let global_best = ref None in
+  let tuner_reg = ref [] in
+  let ck =
+    ck_machine checkpoint trace ~flow:"s2fa"
+      ~core_time:(fun () -> Array.copy core_time)
+      ~evals ~global_best ~db ~tuners:tuner_reg
+  in
   let note_best cfg perf feasible =
     if feasible then
       match !global_best with
       | Some (_, b) when b <= perf -> ()
       | _ -> global_best := Some (cfg, perf)
   in
-  let run_partition core idx part =
-    let tuner = make_tuner part in
+  let run_partition core idx part resumed =
+    let tuner =
+      match resumed with
+      | Some t -> t
+      | None ->
+        let t = make_tuner part in
+        tuner_reg := (idx, t) :: !tuner_reg;
+        t
+    in
     (match trace with
     | None -> ()
     | Some tr ->
@@ -280,6 +589,7 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace dspace objective rng =
              constrs = constrs_string part.Partition.p_constrs;
              points = Space.cardinality part.Partition.p_space }));
     let stop = ref Telemetry.Stop_time in
+    let disposition = ref `Stopped in
     let continue_ = ref true in
     while !continue_ do
       if core_time.(core) >= opts.so_time_limit then begin
@@ -306,7 +616,22 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace dspace objective rng =
           :: !events;
         trace_eval_done trace ~clock:core_time.(core) ~partition:idx o;
         note_best o.Tuner.o_cfg o.Tuner.o_perf o.Tuner.o_feasible;
-        if Tuner.should_stop tuner stop_rule then begin
+        ck core_time.(core);
+        let losses =
+          match faults with
+          | Some inj -> Fault.take_core_losses inj
+          | None -> 0
+        in
+        if losses > 0 then begin
+          (* The in-flight evaluation was rescued by the retry loop,
+             but its core is gone: decommission it and send the
+             partition — tuner state intact — back to the FCFS queue. *)
+          kill_cores ?trace alive ~clock:core_time.(core) ~first:core
+            ~partition:idx losses;
+          disposition := `Core_lost;
+          continue_ := false
+        end
+        else if Tuner.should_stop tuner stop_rule then begin
           stop :=
             (match stop_rule with
             | Tuner.Entropy_stop _ -> Telemetry.Stop_entropy
@@ -316,32 +641,58 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace dspace objective rng =
         end
       end
     done;
-    match trace with
-    | None -> ()
-    | Some tr ->
-      Telemetry.set_clock tr core_time.(core);
-      Telemetry.emit tr
-        (Telemetry.Partition_stop
-           { partition = idx;
-             core;
-             reason = !stop;
-             evals = Tuner.evaluated tuner });
-      Telemetry.set_partition tr (-1)
+    match !disposition with
+    | `Core_lost -> `Core_lost tuner
+    | `Stopped ->
+      (match trace with
+      | None -> ()
+      | Some tr ->
+        Telemetry.set_clock tr core_time.(core);
+        Telemetry.emit tr
+          (Telemetry.Partition_stop
+             { partition = idx;
+               core;
+               reason = !stop;
+               evals = Tuner.evaluated tuner });
+        Telemetry.set_partition tr (-1));
+      `Done
   in
-  (* FCFS: whenever a core frees up, it takes the next waiting
-     partition. *)
+  (* FCFS: whenever a surviving core frees up, it takes the next
+     waiting partition; a lost core's partition rejoins the queue and
+     is picked up — tuner state intact — by whichever survivor frees
+     up first. *)
   let next_free_core () =
-    let best = ref 0 in
-    Array.iteri (fun i t -> if t < core_time.(!best) then best := i) core_time;
+    let best = ref (-1) in
+    Array.iteri
+      (fun i t ->
+        if alive.(i) && (!best < 0 || t < core_time.(!best)) then best := i)
+      core_time;
     !best
   in
   while not (Queue.is_empty queue) do
-    let core = next_free_core () in
-    if core_time.(core) >= opts.so_time_limit then Queue.clear queue
-    else begin
-      let idx, part = Queue.pop queue in
-      run_partition core idx part
-    end
+    match next_free_core () with
+    | -1 -> Queue.clear queue (* every core is gone *)
+    | core ->
+      if core_time.(core) >= opts.so_time_limit then Queue.clear queue
+      else begin
+        let idx, part, resumed = Queue.pop queue in
+        let tuner =
+          match resumed with
+          | None -> None
+          | Some (t, from_core) ->
+            (match trace with
+            | None -> ()
+            | Some tr ->
+              Telemetry.set_clock tr core_time.(core);
+              Telemetry.emit tr
+                (Telemetry.Failover
+                   { partition = idx; from_core; to_core = core }));
+            Some t
+        in
+        match run_partition core idx part tuner with
+        | `Done -> ()
+        | `Core_lost t -> Queue.add (idx, part, Some (t, core)) queue
+      end
   done;
   let finish = Array.fold_left Float.max 0.0 core_time in
   let rr_minutes = Float.min finish opts.so_time_limit in
@@ -351,16 +702,18 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace dspace objective rng =
     rr_evals = !evals;
     rr_cache = db_finish db db_before;
     rr_metrics =
-      trace_finish trace ~minutes:rr_minutes ~evals:!evals ~best:!global_best }
+      trace_finish trace ~minutes:rr_minutes ~evals:!evals ~best:!global_best;
+    rr_fault = Option.map Fault.stats faults }
 
 let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db ?trace
-    dspace objective rng =
+    ?faults ?checkpoint dspace objective rng =
   (* Same partition tree as the static flow, but per DATuner: random
      starting points, an on-line sampling phase per partition, then
      greedy core reallocation toward the best-performing partitions. *)
   let db_before = Option.map Resultdb.snapshot db in
   trace_run_begin trace ~flow:"dynamic" ~cores:opts.so_cores
     ~time_limit:opts.so_time_limit;
+  let search_objective = fault_objective faults trace objective in
   let samples =
     offline_samples dspace (traced_objective trace db objective)
       (Rng.split rng) opts.so_samples
@@ -374,18 +727,25 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db ?trace
       (fun part ->
         (* Random seed, not the generated ones. *)
         let seeds = [ Space.random_cfg rng part.Partition.p_space ] in
-        Tuner.create ~seeds ?db ?trace part.Partition.p_space objective
-          (Rng.split rng))
+        Tuner.create ~seeds ?db ?trace part.Partition.p_space
+          search_objective (Rng.split rng))
       partitions
     |> Array.of_list
   in
   let n = Array.length tuners in
   let core_time = Array.make opts.so_cores 0.0 in
+  let alive = Array.make opts.so_cores true in
   let events = ref [] in
   let evals = ref 0 in
   let global_best = ref None in
   let part_best = Array.make n infinity in
   let part_evals = Array.make n 0 in
+  let tuner_reg = ref (List.init n (fun p -> (p, tuners.(p)))) in
+  let ck =
+    ck_machine checkpoint trace ~flow:"dynamic"
+      ~core_time:(fun () -> Array.copy core_time)
+      ~evals ~global_best ~db ~tuners:tuner_reg
+  in
   let step_on core p =
     (match trace with
     | None -> ()
@@ -404,25 +764,38 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db ?trace
         ev_technique = o.Tuner.o_technique }
       :: !events;
     trace_eval_done trace ~clock:core_time.(core) ~partition:p o;
-    if o.Tuner.o_feasible then begin
-      if o.Tuner.o_perf < part_best.(p) then part_best.(p) <- o.Tuner.o_perf;
-      match !global_best with
-      | Some (_, b) when b <= o.Tuner.o_perf -> ()
-      | _ -> global_best := Some (o.Tuner.o_cfg, o.Tuner.o_perf)
-    end
+    (if o.Tuner.o_feasible then begin
+       if o.Tuner.o_perf < part_best.(p) then part_best.(p) <- o.Tuner.o_perf;
+       match !global_best with
+       | Some (_, b) when b <= o.Tuner.o_perf -> ()
+       | _ -> global_best := Some (o.Tuner.o_cfg, o.Tuner.o_perf)
+     end);
+    ck core_time.(core);
+    match faults with
+    | None -> ()
+    | Some inj ->
+      let losses = Fault.take_core_losses inj in
+      if losses > 0 then
+        kill_cores ?trace alive ~clock:core_time.(core) ~first:core
+          ~partition:p losses
   in
   let next_free_core () =
-    let best = ref 0 in
-    Array.iteri (fun i t -> if t < core_time.(!best) then best := i) core_time;
+    let best = ref (-1) in
+    Array.iteri
+      (fun i t ->
+        if alive.(i) && (!best < 0 || t < core_time.(!best)) then best := i)
+      core_time;
     !best
   in
   let eligible p = not (db_stuck db tuners.(p)) in
   (* Phase 1: sampling set-up, round-robin over partitions. *)
   for p = 0 to n - 1 do
     for _ = 1 to setup_evals do
-      let core = next_free_core () in
-      if core_time.(core) < opts.so_time_limit && eligible p then
-        step_on core p
+      match next_free_core () with
+      | -1 -> ()
+      | core ->
+        if core_time.(core) < opts.so_time_limit && eligible p then
+          step_on core p
     done
   done;
   (* Phase 2: greedy reallocation — each freed core works on the
@@ -430,7 +803,9 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db ?trace
      explored). *)
   let continue_ = ref true in
   while !continue_ do
-    let core = next_free_core () in
+    match next_free_core () with
+    | -1 -> continue_ := false
+    | core ->
     if core_time.(core) >= opts.so_time_limit then continue_ := false
     else begin
       let best_p = ref (-1) in
@@ -457,29 +832,41 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db ?trace
     rr_evals = !evals;
     rr_cache = db_finish db db_before;
     rr_metrics =
-      trace_finish trace ~minutes:rr_minutes ~evals:!evals ~best:!global_best }
+      trace_finish trace ~minutes:rr_minutes ~evals:!evals ~best:!global_best;
+    rr_fault = Option.map Fault.stats faults }
 
-let run_vanilla ?(cores = 8) ?(time_limit = 240.0) ?db ?trace dspace objective
-    rng =
+let run_vanilla ?(cores = 8) ?(time_limit = 240.0) ?db ?trace ?faults
+    ?checkpoint dspace objective rng =
   (* One random starting point, no partitions, no systematic stopping:
      per iteration the 8 cores evaluate the next 8 proposals and the
      clock advances by the slowest of them. *)
   let db_before = Option.map Resultdb.snapshot db in
   trace_run_begin trace ~flow:"vanilla" ~cores ~time_limit;
+  let search_objective = fault_objective faults trace objective in
   let seeds = [ Space.random_cfg rng dspace.Dspace.ds_space ] in
   let tuner =
-    Tuner.create ~seeds ?db ?trace dspace.Dspace.ds_space objective
+    Tuner.create ~seeds ?db ?trace dspace.Dspace.ds_space search_objective
       (Rng.split rng)
   in
   let clock = ref 0.0 in
   let events = ref [] in
   let evals = ref 0 in
   let global_best = ref None in
+  (* Core deaths shrink the batch width: each subsequent iteration
+     evaluates one proposal per surviving core. *)
+  let alive = Array.make cores true in
+  let alive_count () = Array.fold_left (fun n a -> if a then n + 1 else n) 0 alive in
+  let tuner_reg = ref [ (0, tuner) ] in
+  let ck =
+    ck_machine checkpoint trace ~flow:"vanilla"
+      ~core_time:(fun () -> [| !clock |])
+      ~evals ~global_best ~db ~tuners:tuner_reg
+  in
   (* The single whole-space tuner is "partition 0" in the trace. *)
   (match trace with None -> () | Some tr -> Telemetry.set_partition tr 0);
-  while !clock < time_limit && not (db_stuck db tuner) do
+  while !clock < time_limit && not (db_stuck db tuner) && alive_count () > 0 do
     (match trace with None -> () | Some tr -> Telemetry.set_clock tr !clock);
-    let batch = Tuner.step_batch tuner cores in
+    let batch = Tuner.step_batch tuner (alive_count ()) in
     let slowest =
       List.fold_left (fun m o -> Float.max m o.Tuner.o_minutes) 0.0 batch
     in
@@ -499,7 +886,16 @@ let run_vanilla ?(cores = 8) ?(time_limit = 240.0) ?db ?trace dspace objective
           match !global_best with
           | Some (_, b) when b <= o.Tuner.o_perf -> ()
           | _ -> global_best := Some (o.Tuner.o_cfg, o.Tuner.o_perf))
-      batch
+      batch;
+    ck !clock;
+    match faults with
+    | None -> ()
+    | Some inj ->
+      let losses = Fault.take_core_losses inj in
+      if losses > 0 then
+        (* Without per-core clocks the dying core is anonymous; kill
+           the highest-indexed survivors (deterministic). *)
+        kill_cores ?trace alive ~clock:!clock ~first:(-1) ~partition:0 losses
   done;
   let rr_minutes = if !clock < time_limit then !clock else time_limit in
   { rr_events = List.rev !events;
@@ -508,4 +904,77 @@ let run_vanilla ?(cores = 8) ?(time_limit = 240.0) ?db ?trace dspace objective
     rr_evals = !evals;
     rr_cache = db_finish db db_before;
     rr_metrics =
-      trace_finish trace ~minutes:rr_minutes ~evals:!evals ~best:!global_best }
+      trace_finish trace ~minutes:rr_minutes ~evals:!evals ~best:!global_best;
+    rr_fault = Option.map Fault.stats faults }
+
+(* ---------- resume ---------- *)
+
+(* Replay-based recovery. Tuner state is closure-laden (technique
+   cursors, bandit history) and cannot be serialized faithfully, but it
+   does not need to be: the whole stack is deterministic, so re-running
+   from the recorded configuration regenerates the crashed run's every
+   intermediate state. The stored snapshot then serves as a tamper
+   check — when the re-run crosses the snapshot's minute it must
+   reproduce the stored body byte for byte, or the caller supplied a
+   different seed, option set or fault spec than the original run. By
+   the same determinism, the resumed run's final best is bit-identical
+   to an uninterrupted run's. *)
+let resume_from_checkpoint ?opts ?setup_evals ?db ?trace ?faults ?checkpoint
+    ~snapshot dspace objective rng =
+  let expected = ck_lines snapshot in
+  let state = ref `Pending in
+  let user_hook =
+    match checkpoint with Some c -> c.ck_hook | None -> None
+  in
+  let hook ck =
+    (if !state = `Pending && ck.ck_minutes = snapshot.ck_minutes then
+       if ck_lines { ck with ck_meta = snapshot.ck_meta } = expected then
+         state := `Validated
+       else state := `Diverged);
+    Option.iter (fun h -> h ck) user_hook
+  in
+  let ck_opts =
+    match checkpoint with
+    | Some c ->
+      { c with
+        ck_every = snapshot.ck_every;
+        ck_hook = Some hook;
+        ck_meta = (if c.ck_meta = [] then snapshot.ck_meta else c.ck_meta) }
+    | None ->
+      { ck_path = None;
+        ck_every = snapshot.ck_every;
+        ck_meta = snapshot.ck_meta;
+        ck_hook = Some hook }
+  in
+  let run =
+    match snapshot.ck_flow with
+    | "s2fa" ->
+      Ok
+        (run_s2fa ?opts ?db ?trace ?faults ~checkpoint:ck_opts dspace
+           objective rng)
+    | "dynamic" ->
+      Ok
+        (run_dynamic ?opts ?setup_evals ?db ?trace ?faults ~checkpoint:ck_opts
+           dspace objective rng)
+    | "vanilla" ->
+      let o = Option.value ~default:default_s2fa_opts opts in
+      Ok
+        (run_vanilla ~cores:o.so_cores ~time_limit:o.so_time_limit ?db ?trace
+           ?faults ~checkpoint:ck_opts dspace objective rng)
+    | f -> Error (Printf.sprintf "unknown flow %S in checkpoint" f)
+  in
+  match run with
+  | Error _ as e -> e
+  | Ok rr -> (
+    match !state with
+    | `Validated -> Ok rr
+    | `Diverged ->
+      Error
+        "resume diverged from the checkpoint: the seed, options or fault \
+         spec differ from the run that wrote it"
+    | `Pending ->
+      Error
+        (Printf.sprintf
+           "resume never reached the checkpoint at %.1f virtual minutes \
+            (different configuration, or a shorter time limit)"
+           snapshot.ck_minutes))

@@ -3,6 +3,7 @@ module Tuner = S2fa_tuner.Tuner
 module Resultdb = S2fa_tuner.Resultdb
 module Rng = S2fa_util.Rng
 module Telemetry = S2fa_telemetry.Telemetry
+module Fault = S2fa_fault.Fault
 
 (** DSE drivers over simulated wall-clock time.
 
@@ -42,6 +43,9 @@ type run_result = {
   rr_metrics : Telemetry.Metrics.snapshot option;
       (** Telemetry metrics accumulated over the run ([None] when the
           run was not given a tracer). *)
+  rr_fault : Fault.stats option;
+      (** Injector accounting: faults per class, virtual minutes lost,
+          retries, quarantines ([None] when no injector was given). *)
 }
 
 val best_curve : run_result -> (float * float) list
@@ -66,10 +70,78 @@ type s2fa_opts = {
 
 val default_s2fa_opts : s2fa_opts
 
+(** {1 Checkpointing}
+
+    Periodic JSONL snapshots of the DSE state — virtual clocks,
+    evaluation count, global best, the shared result database, one
+    summary row per tuner — written every [ck_every] virtual minutes.
+
+    Recovery is {e replay-based}: tuner internals (technique cursors,
+    bandit history) are closures and are not serialized. Instead,
+    {!resume_from_checkpoint} re-runs the recorded configuration — the
+    whole stack is deterministic — and uses the stored snapshot as a
+    byte-exact tamper check when the re-run crosses the snapshot's
+    minute. Crash at any checkpoint + resume therefore yields a final
+    best bit-identical to an uninterrupted run ([test/test_fault.ml]). *)
+
+(** One tuner's summary row in a snapshot. *)
+type ck_tuner = {
+  ct_partition : int;
+  ct_evaluated : int;
+  ct_best : float;     (** [infinity] when nothing feasible yet. *)
+  ct_entropy : float;
+}
+
+(** A checkpoint snapshot. *)
+type ck = {
+  ck_flow : string;               (** ["s2fa"], ["dynamic"], ["vanilla"]. *)
+  ck_every : float;               (** Snapshot interval, virtual minutes. *)
+  ck_minutes : float;             (** Executing core's clock at the write. *)
+  ck_evals : int;
+  ck_best : (string * float) option;  (** Best [(cfg key, quality)]. *)
+  ck_core_time : float array;
+  ck_db : (string * Resultdb.eval_result) list;  (** Sorted by key. *)
+  ck_tuners : ck_tuner list;      (** Sorted by partition. *)
+  ck_meta : (string * string) list;
+      (** Caller metadata (workload, seed, options) stored verbatim so
+          a resume can reconstruct the run's configuration. *)
+}
+
+val ck_lines : ck -> string list
+(** JSONL encoding: header, meta, db and tuner lines, then an [end]
+    marker carrying the body line count (the truncation guard). Floats
+    use {!Telemetry.Json.fstr}, so encoding is bit-exact. *)
+
+val ck_of_lines : string list -> (ck, string) result
+(** Inverse of {!ck_lines}; rejects truncated or malformed input. *)
+
+val write_checkpoint : string -> ck -> unit
+(** Serialize to a file, atomically (write-to-temp then rename), so a
+    crash mid-write never leaves a torn checkpoint behind. *)
+
+val load_checkpoint : string -> (ck, string) result
+
+(** Checkpointing options for a run. *)
+type ck_opts = {
+  ck_path : string option;   (** Snapshot file, replaced at each write. *)
+  ck_every : float;          (** Virtual minutes between snapshots. *)
+  ck_meta : (string * string) list;  (** Stored in every snapshot. *)
+  ck_hook : (ck -> unit) option;
+      (** In-process observer, called with each snapshot (used by
+          resume validation and tests). *)
+}
+
+val checkpoint_to : ?meta:(string * string) list -> every:float -> string
+  -> ck_opts
+(** [checkpoint_to ~every path]: write snapshots to [path] every
+    [every] virtual minutes. *)
+
 val run_s2fa :
   ?opts:s2fa_opts ->
   ?db:Resultdb.t ->
   ?trace:Telemetry.t ->
+  ?faults:Fault.t ->
+  ?checkpoint:ck_opts ->
   Dspace.t ->
   (Space.cfg -> Tuner.eval_result) ->
   Rng.t ->
@@ -85,13 +157,25 @@ val run_s2fa :
     with their stop reason, and the tuners contribute [bandit_select],
     [seed_injected] and [entropy_sample]. Tracing never draws from the
     RNG: a traced run and an untraced run under the same seed produce
-    bit-identical results. *)
+    bit-identical results.
+
+    [faults] puts the {e search-phase} objective behind the injector's
+    retry/backoff/quarantine policy (offline rule-fitting probes model
+    ahead-of-time training runs and are exempt). An injected core loss
+    decommissions the executing core and sends its partition — tuner
+    state intact — back to the FCFS queue, where a surviving core picks
+    it up (a [failover] trace event). Quarantined points come back as
+    NaN-quality results the shared database refuses to memoize.
+
+    [checkpoint] snapshots the run every [ck_every] virtual minutes. *)
 
 val run_dynamic :
   ?opts:s2fa_opts ->
   ?setup_evals:int ->
   ?db:Resultdb.t ->
   ?trace:Telemetry.t ->
+  ?faults:Fault.t ->
+  ?checkpoint:ck_opts ->
   Dspace.t ->
   (Space.cfg -> Tuner.eval_result) ->
   Rng.t ->
@@ -108,10 +192,38 @@ val run_vanilla :
   ?time_limit:float ->
   ?db:Resultdb.t ->
   ?trace:Telemetry.t ->
+  ?faults:Fault.t ->
+  ?checkpoint:ck_opts ->
   Dspace.t ->
   (Space.cfg -> Tuner.eval_result) ->
   Rng.t ->
   run_result
 (** Vanilla OpenTuner: one tuner on the whole space starting from a
     random seed, 8 parallel evaluations per iteration, stopped only by
-    the 4-hour limit. *)
+    the 4-hour limit. Core losses shrink the batch width (the run ends
+    if every core dies); there is no partition failover to do. *)
+
+val resume_from_checkpoint :
+  ?opts:s2fa_opts ->
+  ?setup_evals:int ->
+  ?db:Resultdb.t ->
+  ?trace:Telemetry.t ->
+  ?faults:Fault.t ->
+  ?checkpoint:ck_opts ->
+  snapshot:ck ->
+  Dspace.t ->
+  (Space.cfg -> Tuner.eval_result) ->
+  Rng.t ->
+  (run_result, string) result
+(** Replay-based recovery from a loaded snapshot. The caller must
+    reconstruct the original run's configuration (workload, objective,
+    options, seed, fault spec — typically from [snapshot.ck_meta]);
+    this function re-runs the flow named by [ck_flow] with
+    checkpointing at the snapshot's own interval, and validates that
+    the re-run's snapshot at [ck_minutes] reproduces the stored one
+    byte for byte. [Error] when the re-run diverges (wrong seed,
+    options or fault spec) or never reaches the snapshot's minute;
+    [Ok] carries a result whose final best is bit-identical to an
+    uninterrupted run's, by determinism of the whole stack. A
+    [checkpoint] argument layers fresh snapshot writing on top (its
+    interval is overridden by the snapshot's). *)

@@ -1,0 +1,302 @@
+module Rng = S2fa_util.Rng
+module Estimate = S2fa_hls.Estimate
+module Space = S2fa_tuner.Space
+module Resultdb = S2fa_tuner.Resultdb
+
+(* ------------------------------------------------------------------ *)
+(* Fault specification *)
+(* ------------------------------------------------------------------ *)
+
+type spec = {
+  fs_crash : float;
+  fs_hang : float;
+  fs_transient : float;
+  fs_core_loss : float;
+  fs_timeout : float;
+  fs_max_retries : int;
+  fs_backoff : float;
+}
+
+let zero_spec =
+  { fs_crash = 0.0;
+    fs_hang = 0.0;
+    fs_transient = 0.0;
+    fs_core_loss = 0.0;
+    fs_timeout = 45.0;
+    fs_max_retries = 3;
+    fs_backoff = 1.0 }
+
+let is_zero s =
+  s.fs_crash = 0.0 && s.fs_hang = 0.0 && s.fs_transient = 0.0
+  && s.fs_core_loss = 0.0
+
+let check_spec s =
+  let prob name v =
+    if Float.is_nan v || v < 0.0 || v > 1.0 then
+      Error (Printf.sprintf "%s must be a probability in [0,1], got %g" name v)
+    else Ok ()
+  in
+  let ( let* ) = Result.bind in
+  let* () = prob "crash" s.fs_crash in
+  let* () = prob "hang" s.fs_hang in
+  let* () = prob "transient" s.fs_transient in
+  let* () = prob "core_loss" s.fs_core_loss in
+  let total = s.fs_crash +. s.fs_hang +. s.fs_transient +. s.fs_core_loss in
+  if total > 1.0 then
+    Error (Printf.sprintf "fault probabilities sum to %g > 1" total)
+  else if not (s.fs_timeout > 0.0) then
+    Error "timeout must be positive minutes"
+  else if s.fs_max_retries < 0 then Error "retries must be non-negative"
+  else if not (s.fs_backoff >= 0.0) then
+    Error "backoff must be non-negative minutes"
+  else Ok ()
+
+let parse_spec str =
+  let ( let* ) = Result.bind in
+  let parse_field spec item =
+    let* spec = spec in
+    match String.index_opt item '=' with
+    | None -> Error (Printf.sprintf "expected key=value, got %S" item)
+    | Some i ->
+      let key = String.sub item 0 i in
+      let v = String.sub item (i + 1) (String.length item - i - 1) in
+      let* f =
+        match float_of_string_opt v with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "%s: not a number: %S" key v)
+      in
+      (match key with
+      | "crash" -> Ok { spec with fs_crash = f }
+      | "hang" -> Ok { spec with fs_hang = f }
+      | "transient" -> Ok { spec with fs_transient = f }
+      | "core_loss" -> Ok { spec with fs_core_loss = f }
+      | "timeout" -> Ok { spec with fs_timeout = f }
+      | "retries" -> Ok { spec with fs_max_retries = int_of_float f }
+      | "backoff" -> Ok { spec with fs_backoff = f }
+      | _ -> Error (Printf.sprintf "unknown fault key %S" key))
+  in
+  let items =
+    String.split_on_char ',' (String.trim str)
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let* spec = List.fold_left parse_field (Ok zero_spec) items in
+  let* () = check_spec spec in
+  Ok spec
+
+let spec_string s =
+  Printf.sprintf
+    "crash=%g,hang=%g,transient=%g,core_loss=%g,timeout=%g,retries=%d,backoff=%g"
+    s.fs_crash s.fs_hang s.fs_transient s.fs_core_loss s.fs_timeout
+    s.fs_max_retries s.fs_backoff
+
+(* ------------------------------------------------------------------ *)
+(* Failure classes *)
+(* ------------------------------------------------------------------ *)
+
+type failure = Crash | Hang | Transient | Core_loss
+
+let failure_name = function
+  | Crash -> "crash"
+  | Hang -> "hang"
+  | Transient -> "transient"
+  | Core_loss -> "core_loss"
+
+let failure_index = function
+  | Crash -> 0
+  | Hang -> 1
+  | Transient -> 2
+  | Core_loss -> 3
+
+let all_failures = [ Crash; Hang; Transient; Core_loss ]
+
+(* ------------------------------------------------------------------ *)
+(* The injector *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  f_spec : spec;
+  f_rng : Rng.t;
+  counts : int array;    (* injections per failure class *)
+  lost : float array;    (* virtual minutes lost per failure class *)
+  mutable retries : int;
+  mutable backoff : float;
+  mutable quarantined : int;
+  mutable cores_lost : int;
+  mutable pending_core_losses : int;
+}
+
+(* The injector owns an independent RNG stream derived from its own
+   seed (mixed so seed 7's fault schedule differs from seed 7's search
+   trajectory). It must never draw from the search RNG: a zero-rate
+   spec makes no draws at all, which is what proves fault-free config
+   ≡ no injector, bit for bit. *)
+let create ?(seed = 0) spec =
+  (match check_spec spec with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Fault.create: " ^ m));
+  { f_spec = spec;
+    f_rng = Rng.create (seed lxor 0x0fa417);
+    counts = Array.make 4 0;
+    lost = Array.make 4 0.0;
+    retries = 0;
+    backoff = 0.0;
+    quarantined = 0;
+    cores_lost = 0;
+    pending_core_losses = 0 }
+
+let spec t = t.f_spec
+
+type stats = {
+  st_injected : (string * int) list;
+  st_lost : (string * float) list;
+  st_retries : int;
+  st_backoff : float;
+  st_quarantined : int;
+  st_cores_lost : int;
+}
+
+let stats t =
+  { st_injected =
+      List.map (fun f -> (failure_name f, t.counts.(failure_index f)))
+        all_failures;
+    st_lost =
+      List.map (fun f -> (failure_name f, t.lost.(failure_index f)))
+        all_failures;
+    st_retries = t.retries;
+    st_backoff = t.backoff;
+    st_quarantined = t.quarantined;
+    st_cores_lost = t.cores_lost }
+
+let take_core_losses t =
+  let n = t.pending_core_losses in
+  t.pending_core_losses <- 0;
+  n
+
+(* One Bernoulli draw per real evaluation attempt, split over the four
+   classes by cumulative probability. The lost-minutes charge models
+   where in the run the failure hits: a crash or core loss kills the
+   run partway through (uniform fraction of its minutes), a hang is
+   killed at the full timeout, a transient runs to completion before
+   its garbage is detected. *)
+let draw t ~minutes =
+  if is_zero t.f_spec then None
+  else begin
+    let s = t.f_spec in
+    let u = Rng.float t.f_rng 1.0 in
+    let c1 = s.fs_crash in
+    let c2 = c1 +. s.fs_hang in
+    let c3 = c2 +. s.fs_transient in
+    let c4 = c3 +. s.fs_core_loss in
+    if u < c1 then Some (Crash, Rng.float t.f_rng 1.0 *. minutes)
+    else if u < c2 then Some (Hang, s.fs_timeout)
+    else if u < c3 then Some (Transient, minutes)
+    else if u < c4 then Some (Core_loss, Rng.float t.f_rng 1.0 *. minutes)
+    else None
+  end
+
+(* A plausible-looking report for the corruptor to start from; the
+   values are irrelevant (the corruption is what the checker sees). *)
+let template_report =
+  { Estimate.r_cycles = 1.048576e6;
+    r_ii = 1.0;
+    r_freq_mhz = 200.0;
+    r_seconds = 0.0052;
+    r_compute_seconds = 0.0048;
+    r_xfer_seconds = 0.0004;
+    r_lut_pct = 0.41;
+    r_ff_pct = 0.33;
+    r_bram_pct = 0.27;
+    r_dsp_pct = 0.18;
+    r_feasible = true;
+    r_eval_minutes = 9.0 }
+
+let garbage_report t =
+  let base = template_report in
+  match Rng.int t.f_rng 4 with
+  | 0 -> { base with Estimate.r_cycles = Float.nan }
+  | 1 -> { base with Estimate.r_cycles = -1.0 }
+  | 2 ->
+    (* claims feasibility at >100% utilization — the inconsistent
+       combination check_report rejects *)
+    { base with Estimate.r_lut_pct = 1.0 +. Rng.float t.f_rng 3.0 }
+  | _ -> { base with Estimate.r_eval_minutes = 0.0 }
+
+(* ------------------------------------------------------------------ *)
+(* Hardening an objective *)
+(* ------------------------------------------------------------------ *)
+
+type event =
+  | Injected of { failure : failure; lost_minutes : float; attempt : int }
+  | Retried of { attempt : int; backoff_minutes : float }
+  | Gave_up of { attempts : int; lost_minutes : float }
+
+let quarantine_result ~minutes =
+  { Resultdb.e_perf = Float.nan; e_feasible = false; e_minutes = minutes }
+
+let harden t ?(on_event = fun _ -> ()) objective cfg =
+  if is_zero t.f_spec then objective cfg
+  else begin
+    (* The raw objective is deterministic, so one call tells us both
+       the result and how long every attempt at this point takes. *)
+    let r = objective cfg in
+    let rec attempt k lost =
+      match draw t ~minutes:r.Resultdb.e_minutes with
+      | None -> { r with Resultdb.e_minutes = r.Resultdb.e_minutes +. lost }
+      | Some (failure, lost_now) ->
+        let i = failure_index failure in
+        t.counts.(i) <- t.counts.(i) + 1;
+        t.lost.(i) <- t.lost.(i) +. lost_now;
+        if failure = Core_loss then begin
+          t.cores_lost <- t.cores_lost + 1;
+          t.pending_core_losses <- t.pending_core_losses + 1
+        end;
+        if failure = Transient then begin
+          (* The corrupted report must trip the sanity checker; the
+             retry below is the measurement layer reacting to that
+             rejection. *)
+          match Estimate.check_report (garbage_report t) with
+          | Error _ -> ()
+          | Ok () -> invalid_arg "Fault.harden: garbage passed check_report"
+        end;
+        on_event (Injected { failure; lost_minutes = lost_now; attempt = k });
+        let lost = lost +. lost_now in
+        if k >= t.f_spec.fs_max_retries then begin
+          t.quarantined <- t.quarantined + 1;
+          on_event (Gave_up { attempts = k + 1; lost_minutes = lost });
+          quarantine_result ~minutes:lost
+        end
+        else begin
+          let b = t.f_spec.fs_backoff *. (2.0 ** float_of_int k) in
+          t.retries <- t.retries + 1;
+          t.backoff <- t.backoff +. b;
+          on_event (Retried { attempt = k + 1; backoff_minutes = b });
+          attempt (k + 1) (lost +. b)
+        end
+    in
+    attempt 0 0.0
+  end
+
+let pp_stats ppf s =
+  let total_injected =
+    List.fold_left (fun acc (_, c) -> acc + c) 0 s.st_injected
+  in
+  let total_lost =
+    List.fold_left (fun acc (_, l) -> acc +. l) 0.0 s.st_lost
+  in
+  Format.fprintf ppf "%d faults (%s), %.1f virtual minutes lost"
+    total_injected
+    (String.concat ", "
+       (List.filter_map
+          (fun (name, c) ->
+            if c = 0 then None
+            else
+              Some
+                (Printf.sprintf "%s=%d/%.1fm" name c
+                   (List.assoc name s.st_lost)))
+          s.st_injected))
+    total_lost;
+  Format.fprintf ppf ", %d retries (+%.1fm backoff), %d quarantined"
+    s.st_retries s.st_backoff s.st_quarantined;
+  if s.st_cores_lost > 0 then
+    Format.fprintf ppf ", %d cores lost" s.st_cores_lost

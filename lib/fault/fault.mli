@@ -1,0 +1,142 @@
+(** Deterministic fault injection for simulated HLS runs.
+
+    The paper's DSE drives a real vendor tool (Xilinx SDx) for hours
+    across 8 worker cores, and in a datacenter that tool {e fails}:
+    runs crash, hang past their budget, return garbage, and the machine
+    under them occasionally disappears. OpenTuner's measurement layer
+    exists precisely to absorb such failures. Our estimator is a pure
+    function that cannot fail, so this module wraps it in a {e seeded}
+    fault model: every failure is drawn from an {!S2fa_util.Rng} stream
+    owned by the injector, making fault schedules byte-reproducible —
+    same seed + same spec → the same faults at the same evaluations,
+    and therefore byte-identical JSONL traces.
+
+    Determinism contract: the injector never touches the search RNG,
+    and a zero-rate spec makes {e no draws at all}, so a fault-free
+    injector is bit-identical to no injector
+    ([test/test_fault.ml]). *)
+
+(** {1 Fault specification} *)
+
+type spec = {
+  fs_crash : float;      (** Per-evaluation crash probability. *)
+  fs_hang : float;       (** Per-evaluation hang probability. *)
+  fs_transient : float;  (** Probability of a corrupted report. *)
+  fs_core_loss : float;  (** Probability the worker core dies mid-run. *)
+  fs_timeout : float;
+      (** Minutes after which a hung run is killed; the {e full}
+          timeout is charged to the virtual clock (default 45). *)
+  fs_max_retries : int;
+      (** Retries before a point is quarantined (default 3). *)
+  fs_backoff : float;
+      (** Base backoff: retry [k] pauses [fs_backoff *. 2.^k] virtual
+          minutes (default 1). *)
+}
+
+val zero_spec : spec
+(** All probabilities 0, defaults elsewhere. *)
+
+val is_zero : spec -> bool
+(** No failure class has positive probability. *)
+
+val parse_spec : string -> (spec, string) result
+(** Parse a CLI spec like ["crash=0.05,hang=0.02,timeout=45"]. Keys:
+    [crash], [hang], [transient], [core_loss] (probabilities),
+    [timeout], [backoff] (minutes), [retries] (count). Unset keys keep
+    their {!zero_spec} defaults. Validates ranges and that the four
+    probabilities sum to at most 1. *)
+
+val spec_string : spec -> string
+(** Canonical round-trippable rendering (every field, [%g] floats). *)
+
+(** {1 Failure classes} *)
+
+type failure = Crash | Hang | Transient | Core_loss
+
+val failure_name : failure -> string
+(** ["crash"] | ["hang"] | ["transient"] | ["core_loss"] — the class
+    labels telemetry and [s2fa trace] report. *)
+
+(** {1 The injector} *)
+
+type t
+
+val create : ?seed:int -> spec -> t
+(** Fresh injector. [seed] (default 0) is mixed before seeding the
+    injector's private RNG, so passing the DSE seed gives a fault
+    schedule independent of the search trajectory. Raises
+    [Invalid_argument] on a spec {!parse_spec} would reject. *)
+
+val spec : t -> spec
+
+val garbage_report : t -> S2fa_hls.Estimate.report
+(** Draw one corrupted report — the [Transient] failure payload. One of
+    four corruption modes (NaN cycles, negative cycles, feasible at
+    >100% utilization, zero eval-minutes), each guaranteed to be
+    rejected by {!S2fa_hls.Estimate.check_report}. Consumes injector
+    randomness; exposed for the sanity-checker tests. *)
+
+(** {1 Hardening an objective} *)
+
+(** What the retry loop did, reported to the driver (which stamps
+    config key and partition onto the matching telemetry events). *)
+type event =
+  | Injected of { failure : failure; lost_minutes : float; attempt : int }
+      (** Attempt [attempt] (0-based) failed, wasting [lost_minutes]. *)
+  | Retried of { attempt : int; backoff_minutes : float }
+      (** Retry [attempt] (1-based) begins after the backoff pause. *)
+  | Gave_up of { attempts : int; lost_minutes : float }
+      (** All retries exhausted; the point is quarantined. *)
+
+val harden :
+  t ->
+  ?on_event:(event -> unit) ->
+  (S2fa_tuner.Space.cfg -> S2fa_tuner.Resultdb.eval_result) ->
+  S2fa_tuner.Space.cfg ->
+  S2fa_tuner.Resultdb.eval_result
+(** [harden t objective] is [objective] behind the fault model's
+    retry/backoff/quarantine policy. Each attempt draws one failure (or
+    none) from the injector stream:
+
+    - no failure: the result is returned with every previously lost
+      minute (failed attempts + backoff pauses) added to [e_minutes],
+      so the virtual clock pays for the faults;
+    - [Crash] / [Core_loss]: a uniform fraction of the run's minutes is
+      lost ([Core_loss] additionally queues a core death for
+      {!take_core_losses});
+    - [Hang]: the full [fs_timeout] is charged;
+    - [Transient]: the full run is charged, and the corrupted report is
+      passed through {!S2fa_hls.Estimate.check_report}, which must
+      reject it — the retry is the measurement layer reacting to that
+      rejection;
+    - after [fs_max_retries] retries the point is {e quarantined}: a
+      NaN-quality infeasible result carrying the total lost minutes,
+      which {!S2fa_tuner.Resultdb.poisoned} recognizes and the database
+      refuses to memoize.
+
+    With a zero-rate spec this is [objective] itself — no draws, no
+    wrapping, bit-identical behaviour. The raw [objective] must be
+    deterministic (it is called once per design point). *)
+
+val take_core_losses : t -> int
+(** Number of core deaths injected since the last call, and reset the
+    counter — the driver drains this after every tuner step to trigger
+    failover. *)
+
+(** {1 Accounting} *)
+
+type stats = {
+  st_injected : (string * int) list;
+      (** Injections per failure class, in fixed class order. *)
+  st_lost : (string * float) list;
+      (** Virtual minutes lost per class, same order. *)
+  st_retries : int;
+  st_backoff : float;     (** Total backoff minutes charged. *)
+  st_quarantined : int;
+  st_cores_lost : int;
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit
+(** One-line summary for the CLI ([# faults: ...] footer). *)

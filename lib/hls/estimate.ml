@@ -464,6 +464,50 @@ let estimate ?(device = Device.vu9p) ?(nominal_trip = 64) prog ~tasks
     r_feasible = feasible;
     r_eval_minutes = eval_minutes }
 
+(* ---------- report sanity checking ----------
+
+   A real SDx run can return garbage (truncated logs, corrupted XML
+   reports); the fault injector's [Transient] failure models exactly
+   that. [check_report] is the one place that decides whether a report
+   is structurally believable, shared by the injector's detection path
+   and by the tests that assert every non-injected report is clean. *)
+
+let check_report r =
+  let fields =
+    [ ("cycles", r.r_cycles); ("ii", r.r_ii); ("freq_mhz", r.r_freq_mhz);
+      ("seconds", r.r_seconds); ("compute_seconds", r.r_compute_seconds);
+      ("xfer_seconds", r.r_xfer_seconds); ("lut_pct", r.r_lut_pct);
+      ("ff_pct", r.r_ff_pct); ("bram_pct", r.r_bram_pct);
+      ("dsp_pct", r.r_dsp_pct); ("eval_minutes", r.r_eval_minutes) ]
+  in
+  let pcts =
+    [ ("lut_pct", r.r_lut_pct); ("ff_pct", r.r_ff_pct);
+      ("bram_pct", r.r_bram_pct); ("dsp_pct", r.r_dsp_pct) ]
+  in
+  match List.find_opt (fun (_, v) -> Float.is_nan v) fields with
+  | Some (name, _) -> Error (name ^ " is NaN")
+  | None ->
+    if r.r_cycles < 0.0 then Error "negative cycle count"
+    else if not (Float.is_finite r.r_cycles) then Error "non-finite cycle count"
+    else if r.r_ii < 1.0 then Error "initiation interval below 1"
+    else if r.r_freq_mhz <= 0.0 then Error "non-positive frequency"
+    else if r.r_seconds <= 0.0 then Error "non-positive execution time"
+    else begin
+      match List.find_opt (fun (_, v) -> v < 0.0) pcts with
+      | Some (name, _) -> Error ("negative utilization: " ^ name)
+      | None ->
+        (* Genuinely infeasible designs may report >100% of the device —
+           that is their honest oversubscription — but a report claiming
+           feasibility beyond the whole device is corrupt. *)
+        if r.r_feasible && List.exists (fun (_, v) -> v > 1.0) pcts then
+          Error "claims feasibility at >100% utilization"
+        else if r.r_eval_minutes <= 0.0 then
+          Error "non-positive eval minutes"
+        else Ok ()
+    end
+
+let report_ok r = Result.is_ok (check_report r)
+
 let pp_report ppf r =
   Format.fprintf ppf
     "cycles=%.3e ii=%.1f freq=%.0fMHz time=%.4fs lut=%.0f%% ff=%.0f%% \

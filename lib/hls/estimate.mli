@@ -42,4 +42,19 @@ val estimate :
     bounds that are not compile-time constants other than the task loop
     (default 64). The task loop (trip [N]) is evaluated at [tasks]. *)
 
+val check_report : report -> (unit, string) result
+(** Structural sanity check on a report — the defense against a
+    corrupted tool run (the fault injector's [Transient] failure).
+    Rejects, with a reason: any NaN field, negative or non-finite cycle
+    counts, an initiation interval below 1, non-positive frequency /
+    execution time / eval-minutes, negative utilization, and a report
+    claiming feasibility at >100% utilization. Genuinely infeasible
+    designs reporting their honest oversubscription (>100% with
+    [r_feasible = false]) pass: only the inconsistent combination is
+    corrupt. Every report {!estimate} itself produces satisfies this
+    (asserted across all 8 workloads in [test/test_fault.ml]). *)
+
+val report_ok : report -> bool
+(** [Result.is_ok (check_report r)]. *)
+
 val pp_report : Format.formatter -> report -> unit

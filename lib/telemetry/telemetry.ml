@@ -67,6 +67,28 @@ type kind =
     }
   | Entropy_sample of { partition : int; evaluated : int; entropy : float }
   | Seed_injected of { cfg_key : string; partition : int }
+  | Fault_injected of {
+      cfg_key : string;
+      partition : int;
+      failure : string;
+      lost_minutes : float;
+      attempt : int;
+    }
+  | Eval_retry of {
+      cfg_key : string;
+      partition : int;
+      attempt : int;
+      backoff_minutes : float;
+    }
+  | Quarantined of {
+      cfg_key : string;
+      partition : int;
+      attempts : int;
+      lost_minutes : float;
+    }
+  | Core_lost of { core : int; partition : int }
+  | Failover of { partition : int; from_core : int; to_core : int }
+  | Checkpoint_written of { path : string; minutes : float; evals : int }
 
 type event = { e_seq : int; e_minutes : float; e_kind : kind }
 
@@ -213,6 +235,15 @@ let fold_into_metrics m ev =
   | Partition_stop p ->
     Metrics.incr m ("partitions.stopped." ^ stop_reason_name p.reason)
   | Entropy_sample s -> Metrics.set_gauge m "entropy" s.entropy
+  | Fault_injected f ->
+    Metrics.incr m ("faults.injected." ^ f.failure);
+    Metrics.observe ~buckets:minute_buckets m "faults.lost_minutes"
+      f.lost_minutes
+  | Eval_retry _ -> Metrics.incr m "faults.retries"
+  | Quarantined _ -> Metrics.incr m "faults.quarantined"
+  | Core_lost _ -> Metrics.incr m "cores.lost"
+  | Failover _ -> Metrics.incr m "failovers"
+  | Checkpoint_written _ -> Metrics.incr m "checkpoints"
   | Span_begin _ -> ()
   | Span_end st -> Metrics.incr m ("spans." ^ stage_name st)
   | Run_begin _ -> Metrics.incr m "runs"
@@ -374,7 +405,40 @@ let json_of_event e =
   | Seed_injected s ->
     str "ev" "seed_injected";
     str "cfg" s.cfg_key;
-    int_ "part" s.partition);
+    int_ "part" s.partition
+  | Fault_injected f ->
+    str "ev" "fault";
+    str "cfg" f.cfg_key;
+    int_ "part" f.partition;
+    str "class" f.failure;
+    num "lost" f.lost_minutes;
+    int_ "attempt" f.attempt
+  | Eval_retry r ->
+    str "ev" "retry";
+    str "cfg" r.cfg_key;
+    int_ "part" r.partition;
+    int_ "attempt" r.attempt;
+    num "backoff" r.backoff_minutes
+  | Quarantined q ->
+    str "ev" "quarantine";
+    str "cfg" q.cfg_key;
+    int_ "part" q.partition;
+    int_ "attempts" q.attempts;
+    num "lost" q.lost_minutes
+  | Core_lost c ->
+    str "ev" "core_lost";
+    int_ "core" c.core;
+    int_ "part" c.partition
+  | Failover f ->
+    str "ev" "failover";
+    int_ "part" f.partition;
+    int_ "from" f.from_core;
+    int_ "to" f.to_core
+  | Checkpoint_written c ->
+    str "ev" "checkpoint";
+    str "path" c.path;
+    num "minutes" c.minutes;
+    int_ "evals" c.evals);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -572,6 +636,37 @@ let event_of_json line =
       | "seed_injected" ->
         Seed_injected
           { cfg_key = sget fields "cfg"; partition = iget fields "part" }
+      | "fault" ->
+        Fault_injected
+          { cfg_key = sget fields "cfg";
+            partition = iget fields "part";
+            failure = sget fields "class";
+            lost_minutes = fget fields "lost";
+            attempt = iget fields "attempt" }
+      | "retry" ->
+        Eval_retry
+          { cfg_key = sget fields "cfg";
+            partition = iget fields "part";
+            attempt = iget fields "attempt";
+            backoff_minutes = fget fields "backoff" }
+      | "quarantine" ->
+        Quarantined
+          { cfg_key = sget fields "cfg";
+            partition = iget fields "part";
+            attempts = iget fields "attempts";
+            lost_minutes = fget fields "lost" }
+      | "core_lost" ->
+        Core_lost { core = iget fields "core"; partition = iget fields "part" }
+      | "failover" ->
+        Failover
+          { partition = iget fields "part";
+            from_core = iget fields "from";
+            to_core = iget fields "to" }
+      | "checkpoint" ->
+        Checkpoint_written
+          { path = sget fields "path";
+            minutes = fget fields "minutes";
+            evals = iget fields "evals" }
       | _ -> raise Bad
     in
     { e_seq = iget fields "seq"; e_minutes = fget fields "min"; e_kind = kind }
@@ -619,6 +714,20 @@ let pp_event ppf e =
     p "entropy_sample part=%d evals=%d entropy=%.4f" s.partition s.evaluated
       s.entropy
   | Seed_injected s -> p "seed_injected part=%d cfg=%s" s.partition s.cfg_key
+  | Fault_injected f ->
+    p "fault part=%d class=%s lost=%.1fm attempt=%d cfg=%s" f.partition
+      f.failure f.lost_minutes f.attempt f.cfg_key
+  | Eval_retry r ->
+    p "retry part=%d attempt=%d backoff=%.1fm cfg=%s" r.partition r.attempt
+      r.backoff_minutes r.cfg_key
+  | Quarantined q ->
+    p "quarantine part=%d attempts=%d lost=%.1fm cfg=%s" q.partition
+      q.attempts q.lost_minutes q.cfg_key
+  | Core_lost c -> p "core_lost core=%d part=%d" c.core c.partition
+  | Failover f ->
+    p "failover part=%d from=%d to=%d" f.partition f.from_core f.to_core
+  | Checkpoint_written c ->
+    p "checkpoint minutes=%.1f evals=%d path=%s" c.minutes c.evals c.path
 
 (* ------------------------------------------------------------------ *)
 (* Built-in sinks *)
@@ -656,3 +765,29 @@ let logs_sink ?(level = Logs.Debug) () =
       (fun e ->
         Logs.msg ~src:log_src level (fun m -> m "%a" pp_event e));
     on_flush = (fun () -> ()) }
+
+(* ------------------------------------------------------------------ *)
+(* The mini JSON codec, exposed for the other JSONL formats of the
+   project (the DSE checkpoint files reuse the exact float round-trip
+   contract of the trace encoding). *)
+(* ------------------------------------------------------------------ *)
+
+module Json = struct
+  type v = jv =
+    | Jstr of string
+    | Jnum of float
+    | Jbool of bool
+    | Jarr of float list
+
+  exception Bad = Bad
+
+  let fstr = fstr
+  let quote = jstring
+  let parse_obj = parse_obj
+  let find fields k = List.assoc_opt k fields
+  let get_float = fget
+  let get_int = iget
+  let get_str = sget
+  let get_bool = bget
+  let get_arr = aget
+end

@@ -70,6 +70,35 @@ type kind =
     }
   | Entropy_sample of { partition : int; evaluated : int; entropy : float }
   | Seed_injected of { cfg_key : string; partition : int }
+  | Fault_injected of {
+      cfg_key : string;
+      partition : int;
+      failure : string;       (** Failure class ({!S2fa_fault.Fault}'s
+                                  [failure_name]): ["crash"], ["hang"],
+                                  ["transient"], ["core_loss"]. *)
+      lost_minutes : float;   (** Virtual minutes this attempt wasted. *)
+      attempt : int;          (** 0-based attempt index that failed. *)
+    }
+  | Eval_retry of {
+      cfg_key : string;
+      partition : int;
+      attempt : int;          (** 1-based index of the retry being made. *)
+      backoff_minutes : float;
+          (** Exponential-backoff pause charged to the virtual clock. *)
+    }
+  | Quarantined of {
+      cfg_key : string;
+      partition : int;
+      attempts : int;         (** Attempts consumed before giving up. *)
+      lost_minutes : float;   (** Total virtual minutes the point ate. *)
+    }
+  | Core_lost of { core : int; partition : int }
+      (** A simulated worker core died; [partition] is the work it was
+          running (-1 when idle). *)
+  | Failover of { partition : int; from_core : int; to_core : int }
+      (** The FCFS scheduler reassigned a lost core's partition to a
+          survivor. *)
+  | Checkpoint_written of { path : string; minutes : float; evals : int }
 
 type event = {
   e_seq : int;       (** Monotonic per tracer, gapless from 0. *)
@@ -196,3 +225,40 @@ val event_of_json : string -> event option
 
 val pp_event : Format.formatter -> event -> unit
 (** The human-readable rendering the logs sink uses. *)
+
+(** The trace encoding's mini JSON codec, exposed so the project's other
+    JSONL formats (the DSE checkpoint files) share its exact float
+    round-trip contract: 17-significant-digit floats, non-finite values
+    as the quoted strings ["inf"] / ["-inf"] / ["nan"]. *)
+module Json : sig
+  type v =
+    | Jstr of string
+    | Jnum of float
+    | Jbool of bool
+    | Jarr of float list  (** Arrays hold floats only. *)
+
+  exception Bad
+  (** Raised by the parser and getters on malformed input. *)
+
+  val fstr : float -> string
+  (** Bit-exact float literal (quoted string for non-finite values). *)
+
+  val quote : string -> string
+  (** JSON string literal with escaping. *)
+
+  val parse_obj : string -> (string * v) list
+  (** Parse one flat JSON object; fields in source order. *)
+
+  val find : (string * v) list -> string -> v option
+
+  val get_float : (string * v) list -> string -> float
+  (** Required float field; accepts the quoted non-finite encodings. *)
+
+  val get_int : (string * v) list -> string -> int
+
+  val get_str : (string * v) list -> string -> string
+
+  val get_bool : (string * v) list -> string -> bool
+
+  val get_arr : (string * v) list -> string -> float list
+end

@@ -75,6 +75,8 @@ type attr_row = {
   at_best : float;
 }
 
+type fault_row = { fl_class : string; fl_count : int; fl_lost : float }
+
 type replay = {
   rp_flow : string;
   rp_cores : int;
@@ -89,6 +91,13 @@ type replay = {
   rp_occupancy : occ_row list;
   rp_attribution : attr_row list;
   rp_entropy : (int * (float * float) list) list;
+  rp_faults : fault_row list;
+  rp_retries : int;
+  rp_backoff_minutes : float;
+  rp_quarantined : int;
+  rp_cores_lost : int;
+  rp_failovers : int;
+  rp_checkpoints : int;
 }
 
 let replay t =
@@ -101,6 +110,10 @@ let replay t =
   let occ = ref [] in
   let attr = Hashtbl.create 8 in
   let entropy = Hashtbl.create 16 in
+  let faults = Hashtbl.create 4 in
+  let retries = ref 0 and backoff = ref 0.0 in
+  let quarantined = ref 0 in
+  let cores_lost = ref 0 and failovers = ref 0 and checkpoints = ref 0 in
   List.iter
     (fun (e : T.event) ->
       match e.T.e_kind with
@@ -147,6 +160,18 @@ let replay t =
         in
         Hashtbl.replace entropy s.partition
           ((e.T.e_minutes, s.entropy) :: samples)
+      | T.Fault_injected f ->
+        let c, l =
+          Option.value ~default:(0, 0.0) (Hashtbl.find_opt faults f.failure)
+        in
+        Hashtbl.replace faults f.failure (c + 1, l +. f.lost_minutes)
+      | T.Eval_retry r ->
+        incr retries;
+        backoff := !backoff +. r.backoff_minutes
+      | T.Quarantined _ -> incr quarantined
+      | T.Core_lost _ -> incr cores_lost
+      | T.Failover _ -> incr failovers
+      | T.Checkpoint_written _ -> incr checkpoints
       | _ -> ())
     t.t_events;
   { rp_flow = !flow;
@@ -176,7 +201,19 @@ let replay t =
     rp_entropy =
       Hashtbl.fold (fun p samples acc -> (p, List.rev samples) :: acc) entropy
         []
-      |> List.sort (fun (a, _) (b, _) -> compare a b) }
+      |> List.sort (fun (a, _) (b, _) -> compare a b);
+    rp_faults =
+      Hashtbl.fold
+        (fun cls (c, l) acc ->
+          { fl_class = cls; fl_count = c; fl_lost = l } :: acc)
+        faults []
+      |> List.sort (fun a b -> String.compare a.fl_class b.fl_class);
+    rp_retries = !retries;
+    rp_backoff_minutes = !backoff;
+    rp_quarantined = !quarantined;
+    rp_cores_lost = !cores_lost;
+    rp_failovers = !failovers;
+    rp_checkpoints = !checkpoints }
 
 (* ---------- the s2fa trace report ---------- *)
 
@@ -255,6 +292,31 @@ let print_report ppf t =
         (if a.at_best < infinity then Printf.sprintf "%.6g" a.at_best
          else "-"))
     rp.rp_attribution;
+  let faulted =
+    rp.rp_faults <> [] || rp.rp_retries > 0 || rp.rp_quarantined > 0
+    || rp.rp_cores_lost > 0 || rp.rp_failovers > 0 || rp.rp_checkpoints > 0
+  in
+  if faulted then begin
+    p "@.== fault & resilience attribution ==@.";
+    if rp.rp_faults = [] then p "  no faults injected@."
+    else begin
+      p "  %-12s %8s %14s@." "class" "count" "lost minutes";
+      List.iter
+        (fun f -> p "  %-12s %8d %13.1fm@." f.fl_class f.fl_count f.fl_lost)
+        rp.rp_faults;
+      let lost =
+        List.fold_left (fun acc f -> acc +. f.fl_lost) 0.0 rp.rp_faults
+      in
+      p "  total virtual minutes lost to faults: %.1fm (+%.1fm backoff)@."
+        lost rp.rp_backoff_minutes
+    end;
+    p "  retries %d, quarantined points %d@." rp.rp_retries rp.rp_quarantined;
+    if rp.rp_cores_lost > 0 || rp.rp_failovers > 0 then
+      p "  cores lost %d, partition failovers %d@." rp.rp_cores_lost
+        rp.rp_failovers;
+    if rp.rp_checkpoints > 0 then
+      p "  checkpoints written %d@." rp.rp_checkpoints
+  end;
   p "@.== entropy-stop timeline ==@.";
   if rp.rp_entropy = [] then p "  (no entropy samples in this trace)@."
   else

@@ -45,6 +45,13 @@ type attr_row = {
   at_best : float;        (** Best quality this technique reached. *)
 }
 
+(** Virtual minutes lost to one failure class. *)
+type fault_row = {
+  fl_class : string;  (** ["crash"], ["hang"], ["transient"], ["core_loss"]. *)
+  fl_count : int;
+  fl_lost : float;    (** Virtual minutes the class's attempts wasted. *)
+}
+
 (** Everything {!replay} reconstructs. *)
 type replay = {
   rp_flow : string;
@@ -61,10 +68,19 @@ type replay = {
   rp_attribution : attr_row list;  (** Sorted by wins, then proposals. *)
   rp_entropy : (int * (float * float) list) list;
       (** Per partition: [(minutes, entropy)] samples in time order. *)
+  rp_faults : fault_row list;  (** Sorted by class name. *)
+  rp_retries : int;
+  rp_backoff_minutes : float;  (** Total exponential-backoff pause. *)
+  rp_quarantined : int;        (** Points given up on after max retries. *)
+  rp_cores_lost : int;
+  rp_failovers : int;
+  rp_checkpoints : int;
 }
 
 val replay : t -> replay
 
 val print_report : Format.formatter -> t -> unit
 (** The [s2fa trace] rendering: summary, best-so-far curve, Gantt-style
-    core occupancy, per-technique attribution, entropy-stop timeline. *)
+    core occupancy, per-technique attribution, fault/resilience
+    attribution (only when fault events are present), entropy-stop
+    timeline. *)

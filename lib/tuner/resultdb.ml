@@ -17,6 +17,7 @@ type t = {
   mutable hits : int;
   mutable misses : int;
   mutable inserts : int;
+  mutable rejected : int;
   mutable minutes_saved : float;
 }
 
@@ -25,6 +26,7 @@ type snapshot = {
   sn_hits : int;
   sn_misses : int;
   sn_inserts : int;
+  sn_rejected : int;
   sn_minutes_saved : float;
 }
 
@@ -34,7 +36,15 @@ let create ?(size = 256) () =
     hits = 0;
     misses = 0;
     inserts = 0;
+    rejected = 0;
     minutes_saved = 0.0 }
+
+(* The poisoning guard. A quarantined design point — one whose every
+   evaluation attempt was eaten by injected faults — carries a NaN
+   quality: not a measurement, a tombstone. Memoizing it would freeze a
+   transient tool failure into a permanent verdict the whole exploration
+   shares, so the database refuses it. *)
+let poisoned r = Float.is_nan r.e_perf
 
 let length db = Hashtbl.length db.tbl
 
@@ -55,7 +65,8 @@ let peek db cfg = Hashtbl.find_opt db.tbl (key_of cfg)
 
 let insert db ?detail cfg r =
   let key = key_of cfg in
-  if not (Hashtbl.mem db.tbl key) then begin
+  if poisoned r then db.rejected <- db.rejected + 1
+  else if not (Hashtbl.mem db.tbl key) then begin
     let detail =
       match detail with
       | Some _ -> detail
@@ -82,11 +93,16 @@ let memoize db f cfg =
     insert db cfg r;
     r
 
+let to_list db =
+  Hashtbl.fold (fun k e acc -> (k, e.en_result) :: acc) db.tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let snapshot db =
   { sn_entries = Hashtbl.length db.tbl;
     sn_hits = db.hits;
     sn_misses = db.misses;
     sn_inserts = db.inserts;
+    sn_rejected = db.rejected;
     sn_minutes_saved = db.minutes_saved }
 
 let diff later earlier =
@@ -94,6 +110,7 @@ let diff later earlier =
     sn_hits = later.sn_hits - earlier.sn_hits;
     sn_misses = later.sn_misses - earlier.sn_misses;
     sn_inserts = later.sn_inserts - earlier.sn_inserts;
+    sn_rejected = later.sn_rejected - earlier.sn_rejected;
     sn_minutes_saved = later.sn_minutes_saved -. earlier.sn_minutes_saved }
 
 let hit_rate s =
@@ -106,4 +123,6 @@ let pp_snapshot ppf s =
      simulated minutes saved"
     s.sn_entries s.sn_hits s.sn_misses
     (100.0 *. hit_rate s)
-    s.sn_inserts s.sn_minutes_saved
+    s.sn_inserts s.sn_minutes_saved;
+  if s.sn_rejected > 0 then
+    Format.fprintf ppf ", %d quarantined results refused" s.sn_rejected

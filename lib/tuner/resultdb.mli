@@ -53,6 +53,8 @@ type snapshot = {
   sn_hits : int;           (** Lookups served from the database. *)
   sn_misses : int;         (** Lookups that required a real evaluation. *)
   sn_inserts : int;        (** New entries stored (re-inserts not counted). *)
+  sn_rejected : int;
+      (** Poisoned (quarantined) results the guard refused to store. *)
   sn_minutes_saved : float;
       (** Simulated HLS minutes the hits skipped — the duplicate work a
           DB-less run would have paid. *)
@@ -73,11 +75,23 @@ val peek : t -> Space.cfg -> entry option
 (** Uncounted raw access (for reports and tests); returns the entry as
     stored, including its real evaluation minutes. *)
 
+val poisoned : eval_result -> bool
+(** A quarantined result: the fault injector exhausted its retries on
+    this point and returned a NaN-quality tombstone rather than a
+    measurement. *)
+
 val insert : t -> ?detail:detail -> Space.cfg -> eval_result -> unit
 (** Store a freshly measured result. First write wins: re-inserting an
     existing key neither overwrites nor bumps [sn_inserts] (results are
     deterministic, so a second measurement carries no new information).
-    A pending detail registered with {!attach_detail} is merged in. *)
+    A pending detail registered with {!attach_detail} is merged in.
+
+    {b Poisoning guard.} A {!poisoned} result is refused (counted in
+    [sn_rejected]): memoizing a transient tool failure would freeze it
+    into a permanent verdict shared by every tuner, breaking the
+    determinism contract — a fault-free re-run would measure the point
+    honestly and disagree with the cache. Quarantined points therefore
+    never enter the database ([test/test_fault.ml]). *)
 
 val attach_detail : t -> Space.cfg -> detail -> unit
 (** Enrich a key with estimator detail. Works before or after {!insert}:
@@ -86,6 +100,10 @@ val attach_detail : t -> Space.cfg -> detail -> unit
 val memoize : t -> (Space.cfg -> eval_result) -> Space.cfg -> eval_result
 (** [memoize db f] is [f] with the database in front: hits are served per
     the clock contract, misses evaluate [f] once and store the result. *)
+
+val to_list : t -> (string * eval_result) list
+(** Every stored entry as [(canonical key, result)], sorted by key —
+    the deterministic dump the DSE checkpointer serializes. *)
 
 val snapshot : t -> snapshot
 

@@ -93,6 +93,55 @@ let test_trace_rejects_garbage () =
   Sys.remove bad;
   Alcotest.(check bool) "non-zero exit" true (code <> 0)
 
+let test_dse_faults () =
+  let out =
+    check_ok "dse --faults"
+      "dse -w KMeans --minutes 30 --seed 3 --faults crash=0.1,hang=0.05"
+  in
+  Alcotest.(check bool) "prints fault accounting" true
+    (contains out "# faults:")
+
+let test_dse_bad_faults_spec_fails () =
+  let code, _ = run "dse -w KMeans --faults crash=2.0" in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
+(* The resilience loop end to end: a faulted DSE writes checkpoints,
+   `resume` replays from the file, and the recovered run reports the
+   same best line as the uninterrupted one. *)
+let test_checkpoint_and_resume () =
+  let ck = Filename.temp_file "s2fa_cli" ".ck.jsonl" in
+  let args =
+    Printf.sprintf
+      "dse -w KMeans --minutes 40 --seed 3 --faults crash=0.1,hang=0.05 \
+       --checkpoint %s --ck-every 10"
+      ck
+  in
+  let full = check_ok "dse --checkpoint" args in
+  Alcotest.(check bool) "notes the checkpoint" true
+    (contains full "# checkpoint:");
+  Alcotest.(check bool) "checkpoint file written" true (Sys.file_exists ck);
+  let resumed = check_ok "resume" ("resume " ^ ck) in
+  Sys.remove ck;
+  Alcotest.(check bool) "announces the recovery" true
+    (contains resumed "# resumed s2fa flow");
+  (* Bit-identical final best: the `# best ...` line matches verbatim. *)
+  let best_line out =
+    String.split_on_char '\n' out
+    |> List.find_opt (fun l -> String.length l >= 6 && String.sub l 0 6 = "# best")
+  in
+  match (best_line full, best_line resumed) with
+  | Some a, Some b -> Alcotest.(check string) "same best line" a b
+  | _ -> Alcotest.fail "missing best line"
+
+let test_resume_rejects_garbage () =
+  let bad = Filename.temp_file "s2fa_cli" ".ck.jsonl" in
+  let oc = open_out bad in
+  output_string oc "{\"ck\":\"nope\"}\n";
+  close_out oc;
+  let code, _ = run ("resume " ^ bad) in
+  Sys.remove bad;
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
 let test_cache () =
   let out = check_ok "cache" "cache -w KMeans --minutes 30 --seed 3" in
   Alcotest.(check bool) "reports DB equivalence" true
@@ -118,6 +167,13 @@ let () =
             test_dse_trace_and_replay;
           Alcotest.test_case "trace rejects garbage" `Quick
             test_trace_rejects_garbage;
+          Alcotest.test_case "dse --faults" `Quick test_dse_faults;
+          Alcotest.test_case "bad --faults spec" `Quick
+            test_dse_bad_faults_spec_fails;
+          Alcotest.test_case "checkpoint + resume" `Quick
+            test_checkpoint_and_resume;
+          Alcotest.test_case "resume rejects garbage" `Quick
+            test_resume_rejects_garbage;
           Alcotest.test_case "cache" `Quick test_cache;
           Alcotest.test_case "report" `Quick test_report;
           Alcotest.test_case "unknown kernel" `Quick test_bad_kernel_fails ] ) ]

@@ -253,7 +253,8 @@ let test_best_at () =
       rr_minutes = 30.0;
       rr_evals = 3;
       rr_cache = None;
-      rr_metrics = None }
+      rr_metrics = None;
+      rr_fault = None }
   in
   Alcotest.(check (float 1e-9)) "before anything" infinity
     (Driver.best_at r 5.0);

@@ -135,6 +135,43 @@ let test_device_model () =
   Alcotest.(check bool) "exp uses DSPs" true
     ((Device.math_op "exp").Device.dsp > 0.0)
 
+(* Every genuine estimator report passes the sanity checker the fault
+   injector's Transient path relies on (corrupted reports must be the
+   only thing it ever rejects). *)
+let prop_reports_pass_sanity_checker =
+  QCheck.Test.make ~name:"genuine reports pass check_report" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let c =
+        if seed mod 2 = 0 then Lazy.force compiled else Lazy.force compiled_lr
+      in
+      let rng = S2fa_util.Rng.create seed in
+      let cfg =
+        S2fa_tuner.Space.random_cfg rng c.S2fa.c_dspace.Dspace.ds_space
+      in
+      let r = est c cfg in
+      E.report_ok r
+      && (match E.check_report r with Ok () -> true | Error _ -> false))
+
+let test_check_report_rejects_corruption () =
+  let c = Lazy.force compiled in
+  let good = est c (Seed.area_seed c.S2fa.c_dspace) in
+  List.iter
+    (fun (what, bad) ->
+      match E.check_report bad with
+      | Ok () -> Alcotest.failf "%s accepted" what
+      | Error _ -> ())
+    [ ("NaN cycles", { good with E.r_cycles = Float.nan });
+      ("negative cycles", { good with E.r_cycles = -1.0 });
+      ("infinite cycles", { good with E.r_cycles = Float.infinity });
+      ("II below 1", { good with E.r_ii = 0.0 });
+      ("zero frequency", { good with E.r_freq_mhz = 0.0 });
+      ("negative seconds", { good with E.r_seconds = -0.5 });
+      ("zero eval minutes", { good with E.r_eval_minutes = 0.0 });
+      ("negative utilization", { good with E.r_lut_pct = -0.1 });
+      ( "feasible past 100% LUT",
+        { good with E.r_lut_pct = 1.5; r_feasible = true } ) ]
+
 (* property: estimates are deterministic *)
 let prop_estimate_deterministic =
   QCheck.Test.make ~name:"estimate is deterministic" ~count:30
@@ -168,7 +205,10 @@ let () =
           Alcotest.test_case "tasks scale time" `Quick test_more_tasks_more_time;
           Alcotest.test_case "utilization sanity" `Quick
             test_utilization_consistency;
-          Alcotest.test_case "device model" `Quick test_device_model ] );
+          Alcotest.test_case "device model" `Quick test_device_model;
+          Alcotest.test_case "check_report rejects corruption" `Quick
+            test_check_report_rejects_corruption ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_estimate_deterministic ] )
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_estimate_deterministic; prop_reports_pass_sanity_checker ] )
     ]
