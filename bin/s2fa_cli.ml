@@ -24,6 +24,7 @@ module Rng = S2fa_util.Rng
 module Telemetry = S2fa_telemetry.Telemetry
 module Trace = S2fa_telemetry.Trace
 module Fault = S2fa_fault.Fault
+module Fuzz = S2fa_fuzz.Fuzz
 open Cmdliner
 
 let workload_arg =
@@ -477,6 +478,45 @@ let speedup_cmd =
     (Cmd.info "speedup" ~doc:"Fig-4-style JVM-vs-accelerator comparison.")
     Term.(const run $ workload_arg $ seed_arg $ tasks_arg)
 
+let fuzz_cmd =
+  let count_arg =
+    let doc = "Number of kernels (and C transform cases) to generate." in
+    Arg.(value & opt int 200 & info [ "count" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Directory to write minimized reproducers into." in
+    Arg.(value & opt (some string) None & info [ "out" ] ~doc)
+  in
+  let no_shrink_arg =
+    let doc = "Report failures unminimized." in
+    Arg.(value & flag & info [ "no-shrink" ] ~doc)
+  in
+  let run seed count out no_shrink =
+    let st = Fuzz.run_campaign ~shrink:(not no_shrink) ~seed ~count () in
+    Format.printf "%a@." Fuzz.pp_stats st;
+    List.iteri
+      (fun i (f : Fuzz.failure) ->
+        Format.printf "@.FAILURE %d [%s] %s@.%s@." (i + 1) f.Fuzz.f_oracle
+          f.Fuzz.f_detail f.Fuzz.f_source;
+        if not (String.equal f.Fuzz.f_oracle "c-transform") then begin
+          Format.printf "%s@."
+            (Fuzz.ocaml_repro ~name:(Printf.sprintf "repro_%d" (i + 1)) f);
+          match out with
+          | Some dir ->
+            let path = Fuzz.write_corpus_file ~dir ~expect:"fail" f in
+            Format.printf "reproducer written to %s@." path
+          | None -> ()
+        end)
+      st.Fuzz.st_failures;
+    if st.Fuzz.st_failures <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differentially fuzz the pipeline: random kernels checked under \
+          the verify / JVM-vs-C / transform / estimate oracles.")
+    Term.(const run $ seed_arg $ count_arg $ out_arg $ no_shrink_arg)
+
 let () =
   let info =
     Cmd.info "s2fa" ~version:"1.0.0"
@@ -486,4 +526,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; compile_cmd; echo_cmd; bytecode_cmd; dse_cmd;
-            resume_cmd; trace_cmd; cache_cmd; report_cmd; speedup_cmd ]))
+            resume_cmd; trace_cmd; cache_cmd; report_cmd; speedup_cmd;
+            fuzz_cmd ]))

@@ -196,6 +196,56 @@ let rec contains_user_call fnames = function
 
 (* ---------- per-method decompilation ---------- *)
 
+(* Fields each method reads, transitively through helper calls, in class
+   declaration order. Fields only exist in C as kernel parameters
+   ([f_*]); a helper that touches one needs it threaded through its own
+   signature, and every call site must pass it along. *)
+let method_fields (cls : Insn.cls) : (string * string list) list =
+  let module SS = Set.Make (String) in
+  let direct = Hashtbl.create 8 in
+  let calls = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Insn.methd) ->
+      let fs = ref SS.empty and cs = ref SS.empty in
+      Array.iter
+        (function
+          | Insn.GetField f -> fs := SS.add f !fs
+          | Insn.Invoke (n, _) -> cs := SS.add n !cs
+          | _ -> ())
+        m.Insn.jcode;
+      Hashtbl.replace direct m.Insn.jname !fs;
+      Hashtbl.replace calls m.Insn.jname !cs)
+    cls.Insn.jmethods;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (m : Insn.methd) ->
+        let cur = Hashtbl.find direct m.Insn.jname in
+        let nxt =
+          SS.fold
+            (fun callee acc ->
+              match Hashtbl.find_opt direct callee with
+              | Some fs -> SS.union acc fs
+              | None -> acc)
+            (Hashtbl.find calls m.Insn.jname)
+            cur
+        in
+        if not (SS.equal cur nxt) then begin
+          Hashtbl.replace direct m.Insn.jname nxt;
+          changed := true
+        end)
+      cls.Insn.jmethods
+  done;
+  List.map
+    (fun (m : Insn.methd) ->
+      let fs = Hashtbl.find direct m.Insn.jname in
+      ( m.Insn.jname,
+        List.filter_map
+          (fun (f, _) -> if SS.mem f fs then Some f else None)
+          cls.Insn.jfields ))
+    cls.Insn.jmethods
+
 type mctx = {
   cls : Insn.cls;
   meth : Insn.methd;
@@ -208,6 +258,8 @@ type mctx = {
   gid : cexpr option;                  (* Some for the kernel method *)
   helper_names : string list;          (* C names of user functions *)
   fcaps : (string * int) list;         (* capacity of array fields *)
+  meth_fields : (string * string list) list;
+      (* transitive field use per method, for helper call sites *)
 }
 
 let sanitize name =
@@ -385,9 +437,17 @@ let exec_block ctx bid : cstmt list * terminator =
       match Insn.find_jmethod ctx.cls name with
       | None -> err "invoke of unknown method %s" name
       | Some m ->
-        if Ast.equal_ty m.Insn.jret Ast.TUnit then
-          emit (SExpr (ECall (name, exprs)))
-        else push (SE (ECall (name, exprs), cty_of_ty m.Insn.jret)))
+        (* Forward the fields the callee (transitively) reads: they are
+           parameters in every decompiled function, including here. *)
+        let extra =
+          List.map
+            (fun f -> EVar ("f_" ^ f))
+            (Option.value ~default:[]
+               (List.assoc_opt name ctx.meth_fields))
+        in
+        let call_e = ECall (name, exprs @ extra) in
+        if Ast.equal_ty m.Insn.jret Ast.TUnit then emit (SExpr call_e)
+        else push (SE (call_e, cty_of_ty m.Insn.jret)))
     | Insn.CmpJmp (_, c, l) ->
       let rb = sym_expr (pop ()) in
       let ra = sym_expr (pop ()) in
@@ -444,8 +504,41 @@ and structure_plain ctx on_ret bid stop =
   | TCond (cond, bt, bf) ->
     let join = ctx.cfg.Cfg.ipdom.(bid) in
     let join_stop = if join = -1 then None else Some join in
+    (* Each branch symbolically executes against its own copy of the
+       slot state. Sharing one mutable array — the old behavior — let
+       the then-branch's aggregate rebindings (which emit no C code)
+       leak into the else-branch and into the join, so
+       [val t = if (c) a else b] over arrays silently always picked the
+       else value. *)
+    let snapshot = Array.copy ctx.slots in
     let thn = structure ctx on_ret bt join_stop in
+    let then_slots = Array.copy ctx.slots in
+    Array.blit snapshot 0 ctx.slots 0 (Array.length snapshot);
     let els = structure ctx on_ret bf join_stop in
+    let sym_eq a b = 0 = compare a b in
+    Array.iteri
+      (fun i else_sym ->
+        let then_sym = then_slots.(i) in
+        if not (sym_eq then_sym else_sym) then
+          if sym_eq snapshot.(i) then_sym then
+            (* Only the else branch changed the slot; its value (already
+               in [ctx.slots]) is the join value: scalar slots are backed
+               by a real C variable the branch assigned, and a one-sided
+               aggregate binding is branch-local and dead after the
+               join. *)
+            ()
+          else if sym_eq snapshot.(i) else_sym then ctx.slots.(i) <- then_sym
+          else
+            (* Both branches rebound the slot to different symbolic
+               values. Scalars cannot get here (a store always leaves
+               [SE (EVar <slot name>, _)], identical in both arms), so
+               this is an aggregate chosen under a runtime condition —
+               unrepresentable without a C-level array copy. *)
+            err
+              "%s: slot %s is bound to different aggregates in the two \
+               branches of a conditional"
+              ctx.meth.Insn.jname ctx.slot_cnames.(i))
+      ctx.slots;
     let tail =
       if join = -1 then [] else structure ctx on_ret join stop
     in
@@ -482,32 +575,128 @@ let rec assigns_var v stmts =
       | SDecl _ | SExpr _ | SReturn _ -> false)
     stmts
 
-let rec loopify stmts =
-  match stmts with
-  | SAssign (EVar v, lo)
-    :: SWhile ((EBin ((CLt | CLe) as cmp, EVar v', hi0) as cond), wbody)
-    :: rest
-    when String.equal v v' -> (
-    let hi =
-      if cmp = CLt then hi0
-      else
-        match Csyntax.const_int_of hi0 with
-        | Some n -> EInt (n + 1)
-        | None -> EBin (CAdd, hi0, EInt 1)
-    in
-    let wbody = loopify wbody in
-    match List.rev wbody with
-    | SAssign (EVar v'', EBin (CAdd, EVar v''', EInt step)) :: body_rev
-      when String.equal v v'' && String.equal v v'''
-           && not (assigns_var v (List.rev body_rev)) ->
-      let body = List.rev body_rev in
-      SFor (Csyntax.mk_loop ~var:v ~lo ~hi ~step body) :: loopify rest
-    | _ -> SAssign (EVar v, lo) :: SWhile (cond, wbody) :: loopify rest)
-  | SIf (c, a, b) :: rest -> SIf (c, loopify a, loopify b) :: loopify rest
-  | SWhile (c, b) :: rest -> SWhile (c, loopify b) :: loopify rest
-  | SFor l :: rest -> SFor { l with lbody = loopify l.lbody } :: loopify rest
-  | s :: rest -> s :: loopify rest
-  | [] -> []
+(* [var_ty] recovers the declared C type of a counter variable so the
+   rebuilt [for] header does not narrow a long-typed counter to [int]. *)
+let loopify ?(var_ty = fun _ -> CInt) stmts =
+  let rec go stmts =
+    match stmts with
+    | SAssign (EVar v, lo)
+      :: SWhile ((EBin ((CLt | CLe) as cmp, EVar v', hi0) as cond), wbody)
+      :: rest
+      when String.equal v v' -> (
+      let hi =
+        if cmp = CLt then hi0
+        else
+          match Csyntax.const_int_of hi0 with
+          | Some n -> EInt (n + 1)
+          | None -> EBin (CAdd, hi0, EInt 1)
+      in
+      let wbody = go wbody in
+      match List.rev wbody with
+      | SAssign (EVar v'', EBin (CAdd, EVar v''', EInt step)) :: body_rev
+        when String.equal v v'' && String.equal v v'''
+             && not (assigns_var v (List.rev body_rev)) ->
+        let body = List.rev body_rev in
+        (* The counter is a JVM local declared with the rest of the
+           slots, so the rebuilt header only assigns it: re-declaring it
+           in the for-init would shadow the outer declaration and leave
+           post-loop reads of the counter uninitialized in real C. *)
+        SFor
+          (Csyntax.mk_loop ~vty:(var_ty v) ~decl:false ~var:v ~lo ~hi ~step
+             body)
+        :: go rest
+      | _ -> SAssign (EVar v, lo) :: SWhile (cond, wbody) :: go rest)
+    | SIf (c, a, b) :: rest -> SIf (c, go a, go b) :: go rest
+    | SWhile (c, b) :: rest -> SWhile (c, go b) :: go rest
+    | SFor l :: rest -> SFor { l with lbody = go l.lbody } :: go rest
+    | s :: rest -> s :: go rest
+    | [] -> []
+  in
+  go stmts
+
+(* A loopified counter that is never referenced outside its recovered
+   loops can own its declaration ([for (int v = ...)], {!Csyntax.loop.ldecl}
+   set), which keeps the loop tileable and unrollable; its separate slot
+   declaration is dropped. A counter that is read after (or between) its
+   loops — or that appears in a loop's own bounds — keeps the outer
+   declaration and the assign-only header. *)
+let promote_loop_decls decls stmts =
+  let counters = Hashtbl.create 8 in
+  let rec scan ss =
+    List.iter
+      (function
+        | SFor l ->
+          if not l.ldecl then Hashtbl.replace counters l.lvar ();
+          scan l.lbody
+        | SIf (_, a, b) ->
+          scan a;
+          scan b
+        | SWhile (_, b) -> scan b
+        | SDecl _ | SAssign _ | SExpr _ | SReturn _ -> ())
+      ss
+  in
+  scan stmts;
+  let free = Hashtbl.create 8 in
+  let rec expr_vars f = function
+    | EVar v -> f v
+    | EBin (_, a, b) ->
+      expr_vars f a;
+      expr_vars f b
+    | EUn (_, a) | ECast (_, a) -> expr_vars f a
+    | EIndex (a, i) ->
+      expr_vars f a;
+      expr_vars f i
+    | ECall (_, args) -> List.iter (expr_vars f) args
+    | ECond (c, a, b) ->
+      expr_vars f c;
+      expr_vars f a;
+      expr_vars f b
+    | EInt _ | ELong _ | EFloat _ | EDouble _ | EChar _ | EBool _ -> ()
+  in
+  let mark shadowed v =
+    if Hashtbl.mem counters v && not (List.mem v shadowed) then
+      Hashtbl.replace free v ()
+  in
+  let rec uses shadowed ss =
+    List.iter
+      (fun s ->
+        match s with
+        | SFor l ->
+          expr_vars (mark shadowed) l.llo;
+          expr_vars (mark shadowed) l.lhi;
+          uses (l.lvar :: shadowed) l.lbody
+        | SIf (c, a, b) ->
+          expr_vars (mark shadowed) c;
+          uses shadowed a;
+          uses shadowed b
+        | SWhile (c, b) ->
+          expr_vars (mark shadowed) c;
+          uses shadowed b
+        | SDecl (_, _, i) -> Option.iter (expr_vars (mark shadowed)) i
+        | SAssign (lv, e) ->
+          expr_vars (mark shadowed) lv;
+          expr_vars (mark shadowed) e
+        | SExpr e -> expr_vars (mark shadowed) e
+        | SReturn e -> Option.iter (expr_vars (mark shadowed)) e)
+      ss
+  in
+  uses [] stmts;
+  let promoted v = Hashtbl.mem counters v && not (Hashtbl.mem free v) in
+  let rec rewrite ss =
+    List.map
+      (function
+        | SFor l ->
+          let l = { l with lbody = rewrite l.lbody } in
+          SFor (if promoted l.lvar then { l with ldecl = true } else l)
+        | SIf (c, a, b) -> SIf (c, rewrite a, rewrite b)
+        | SWhile (c, b) -> SWhile (c, rewrite b)
+        | (SDecl _ | SAssign _ | SExpr _ | SReturn _) as s -> s)
+      ss
+  in
+  Hashtbl.iter
+    (fun v () -> if promoted v then Hashtbl.remove decls v)
+    counters;
+  rewrite stmts
 
 (* ---------- output substitution ---------- *)
 
@@ -581,14 +770,25 @@ let decompile_method (cls : Insn.cls) helper_names ~gid ~slots_init ~fcaps
       arr_counter = 0;
       gid;
       helper_names;
-      fcaps }
+      fcaps;
+      meth_fields = method_fields cls }
   in
   let body = structure ctx on_ret cfg.Cfg.entry None in
-  let body = loopify body in
+  let body =
+    loopify
+      ~var_ty:(fun v ->
+        Option.value ~default:CInt (Hashtbl.find_opt ctx.decls v))
+      body
+  in
+  let body = promote_loop_decls ctx.decls body in
   (body, ctx.decls, ctx.arr_decls)
 
-(* For helper methods: plain scalar signature. *)
-let decompile_helper (cls : Insn.cls) helper_names (m : Insn.methd) : cfunc =
+(* For helper methods: scalar signature plus the (transitively) read
+   fields as trailing [f_*] parameters — a helper body referencing a
+   field otherwise produced an unbound [f_*] variable, since fields only
+   exist as parameters of the kernel entry points. *)
+let decompile_helper (cls : Insn.cls) helper_names ~fcaps ~fields
+    (m : Insn.methd) : cfunc =
   let slots = Array.make (max 1 m.Insn.jslots) None in
   let cnames = cname_of_slots m in
   List.iteri
@@ -605,7 +805,7 @@ let decompile_helper (cls : Insn.cls) helper_names (m : Insn.methd) : cfunc =
     | None -> [ SReturn None ]
   in
   let body, decls, arr_decls =
-    decompile_method cls helper_names ~gid:None ~slots_init:slots ~fcaps:[] m
+    decompile_method cls helper_names ~gid:None ~slots_init:slots ~fcaps m
       ~on_ret
   in
   let nargs = List.length m.Insn.jargs in
@@ -616,6 +816,19 @@ let decompile_helper (cls : Insn.cls) helper_names (m : Insn.methd) : cfunc =
         { cpname = param_names.(i); cpty = cty_of_ty t; cpbitwidth = None })
       m.Insn.jargs
   in
+  let field_params =
+    List.map
+      (fun f ->
+        match List.assoc_opt f cls.Insn.jfields with
+        | Some (Ast.TArray inner) ->
+          { cpname = "f_" ^ f;
+            cpty = CPtr (cty_of_ty inner);
+            cpbitwidth = None }
+        | Some t ->
+          { cpname = "f_" ^ f; cpty = cty_of_ty t; cpbitwidth = None }
+        | None -> err "helper %s reads unknown field %s" m.Insn.jname f)
+      fields
+  in
   let decl_stmts =
     Hashtbl.fold
       (fun name t acc ->
@@ -625,7 +838,7 @@ let decompile_helper (cls : Insn.cls) helper_names (m : Insn.methd) : cfunc =
     @ List.map (fun (n, t, sz) -> SDecl (CArr (t, sz), n, None)) arr_decls
   in
   { cfname = m.Insn.jname;
-    cfparams = params;
+    cfparams = params @ field_params;
     cfret =
       (match m.Insn.jret with
       | Ast.TUnit -> None
@@ -863,7 +1076,17 @@ let decompile_class ?(operator = `Map) ?(in_caps = []) ?(out_caps = [])
       cfret = None;
       cfbody = kernel_body }
   in
-  let helper_funcs = List.map (decompile_helper cls helper_names) helpers in
+  let mfields = method_fields cls in
+  let helper_funcs =
+    List.map
+      (fun (m : Insn.methd) ->
+        decompile_helper cls helper_names ~fcaps:field_caps
+          ~fields:
+            (Option.value ~default:[]
+               (List.assoc_opt m.Insn.jname mfields))
+          m)
+      helpers
+  in
   let prog = { cfuncs = helper_funcs @ [ call_func; kernel ] } in
   let iface =
     { if_inputs = in_layouts;

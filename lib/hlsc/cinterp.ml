@@ -253,6 +253,28 @@ let run_func ?(fuel = 200_000_000) prog name args =
       | _ -> err "index-assign on non-array")
     | _ -> err "invalid lvalue"
   and exec_stmts env stmts = List.iter (exec_stmt env) stmts
+  (* C99 block scoping over the flat environment: declarations made by a
+     statement list shadow any outer binding only until the end of the
+     list, at which point the outer binding (or its absence) is
+     restored. [Return_value] and [C_error] abort the whole run, so
+     skipping the restore on those paths is harmless. *)
+  and exec_block env stmts =
+    let saved = ref [] in
+    List.iter
+      (fun s ->
+        (match s with
+        | Csyntax.SDecl (_, name, _) ->
+          if not (List.mem_assoc name !saved) then
+            saved := (name, Hashtbl.find_opt env name) :: !saved
+        | _ -> ());
+        exec_stmt env s)
+      stmts;
+    List.iter
+      (fun (name, prior) ->
+        match prior with
+        | Some r -> Hashtbl.replace env name r
+        | None -> Hashtbl.remove env name)
+      !saved
   and exec_stmt env s =
     decr remaining;
     if !remaining <= 0 then err "fuel exhausted";
@@ -262,24 +284,52 @@ let run_func ?(fuel = 200_000_000) prog name args =
       Hashtbl.replace env name (ref v)
     | Csyntax.SAssign (lv, e) -> assign env lv (eval env e)
     | Csyntax.SIf (c, a, b) ->
-      if truthy (eval env c) then exec_stmts env a else exec_stmts env b
+      if truthy (eval env c) then exec_block env a else exec_block env b
     | Csyntax.SWhile (c, b) ->
       while truthy (eval env c) do
         decr remaining;
         if !remaining <= 0 then err "fuel exhausted";
-        exec_stmts env b
+        exec_block env b
       done
     | Csyntax.SFor l ->
       let lo = as_int (eval env l.Csyntax.llo) in
-      Hashtbl.replace env l.Csyntax.lvar (ref (VI lo));
-      let cell = lookup env l.Csyntax.lvar in
+      (* The counter carries the loop's declared induction type so that
+         arithmetic on it promotes the same way as in the emitted C. *)
+      let box n =
+        match l.Csyntax.lvty with
+        | Csyntax.CLong -> VL (Int64.of_int n)
+        | _ -> VI n
+      in
+      (* [ldecl] loops declare their counter in the for-init, so it is
+         scoped to the loop (C99); otherwise the counter is an outer
+         variable whose exit value stays observable after the loop. *)
+      let prior =
+        if l.Csyntax.ldecl then Hashtbl.find_opt env l.Csyntax.lvar
+        else None
+      in
+      let cell =
+        if l.Csyntax.ldecl then begin
+          Hashtbl.replace env l.Csyntax.lvar (ref (box lo));
+          lookup env l.Csyntax.lvar
+        end
+        else begin
+          let cell = lookup env l.Csyntax.lvar in
+          cell := box lo;
+          cell
+        end
+      in
       let continue_ () = as_int !cell < as_int (eval env l.Csyntax.lhi) in
       while continue_ () do
         decr remaining;
         if !remaining <= 0 then err "fuel exhausted";
-        exec_stmts env l.Csyntax.lbody;
-        cell := VI (as_int !cell + l.Csyntax.lstep)
-      done
+        exec_block env l.Csyntax.lbody;
+        cell := box (as_int !cell + l.Csyntax.lstep)
+      done;
+      if l.Csyntax.ldecl then begin
+        match prior with
+        | Some r -> Hashtbl.replace env l.Csyntax.lvar r
+        | None -> Hashtbl.remove env l.Csyntax.lvar
+      end
     | Csyntax.SExpr e -> ignore (eval env e)
     | Csyntax.SReturn v ->
       raise (Return_value (Option.map (eval env) v))

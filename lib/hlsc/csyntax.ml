@@ -50,6 +50,12 @@ type cstmt =
 and loop = {
   lid : int;
   lvar : string;
+  lvty : cty;                  (* declared type of the induction variable *)
+  ldecl : bool;
+      (* [true]: the for-init declares the variable ([for (int v = ...)])
+         and C99 scopes it to the loop. [false]: the variable is declared
+         outside and the for-init only assigns it ([for (v = ...)]); its
+         exit value is observable after the loop. *)
   llo : cexpr;
   lhi : cexpr;
   lstep : int;
@@ -74,9 +80,12 @@ let fresh_loop_id () =
   incr loop_counter;
   !loop_counter
 
-let mk_loop ?(pragmas = []) ~var ~lo ~hi ?(step = 1) body =
+let mk_loop ?(pragmas = []) ?(vty = CInt) ?(decl = true) ~var ~lo ~hi
+    ?(step = 1) body =
   { lid = fresh_loop_id ();
     lvar = var;
+    lvty = vty;
+    ldecl = decl;
     llo = lo;
     lhi = hi;
     lstep = step;
@@ -258,8 +267,13 @@ let rec pp_stmt ind ppf s =
       if l.lstep = 1 then Printf.sprintf "%s++" l.lvar
       else Printf.sprintf "%s += %d" l.lvar l.lstep
     in
-    Format.fprintf ppf "%sL%d: for (int %s = %a; %s < %a; %s) {@\n%a%s}@\n"
-      pad l.lid l.lvar pp_expr l.llo l.lvar pp_expr l.lhi step
+    let init =
+      if l.ldecl then
+        Printf.sprintf "%s %s" (base_ty_name l.lvty) l.lvar
+      else l.lvar
+    in
+    Format.fprintf ppf "%sL%d: for (%s = %a; %s < %a; %s) {@\n%a%s}@\n"
+      pad l.lid init pp_expr l.llo l.lvar pp_expr l.lhi step
       (pp_stmts (ind + 2)) l.lbody pad
   | SExpr e -> Format.fprintf ppf "%s%a;@\n" pad pp_expr e
   | SReturn None -> Format.fprintf ppf "%sreturn;@\n" pad

@@ -60,6 +60,14 @@ type cstmt =
 and loop = {
   lid : int;
   lvar : string;
+  lvty : cty;       (** Declared type of the induction variable. *)
+  ldecl : bool;
+      (** [true]: the for-init declares the variable
+          ([for (int v = ...)]), which C99 scopes to the loop.
+          [false]: the variable is declared outside the loop and the
+          for-init only assigns it ([for (v = ...)]); its exit value is
+          observable after the loop, so transforms that rebuild the
+          counter (tiling, unrolling) must refuse such loops. *)
   llo : cexpr;
   lhi : cexpr;      (** Exclusive bound. *)
   lstep : int;
@@ -87,8 +95,13 @@ val fresh_loop_id : unit -> int
 (** Process-wide unique loop ids for newly created loops. *)
 
 val mk_loop :
-  ?pragmas:pragma list -> var:string -> lo:cexpr -> hi:cexpr ->
-  ?step:int -> cstmt list -> loop
+  ?pragmas:pragma list -> ?vty:cty -> ?decl:bool -> var:string ->
+  lo:cexpr -> hi:cexpr -> ?step:int -> cstmt list -> loop
+(** [vty] is the induction variable's declared C type (default [CInt]);
+    transforms that reconstruct the variable (e.g. tiling) must preserve
+    it or a [long]-counted loop is silently narrowed. [decl] (default
+    [true]) is the {!loop.ldecl} flag: pass [false] when the counter is
+    declared outside the loop and the header only assigns it. *)
 
 val ty_bits : cty -> int
 (** Storage width of a scalar type in bits (array/pointer: element's). *)

@@ -228,10 +228,22 @@ let long_binop op x y =
   | Ast.Lshr -> Int64.shift_right_logical x (Int64.to_int y)
   | _ -> err "invalid long binop"
 
+(* JVM lshl/lshr/lushr pop an [int] shift count under the long operand,
+   and typecheck widens the count only to Int accordingly — so for long
+   shifts the right operand is legitimately a VInt. *)
+let is_shift = function Ast.Shl | Ast.Shr | Ast.Lshr -> true | _ -> false
+
+let as_shift_count = function
+  | VInt n -> Int64.of_int n
+  | VLong n -> n
+  | v -> err "expected shift count, got %s" (Format.asprintf "%a" pp_value v)
+
 let eval_bin ty op a b =
   match ty with
   | Ast.TInt | Ast.TChar | Ast.TBoolean ->
     VInt (int_binop op (as_int a) (as_int b))
+  | Ast.TLong when is_shift op ->
+    VLong (long_binop op (as_long a) (as_shift_count b))
   | Ast.TLong -> (
     match (a, b) with
     | VLong x, VLong y -> VLong (long_binop op x y)

@@ -43,7 +43,7 @@ let jump_targets = function
   | Insn.Invoke _ | Insn.Ret | Insn.RetVoid | Insn.Dup | Insn.Pop ->
     []
 
-let verify_method cls (m : Insn.methd) =
+let verify_method_count cls (m : Insn.methd) =
   let code = m.Insn.jcode in
   let n = Array.length code in
   if n = 0 then err "%s: empty code" m.Insn.jname;
@@ -60,7 +60,6 @@ let verify_method cls (m : Insn.methd) =
     code;
   let depth = Array.make n (-1) in
   let worklist = Queue.create () in
-  Queue.add (0, 0) worklist;
   let visit pc d =
     if pc >= n then err "%s: control flow falls off the end" m.Insn.jname;
     if depth.(pc) = -1 then begin
@@ -71,10 +70,17 @@ let verify_method cls (m : Insn.methd) =
       err "%s: inconsistent stack depth at pc %d (%d vs %d)" m.Insn.jname pc
         depth.(pc) d
   in
+  (* Seed the entry point exactly once. [visit] would also work here, but
+     recording the depth first keeps the seed identical to how every other
+     pc enters the worklist; a second [Queue.add (0, 0)] used to sit next
+     to it and made pc 0 (and its whole successor cone) be processed
+     twice. *)
   depth.(0) <- 0;
   Queue.add (0, 0) worklist;
+  let processed = ref 0 in
   while not (Queue.is_empty worklist) do
     let pc, d = Queue.pop worklist in
+    incr processed;
     let ins = code.(pc) in
     if is_target.(pc) && d <> 0 then
       err "%s: non-empty stack (%d) at jump target %d" m.Insn.jname d pc;
@@ -101,6 +107,9 @@ let verify_method cls (m : Insn.methd) =
       visit l d';
       visit (pc + 1) d'
     | _ -> visit (pc + 1) d')
-  done
+  done;
+  !processed
+
+let verify_method cls m = ignore (verify_method_count cls m)
 
 let verify_class cls = List.iter (verify_method cls) cls.Insn.jmethods

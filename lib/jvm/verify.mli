@@ -19,4 +19,12 @@ exception Verify_error of string
 val verify_method : Insn.cls -> Insn.methd -> unit
 (** Raises {!Verify_error} with a diagnostic on violation. *)
 
+val verify_method_count : Insn.cls -> Insn.methd -> int
+(** Like {!verify_method} but returns how many worklist items the
+    abstract interpreter processed. Each reachable pc is entered into
+    the worklist exactly once (depths are recorded before enqueueing),
+    so the count equals the number of reachable instructions — the
+    property regression-tested since a duplicated entry-point seed made
+    the whole method be verified twice. *)
+
 val verify_class : Insn.cls -> unit

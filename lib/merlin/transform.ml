@@ -54,23 +54,107 @@ let rec subst_expr v repl e =
     ECond (subst_expr v repl c, subst_expr v repl a, subst_expr v repl b)
   | ECast (t, a) -> ECast (t, subst_expr v repl a)
 
-let rec subst_stmts v repl stmts =
-  List.map
-    (function
-      | SDecl (t, n, i) -> SDecl (t, n, Option.map (subst_expr v repl) i)
-      | SAssign (lv, e) -> SAssign (subst_expr v repl lv, subst_expr v repl e)
-      | SIf (c, a, b) ->
-        SIf (subst_expr v repl c, subst_stmts v repl a, subst_stmts v repl b)
-      | SWhile (c, b) -> SWhile (subst_expr v repl c, subst_stmts v repl b)
-      | SFor l ->
-        SFor
-          { l with
-            llo = subst_expr v repl l.llo;
-            lhi = subst_expr v repl l.lhi;
-            lbody = subst_stmts v repl l.lbody }
-      | SExpr e -> SExpr (subst_expr v repl e)
-      | SReturn e -> SReturn (Option.map (subst_expr v repl) e))
-    stmts
+let rec expr_uses v = function
+  | EVar x -> String.equal x v
+  | EInt _ | ELong _ | EFloat _ | EDouble _ | EChar _ | EBool _ -> false
+  | EBin (_, a, b) -> expr_uses v a || expr_uses v b
+  | EUn (_, a) | ECast (_, a) -> expr_uses v a
+  | EIndex (a, i) -> expr_uses v a || expr_uses v i
+  | ECall (_, args) -> List.exists (expr_uses v) args
+  | ECond (c, a, b) -> expr_uses v c || expr_uses v a || expr_uses v b
+
+let rec stmt_uses v = function
+  | SDecl (_, _, i) -> Option.fold ~none:false ~some:(expr_uses v) i
+  | SAssign (lv, e) -> expr_uses v lv || expr_uses v e
+  | SIf (c, a, b) ->
+    expr_uses v c || List.exists (stmt_uses v) a
+    || List.exists (stmt_uses v) b
+  | SWhile (c, b) -> expr_uses v c || List.exists (stmt_uses v) b
+  | SFor l ->
+    expr_uses v l.llo || expr_uses v l.lhi
+    || List.exists (stmt_uses v) l.lbody
+  | SExpr e -> expr_uses v e
+  | SReturn e -> Option.fold ~none:false ~some:(expr_uses v) e
+
+(* Does the statement introduce a new binding for [v] — a declaration, or
+   a nested counted loop reusing the name? *)
+let rec stmt_rebinds v = function
+  | SDecl (_, n, _) -> String.equal n v
+  | SFor l -> String.equal l.lvar v || List.exists (stmt_rebinds v) l.lbody
+  | SIf (_, a, b) ->
+    List.exists (stmt_rebinds v) a || List.exists (stmt_rebinds v) b
+  | SWhile (_, b) -> List.exists (stmt_rebinds v) b
+  | SAssign _ | SExpr _ | SReturn _ -> false
+
+let rec stmt_writes v = function
+  | SAssign (EVar x, _) -> String.equal x v
+  | SAssign (_, _) | SDecl _ | SExpr _ | SReturn _ -> false
+  | SIf (_, a, b) ->
+    List.exists (stmt_writes v) a || List.exists (stmt_writes v) b
+  | SWhile (_, b) -> List.exists (stmt_writes v) b
+  | SFor l -> List.exists (stmt_writes v) l.lbody
+
+(* Capture-avoiding substitution of the induction variable [v] by [repl]
+   in an unrolled body copy.
+
+   The generated C (and its interpreter) has no block scoping: a
+   declaration of [v] inside the loop body shadows the counter for every
+   later read, and an assignment to [v] writes the counter itself. The
+   old blind traversal substituted under both — rewriting reads that
+   belong to the redeclaration, and even turning assignment *lvalues*
+   into non-lvalue expressions — producing wrong code. Now:
+
+   - a body that never rebinds or writes [v] substitutes everywhere,
+     with scalar lvalue names left alone (only index expressions inside
+     an lvalue mention the induction variable);
+   - a top-level declaration of [v] preceded by no use of [v] ends the
+     substitution at that point: everything after it reads the
+     redeclaration, not the counter;
+   - any other shape — a write to [v], a redeclaration nested under
+     control flow, or one evaluated after [v] has been read — cannot be
+     unrolled by substitution and is rejected with {!Transform_error}. *)
+let subst_stmts v repl stmts =
+  List.iter
+    (fun s ->
+      if stmt_writes v s then
+        err "cannot unroll: loop body writes its induction variable %s" v)
+    stmts;
+  let subst_lv lv =
+    match lv with EVar _ -> lv | _ -> subst_expr v repl lv
+  in
+  let rec subst_stmt = function
+    | SDecl (t, n, i) -> SDecl (t, n, Option.map (subst_expr v repl) i)
+    | SAssign (lv, e) -> SAssign (subst_lv lv, subst_expr v repl e)
+    | SIf (c, a, b) ->
+      SIf (subst_expr v repl c, List.map subst_stmt a, List.map subst_stmt b)
+    | SWhile (c, b) -> SWhile (subst_expr v repl c, List.map subst_stmt b)
+    | SFor l ->
+      SFor
+        { l with
+          llo = subst_expr v repl l.llo;
+          lhi = subst_expr v repl l.lhi;
+          lbody = List.map subst_stmt l.lbody }
+    | SExpr e -> SExpr (subst_expr v repl e)
+    | SReturn e -> SReturn (Option.map (subst_expr v repl) e)
+  in
+  let rec go pre_use = function
+    | [] -> []
+    | SDecl (t, n, i) :: rest when String.equal n v ->
+      if pre_use || Option.fold ~none:false ~some:(expr_uses v) i then
+        err
+          "cannot unroll: induction variable %s is redeclared after a use"
+          v
+      else
+        (* Shadowed from the declaration on: leave the tail untouched. *)
+        SDecl (t, n, i) :: rest
+    | s :: rest ->
+      if stmt_rebinds v s then
+        err
+          "cannot unroll: induction variable %s is redeclared in a nested \
+           scope" v
+      else subst_stmt s :: go (pre_use || stmt_uses v s) rest
+  in
+  go false stmts
 
 (* ---------- tiling ---------- *)
 
@@ -85,6 +169,13 @@ let rec subst_stmts v repl stmts =
    The inner loop is fresh; the caller attaches pragmas. *)
 let tile_loop (l : loop) ~tile ~inner_pragmas ~outer_pragmas =
   if l.lstep <> 1 then err "tiling a loop with step %d" l.lstep;
+  if List.exists (stmt_writes l.lvar) l.lbody then
+    err "tiling loop '%s' whose body writes the induction variable" l.lvar;
+  if not l.ldecl then
+    err
+      "tiling loop '%s' whose counter is declared outside the loop: its \
+       exit value is observable and tiling would change it"
+      l.lvar;
   let vt = l.lvar ^ "_t" in
   let vi = l.lvar ^ "_i" in
   let body =
@@ -92,7 +183,9 @@ let tile_loop (l : loop) ~tile ~inner_pragmas ~outer_pragmas =
     :: [ SIf (EBin (CLt, EVar l.lvar, l.lhi), l.lbody, []) ]
   in
   let body =
-    SDecl (CInt, l.lvar, None) :: body
+    (* The reconstructed induction variable keeps its declared C type: a
+       long-counted loop must not be narrowed to int by tiling. *)
+    SDecl (l.lvty, l.lvar, None) :: body
   in
   let inner =
     { (Csyntax.mk_loop ~var:vi ~lo:(EInt 0) ~hi:(EInt tile) body) with
@@ -151,6 +244,12 @@ let real_unroll ~factor ~loop_id prog =
            for each k in 0..factor-1:
              if (v_u + k < hi) body[v := v_u + k]      *)
       if l.lstep <> 1 then err "unrolling a loop with step %d" l.lstep;
+      if not l.ldecl then
+        err
+          "unrolling loop '%s' whose counter is declared outside the \
+           loop: its exit value is observable and unrolling would change \
+           it"
+          l.lvar;
       let vu = l.lvar ^ "_u" in
       let copies =
         List.concat_map

@@ -112,6 +112,17 @@ let binop_levels : (string * Ast.binop) list list =
     [ ("+", Ast.Add); ("-", Ast.Sub) ];
     [ ("*", Ast.Mul); ("/", Ast.Div); ("%", Ast.Rem) ] ]
 
+(* Scala newline inference, simplified (the infix half; the argument-list
+   half lives in [parse_postfix]): '-' is the one binary operator that can
+   also begin a statement, as unary minus. When it opens a new line it
+   starts a new statement instead of continuing the previous expression —
+   otherwise [val x: Long = a - a] followed by a line [-14L * a + x] would
+   glue into a single initializer and break the pretty-printer round-trip
+   promised by {!Pretty.to_string}. *)
+let minus_continues st =
+  st.idx = 0
+  || (current st).pos.Ast.line = st.toks.(st.idx - 1).pos.Ast.line
+
 let rec parse_expr_st st = parse_binop st binop_levels
 
 and parse_binop st levels =
@@ -122,6 +133,7 @@ and parse_binop st levels =
     let rec loop lhs =
       let matched =
         match peek_tok st with
+        | Lexer.OP "-" when not (minus_continues st) -> None
         | Lexer.OP o -> List.assoc_opt o ops
         | _ -> None
       in

@@ -287,8 +287,15 @@ and check_math env pos fname args =
       (* Polymorphic over Int/Long/Double: promote to the common type. *)
       match targs with
       | [ a ] ->
-        let tty = if rank a.Tast.tty <= 1 then a.Tast.tty else Ast.TDouble in
-        let tty = if Ast.equal_ty tty Ast.TChar then Ast.TInt else tty in
+        let tty =
+          match a.Tast.tty with
+          | Ast.TChar -> Ast.TInt
+          | (Ast.TInt | Ast.TLong) as t -> t
+          | Ast.TFloat | Ast.TDouble -> Ast.TDouble
+          | t ->
+            err pos "math.%s on non-numeric operand (%s)" fname
+              (Ast.string_of_ty t)
+        in
         { Tast.te = Tast.TMathCall (fname, [ widen a tty ]); tty }
       | [ a; b ] ->
         let a', b', tty = promote pos a b in

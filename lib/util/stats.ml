@@ -20,12 +20,19 @@ let min_max xs =
     (xs.(0), xs.(0))
     xs
 
+(* Order statistics must not use polymorphic [compare]: it boxes every
+   comparison and gives NaN an arbitrary rank, so a single NaN silently
+   shifts which element is reported. NaN is propagated explicitly
+   instead, and the sort uses the total order of [Float.compare]. *)
+let has_nan xs = Array.exists Float.is_nan xs
+
 let median xs =
   let n = Array.length xs in
   if n = 0 then 0.0
+  else if has_nan xs then Float.nan
   else begin
     let sorted = Array.copy xs in
-    Array.sort compare sorted;
+    Array.sort Float.compare sorted;
     if n mod 2 = 1 then sorted.(n / 2)
     else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.0
   end
@@ -49,11 +56,15 @@ let shannon_entropy xs =
 let percentile xs p =
   let n = Array.length xs in
   if n = 0 then invalid_arg "Stats.percentile: empty array";
+  if Float.is_nan p then invalid_arg "Stats.percentile: NaN rank";
+  if has_nan xs then Float.nan
+  else begin
   let sorted = Array.copy xs in
-  Array.sort compare sorted;
+  Array.sort Float.compare sorted;
   let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
   let idx = max 0 (min (n - 1) (rank - 1)) in
   sorted.(idx)
+  end
 
 let geometric_mean xs =
   let n = Array.length xs in

@@ -17,7 +17,9 @@ val min_max : float array -> float * float
 
 val median : float array -> float
 (** Median (average of the two middle elements for even lengths);
-    0 on an empty array. Does not mutate its argument. *)
+    0 on an empty array; NaN if any element is NaN. Sorted with
+    [Float.compare], so the result never depends on NaN's arbitrary
+    rank under polymorphic compare. Does not mutate its argument. *)
 
 val shannon_entropy : float array -> float
 (** [shannon_entropy p] is [-sum p_i * log p_i] over the strictly positive
@@ -29,8 +31,9 @@ val normalize : float array -> float array
     the uniform distribution. *)
 
 val percentile : float array -> float -> float
-(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank method.
-    Raises [Invalid_argument] on empty. *)
+(** [percentile xs p] with [p] in [\[0,100\]], nearest-rank method
+    ([p = 0] is the minimum, [p = 100] the maximum). NaN if any element
+    is NaN. Raises [Invalid_argument] on empty input or a NaN rank. *)
 
 val geometric_mean : float array -> float
 (** Geometric mean of strictly positive values; 0 on empty input. *)

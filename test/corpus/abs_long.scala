@@ -1,0 +1,11 @@
+// s2fa-fuzz expect=pass len=2 input-seed=3 oracle=pipeline
+// Minimized from fuzz seed 1: math.abs on a Long was typed Double
+// ("method returns Long but its body has type Double") while
+// math.min/max promoted correctly; the whole stack below typecheck
+// already handled a Long abs.
+class Fuzz() extends Accelerator[Long, Long] {
+  val id: String = "fuzz"
+  def call(in: Long): Long = {
+    math.abs(in) + math.min(in, 0L) + math.max(in, 1L)
+  }
+}

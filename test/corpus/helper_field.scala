@@ -1,0 +1,14 @@
+// s2fa-fuzz expect=pass len=2 input-seed=5 oracle=differential
+// A helper method reading a class field: the decompiled helper takes
+// the field as a trailing f_* parameter and every call site must pass
+// it through (a helper body referencing a field used to produce an
+// unbound f_* variable in the generated C).
+class Fuzz(p1: Double) extends Accelerator[Double, Double] {
+  val id: String = "fuzz"
+  def h1(x: Double): Double = {
+    x * p1
+  }
+  def call(in: Double): Double = {
+    h1(in) + p1
+  }
+}

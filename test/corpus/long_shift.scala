@@ -1,0 +1,10 @@
+// s2fa-fuzz expect=pass len=2 input-seed=2 oracle=pipeline
+// Minimized from fuzz seed 1: the bytecode interpreter demanded a Long
+// shift count for Long shifts ("jvm: expected Long, got 2") although
+// typecheck widens the count only to Int, matching JVM lshl/lshr.
+class Fuzz() extends Accelerator[Long, Long] {
+  val id: String = "fuzz"
+  def call(in: Long): Long = {
+    (in << 2) + (in >> 1)
+  }
+}

@@ -1,0 +1,14 @@
+// s2fa-fuzz expect=pass len=2 input-seed=1 oracle=pipeline
+// Minimized from fuzz seed 1: a line starting with unary '-' used to be
+// glued onto the previous statement's initializer by the parser,
+// swallowing the method's value expression ("unbound identifier 'y'").
+class Fuzz() extends Accelerator[Long, Long] {
+  val id: String = "fuzz"
+  def h1(x: Long): Long = {
+    val y: Long = x - x
+    -14L * x + y
+  }
+  def call(in: Long): Long = {
+    h1(in) + in
+  }
+}

@@ -1,0 +1,15 @@
+// s2fa-fuzz expect=reject len=2 input-seed=6 oracle=pipeline
+// The sound boundary of the supported subset: helpers with aggregate
+// parameters compile and verify but the decompiler refuses them, which
+// the fuzzer counts as a rejection, never a failure.
+class Fuzz() extends Accelerator[Int, Int] {
+  val id: String = "fuzz"
+  def h1(xs: Array[Int]): Int = {
+    xs(0)
+  }
+  def call(in: Int): Int = {
+    val a = new Array[Int](2)
+    a(0) = in
+    h1(a)
+  }
+}

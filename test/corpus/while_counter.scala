@@ -1,0 +1,22 @@
+// s2fa-fuzz expect=pass len=2 input-seed=4 oracle=transform
+// Minimized from fuzz seed 1: a while-derived counter read after its
+// loop decompiled to "int w; ... for (int w = 0; ...)" — the for-init
+// re-declared the slot, so post-loop reads hit the uninitialized outer
+// variable in real C, and tiling changed the observable exit value.
+// The loop header must only assign the outer counter, and tiling or
+// unrolling such a loop must be refused as illegal.
+class Fuzz() extends Accelerator[Boolean, (Int, Long)] {
+  val id: String = "fuzz"
+  def call(in: Boolean): (Int, Long) = {
+    val a = new Array[Long](2)
+    for (i <- 0 until 2) {
+      a(i) = (if (in) 16L else -3L)
+    }
+    var w: Int = 0
+    while (w < 3) {
+      w = w + 1
+    }
+    a(((w + 0) % 2 + 2) % 2) = -11L
+    (w, a(0))
+  }
+}

@@ -1,0 +1,229 @@
+module Fuzz = S2fa_fuzz.Fuzz
+module Csyntax = S2fa_hlsc.Csyntax
+module Cinterp = S2fa_hlsc.Cinterp
+module Transform = S2fa_merlin.Transform
+
+(* ---------- corpus replay ---------- *)
+
+(* Every committed reproducer must still produce the outcome its header
+   claims: [pass] files are fixed bugs that must stay fixed, [reject]
+   files pin the sound boundary of the supported subset. *)
+let corpus_files () =
+  (* cwd is the test directory under [dune runtest] but the project root
+     under [dune exec test/test_fuzz.exe]. *)
+  let dir =
+    if Sys.file_exists "corpus" && Sys.is_directory "corpus" then "corpus"
+    else Filename.concat "test" "corpus"
+  in
+  Sys.readdir dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".scala")
+  |> List.sort String.compare
+  |> List.map (Filename.concat dir)
+
+let test_corpus_replay () =
+  let files = corpus_files () in
+  Alcotest.(check bool) "corpus is not empty" true (files <> []);
+  List.iter
+    (fun path ->
+      match Fuzz.replay_file path with
+      | Fuzz.Expect_pass, Fuzz.Passed _ -> ()
+      | Fuzz.Expect_reject, Fuzz.Rejected _ -> ()
+      | Fuzz.Expect_fail, Fuzz.Failed _ -> ()
+      | _, Fuzz.Failed f ->
+        Alcotest.failf "%s: unexpected failure [%s] %s" path f.Fuzz.f_oracle
+          f.Fuzz.f_detail
+      | _, Fuzz.Rejected why ->
+        Alcotest.failf "%s: unexpected rejection: %s" path why
+      | _, Fuzz.Passed _ ->
+        Alcotest.failf "%s: unexpectedly passed" path)
+    files
+
+(* ---------- campaigns ---------- *)
+
+let test_campaign_deterministic () =
+  let run () = Fuzz.run_campaign ~shrink:false ~seed:11 ~count:8 () in
+  let a = run () and b = run () in
+  Alcotest.(check int) "passed" a.Fuzz.st_passed b.Fuzz.st_passed;
+  Alcotest.(check int) "rejected" a.Fuzz.st_rejected b.Fuzz.st_rejected;
+  Alcotest.(check int) "chain skips" a.Fuzz.st_chain_skips
+    b.Fuzz.st_chain_skips;
+  Alcotest.(check int) "c passed" a.Fuzz.st_c_passed b.Fuzz.st_c_passed;
+  Alcotest.(check int) "failures"
+    (List.length a.Fuzz.st_failures)
+    (List.length b.Fuzz.st_failures)
+
+let test_campaign_smoke () =
+  let st = Fuzz.run_campaign ~shrink:false ~seed:5 ~count:25 () in
+  Alcotest.(check int) "total" 25 st.Fuzz.st_total;
+  List.iter
+    (fun (f : Fuzz.failure) ->
+      Alcotest.failf "unexpected failure [%s] %s\n%s" f.Fuzz.f_oracle
+        f.Fuzz.f_detail f.Fuzz.f_source)
+    st.Fuzz.st_failures
+
+(* ---------- transform regressions on hand-built C ---------- *)
+
+let out_param =
+  { Csyntax.cpname = "out"; cpty = Csyntax.CPtr Csyntax.CInt; cpbitwidth = None }
+
+let mk_kernel body =
+  { Csyntax.cfuncs =
+      [ { Csyntax.cfname = "kernel";
+          cfparams = [ out_param ];
+          cfret = None;
+          cfbody = body } ] }
+
+let run_kernel prog =
+  let out = Array.make 4 (Cinterp.VI 0) in
+  ignore
+    (Cinterp.run_func prog "kernel" [ ("out", Cinterp.VA out) ]);
+  Array.map (function Cinterp.VI n -> n | _ -> Alcotest.fail "VI") out
+
+let out0 = Csyntax.EIndex (Csyntax.EVar "out", Csyntax.EInt 0)
+
+(* for (int i = 0; i < 4; i++) { int i = 2; out[0] = out[0] + i; }
+   The body's redeclaration shadows the counter: every iteration adds 2.
+   Blind substitution used to rewrite the shadowed reads as well. *)
+let shadow_loop () =
+  Csyntax.mk_loop ~var:"i" ~lo:(Csyntax.EInt 0) ~hi:(Csyntax.EInt 4)
+    [ Csyntax.SDecl (Csyntax.CInt, "i", Some (Csyntax.EInt 2));
+      Csyntax.SAssign (out0, Csyntax.EBin (Csyntax.CAdd, out0, Csyntax.EVar "i"))
+    ]
+
+let test_unroll_shadowed_decl () =
+  let l = shadow_loop () in
+  let prog = mk_kernel [ Csyntax.SFor l ] in
+  Alcotest.(check int) "original" 8 (run_kernel prog).(0);
+  let prog' = Transform.real_unroll ~factor:2 ~loop_id:l.Csyntax.lid prog in
+  Alcotest.(check int) "unrolled by 2" 8 (run_kernel prog').(0)
+
+let expect_transform_error f =
+  try
+    ignore (f ());
+    Alcotest.fail "expected Transform_error"
+  with Transform.Transform_error _ -> ()
+
+let test_induction_write_refused () =
+  (* for (int i = 0; i < 4; i++) { i = 5; } *)
+  let l =
+    Csyntax.mk_loop ~var:"i" ~lo:(Csyntax.EInt 0) ~hi:(Csyntax.EInt 4)
+      [ Csyntax.SAssign (Csyntax.EVar "i", Csyntax.EInt 5) ]
+  in
+  let prog = mk_kernel [ Csyntax.SFor l ] in
+  expect_transform_error (fun () ->
+      Transform.real_unroll ~factor:2 ~loop_id:l.Csyntax.lid prog);
+  expect_transform_error (fun () ->
+      Transform.apply
+        { Transform.cfg_loops =
+            [ ( l.Csyntax.lid,
+                { Transform.lc_tile = 2;
+                  lc_parallel = 1;
+                  lc_pipeline = Csyntax.PipeOff } ) ];
+          cfg_bitwidths = [] }
+        prog)
+
+let test_outer_counter_refused () =
+  (* int w; for (w = 0; w < 3; w++) {} out[0] = w;
+     The counter's exit value is observable, so both tiling and
+     unrolling must refuse, and execution must leave w = 3. *)
+  let l =
+    Csyntax.mk_loop ~decl:false ~var:"w" ~lo:(Csyntax.EInt 0)
+      ~hi:(Csyntax.EInt 3) []
+  in
+  let prog =
+    mk_kernel
+      [ Csyntax.SDecl (Csyntax.CInt, "w", None);
+        Csyntax.SFor l;
+        Csyntax.SAssign (out0, Csyntax.EVar "w") ]
+  in
+  Alcotest.(check int) "exit value observable" 3 (run_kernel prog).(0);
+  let pp = Csyntax.to_string prog in
+  Alcotest.(check bool) "header only assigns" true
+    (let contains s sub =
+       let n = String.length sub in
+       let rec go i =
+         i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+       in
+       go 0
+     in
+     contains pp "for (w = 0");
+  expect_transform_error (fun () ->
+      Transform.real_unroll ~factor:2 ~loop_id:l.Csyntax.lid prog);
+  expect_transform_error (fun () ->
+      Transform.apply
+        { Transform.cfg_loops =
+            [ ( l.Csyntax.lid,
+                { Transform.lc_tile = 2;
+                  lc_parallel = 1;
+                  lc_pipeline = Csyntax.PipeOff } ) ];
+          cfg_bitwidths = [] }
+        prog)
+
+let test_for_scoping_restores_shadowed () =
+  (* int t = 5; for (int t = 0; t < 3; t++) { out[1] = t; } out[0] = t;
+     C99 scopes the counter to the loop: the outer t survives. The flat
+     interpreter used to leak the counter, which made legal transforms
+     look unsound. *)
+  let l =
+    Csyntax.mk_loop ~var:"t" ~lo:(Csyntax.EInt 0) ~hi:(Csyntax.EInt 3)
+      [ Csyntax.SAssign
+          ( Csyntax.EIndex (Csyntax.EVar "out", Csyntax.EInt 1),
+            Csyntax.EVar "t" ) ]
+  in
+  let prog =
+    mk_kernel
+      [ Csyntax.SDecl (Csyntax.CInt, "t", Some (Csyntax.EInt 5));
+        Csyntax.SFor l;
+        Csyntax.SAssign (out0, Csyntax.EVar "t") ]
+  in
+  let out = run_kernel prog in
+  Alcotest.(check int) "outer t restored" 5 out.(0);
+  Alcotest.(check int) "loop saw its own t" 2 out.(1)
+
+let test_tile_keeps_long_counter () =
+  let l =
+    Csyntax.mk_loop ~vty:Csyntax.CLong ~var:"i" ~lo:(Csyntax.EInt 0)
+      ~hi:(Csyntax.EInt 8) []
+  in
+  let prog = mk_kernel [ Csyntax.SFor l ] in
+  let prog' =
+    Transform.apply
+      { Transform.cfg_loops =
+          [ ( l.Csyntax.lid,
+              { Transform.lc_tile = 2;
+                lc_parallel = 1;
+                lc_pipeline = Csyntax.PipeOff } ) ];
+        cfg_bitwidths = [] }
+      prog
+  in
+  let pp = Csyntax.to_string prog' in
+  let contains s sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length s && (String.sub s i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  Alcotest.(check bool) "tiled counter stays long long" true
+    (contains pp "long long i")
+
+let () =
+  Alcotest.run "fuzz"
+    [ ( "corpus",
+        [ Alcotest.test_case "replay" `Quick test_corpus_replay ] );
+      ( "campaign",
+        [ Alcotest.test_case "deterministic" `Quick
+            test_campaign_deterministic;
+          Alcotest.test_case "smoke (25 kernels)" `Slow test_campaign_smoke
+        ] );
+      ( "transform",
+        [ Alcotest.test_case "unroll keeps shadowed decl" `Quick
+            test_unroll_shadowed_decl;
+          Alcotest.test_case "induction write refused" `Quick
+            test_induction_write_refused;
+          Alcotest.test_case "outer counter refused" `Quick
+            test_outer_counter_refused;
+          Alcotest.test_case "for-scope restores shadowed" `Quick
+            test_for_scoping_restores_shadowed;
+          Alcotest.test_case "tile keeps long counter" `Quick
+            test_tile_keeps_long_counter ] ) ]

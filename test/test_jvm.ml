@@ -346,6 +346,59 @@ let test_verify_nonempty_stack_at_branch () =
        Insn.Ret;
        Insn.Ret |]
 
+(* Each reachable pc is processed exactly once: a straight-line method's
+   worklist count equals its instruction count. A duplicated entry-point
+   seed used to make the whole method verify twice. *)
+let test_verify_count_exactly_once () =
+  let m = bad_method [| Insn.Ldc (Ast.LInt 1); Insn.Ret |] in
+  Alcotest.(check int)
+    "straight-line count" 2
+    (Verify.verify_method_count (bad_class m) m);
+  let cls = compile_one {|
+class A() {
+  def f(a: Int): Int = {
+    a + 1
+  }
+}
+|} in
+  let f =
+    List.find (fun (m : Insn.methd) -> m.Insn.jname = "f") cls.Insn.jmethods
+  in
+  Alcotest.(check int)
+    "compiled straight-line count"
+    (Array.length f.Insn.jcode)
+    (Verify.verify_method_count cls f)
+
+(* A long shift's count is an Int on the JVM stack (lshl takes an int
+   count); the interpreter used to demand a Long and crash. *)
+let test_long_shift_int_count () =
+  let cls = compile_one {|
+class A() {
+  def f(a: Long): Long = {
+    (a << 2) + (a >> 1) + (a >>> 1)
+  }
+}
+|} in
+  let inst = { Interp.icls = cls; ifields = [] } in
+  let r = Interp.run_method inst "f" [ Interp.VLong 8L ] in
+  Alcotest.(check bool) "8<<2 + 8>>1 + 8>>>1" true
+    (r.Interp.rvalue = Interp.VLong 40L)
+
+(* math.abs on a Long stays Long (it used to be demoted to Double,
+   making [def f(...): Long = math.abs(x)] ill-typed). *)
+let test_math_abs_long () =
+  let cls = compile_one {|
+class A() {
+  def f(a: Long): Long = {
+    math.abs(a) + math.min(a, 0L)
+  }
+}
+|} in
+  let inst = { Interp.icls = cls; ifields = [] } in
+  let r = Interp.run_method inst "f" [ Interp.VLong (-5L) ] in
+  Alcotest.(check bool) "abs(-5) + min(-5,0)" true
+    (r.Interp.rvalue = Interp.VLong 0L)
+
 (* ---------- property: generated bytecode always verifies ---------- *)
 
 let gen_kernel_src =
@@ -424,7 +477,10 @@ let () =
           Alcotest.test_case "fuel" `Quick test_fuel_exhaustion;
           Alcotest.test_case "division by zero" `Quick test_division_by_zero;
           Alcotest.test_case "bounds" `Quick test_out_of_bounds;
-          Alcotest.test_case "cost accounting" `Quick test_cost_accounting ] );
+          Alcotest.test_case "cost accounting" `Quick test_cost_accounting;
+          Alcotest.test_case "long shift by int count" `Quick
+            test_long_shift_int_count;
+          Alcotest.test_case "math.abs on Long" `Quick test_math_abs_long ] );
       ( "verify",
         [ Alcotest.test_case "all workloads verify" `Quick
             test_verify_all_workloads;
@@ -434,7 +490,9 @@ let () =
           Alcotest.test_case "bad slot" `Quick test_verify_bad_slot;
           Alcotest.test_case "bad target" `Quick test_verify_bad_target;
           Alcotest.test_case "branch with stack" `Quick
-            test_verify_nonempty_stack_at_branch ] );
+            test_verify_nonempty_stack_at_branch;
+          Alcotest.test_case "worklist visits each pc once" `Quick
+            test_verify_count_exactly_once ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest [ prop_generated_code_verifies ]
       ) ]

@@ -122,6 +122,38 @@ class C() {
   let prog = Parser.parse_program src in
   Alcotest.(check int) "one class" 1 (List.length prog.Ast.classes)
 
+let test_parse_newline_no_minus_continuation () =
+  (* A line starting with '-' begins a new statement (unary minus), it
+     does not continue the previous expression as a subtraction — the
+     fuzzer found initializers swallowing the method's value expression.
+     A '-' at the end of a line still continues. *)
+  let src = {|
+class C() {
+  def f(x: Long): Long = {
+    val y: Long = x - x
+    -14L * x + y
+  }
+  def g(x: Int): Int = {
+    val y = x -
+      1
+    y
+  }
+}
+|} in
+  let prog = Parser.parse_program src in
+  match (List.hd prog.Ast.classes).Ast.cmethods with
+  | [ f; g ] ->
+    (match (f.Ast.mbody.Ast.stmts, f.Ast.mbody.Ast.value) with
+    | [ { Ast.s = Ast.SVal (_, _, _); _ } ], Some _ -> ()
+    | _ -> Alcotest.fail "leading '-' must start a new statement");
+    (match g.Ast.mbody.Ast.stmts with
+    | [ { Ast.s = Ast.SVal (_, _, rhs); _ } ] -> (
+      match rhs.Ast.e with
+      | Ast.Binop (Ast.Sub, _, _) -> ()
+      | _ -> Alcotest.fail "trailing '-' must continue the expression")
+    | _ -> Alcotest.fail "unexpected body of g")
+  | _ -> Alcotest.fail "expected two methods"
+
 let test_parse_class_shape () =
   let src = {|
 class Pair(a: Int) extends Accelerator[Int, Int] {
@@ -465,6 +497,8 @@ let () =
           Alcotest.test_case "new array" `Quick test_parse_new_array;
           Alcotest.test_case "newline inference" `Quick
             test_parse_newline_no_apply;
+          Alcotest.test_case "newline before '-'" `Quick
+            test_parse_newline_no_minus_continuation;
           Alcotest.test_case "class shape" `Quick test_parse_class_shape;
           Alcotest.test_case "for until/to" `Quick test_parse_for_until_to;
           Alcotest.test_case "error position" `Quick test_parse_error_position

@@ -119,6 +119,18 @@ let test_stats_percentile () =
   check_float "p50" 50.0 (Stats.percentile xs 50.0);
   check_float "p100" 100.0 (Stats.percentile xs 100.0)
 
+(* NaN must propagate, not land at an arbitrary rank under polymorphic
+   compare. *)
+let test_stats_nan_propagation () =
+  Alcotest.(check bool)
+    "median NaN" true
+    (Float.is_nan (Stats.median [| 1.0; Float.nan; 3.0 |]));
+  Alcotest.(check bool)
+    "percentile NaN" true
+    (Float.is_nan (Stats.percentile [| 1.0; Float.nan; 3.0 |] 50.0));
+  check_float "median without NaN" 2.0 (Stats.median [| 3.0; 1.0; 2.0 |]);
+  check_float "p0 is min" 1.0 (Stats.percentile [| 3.0; 1.0; 2.0 |] 0.0)
+
 let test_stats_geometric_mean () =
   check_float "geomean" 4.0 (Stats.geometric_mean [| 2.0; 8.0 |])
 
@@ -181,6 +193,8 @@ let () =
             test_stats_entropy_unnormalized;
           Alcotest.test_case "normalize" `Quick test_stats_normalize;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "NaN propagation" `Quick
+            test_stats_nan_propagation;
           Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean
         ] );
       ( "properties",
