@@ -13,7 +13,8 @@
      [A1..A3]       - ablations: partitioning, seeds, stopping criteria
      [BENCH]        - Bechamel throughput of each pipeline stage
      [TRACE]        - telemetry overhead: off / collector / JSONL sink
-     [FAULT]        - fault-injector overhead and virtual-minutes bill *)
+     [FAULT]        - fault-injector overhead and virtual-minutes bill
+     [SERVE]        - multi-tenant serving throughput/latency per policy *)
 
 module W = S2fa_workloads.Workloads
 module S2fa = S2fa_core.S2fa
@@ -28,6 +29,8 @@ module Stats = S2fa_util.Stats
 module Rng = S2fa_util.Rng
 module Telemetry = S2fa_telemetry.Telemetry
 module Fault = S2fa_fault.Fault
+module Fleet = S2fa_fleet.Fleet
+module Traffic = S2fa_workloads.Traffic
 
 let fig3_seeds = [ 1; 7; 13 ]
 
@@ -602,6 +605,59 @@ let fault_overhead () =
     (match clean.Driver.rr_best with Some (_, q) -> q | None -> infinity)
     (match faulted.Driver.rr_best with Some (_, q) -> q | None -> infinity)
 
+(* ------------------------------------------------------------------ *)
+(* Serving: cluster throughput/latency per scheduling policy, plus a
+   Bechamel benchmark of the scheduler's hot path *)
+(* ------------------------------------------------------------------ *)
+
+let cluster_throughput () =
+  section "SERVE"
+    "Cluster - multi-tenant serving throughput/latency per policy";
+  (* The EXPERIMENTS.md scenario: queues big enough that nothing
+     overflows, so the table isolates the scheduling policies. *)
+  let tenants =
+    [ Traffic.tenant ~rate:400.0 ~weight:1.0 ~batch:64 ~queue_cap:512
+        (Option.get (W.find "KMeans"));
+      Traffic.tenant ~rate:300.0 ~weight:2.0 ~batch:64 ~queue_cap:512
+        (Option.get (W.find "LR")) ]
+  in
+  let seed = 7 in
+  let apps = Traffic.apps ~seed tenants in
+  let requests = Traffic.requests ~seed ~horizon:1.0 tenants in
+  Printf.printf
+    "2 tenants (KMeans 400 req/s w=1, LR 300 req/s w=2), 1 s horizon, \
+     %d requests, 2 devices:\n"
+    (List.length requests);
+  Printf.printf "  %-10s %10s %10s %10s %10s %8s %8s %9s\n" "policy"
+    "req/s" "p50 ms" "p95 ms" "p99 ms" "reconf" "jvm" "fairness";
+  List.iter
+    (fun policy ->
+      let opts = { Fleet.default_opts with Fleet.o_policy = policy } in
+      let outcome = Fleet.serve ~opts apps requests in
+      let r = outcome.Fleet.oc_report in
+      let all =
+        Array.of_list
+          (List.map
+             (fun (res : Fleet.result) -> res.Fleet.rs_latency *. 1000.0)
+             outcome.Fleet.oc_results)
+      in
+      Printf.printf "  %-10s %10.1f %10.4f %10.4f %10.4f %8d %8d %9.4f\n"
+        r.Fleet.rp_policy r.Fleet.rp_throughput (Stats.p50 all) (Stats.p95 all)
+        (Stats.p99 all) r.Fleet.rp_reconfigs r.Fleet.rp_fallbacks
+        r.Fleet.rp_fairness)
+    Fleet.all_policies;
+  (* The scheduler hot path: one full serving run per measurement, all
+     policies, so regressions in dispatch/pick show up here. *)
+  let open Bechamel in
+  run_bechamel
+    (List.map
+       (fun policy ->
+         let opts = { Fleet.default_opts with Fleet.o_policy = policy } in
+         Test.make
+           ~name:(Printf.sprintf "serve.%s" (Fleet.policy_name policy))
+           (Staged.stage (fun () -> Fleet.serve ~opts apps requests)))
+       Fleet.all_policies)
+
 let () =
   Printf.printf
     "S2FA reproduction - experiment harness (simulated Amazon F1, VU9P)\n%!";
@@ -618,4 +674,5 @@ let () =
   bechamel_bench ();
   telemetry_overhead ();
   fault_overhead ();
+  cluster_throughput ();
   Printf.printf "\ndone.\n"

@@ -10,6 +10,8 @@
      s2fa cache    -w KERNEL [--seed N] [--minutes M]  (result-DB stats)
      s2fa report   -w KERNEL [--seed N]     (Table-2-style row)
      s2fa speedup  -w KERNEL [--tasks N]    (Fig-4-style row)
+     s2fa serve    [--apps SPEC] [--policy P] [--devices N] [--seed N]
+                   [--horizon S] [--faults SPEC] [--trace FILE]
 
    Everything runs against the simulated F1 instance; see DESIGN.md. *)
 
@@ -25,6 +27,8 @@ module Telemetry = S2fa_telemetry.Telemetry
 module Trace = S2fa_telemetry.Trace
 module Fault = S2fa_fault.Fault
 module Fuzz = S2fa_fuzz.Fuzz
+module Fleet = S2fa_fleet.Fleet
+module Traffic = S2fa_workloads.Traffic
 open Cmdliner
 
 let workload_arg =
@@ -517,6 +521,108 @@ let fuzz_cmd =
           the verify / JVM-vs-C / transform / estimate oracles.")
     Term.(const run $ seed_arg $ count_arg $ out_arg $ no_shrink_arg)
 
+(* ---------- serve ---------- *)
+
+let serve_cmd =
+  let apps_arg =
+    let doc =
+      "Tenants as NAME[:RATE[:WEIGHT]] items, comma-separated — e.g. \
+       'KMeans:400:1,LR:300:2'. RATE is mean requests per virtual second \
+       (default 100), WEIGHT the fair-share weight (default 1)."
+    in
+    Arg.(value & opt string "KMeans:400,LR:300" & info [ "apps" ] ~doc)
+  in
+  let policy_arg =
+    let doc = "Scheduling policy: fcfs, sjf, affinity or fair." in
+    Arg.(value & opt string "fcfs" & info [ "policy" ] ~doc)
+  in
+  let devices_arg =
+    let doc = "Number of devices in the accelerator pool." in
+    Arg.(value & opt int 2 & info [ "devices" ] ~doc)
+  in
+  let horizon_arg =
+    let doc = "Arrival horizon in virtual seconds." in
+    Arg.(value & opt float 1.0 & info [ "horizon" ] ~doc)
+  in
+  let batch_arg =
+    let doc = "Max requests per accelerator invocation." in
+    Arg.(value & opt int 16 & info [ "batch" ] ~doc)
+  in
+  let queue_cap_arg =
+    let doc = "Per-tenant queue bound before JVM overflow." in
+    Arg.(value & opt int 64 & info [ "queue-cap" ] ~doc)
+  in
+  let faults_arg =
+    let doc = "Fault spec (core_loss=P kills devices mid-batch)." in
+    Arg.(value & opt (some string) None & info [ "faults" ] ~doc)
+  in
+  let trace_arg =
+    let doc = "Write a JSONL telemetry trace of the serving run." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc)
+  in
+  let parse_tenants spec batch queue_cap =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun item ->
+           let parts = String.split_on_char ':' item in
+           let num what v =
+             match float_of_string_opt v with
+             | Some f -> f
+             | None ->
+               Printf.eprintf "bad --apps item %S: %s %S is not a number\n"
+                 item what v;
+               exit 1
+           in
+           let name, rate, weight =
+             match parts with
+             | [ n ] -> (n, 100.0, 1.0)
+             | [ n; r ] -> (n, num "rate" r, 1.0)
+             | [ n; r; w ] -> (n, num "rate" r, num "weight" w)
+             | _ ->
+               Printf.eprintf "bad --apps item %S (want NAME[:RATE[:WEIGHT]])\n"
+                 item;
+               exit 1
+           in
+           Traffic.tenant ~rate ~weight ~batch ~queue_cap (load_workload name))
+  in
+  let run apps_spec policy_name devices seed horizon batch queue_cap faults
+      trace_path =
+    let policy =
+      match Fleet.policy_of_name policy_name with
+      | Some p -> p
+      | None ->
+        Printf.eprintf "unknown policy %s (want fcfs|sjf|affinity|fair)\n"
+          policy_name;
+        exit 1
+    in
+    let tenants = parse_tenants apps_spec batch queue_cap in
+    let tracer = Option.map make_tracer trace_path in
+    let trace = Option.map fst tracer in
+    let faults = Option.map (fun s -> make_injector ~seed s) faults in
+    let apps = Traffic.apps ?trace ~seed tenants in
+    let requests = Traffic.requests ~seed ~horizon tenants in
+    let opts = { Fleet.default_opts with o_policy = policy; o_devices = devices } in
+    let outcome = Fleet.serve ~opts ?trace ?faults apps requests in
+    print_string (Fleet.report_to_string outcome.Fleet.oc_report);
+    (match faults with
+    | Some f -> Format.printf "# faults: %a@." Fault.pp_stats (Fault.stats f)
+    | None -> ());
+    match tracer with
+    | Some (_, oc) ->
+      close_out oc;
+      Printf.printf "# trace written to %s\n" (Option.get trace_path)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Simulate a multi-tenant accelerator pool serving the built-in \
+          kernels under open-loop traffic.")
+    Term.(
+      const run $ apps_arg $ policy_arg $ devices_arg $ seed_arg $ horizon_arg
+      $ batch_arg $ queue_cap_arg $ faults_arg $ trace_arg)
+
 let () =
   let info =
     Cmd.info "s2fa" ~version:"1.0.0"
@@ -527,4 +633,4 @@ let () =
        (Cmd.group info
           [ list_cmd; compile_cmd; echo_cmd; bytecode_cmd; dse_cmd;
             resume_cmd; trace_cmd; cache_cmd; report_cmd; speedup_cmd;
-            fuzz_cmd ]))
+            fuzz_cmd; serve_cmd ]))

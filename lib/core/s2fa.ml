@@ -183,6 +183,16 @@ let make_accelerator ?design c ~fields =
     acc_fields = fields;
     acc_buffer_elems = c.c_buffer_elems }
 
+let serve_app ?design ?(weight = 1.0) ?(batch = 16) ?(queue_cap = 64) ~name
+    ~fields c =
+  { S2fa_fleet.Fleet.ap_name = name;
+    ap_accel = make_accelerator ?design c ~fields;
+    ap_cls = c.c_class;
+    ap_fields = fields;
+    ap_weight = weight;
+    ap_batch = batch;
+    ap_queue_cap = queue_cap }
+
 let emit_c ?design c =
   match design with
   | None -> Csyntax.to_string c.c_pretty

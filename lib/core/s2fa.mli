@@ -116,6 +116,21 @@ val make_accelerator :
     its id is the class's [id] constant (falling back to the class
     name). *)
 
+val serve_app :
+  ?design:Space.cfg ->
+  ?weight:float ->
+  ?batch:int ->
+  ?queue_cap:int ->
+  name:string ->
+  fields:(string * Interp.value) list ->
+  compiled ->
+  S2fa_fleet.Fleet.app
+(** Package the compiled kernel as one tenant of a serving pool
+    ({!S2fa_fleet.Fleet.serve}): the accelerator from
+    {!make_accelerator} plus the bytecode class and field bindings the
+    JVM-fallback path replays. Defaults: weight 1, batch 16, queue
+    capacity 64. *)
+
 val emit_c : ?design:Space.cfg -> compiled -> string
 (** Pretty-print the generated HLS C (for the display program, the
     design's pragmas applied when given). *)

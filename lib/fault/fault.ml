@@ -195,6 +195,26 @@ let draw t ~minutes =
     else None
   end
 
+(* The serving layer's integration point: one Bernoulli draw per batch
+   launch at the core-loss rate. Zero-rate specs make no draws, keeping
+   the fault-free ≡ no-injector contract intact for serving runs too.
+   The injector's private stream stays the only randomness source, so a
+   serving fault schedule is byte-reproducible from (seed, spec). *)
+let serve_loss t =
+  if t.f_spec.fs_core_loss = 0.0 then None
+  else begin
+    let u = Rng.float t.f_rng 1.0 in
+    if u < t.f_spec.fs_core_loss then begin
+      let frac = Rng.float t.f_rng 1.0 in
+      let i = failure_index Core_loss in
+      t.counts.(i) <- t.counts.(i) + 1;
+      t.cores_lost <- t.cores_lost + 1;
+      t.pending_core_losses <- t.pending_core_losses + 1;
+      Some frac
+    end
+    else None
+  end
+
 (* A plausible-looking report for the corruptor to start from; the
    values are irrelevant (the corruption is what the checker sees). *)
 let template_report =

@@ -118,6 +118,17 @@ val harden :
     wrapping, bit-identical behaviour. The raw [objective] must be
     deterministic (it is called once per design point). *)
 
+val serve_loss : t -> float option
+(** The serving layer's integration point ([S2fa_fleet.Fleet]): one
+    Bernoulli draw at the [fs_core_loss] rate per accelerator batch
+    launch. [Some frac] means the device executing the batch dies after
+    the uniform fraction [frac] of the batch's service time (the fleet
+    re-queues the in-flight requests, mirroring the DSE's failover
+    discipline); [None] means the launch proceeds untouched. A zero
+    [fs_core_loss] makes {e no} draw, so a loss-free spec is
+    bit-identical to serving without an injector. Injected losses are
+    counted in {!stats} and queued for {!take_core_losses}. *)
+
 val take_core_losses : t -> int
 (** Number of core deaths injected since the last call, and reset the
     counter — the driver drains this after every tuner step to trigger

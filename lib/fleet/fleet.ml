@@ -1,0 +1,601 @@
+module Rng = S2fa_util.Rng
+module Stats = S2fa_util.Stats
+module Device = S2fa_hls.Device
+module Estimate = S2fa_hls.Estimate
+module Insn = S2fa_jvm.Insn
+module Interp = S2fa_jvm.Interp
+module Blaze = S2fa_blaze.Blaze
+module Serde = S2fa_blaze.Serde
+module Telemetry = S2fa_telemetry.Telemetry
+module Fault = S2fa_fault.Fault
+
+exception Fleet_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Fleet_error m)) fmt
+
+(* ------------------------------------------------------------------ *)
+(* Applications, requests, policies *)
+(* ------------------------------------------------------------------ *)
+
+type app = {
+  ap_name : string;
+  ap_accel : Blaze.accel;
+  ap_cls : Insn.cls;
+  ap_fields : (string * Interp.value) list;
+  ap_weight : float;
+  ap_batch : int;
+  ap_queue_cap : int;
+}
+
+type request = {
+  rq_app : int;
+  rq_id : int;
+  rq_arrival : float;
+  rq_payload : Interp.value;
+}
+
+type policy = Fcfs | Sjf | Affinity | Fair
+
+let all_policies = [ Fcfs; Sjf; Affinity; Fair ]
+
+let policy_name = function
+  | Fcfs -> "fcfs"
+  | Sjf -> "sjf"
+  | Affinity -> "affinity"
+  | Fair -> "fair"
+
+let policy_of_name = function
+  | "fcfs" -> Some Fcfs
+  | "sjf" -> Some Sjf
+  | "affinity" -> Some Affinity
+  | "fair" -> Some Fair
+  | _ -> None
+
+type opts = {
+  o_devices : int;
+  o_device : Device.t;
+  o_policy : policy;
+  o_pcie_gbps : float;
+  o_invoke_seconds : float;
+}
+
+let default_opts =
+  { o_devices = 2;
+    o_device = Device.vu9p;
+    o_policy = Fcfs;
+    o_pcie_gbps = 8.0;
+    o_invoke_seconds = 5.0e-4 }
+
+(* ------------------------------------------------------------------ *)
+(* Results and the serving report *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  rs_app : int;
+  rs_id : int;
+  rs_value : Interp.value;
+  rs_done : float;
+  rs_latency : float;
+  rs_accelerated : bool;
+}
+
+type app_report = {
+  ar_app : string;
+  ar_weight : float;
+  ar_requests : int;
+  ar_accelerated : int;
+  ar_fallbacks : int;
+  ar_p50_ms : float;
+  ar_p95_ms : float;
+  ar_p99_ms : float;
+  ar_mean_ms : float;
+  ar_share : float;
+}
+
+type report = {
+  rp_policy : string;
+  rp_devices : int;
+  rp_device_name : string;
+  rp_requests : int;
+  rp_accelerated : int;
+  rp_fallbacks : int;
+  rp_batches : int;
+  rp_reconfigs : int;
+  rp_requeued : int;
+  rp_devices_lost : int;
+  rp_makespan : float;
+  rp_throughput : float;
+  rp_fairness : float;
+  rp_apps : app_report list;
+}
+
+type outcome = { oc_report : report; oc_results : result list }
+
+(* ------------------------------------------------------------------ *)
+(* A small FIFO that also supports re-queueing at the front (in-flight
+   work recovered from a lost device must not lose its place) *)
+(* ------------------------------------------------------------------ *)
+
+type 'a dq = {
+  mutable dq_front : 'a list;
+  mutable dq_back : 'a list;
+  mutable dq_len : int;
+}
+
+let dq_create () = { dq_front = []; dq_back = []; dq_len = 0 }
+
+let dq_len q = q.dq_len
+
+let dq_norm q =
+  if q.dq_front = [] then begin
+    q.dq_front <- List.rev q.dq_back;
+    q.dq_back <- []
+  end
+
+let dq_push q x =
+  q.dq_back <- x :: q.dq_back;
+  q.dq_len <- q.dq_len + 1
+
+let dq_push_front q xs =
+  q.dq_front <- xs @ q.dq_front;
+  q.dq_len <- q.dq_len + List.length xs
+
+let dq_peek q =
+  dq_norm q;
+  match q.dq_front with x :: _ -> Some x | [] -> None
+
+let dq_take q n =
+  let rec go n acc =
+    if n = 0 then List.rev acc
+    else begin
+      dq_norm q;
+      match q.dq_front with
+      | [] -> List.rev acc
+      | x :: tl ->
+        q.dq_front <- tl;
+        q.dq_len <- q.dq_len - 1;
+        go (n - 1) (x :: acc)
+    end
+  in
+  go n []
+
+let dq_drain q = dq_take q (dq_len q)
+
+(* ------------------------------------------------------------------ *)
+(* The discrete-event simulator *)
+(* ------------------------------------------------------------------ *)
+
+type busy = {
+  b_app : int;
+  b_reqs : request list;
+  b_done : float;
+  b_lost : float option;  (* absolute loss time, within [launch, done) *)
+}
+
+type dev = {
+  mutable d_loaded : int option;
+  mutable d_busy : busy option;
+  mutable d_alive : bool;
+}
+
+let check_apps apps =
+  Array.iteri
+    (fun i (a : app) ->
+      if a.ap_batch < 1 then fail "app %d (%s): batch must be >= 1" i a.ap_name;
+      if a.ap_queue_cap < 1 then
+        fail "app %d (%s): queue capacity must be >= 1" i a.ap_name;
+      if not (a.ap_weight > 0.0) then
+        fail "app %d (%s): weight must be positive" i a.ap_name)
+    apps
+
+let request_order a b =
+  compare (a.rq_arrival, a.rq_app, a.rq_id) (b.rq_arrival, b.rq_app, b.rq_id)
+
+let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
+  if opts.o_devices < 1 then fail "need at least one device";
+  check_apps apps;
+  let n_apps = Array.length apps in
+  List.iter
+    (fun r ->
+      if r.rq_app < 0 || r.rq_app >= n_apps then
+        fail "request %d targets unknown app %d" r.rq_id r.rq_app)
+    requests;
+  let arrivals = ref (List.sort request_order requests) in
+  (* Accelerator ids may collide across tenants serving the same kernel;
+     registration is keyed by tenant index instead. *)
+  let uid i = Printf.sprintf "%d:%s" i apps.(i).ap_name in
+  let mgr = Blaze.create_manager ?trace () in
+  Array.iteri
+    (fun i a -> Blaze.register mgr { a.ap_accel with Blaze.acc_id = uid i })
+    apps;
+  let queues = Array.init n_apps (fun _ -> dq_create ()) in
+  let served = Array.make n_apps 0 in  (* dispatched to the pool *)
+  let devs =
+    Array.init opts.o_devices (fun _ ->
+        { d_loaded = None; d_busy = None; d_alive = true })
+  in
+  let reconfig_s = opts.o_device.Device.reconfig_minutes *. 60.0 in
+  (* The per-batch cost model is deterministic per (app, size); memoize
+     so SJF's probes and repeated launches don't re-run the estimator.
+     The table is only ever read point-wise — nothing iterates it — so
+     it cannot leak hash order into the simulation. *)
+  let svc_memo : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let body_seconds a n =
+    match Hashtbl.find_opt svc_memo (a, n) with
+    | Some s -> s
+    | None ->
+      let acc = apps.(a).ap_accel in
+      let xfer =
+        Serde.bytes_of_iface acc.Blaze.acc_iface ~tasks:n
+        /. (opts.o_pcie_gbps *. 1.0e9)
+      in
+      let r =
+        Estimate.estimate ~device:opts.o_device acc.Blaze.acc_prog ~tasks:n
+          ~buffer_elems:acc.Blaze.acc_buffer_elems
+      in
+      let s =
+        opts.o_invoke_seconds +. xfer
+        +. Float.max 0.0 r.Estimate.r_compute_seconds
+      in
+      Hashtbl.add svc_memo (a, n) s;
+      s
+  in
+  let service_seconds d a n =
+    (if devs.(d).d_loaded = Some a then 0.0 else reconfig_s)
+    +. body_seconds a n
+  in
+  let now = ref 0.0 in
+  let clocked emit_kind =
+    match trace with
+    | None -> ()
+    | Some tr ->
+      Telemetry.set_clock tr (!now /. 60.0);
+      Telemetry.emit tr emit_kind
+  in
+  let results = ref [] in
+  let batches = ref 0 and reconfigs = ref 0 in
+  let fallbacks = ref 0 and requeued = ref 0 and devices_lost = ref 0 in
+  (* Completed-but-not-yet-collected JVM executions, ordered like the
+     arrival stream so simultaneous completions resolve identically
+     across runs. *)
+  let jvm_pending = ref [] in
+  let jvm_order (ta, ra, _) (tb, rb, _) =
+    compare (ta, ra.rq_app, ra.rq_id) (tb, rb.rq_app, rb.rq_id)
+  in
+  let fallback ~reason ~start r =
+    let a = apps.(r.rq_app) in
+    let tr = Blaze.map_jvm a.ap_cls ~fields:a.ap_fields [| r.rq_payload |] in
+    incr fallbacks;
+    clocked
+      (Telemetry.Serve_fallback
+         { app = a.ap_name; request = r.rq_id; reason });
+    jvm_pending :=
+      List.merge jvm_order
+        [ (start +. tr.Blaze.tr_seconds, r, tr.Blaze.tr_values.(0)) ]
+        !jvm_pending
+  in
+  let alive_devices () =
+    Array.fold_left (fun n d -> if d.d_alive then n + 1 else n) 0 devs
+  in
+  (* ---------- the four policies, behind one signature ---------- *)
+  (* A policy maps (device index) to the app whose queue the device
+     should serve next, or None when every queue is empty. All
+     tie-breaks fall through to the app index, so the choice never
+     depends on iteration order of any unordered structure. *)
+  let candidates () =
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) (if dq_len queues.(i) > 0 then i :: acc else acc)
+    in
+    go (n_apps - 1) []
+  in
+  let head_arrival a =
+    match dq_peek queues.(a) with
+    | Some r -> r.rq_arrival
+    | None -> infinity
+  in
+  let argmin key = function
+    | [] -> None
+    | c :: cs ->
+      Some
+        (List.fold_left
+           (fun best a -> if key a < key best then a else best)
+           c cs)
+  in
+  let pick_fcfs cands = argmin (fun a -> (head_arrival a, a)) cands in
+  let pick d =
+    let cands = candidates () in
+    match opts.o_policy with
+    | Fcfs -> pick_fcfs cands
+    | Sjf ->
+      argmin
+        (fun a ->
+          let n = min (dq_len queues.(a)) apps.(a).ap_batch in
+          (service_seconds d a n, a))
+        cands
+    | Affinity -> (
+      (* Avoid paying this device's reconfiguration when its loaded
+         bitstream still has work; otherwise schedule like FCFS. *)
+      match devs.(d).d_loaded with
+      | Some a when dq_len queues.(a) > 0 -> Some a
+      | _ -> pick_fcfs cands)
+    | Fair ->
+      (* Start-time fair queueing over dispatched work: the app with
+         the smallest weighted virtual time goes next, which keeps every
+         backlogged app's share within one batch of its weight. *)
+      argmin
+        (fun a -> (float_of_int served.(a) /. apps.(a).ap_weight, a))
+        cands
+  in
+  let launch d a =
+    let dev = devs.(d) in
+    let reqs = dq_take queues.(a) apps.(a).ap_batch in
+    let n = List.length reqs in
+    let reconfig = dev.d_loaded <> Some a in
+    let service = service_seconds d a n in
+    served.(a) <- served.(a) + n;
+    incr batches;
+    if reconfig then begin
+      incr reconfigs;
+      clocked
+        (Telemetry.Serve_reconfig
+           { device = d;
+             from_app =
+               (match dev.d_loaded with
+               | Some p -> apps.(p).ap_name
+               | None -> "");
+             to_app = apps.(a).ap_name;
+             minutes = opts.o_device.Device.reconfig_minutes })
+    end;
+    clocked
+      (Telemetry.Serve_batch
+         { app = apps.(a).ap_name;
+           device = d;
+           size = n;
+           service_minutes = service /. 60.0 });
+    let lost =
+      match faults with
+      | None -> None
+      | Some f -> (
+        match Fault.serve_loss f with
+        | None -> None
+        | Some frac -> Some (!now +. (frac *. service)))
+    in
+    dev.d_loaded <- Some a;
+    dev.d_busy <-
+      Some { b_app = a; b_reqs = reqs; b_done = !now +. service; b_lost = lost }
+  in
+  let try_dispatch () =
+    Array.iteri
+      (fun d dev ->
+        if dev.d_alive && dev.d_busy = None then
+          match pick d with Some a -> launch d a | None -> ())
+      devs
+  in
+  let drain_to_jvm () =
+    (* Graceful degradation's last resort: with the whole pool gone,
+       everything still queued runs on the JVM baseline from now on. *)
+    Array.iter
+      (fun q ->
+        List.iter (fun r -> fallback ~reason:"no_devices" ~start:!now r)
+          (dq_drain q))
+      queues
+  in
+  let handle_arrival r =
+    now := r.rq_arrival;
+    if alive_devices () = 0 then fallback ~reason:"no_devices" ~start:!now r
+    else begin
+      let q = queues.(r.rq_app) in
+      if dq_len q >= apps.(r.rq_app).ap_queue_cap then
+        fallback ~reason:"overflow" ~start:!now r
+      else begin
+        dq_push q r;
+        clocked
+          (Telemetry.Serve_enqueue
+             { app = apps.(r.rq_app).ap_name;
+               request = r.rq_id;
+               queue_len = dq_len q });
+        try_dispatch ()
+      end
+    end
+  in
+  let complete ~accelerated r value =
+    let latency = !now -. r.rq_arrival in
+    results :=
+      { rs_app = r.rq_app;
+        rs_id = r.rq_id;
+        rs_value = value;
+        rs_done = !now;
+        rs_latency = latency;
+        rs_accelerated = accelerated }
+      :: !results;
+    clocked
+      (Telemetry.Serve_complete
+         { app = apps.(r.rq_app).ap_name;
+           request = r.rq_id;
+           latency_minutes = latency /. 60.0;
+           accelerated })
+  in
+  let handle_device d =
+    let dev = devs.(d) in
+    match dev.d_busy with
+    | None -> assert false
+    | Some b -> (
+      match b.b_lost with
+      | Some t ->
+        (* The device died mid-batch: decommission it and re-queue the
+           in-flight requests at the front of their queue (the PR-3
+           failover discipline — no work is lost, order is kept). *)
+        now := t;
+        dev.d_alive <- false;
+        dev.d_busy <- None;
+        incr devices_lost;
+        clocked (Telemetry.Core_lost { core = d; partition = -1 });
+        let a = b.b_app in
+        requeued := !requeued + List.length b.b_reqs;
+        (* De-count the lost dispatch so fair share tracks completed
+           work, not work burned on a dead device. *)
+        served.(a) <- served.(a) - List.length b.b_reqs;
+        dq_push_front queues.(a) b.b_reqs;
+        List.iter
+          (fun r ->
+            clocked
+              (Telemetry.Serve_enqueue
+                 { app = apps.(a).ap_name;
+                   request = r.rq_id;
+                   queue_len = dq_len queues.(a) }))
+          b.b_reqs;
+        if alive_devices () = 0 then drain_to_jvm () else try_dispatch ()
+      | None ->
+        now := b.b_done;
+        dev.d_busy <- None;
+        let payloads =
+          Array.of_list (List.map (fun r -> r.rq_payload) b.b_reqs)
+        in
+        let tr = Blaze.map_accelerated mgr ~id:(uid b.b_app) payloads in
+        List.iteri
+          (fun i r -> complete ~accelerated:true r tr.Blaze.tr_values.(i))
+          b.b_reqs;
+        try_dispatch ())
+  in
+  let handle_jvm () =
+    match !jvm_pending with
+    | [] -> assert false
+    | (t, r, v) :: rest ->
+      jvm_pending := rest;
+      now := t;
+      complete ~accelerated:false r v
+  in
+  let next_device () =
+    let best = ref (infinity, -1) in
+    Array.iteri
+      (fun d dev ->
+        match dev.d_busy with
+        | Some b ->
+          let t = match b.b_lost with Some l -> l | None -> b.b_done in
+          if t < fst !best then best := (t, d)
+        | None -> ())
+      devs;
+    !best
+  in
+  let rec loop () =
+    let t_arr =
+      match !arrivals with [] -> infinity | r :: _ -> r.rq_arrival
+    in
+    let t_dev, d = next_device () in
+    let t_jvm =
+      match !jvm_pending with [] -> infinity | (t, _, _) :: _ -> t
+    in
+    if t_arr = infinity && t_dev = infinity && t_jvm = infinity then ()
+    else begin
+      (* Fixed priority on ties — arrivals, then device events, then JVM
+         completions — so simultaneous events replay identically. *)
+      if t_arr <= t_dev && t_arr <= t_jvm then begin
+        match !arrivals with
+        | r :: rest ->
+          arrivals := rest;
+          handle_arrival r
+        | [] -> assert false
+      end
+      else if t_dev <= t_jvm then handle_device d
+      else handle_jvm ();
+      loop ()
+    end
+  in
+  loop ();
+  (* ---------- report ---------- *)
+  let results =
+    List.sort (fun a b -> compare (a.rs_app, a.rs_id) (b.rs_app, b.rs_id))
+      !results
+  in
+  let total = List.length results in
+  let accel_total =
+    List.length (List.filter (fun r -> r.rs_accelerated) results)
+  in
+  let weight_total =
+    Array.fold_left (fun s a -> s +. a.ap_weight) 0.0 apps
+  in
+  let per_app =
+    Array.to_list
+      (Array.mapi
+         (fun i a ->
+           let mine = List.filter (fun r -> r.rs_app = i) results in
+           let acc = List.filter (fun r -> r.rs_accelerated) mine in
+           let lat_ms =
+             Array.of_list
+               (List.map (fun r -> r.rs_latency *. 1000.0) mine)
+           in
+           let pct p = if Array.length lat_ms = 0 then 0.0 else p lat_ms in
+           { ar_app = a.ap_name;
+             ar_weight = a.ap_weight;
+             ar_requests = List.length mine;
+             ar_accelerated = List.length acc;
+             ar_fallbacks = List.length mine - List.length acc;
+             ar_p50_ms = pct Stats.p50;
+             ar_p95_ms = pct Stats.p95;
+             ar_p99_ms = pct Stats.p99;
+             ar_mean_ms = Stats.mean lat_ms;
+             ar_share =
+               (if accel_total = 0 then 0.0
+                else float_of_int (List.length acc)
+                     /. float_of_int accel_total) })
+         apps)
+  in
+  let fairness =
+    if accel_total = 0 then 0.0
+    else
+      List.fold_left
+        (fun m ar ->
+          Float.max m (Float.abs (ar.ar_share -. (ar.ar_weight /. weight_total))))
+        0.0 per_app
+  in
+  let makespan =
+    List.fold_left (fun m r -> Float.max m r.rs_done) 0.0 results
+  in
+  let report =
+    { rp_policy = policy_name opts.o_policy;
+      rp_devices = opts.o_devices;
+      rp_device_name = opts.o_device.Device.name;
+      rp_requests = total;
+      rp_accelerated = accel_total;
+      rp_fallbacks = !fallbacks;
+      rp_batches = !batches;
+      rp_reconfigs = !reconfigs;
+      rp_requeued = !requeued;
+      rp_devices_lost = !devices_lost;
+      rp_makespan = makespan;
+      rp_throughput =
+        (if makespan > 0.0 then float_of_int total /. makespan else 0.0);
+      rp_fairness = fairness;
+      rp_apps = per_app }
+  in
+  { oc_report = report; oc_results = results }
+
+(* ------------------------------------------------------------------ *)
+(* Report rendering (fixed formats, so equal reports render to equal
+   bytes) *)
+(* ------------------------------------------------------------------ *)
+
+let pp_report ppf r =
+  let p fmt = Format.fprintf ppf fmt in
+  p "== serving report ==@.";
+  p "policy %s, %d device%s (%s), %d requests@." r.rp_policy r.rp_devices
+    (if r.rp_devices = 1 then "" else "s")
+    r.rp_device_name r.rp_requests;
+  p "completed %d: %d accelerated in %d batches, %d jvm fallback@."
+    (r.rp_accelerated + r.rp_fallbacks)
+    r.rp_accelerated r.rp_batches r.rp_fallbacks;
+  p "reconfigurations %d, devices lost %d, requests requeued %d@."
+    r.rp_reconfigs r.rp_devices_lost r.rp_requeued;
+  p "makespan %.6f s, throughput %.1f req/s@." r.rp_makespan r.rp_throughput;
+  p "  %-10s %6s %8s %8s %8s %10s %10s %10s %7s@." "app" "weight" "reqs"
+    "accel" "jvm" "p50 ms" "p95 ms" "p99 ms" "share";
+  List.iter
+    (fun a ->
+      p "  %-10s %6.2f %8d %8d %8d %10.4f %10.4f %10.4f %7.3f@." a.ar_app
+        a.ar_weight a.ar_requests a.ar_accelerated a.ar_fallbacks a.ar_p50_ms
+        a.ar_p95_ms a.ar_p99_ms a.ar_share)
+    r.rp_apps;
+  p "fairness: max |share - weight| = %.4f@." r.rp_fairness
+
+let report_to_string r = Format.asprintf "%a" pp_report r

@@ -1,0 +1,169 @@
+(** A multi-tenant accelerator-serving cluster, simulated.
+
+    The paper's deployment story ends with the S2FA-generated kernel
+    running {e behind Blaze} in a datacenter: many JVM applications
+    share a small pool of FPGAs, the Blaze node manager batches their
+    requests into accelerator invocations, and anything the pool cannot
+    take falls back to the plain JVM path. This module reproduces that
+    serving layer as a deterministic discrete-event simulation on the
+    repo's virtual clock:
+
+    - {b devices} carry per-device bitstream state; swapping tenants
+      pays the device's {!S2fa_hls.Device.t.reconfig_minutes}, and
+      every batch pays a PCIe/DMA transfer charge computed from
+      {!S2fa_blaze.Serde.bytes_of_iface} plus the HLS-estimated compute
+      time ({!S2fa_hls.Estimate});
+    - {b admission} is a bounded per-tenant FIFO; overflow (or a dead
+      pool) degrades gracefully to the JVM baseline
+      ({!S2fa_blaze.Blaze.map_jvm}) so {e no request is ever dropped}
+      and every result is bit-identical either way;
+    - {b scheduling} is pluggable: four policies behind one signature,
+      all tie-broken by app index so no policy's choice depends on
+      unordered-structure iteration;
+    - {b faults}: an optional {!S2fa_fault.Fault} injector may kill a
+      device mid-batch; in-flight requests re-queue at the {e front} of
+      their queue (the PR-3 failover discipline) and the run completes
+      on the surviving pool — or on the JVM if none survives.
+
+    Determinism contract: [serve] does not create randomness. All
+    stochastic inputs (arrival times, payloads, fault schedule) come in
+    pre-drawn or via the injector's private stream, so the same inputs
+    give a byte-identical report, telemetry stream, and result list —
+    independent of policy internals or device count
+    ([test/test_fleet.ml]). *)
+
+exception Fleet_error of string
+
+(** {1 Tenants and requests} *)
+
+(** One served application (tenant): a registered accelerator plus the
+    JVM-fallback ingredients and admission parameters. *)
+type app = {
+  ap_name : string;
+  ap_accel : S2fa_blaze.Blaze.accel;
+  ap_cls : S2fa_jvm.Insn.cls;       (** For the JVM fallback path. *)
+  ap_fields : (string * S2fa_jvm.Interp.value) list;
+  ap_weight : float;                (** Fair-share weight (> 0). *)
+  ap_batch : int;                   (** Max requests per invocation. *)
+  ap_queue_cap : int;               (** Bound before overflow-to-JVM. *)
+}
+
+(** One request: a single input record for [rq_app], arriving at
+    [rq_arrival] virtual {e seconds}. *)
+type request = {
+  rq_app : int;
+  rq_id : int;
+  rq_arrival : float;
+  rq_payload : S2fa_jvm.Interp.value;
+}
+
+(** {1 Scheduling policies} *)
+
+type policy =
+  | Fcfs      (** Oldest head-of-queue arrival first. *)
+  | Sjf       (** Smallest estimated service time (including any
+                  reconfiguration this device would pay) first. *)
+  | Affinity  (** Keep serving the bitstream already loaded on the
+                  device while it has work; otherwise FCFS. *)
+  | Fair      (** Weighted fair share: smallest
+                  dispatched-work / weight first. *)
+
+val all_policies : policy list
+
+val policy_name : policy -> string
+(** ["fcfs"] | ["sjf"] | ["affinity"] | ["fair"]. *)
+
+val policy_of_name : string -> policy option
+
+(** {1 Cluster configuration} *)
+
+type opts = {
+  o_devices : int;            (** Pool size (>= 1). *)
+  o_device : S2fa_hls.Device.t;  (** Every device in the pool. *)
+  o_policy : policy;
+  o_pcie_gbps : float;        (** Host-to-device link, GB/s. *)
+  o_invoke_seconds : float;   (** Fixed per-invocation overhead. *)
+}
+
+val default_opts : opts
+(** 2 VU9P devices, FCFS, 8 GB/s PCIe, 0.5 ms invocation overhead. *)
+
+(** {1 Results and reports} *)
+
+(** One completed request, with its completion time and latency in
+    virtual seconds. *)
+type result = {
+  rs_app : int;
+  rs_id : int;
+  rs_value : S2fa_jvm.Interp.value;
+  rs_done : float;
+  rs_latency : float;
+  rs_accelerated : bool;  (** [false] = JVM fallback. *)
+}
+
+(** Per-tenant serving statistics. Latencies are nearest-rank
+    percentiles ({!S2fa_util.Stats}) in milliseconds, 0 when the app
+    completed nothing. [ar_share] is this app's fraction of all {e
+    accelerated} completions. *)
+type app_report = {
+  ar_app : string;
+  ar_weight : float;
+  ar_requests : int;
+  ar_accelerated : int;
+  ar_fallbacks : int;
+  ar_p50_ms : float;
+  ar_p95_ms : float;
+  ar_p99_ms : float;
+  ar_mean_ms : float;
+  ar_share : float;
+}
+
+type report = {
+  rp_policy : string;
+  rp_devices : int;
+  rp_device_name : string;
+  rp_requests : int;
+  rp_accelerated : int;
+  rp_fallbacks : int;
+  rp_batches : int;
+  rp_reconfigs : int;
+  rp_requeued : int;      (** In-flight requests recovered from lost
+                              devices. *)
+  rp_devices_lost : int;
+  rp_makespan : float;    (** Last completion time, virtual seconds. *)
+  rp_throughput : float;  (** Requests per virtual second (0 when no
+                              traffic). *)
+  rp_fairness : float;    (** max over apps of
+                              |accelerated share − normalized weight|. *)
+  rp_apps : app_report list;  (** In app-index order. *)
+}
+
+type outcome = {
+  oc_report : report;
+  oc_results : result list;  (** Sorted by (app, id): every request,
+                                 exactly once. *)
+}
+
+(** {1 Serving} *)
+
+val serve :
+  ?opts:opts ->
+  ?trace:S2fa_telemetry.Telemetry.t ->
+  ?faults:S2fa_fault.Fault.t ->
+  app array ->
+  request list ->
+  outcome
+(** Run the pool over the request stream until every request completes
+    (the run is open-loop: arrivals are fixed up front). With [?trace]
+    the serving events ([serve_enq] / [serve_batch] / [serve_reconfig] /
+    [serve_fallback] / [serve_done], plus [core_lost] on device death)
+    are emitted with the virtual clock in minutes; tracing has zero
+    effect on the simulation. Zero traffic is a strict no-op: an
+    all-zero report, no events, no metrics. Raises {!Fleet_error} on an
+    invalid configuration (empty pool, non-positive weight or batch, a
+    request naming an unknown app). *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Fixed-format rendering: equal reports produce equal bytes. *)
+
+val report_to_string : report -> string

@@ -7,6 +7,7 @@ type t = {
   base_mhz : float;
   usable_frac : float;
   hbm_gbps : float;
+  reconfig_minutes : float;
 }
 
 let vu9p =
@@ -17,7 +18,8 @@ let vu9p =
     dsps = 6_840;
     base_mhz = 250.0;
     usable_frac = 0.75;
-    hbm_gbps = 12.0 }
+    hbm_gbps = 12.0;
+    reconfig_minutes = 0.05 }
 
 let vu13p =
   { name = "xcvu13p (larger part)";
@@ -27,7 +29,8 @@ let vu13p =
     dsps = 12_288;
     base_mhz = 250.0;
     usable_frac = 0.75;
-    hbm_gbps = 12.0 }
+    hbm_gbps = 12.0;
+    reconfig_minutes = 0.08 }
 
 type op_model = { lat : float; dsp : float; lut : float; ff : float }
 

@@ -15,6 +15,12 @@ type t = {
   usable_frac : float;   (** Fraction usable by the kernel (0.75). *)
   hbm_gbps : float;
       (** Effective off-chip bandwidth available to one kernel. *)
+  reconfig_minutes : float;
+      (** Virtual minutes to load a different bitstream onto the device
+          (the F1 AFI swap: ~3 s on the VU9P, longer on bigger parts).
+          The serving layer charges it whenever a device switches
+          accelerators, so it lives here rather than being hard-coded at
+          use sites. *)
 }
 
 val vu9p : t

@@ -89,6 +89,26 @@ type kind =
   | Core_lost of { core : int; partition : int }
   | Failover of { partition : int; from_core : int; to_core : int }
   | Checkpoint_written of { path : string; minutes : float; evals : int }
+  | Serve_enqueue of { app : string; request : int; queue_len : int }
+  | Serve_batch of {
+      app : string;
+      device : int;
+      size : int;
+      service_minutes : float;
+    }
+  | Serve_reconfig of {
+      device : int;
+      from_app : string;
+      to_app : string;
+      minutes : float;
+    }
+  | Serve_fallback of { app : string; request : int; reason : string }
+  | Serve_complete of {
+      app : string;
+      request : int;
+      latency_minutes : float;
+      accelerated : bool;
+    }
 
 type event = { e_seq : int; e_minutes : float; e_kind : kind }
 
@@ -211,6 +231,11 @@ let minute_buckets = [| 1.0; 2.0; 5.0; 10.0; 15.0; 20.0; 30.0 |]
 let quality_buckets =
   [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 1e-1; 1.0; 10.0 |]
 
+(* Serving latencies are sub-second, so their minute-denominated
+   histogram needs much finer buckets than the DSE's eval_minutes. *)
+let serve_latency_buckets =
+  [| 1e-7; 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0 |]
+
 let fold_into_metrics m ev =
   match ev.e_kind with
   | Eval_done d ->
@@ -244,6 +269,16 @@ let fold_into_metrics m ev =
   | Core_lost _ -> Metrics.incr m "cores.lost"
   | Failover _ -> Metrics.incr m "failovers"
   | Checkpoint_written _ -> Metrics.incr m "checkpoints"
+  | Serve_enqueue _ -> Metrics.incr m "serve.enqueued"
+  | Serve_batch b ->
+    Metrics.incr m "serve.batches";
+    Metrics.incr ~by:b.size m "serve.batched"
+  | Serve_reconfig _ -> Metrics.incr m "serve.reconfigs"
+  | Serve_fallback _ -> Metrics.incr m "serve.fallbacks"
+  | Serve_complete c ->
+    Metrics.incr m "serve.completed";
+    Metrics.observe ~buckets:serve_latency_buckets m "serve.latency_minutes"
+      c.latency_minutes
   | Span_begin _ -> ()
   | Span_end st -> Metrics.incr m ("spans." ^ stage_name st)
   | Run_begin _ -> Metrics.incr m "runs"
@@ -438,7 +473,35 @@ let json_of_event e =
     str "ev" "checkpoint";
     str "path" c.path;
     num "minutes" c.minutes;
-    int_ "evals" c.evals);
+    int_ "evals" c.evals
+  | Serve_enqueue s ->
+    str "ev" "serve_enq";
+    str "app" s.app;
+    int_ "req" s.request;
+    int_ "qlen" s.queue_len
+  | Serve_batch s ->
+    str "ev" "serve_batch";
+    str "app" s.app;
+    int_ "dev" s.device;
+    int_ "size" s.size;
+    num "svc" s.service_minutes
+  | Serve_reconfig s ->
+    str "ev" "serve_reconfig";
+    int_ "dev" s.device;
+    str "from" s.from_app;
+    str "to" s.to_app;
+    num "minutes" s.minutes
+  | Serve_fallback s ->
+    str "ev" "serve_fallback";
+    str "app" s.app;
+    int_ "req" s.request;
+    str "reason" s.reason
+  | Serve_complete s ->
+    str "ev" "serve_done";
+    str "app" s.app;
+    int_ "req" s.request;
+    num "lat" s.latency_minutes;
+    bool_ "acc" s.accelerated);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -667,6 +730,34 @@ let event_of_json line =
           { path = sget fields "path";
             minutes = fget fields "minutes";
             evals = iget fields "evals" }
+      | "serve_enq" ->
+        Serve_enqueue
+          { app = sget fields "app";
+            request = iget fields "req";
+            queue_len = iget fields "qlen" }
+      | "serve_batch" ->
+        Serve_batch
+          { app = sget fields "app";
+            device = iget fields "dev";
+            size = iget fields "size";
+            service_minutes = fget fields "svc" }
+      | "serve_reconfig" ->
+        Serve_reconfig
+          { device = iget fields "dev";
+            from_app = sget fields "from";
+            to_app = sget fields "to";
+            minutes = fget fields "minutes" }
+      | "serve_fallback" ->
+        Serve_fallback
+          { app = sget fields "app";
+            request = iget fields "req";
+            reason = sget fields "reason" }
+      | "serve_done" ->
+        Serve_complete
+          { app = sget fields "app";
+            request = iget fields "req";
+            latency_minutes = fget fields "lat";
+            accelerated = bget fields "acc" }
       | _ -> raise Bad
     in
     { e_seq = iget fields "seq"; e_minutes = fget fields "min"; e_kind = kind }
@@ -728,6 +819,20 @@ let pp_event ppf e =
     p "failover part=%d from=%d to=%d" f.partition f.from_core f.to_core
   | Checkpoint_written c ->
     p "checkpoint minutes=%.1f evals=%d path=%s" c.minutes c.evals c.path
+  | Serve_enqueue s ->
+    p "serve_enq app=%s req=%d qlen=%d" s.app s.request s.queue_len
+  | Serve_batch s ->
+    p "serve_batch app=%s dev=%d size=%d svc=%.4fm" s.app s.device s.size
+      s.service_minutes
+  | Serve_reconfig s ->
+    p "serve_reconfig dev=%d from=%s to=%s %.2fm" s.device
+      (if s.from_app = "" then "-" else s.from_app)
+      s.to_app s.minutes
+  | Serve_fallback s ->
+    p "serve_fallback app=%s req=%d reason=%s" s.app s.request s.reason
+  | Serve_complete s ->
+    p "serve_done app=%s req=%d lat=%.4fm%s" s.app s.request s.latency_minutes
+      (if s.accelerated then "" else " jvm")
 
 (* ------------------------------------------------------------------ *)
 (* Built-in sinks *)

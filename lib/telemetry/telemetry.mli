@@ -99,6 +99,36 @@ type kind =
       (** The FCFS scheduler reassigned a lost core's partition to a
           survivor. *)
   | Checkpoint_written of { path : string; minutes : float; evals : int }
+  | Serve_enqueue of { app : string; request : int; queue_len : int }
+      (** A serving request was admitted to its application's bounded
+          queue; [queue_len] is the length after insertion. Emitted
+          again (with the rebuilt length) when in-flight work is
+          re-queued after a device loss. *)
+  | Serve_batch of {
+      app : string;
+      device : int;
+      size : int;
+      service_minutes : float;
+          (** Modeled batch service time: reconfiguration (if any) +
+              invocation overhead + PCIe transfer + kernel compute. *)
+    }  (** [size] queued requests launched as one accelerator
+           invocation. *)
+  | Serve_reconfig of {
+      device : int;
+      from_app : string;  (** [""] on a cold first load. *)
+      to_app : string;
+      minutes : float;    (** The device's [reconfig_minutes]. *)
+    }
+  | Serve_fallback of { app : string; request : int; reason : string }
+      (** The request bypassed the pool and ran on the JVM baseline;
+          [reason] is ["overflow"] (bounded queue full) or
+          ["no_devices"] (every device lost). *)
+  | Serve_complete of {
+      app : string;
+      request : int;
+      latency_minutes : float;  (** Arrival to completion. *)
+      accelerated : bool;       (** [false] for JVM-fallback service. *)
+    }
 
 type event = {
   e_seq : int;       (** Monotonic per tracer, gapless from 0. *)

@@ -77,6 +77,16 @@ type attr_row = {
 
 type fault_row = { fl_class : string; fl_count : int; fl_lost : float }
 
+type serve_row = {
+  sv_app : string;
+  sv_enqueued : int;
+  sv_completed : int;
+  sv_fallbacks : int;
+  sv_p50_ms : float;
+  sv_p95_ms : float;
+  sv_p99_ms : float;
+}
+
 type replay = {
   rp_flow : string;
   rp_cores : int;
@@ -98,6 +108,9 @@ type replay = {
   rp_cores_lost : int;
   rp_failovers : int;
   rp_checkpoints : int;
+  rp_serve_batches : int;
+  rp_serve_reconfigs : int;
+  rp_serve_apps : serve_row list;
 }
 
 let replay t =
@@ -114,6 +127,12 @@ let replay t =
   let retries = ref 0 and backoff = ref 0.0 in
   let quarantined = ref 0 in
   let cores_lost = ref 0 and failovers = ref 0 and checkpoints = ref 0 in
+  let serve_batches = ref 0 and serve_reconfigs = ref 0 in
+  (* app -> (enqueued, completed, fallbacks, latencies-in-ms rev) *)
+  let serve = Hashtbl.create 4 in
+  let serve_get app =
+    Option.value ~default:(0, 0, 0, []) (Hashtbl.find_opt serve app)
+  in
   List.iter
     (fun (e : T.event) ->
       match e.T.e_kind with
@@ -172,6 +191,18 @@ let replay t =
       | T.Core_lost _ -> incr cores_lost
       | T.Failover _ -> incr failovers
       | T.Checkpoint_written _ -> incr checkpoints
+      | T.Serve_enqueue s ->
+        let e, c, f, l = serve_get s.app in
+        Hashtbl.replace serve s.app (e + 1, c, f, l)
+      | T.Serve_batch _ -> incr serve_batches
+      | T.Serve_reconfig _ -> incr serve_reconfigs
+      | T.Serve_fallback s ->
+        let e, c, f, l = serve_get s.app in
+        Hashtbl.replace serve s.app (e, c, f + 1, l)
+      | T.Serve_complete s ->
+        let e, c, f, l = serve_get s.app in
+        Hashtbl.replace serve s.app
+          (e, c + 1, f, (s.latency_minutes *. 60_000.0) :: l)
       | _ -> ())
     t.t_events;
   { rp_flow = !flow;
@@ -213,7 +244,24 @@ let replay t =
     rp_quarantined = !quarantined;
     rp_cores_lost = !cores_lost;
     rp_failovers = !failovers;
-    rp_checkpoints = !checkpoints }
+    rp_checkpoints = !checkpoints;
+    rp_serve_batches = !serve_batches;
+    rp_serve_reconfigs = !serve_reconfigs;
+    rp_serve_apps =
+      Hashtbl.fold
+        (fun app (e, c, f, lats) acc ->
+          let xs = Array.of_list (List.rev lats) in
+          let pct p = if Array.length xs = 0 then 0.0 else p xs in
+          { sv_app = app;
+            sv_enqueued = e;
+            sv_completed = c;
+            sv_fallbacks = f;
+            sv_p50_ms = pct S2fa_util.Stats.p50;
+            sv_p95_ms = pct S2fa_util.Stats.p95;
+            sv_p99_ms = pct S2fa_util.Stats.p99 }
+          :: acc)
+        serve []
+      |> List.sort (fun a b -> String.compare a.sv_app b.sv_app) }
 
 (* ---------- the s2fa trace report ---------- *)
 
@@ -316,6 +364,18 @@ let print_report ppf t =
         rp.rp_failovers;
     if rp.rp_checkpoints > 0 then
       p "  checkpoints written %d@." rp.rp_checkpoints
+  end;
+  if rp.rp_serve_apps <> [] || rp.rp_serve_batches > 0 then begin
+    p "@.== serving ==@.";
+    p "  batches %d, reconfigurations %d@." rp.rp_serve_batches
+      rp.rp_serve_reconfigs;
+    p "  %-10s %8s %8s %8s %10s %10s %10s@." "app" "enq" "done" "jvm"
+      "p50 ms" "p95 ms" "p99 ms";
+    List.iter
+      (fun s ->
+        p "  %-10s %8d %8d %8d %10.4f %10.4f %10.4f@." s.sv_app s.sv_enqueued
+          s.sv_completed s.sv_fallbacks s.sv_p50_ms s.sv_p95_ms s.sv_p99_ms)
+      rp.rp_serve_apps
   end;
   p "@.== entropy-stop timeline ==@.";
   if rp.rp_entropy = [] then p "  (no entropy samples in this trace)@."

@@ -52,6 +52,21 @@ type fault_row = {
   fl_lost : float;    (** Virtual minutes the class's attempts wasted. *)
 }
 
+(** Per-application serving activity, reconstructed from the
+    [serve_*] events alone. Latency percentiles are nearest-rank
+    ({!S2fa_util.Stats}) over the completion events' latencies, in
+    milliseconds; 0 when the app completed nothing. *)
+type serve_row = {
+  sv_app : string;
+  sv_enqueued : int;   (** Admissions (re-queues after device loss count
+                           again). *)
+  sv_completed : int;
+  sv_fallbacks : int;  (** Requests served by the JVM baseline. *)
+  sv_p50_ms : float;
+  sv_p95_ms : float;
+  sv_p99_ms : float;
+}
+
 (** Everything {!replay} reconstructs. *)
 type replay = {
   rp_flow : string;
@@ -75,6 +90,10 @@ type replay = {
   rp_cores_lost : int;
   rp_failovers : int;
   rp_checkpoints : int;
+  rp_serve_batches : int;
+  rp_serve_reconfigs : int;
+  rp_serve_apps : serve_row list;  (** Sorted by app name; empty for
+                                       non-serving traces. *)
 }
 
 val replay : t -> replay
@@ -82,5 +101,5 @@ val replay : t -> replay
 val print_report : Format.formatter -> t -> unit
 (** The [s2fa trace] rendering: summary, best-so-far curve, Gantt-style
     core occupancy, per-technique attribution, fault/resilience
-    attribution (only when fault events are present), entropy-stop
-    timeline. *)
+    attribution (only when fault events are present), a serving section
+    (only when serve events are present), entropy-stop timeline. *)

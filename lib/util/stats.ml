@@ -66,6 +66,14 @@ let percentile xs p =
   sorted.(idx)
   end
 
+(* The serving-report latency percentiles. Nearest-rank keeps ties
+   trivial: with duplicated values the duplicated element itself is
+   returned (never an interpolation), so p50/p95/p99 of an array of
+   identical values is that value. *)
+let p50 xs = percentile xs 50.0
+let p95 xs = percentile xs 95.0
+let p99 xs = percentile xs 99.0
+
 let geometric_mean xs =
   let n = Array.length xs in
   if n = 0 then 0.0

@@ -35,5 +35,15 @@ val percentile : float array -> float -> float
     ([p = 0] is the minimum, [p = 100] the maximum). NaN if any element
     is NaN. Raises [Invalid_argument] on empty input or a NaN rank. *)
 
+val p50 : float array -> float
+val p95 : float array -> float
+val p99 : float array -> float
+(** [percentile] at ranks 50/95/99 — the serving-layer latency
+    summaries. Nearest-rank, so the result is always an element of the
+    input (never interpolated); with tied values the tied element itself
+    is returned, and an all-equal array has every percentile equal to
+    that value. NaN-propagating and [Invalid_argument] on empty input,
+    exactly as {!percentile}. *)
+
 val geometric_mean : float array -> float
 (** Geometric mean of strictly positive values; 0 on empty input. *)

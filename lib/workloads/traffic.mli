@@ -1,0 +1,38 @@
+(** Seeded open-loop traffic for the serving simulator.
+
+    Turns a list of evaluation workloads into a multi-tenant serving
+    scenario: each tenant gets a Poisson arrival process and per-request
+    payloads drawn from {e private} SplitMix64 streams derived from
+    [(seed, tenant index)] alone. A given seed therefore yields a
+    byte-reproducible request schedule, and changing one tenant's rate
+    (or dropping a tenant entirely) never perturbs another tenant's
+    arrivals or payloads. *)
+
+type tenant = {
+  tn_workload : Workloads.t;
+  tn_rate : float;       (** Mean arrivals per virtual second. *)
+  tn_weight : float;     (** Fair-share weight. *)
+  tn_batch : int;        (** Max requests per accelerator invocation. *)
+  tn_queue_cap : int;    (** Admission bound before JVM overflow. *)
+}
+
+val tenant :
+  ?rate:float -> ?weight:float -> ?batch:int -> ?queue_cap:int ->
+  Workloads.t -> tenant
+(** Defaults: rate 100 req/s, weight 1, batch 16, queue capacity 64.
+    Raises [Invalid_argument] on a non-positive rate. *)
+
+val requests :
+  seed:int -> horizon:float -> tenant list -> S2fa_fleet.Fleet.request list
+(** Open-loop arrivals over [\[0, horizon)] virtual seconds, merged
+    across tenants and sorted by (arrival, app, id). Deterministic in
+    [(seed, horizon, tenants)]. *)
+
+val apps :
+  ?trace:S2fa_telemetry.Telemetry.t ->
+  seed:int -> tenant list -> S2fa_fleet.Fleet.app array
+(** Compile each tenant's workload, apply the structured seed design
+    ({!S2fa_dse.Seed.structured_seed}), draw its broadcast fields from
+    the tenant's private field stream, and package everything as fleet
+    apps (index-aligned with the tenant list and with {!requests}'s
+    [rq_app]). *)

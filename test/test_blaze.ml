@@ -329,6 +329,71 @@ let test_stream_jvm_agrees () =
         (Interp.equal_value v jvm.(i)))
     acc
 
+(* property: streaming backpressure accounting. For any record count
+   and batch size, the micro-batch schedule must produce the whole
+   batch's values, in order, in exactly ceil(n/b) batches, and the
+   worst per-batch latency can never exceed the total accelerator
+   time. *)
+let pr_setup =
+  lazy
+    (let w = Option.get (W.find "PR") in
+     let c = W.compile w in
+     let mgr = Blaze.create_manager () in
+     Blaze.register mgr (S2fa.make_accelerator c ~fields:[]);
+     (w, c, mgr))
+
+let prop_stream_backpressure =
+  QCheck.Test.make ~name:"stream chunking and backpressure" ~count:30
+    QCheck.(triple (int_range 1 48) (int_range 1 20) (int_range 0 1000))
+    (fun (n, batch, seed) ->
+      let w, _, mgr = Lazy.force pr_setup in
+      let records = w.W.w_gen (Rng.create seed) n in
+      let streamed, st = Stream.run_accelerated mgr ~id:"PR" ~batch_size:batch records in
+      let whole = Blaze.map_accelerated mgr ~id:"PR" records in
+      st.Stream.st_records = n
+      && st.Stream.st_batches = (n + batch - 1) / batch
+      && st.Stream.st_max_batch_seconds <= st.Stream.st_seconds +. 1e-12
+      && Array.for_all2
+           (fun a b -> Interp.equal_value a b)
+           streamed whole.Blaze.tr_values)
+
+(* property: serde round-trips survive interleaved multi-producer
+   queues. Several producers' records are interleaved round-robin into
+   one shared dispatch queue; every record must come back bit-identical
+   to its own producer's JVM baseline, at its own position. *)
+let prop_serde_interleaved_producers =
+  QCheck.Test.make ~name:"serde interleaved producers" ~count:20
+    QCheck.(pair (int_range 2 4) (int_range 1 1000))
+    (fun (producers, seed) ->
+      let w, c, mgr = Lazy.force pr_setup in
+      (* Each producer owns a private stream and queue. *)
+      let queues =
+        Array.init producers (fun i ->
+            w.W.w_gen (Rng.create ((seed * 31) + i)) (4 + (i * 3)))
+      in
+      let interleaved = ref [] in
+      let longest = Array.fold_left (fun m q -> max m (Array.length q)) 0 queues in
+      for round = 0 to longest - 1 do
+        Array.iteri
+          (fun p q ->
+            if round < Array.length q then
+              interleaved := (p, round, q.(round)) :: !interleaved)
+          queues
+      done;
+      let interleaved = Array.of_list (List.rev !interleaved) in
+      let batch = Array.map (fun (_, _, v) -> v) interleaved in
+      let acc = Blaze.map_accelerated mgr ~id:"PR" batch in
+      let baselines =
+        Array.map
+          (fun q -> (Blaze.map_jvm c.S2fa.c_class ~fields:[] q).Blaze.tr_values)
+          queues
+      in
+      Array.for_all
+        (fun i ->
+          let p, round, _ = interleaved.(i) in
+          Interp.equal_value acc.Blaze.tr_values.(i) baselines.(p).(round))
+        (Array.init (Array.length interleaved) (fun i -> i)))
+
 (* property: RDD map then collect = List.map *)
 let prop_rdd_map_law =
   QCheck.Test.make ~name:"rdd map law" ~count:200
@@ -392,4 +457,7 @@ let () =
           Alcotest.test_case "jvm agrees" `Quick test_stream_jvm_agrees ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_rdd_map_law; prop_rdd_reduce_law ] ) ]
+          [ prop_rdd_map_law;
+            prop_rdd_reduce_law;
+            prop_stream_backpressure;
+            prop_serde_interleaved_producers ] ) ]

@@ -155,6 +155,29 @@ let test_bad_kernel_fails () =
   let code, _ = run "dse -w NoSuchKernel" in
   Alcotest.(check bool) "non-zero exit" true (code <> 0)
 
+let serve_args = "serve --apps KMeans:300,PR:200 --horizon 0.3 --seed 11"
+
+let test_serve () =
+  let out = check_ok "serve" serve_args in
+  Alcotest.(check bool) "prints a serving report" true
+    (contains out "== serving report ==");
+  Alcotest.(check bool) "per-app percentiles" true (contains out "p95 ms");
+  (* Same seed, same report — byte for byte. *)
+  let _, again = run serve_args in
+  Alcotest.(check string) "serve is deterministic" out again
+
+let test_serve_trace_and_replay () =
+  let trace = Filename.temp_file "s2fa_serve" ".jsonl" in
+  let _ = check_ok "serve --trace" (serve_args ^ " --trace " ^ trace) in
+  let out = check_ok "trace of a serving run" ("trace " ^ trace) in
+  Sys.remove trace;
+  Alcotest.(check bool) "serving section present" true
+    (contains out "== serving ==")
+
+let test_serve_bad_policy_fails () =
+  let code, _ = run "serve --policy nope" in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
 let () =
   Alcotest.run "cli"
     [ ( "smoke",
@@ -176,4 +199,9 @@ let () =
             test_resume_rejects_garbage;
           Alcotest.test_case "cache" `Quick test_cache;
           Alcotest.test_case "report" `Quick test_report;
-          Alcotest.test_case "unknown kernel" `Quick test_bad_kernel_fails ] ) ]
+          Alcotest.test_case "unknown kernel" `Quick test_bad_kernel_fails;
+          Alcotest.test_case "serve" `Quick test_serve;
+          Alcotest.test_case "serve --trace + trace" `Quick
+            test_serve_trace_and_replay;
+          Alcotest.test_case "bad policy" `Quick
+            test_serve_bad_policy_fails ] ) ]

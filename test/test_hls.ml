@@ -133,7 +133,13 @@ let test_device_model () =
   Alcotest.(check bool) "div slower than add" true
     (Device.int_div.Device.lat > Device.int_add.Device.lat);
   Alcotest.(check bool) "exp uses DSPs" true
-    ((Device.math_op "exp").Device.dsp > 0.0)
+    ((Device.math_op "exp").Device.dsp > 0.0);
+  (* Serving: loading a different bitstream must cost real virtual
+     time, and the bigger part takes longer to configure. *)
+  Alcotest.(check bool) "reconfig costs time" true
+    (Device.vu9p.Device.reconfig_minutes > 0.0);
+  Alcotest.(check bool) "vu13p reconfig slower" true
+    (Device.vu13p.Device.reconfig_minutes >= Device.vu9p.Device.reconfig_minutes)
 
 (* Every genuine estimator report passes the sanity checker the fault
    injector's Transient path relies on (corrupted reports must be the

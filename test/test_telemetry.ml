@@ -52,6 +52,16 @@ let sample_events =
       { partition = 1; core = 4; reason = T.Stop_entropy; evals = 17 };
     T.Entropy_sample { partition = 1; evaluated = 9; entropy = 1.9219280948 };
     T.Seed_injected { cfg_key = "a=3"; partition = 2 };
+    T.Serve_enqueue { app = "KMeans"; request = 41; queue_len = 7 };
+    T.Serve_batch
+      { app = "K\"Means"; device = 1; size = 16;
+        service_minutes = 0.1 +. 0.2 };
+    T.Serve_reconfig
+      { device = 0; from_app = ""; to_app = "LR"; minutes = 0.05 };
+    T.Serve_fallback { app = "LR"; request = 99; reason = "overflow" };
+    T.Serve_complete
+      { app = "LR"; request = 99; latency_minutes = 1.25e-7;
+        accelerated = false };
     T.Run_end { minutes = 239.5; evals = 512; best = 6.5e-4 } ]
   |> List.mapi (fun i kind ->
          { T.e_seq = i; e_minutes = float_of_int i *. 0.5; e_kind = kind })

@@ -134,6 +134,20 @@ let test_stats_nan_propagation () =
 let test_stats_geometric_mean () =
   check_float "geomean" 4.0 (Stats.geometric_mean [| 2.0; 8.0 |])
 
+let test_stats_p50_p95_p99 () =
+  let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50.0 (Stats.p50 xs);
+  check_float "p95" 95.0 (Stats.p95 xs);
+  check_float "p99" 99.0 (Stats.p99 xs);
+  (* Nearest-rank on a small sample: rank ceil(0.95*3)=3 -> the max. *)
+  check_float "p95 of three" 9.0 (Stats.p95 [| 9.0; 1.0; 5.0 |]);
+  check_float "p50 of one" 7.0 (Stats.p50 [| 7.0 |]);
+  (* Ties: the duplicated element itself, never an interpolation. *)
+  check_float "all ties" 4.0 (Stats.p99 [| 4.0; 4.0; 4.0; 4.0 |]);
+  Alcotest.(check bool)
+    "p99 NaN propagates" true
+    (Float.is_nan (Stats.p99 [| 1.0; Float.nan |]))
+
 (* ---------- properties ---------- *)
 
 let prop_entropy_bounds =
@@ -154,6 +168,25 @@ let prop_variance_nonneg =
   QCheck.Test.make ~name:"variance non-negative" ~count:500
     QCheck.(array_of_size (Gen.int_range 0 20) (float_range (-50.0) 50.0))
     (fun xs -> Stats.variance xs >= 0.0)
+
+(* The percentile helpers: monotone in p, bounded by min/max, and exact
+   on singleton arrays. *)
+let prop_percentile_monotone_bounded =
+  QCheck.Test.make ~name:"p50 <= p95 <= p99 within [min,max]" ~count:500
+    QCheck.(array_of_size (Gen.int_range 1 50) (float_range (-100.0) 100.0))
+    (fun xs ->
+      let p50 = Stats.p50 xs and p95 = Stats.p95 xs and p99 = Stats.p99 xs in
+      let lo, hi = Stats.min_max xs in
+      p50 <= p95 && p95 <= p99 && lo <= p50 && p99 <= hi)
+
+(* Nearest-rank means every percentile is an element of the sample. *)
+let prop_percentile_is_element =
+  QCheck.Test.make ~name:"nearest-rank returns a sample element" ~count:500
+    QCheck.(array_of_size (Gen.int_range 1 50) (float_range (-100.0) 100.0))
+    (fun xs ->
+      List.for_all
+        (fun p -> Array.exists (fun x -> x = p) xs)
+        [ Stats.p50 xs; Stats.p95 xs; Stats.p99 xs ])
 
 let prop_rng_int_uniformish =
   QCheck.Test.make ~name:"rng int covers range" ~count:50
@@ -195,11 +228,14 @@ let () =
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
           Alcotest.test_case "NaN propagation" `Quick
             test_stats_nan_propagation;
-          Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean
+          Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
+          Alcotest.test_case "p50/p95/p99" `Quick test_stats_p50_p95_p99
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_entropy_bounds;
             prop_normalize_sums_to_one;
             prop_variance_nonneg;
+            prop_percentile_monotone_bounded;
+            prop_percentile_is_element;
             prop_rng_int_uniformish ] ) ]
