@@ -14,7 +14,12 @@
      [BENCH]        - Bechamel throughput of each pipeline stage
      [TRACE]        - telemetry overhead: off / collector / JSONL sink
      [FAULT]        - fault-injector overhead and virtual-minutes bill
-     [SERVE]        - multi-tenant serving throughput/latency per policy *)
+     [SERVE]        - multi-tenant serving throughput/latency per policy
+     [SYM]          - symbolic verifier wall time per workload/chain; also
+                      persists BENCH_sym_verify.json (the perf trajectory)
+
+   With no arguments every section runs; section tags on the command line
+   (e.g. `main.exe SYM SERVE`) restrict the run to those sections. *)
 
 module W = S2fa_workloads.Workloads
 module S2fa = S2fa_core.S2fa
@@ -31,6 +36,11 @@ module Telemetry = S2fa_telemetry.Telemetry
 module Fault = S2fa_fault.Fault
 module Fleet = S2fa_fleet.Fleet
 module Traffic = S2fa_workloads.Traffic
+module Sym = S2fa_sym.Sym
+module Fuzz = S2fa_fuzz.Fuzz
+module Transform = S2fa_merlin.Transform
+module Csyntax = S2fa_hlsc.Csyntax
+module Cinterp = S2fa_hlsc.Cinterp
 
 let fig3_seeds = [ 1; 7; 13 ]
 
@@ -467,24 +477,29 @@ let ablation_larger_fpga () =
 (* Bechamel micro-benchmarks: one per table/figure *)
 (* ------------------------------------------------------------------ *)
 
+(* Returns the (name, ns/run) estimates so sections can persist them. *)
 let run_bechamel tests =
   let open Bechamel in
   let run_cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.4) () in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
-  List.iter
+  List.concat_map
     (fun test ->
       let raw =
         Benchmark.all run_cfg [ Toolkit.Instance.monotonic_clock ] test
       in
       let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name est ->
+      Hashtbl.fold
+        (fun name est acc ->
           match Analyze.OLS.estimates est with
-          | Some [ ns ] -> Printf.printf "  %-26s %14.0f ns/run\n%!" name ns
-          | _ -> Printf.printf "  %-26s (no estimate)\n%!" name)
-        results)
+          | Some [ ns ] ->
+            Printf.printf "  %-26s %14.0f ns/run\n%!" name ns;
+            (name, ns) :: acc
+          | _ ->
+            Printf.printf "  %-26s (no estimate)\n%!" name;
+            acc)
+        results [])
     tests
 
 let bechamel_bench () =
@@ -514,7 +529,7 @@ let bechamel_bench () =
          (Staged.stage (fun () ->
               Resultdb.memoize db (S2fa.objective ~tasks:4096 c) cfg))) ]
   in
-  run_bechamel tests
+  ignore (run_bechamel tests : (string * float) list)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry overhead: the same small DSE with tracing off, with the
@@ -550,7 +565,7 @@ let telemetry_overhead () =
                ~trace:(Telemetry.create ~sinks:[ Telemetry.buffer_sink buf ] ())
                ())) ]
   in
-  run_bechamel tests
+  ignore (run_bechamel tests : (string * float) list)
 
 (* ------------------------------------------------------------------ *)
 (* Fault-injection overhead: the same small DSE with the injector off
@@ -584,7 +599,7 @@ let fault_overhead () =
         (Staged.stage (fun () ->
              run ~faults:(Fault.create ~seed:7 spec) ())) ]
   in
-  run_bechamel tests;
+  ignore (run_bechamel tests : (string * float) list);
   (* The virtual-clock side of the bill: minutes lost per failure class
      on one representative faulted run. *)
   let clean = run () in
@@ -649,30 +664,177 @@ let cluster_throughput () =
   (* The scheduler hot path: one full serving run per measurement, all
      policies, so regressions in dispatch/pick show up here. *)
   let open Bechamel in
-  run_bechamel
-    (List.map
-       (fun policy ->
-         let opts = { Fleet.default_opts with Fleet.o_policy = policy } in
-         Test.make
-           ~name:(Printf.sprintf "serve.%s" (Fleet.policy_name policy))
-           (Staged.stage (fun () -> Fleet.serve ~opts apps requests)))
-       Fleet.all_policies)
+  ignore
+    (run_bechamel
+       (List.map
+          (fun policy ->
+            let opts = { Fleet.default_opts with Fleet.o_policy = policy } in
+            Test.make
+              ~name:(Printf.sprintf "serve.%s" (Fleet.policy_name policy))
+              (Staged.stage (fun () -> Fleet.serve ~opts apps requests)))
+          Fleet.all_policies)
+      : (string * float) list)
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic verifier cost: Sym.equiv wall time per workload/chain, the
+   same proofs `s2fa verify --all --symbolic` runs. The estimates are
+   persisted to BENCH_sym_verify.json so the verifier's cost stays
+   visible in the perf trajectory PR over PR. *)
+(* ------------------------------------------------------------------ *)
+
+let bench_json = "BENCH_sym_verify.json"
+
+let sym_verify () =
+  section "SYM" "Bechamel - symbolic verifier wall time per workload/chain";
+  Printf.printf
+    "Sym.equiv proving flat kernel == rewritten kernel (tasks=2, the CLI's \
+     `verify --symbolic` sweep); illegal rewrites are skipped:\n";
+  let open Bechamel in
+  let tasks = 2 in
+  let bindings = [ ("N", Cinterp.VI tasks) ] in
+  let chain_tests ((w : W.t), c) =
+    let flat = c.S2fa.c_flat in
+    let caps = Fuzz.scale_caps ~tasks c.S2fa.c_buffer_elems in
+    let prove p2 () =
+      match Sym.equiv ~bindings ~seed:7 ~caps flat p2 "kernel" with
+      | Sym.Proved _ -> ()
+      | Sym.Refuted cx -> failwith ("refuted: " ^ cx.Sym.cx_detail)
+      | Sym.Unknown m -> failwith ("unknown: " ^ m)
+    in
+    (* Step-1 loops of the kernel, as the structural rewrites need. *)
+    let lids =
+      let r = ref [] in
+      List.iter
+        (fun (f : Csyntax.cfunc) ->
+          Csyntax.iter_loops
+            (fun _ l ->
+              if l.Csyntax.lstep = 1 then r := l.Csyntax.lid :: !r)
+            f.Csyntax.cfbody)
+        flat.Csyntax.cfuncs;
+      List.rev !r
+    in
+    let mk chain p2 =
+      Test.make
+        ~name:(Printf.sprintf "sym.%s.%s" w.W.w_name chain)
+        (Staged.stage (prove p2))
+    in
+    let with_t chain mkp acc =
+      match mkp () with
+      | exception Transform.Transform_error _ -> acc
+      | p2 -> mk chain p2 :: acc
+    in
+    let base = [ mk "identity" flat ] in
+    match lids with
+    | [] -> base
+    | lid :: _ ->
+      (* tile/unroll on the outermost loop; tree-reduction on the first
+         loop where it is legal (usually an inner accumulation loop). *)
+      let reduced =
+        List.find_map
+          (fun l ->
+            match Transform.tree_reduce ~lanes:4 ~loop_id:l flat with
+            | p2 -> Some p2
+            | exception Transform.Transform_error _ -> None)
+          lids
+      in
+      base
+      |> with_t "tile4" (fun () ->
+             Transform.apply
+               { Transform.cfg_loops =
+                   [ ( lid,
+                       { Transform.lc_tile = 4;
+                         lc_parallel = 1;
+                         lc_pipeline = Csyntax.PipeOff } ) ];
+                 cfg_bitwidths = [] }
+               flat)
+      |> with_t "unroll3" (fun () ->
+             Transform.real_unroll ~factor:3 ~loop_id:lid flat)
+      |> fun acc ->
+      (match reduced with Some p2 -> mk "reduce4" p2 :: acc | None -> acc)
+  in
+  (* Every workload accumulates floats, so tree-reduction is (correctly)
+     refused on all of them; a synthetic integer sum keeps the reduce4
+     proof cost on the trajectory. *)
+  let synth_tests =
+    let open Csyntax in
+    let loop =
+      mk_loop ~var:"i" ~lo:(EInt 0) ~hi:(EInt 64)
+        [ SAssign
+            (EVar "s", EBin (CAdd, EVar "s", EIndex (EVar "a", EVar "i"))) ]
+    in
+    let prog =
+      { cfuncs =
+          [ { cfname = "kernel";
+              cfparams =
+                [ { cpname = "a"; cpty = CPtr CInt; cpbitwidth = None };
+                  { cpname = "o"; cpty = CPtr CInt; cpbitwidth = None } ];
+              cfret = None;
+              cfbody =
+                [ SDecl (CInt, "s", Some (EInt 0));
+                  SFor loop;
+                  SAssign (EIndex (EVar "o", EInt 0), EVar "s") ] } ] }
+    in
+    let caps = [ ("a", 64); ("o", 1) ] in
+    let prove p2 () =
+      match Sym.equiv ~seed:7 ~caps prog p2 "kernel" with
+      | Sym.Proved _ -> ()
+      | Sym.Refuted cx -> failwith ("refuted: " ^ cx.Sym.cx_detail)
+      | Sym.Unknown m -> failwith ("unknown: " ^ m)
+    in
+    [ Test.make ~name:"sym.intsum64.identity" (Staged.stage (prove prog));
+      Test.make ~name:"sym.intsum64.reduce4"
+        (Staged.stage
+           (prove (Transform.tree_reduce ~lanes:4 ~loop_id:loop.lid prog))) ]
+  in
+  let rows =
+    run_bechamel (List.concat_map chain_tests compiled @ synth_tests)
+  in
+  let rows = List.sort compare rows in
+  let oc = open_out bench_json in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"sym_verify\",\n  \"unit\": \"ns/run\",\n  \
+     \"results\": {\n";
+  let n = List.length rows in
+  List.iteri
+    (fun i (name, ns) ->
+      Printf.fprintf oc "    \"%s\": %.0f%s\n" name ns
+        (if i = n - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc;
+  Printf.printf "  -> wrote %s (%d entries)\n" bench_json n
+
+(* ------------------------------------------------------------------ *)
+
+let sections =
+  [ ("T1", table1);
+    ("F3", fig3);
+    ("C1", cache_before_after);
+    ("T2", table2);
+    ("F4", fig4);
+    ("A1", ablation_partition);
+    ("A2", ablation_seeds);
+    ("A3", ablation_stopping);
+    ("A5", ablation_dynamic_partition);
+    ("A4", ablation_larger_fpga);
+    ("BENCH", bechamel_bench);
+    ("TRACE", telemetry_overhead);
+    ("FAULT", fault_overhead);
+    ("SERVE", cluster_throughput);
+    ("SYM", sym_verify) ]
 
 let () =
+  let want = List.tl (Array.to_list Sys.argv) in
+  List.iter
+    (fun tag ->
+      if not (List.mem_assoc tag sections) then (
+        Printf.eprintf "unknown section %s (have: %s)\n" tag
+          (String.concat " " (List.map fst sections));
+        exit 2))
+    want;
   Printf.printf
     "S2FA reproduction - experiment harness (simulated Amazon F1, VU9P)\n%!";
-  table1 ();
-  fig3 ();
-  cache_before_after ();
-  table2 ();
-  fig4 ();
-  ablation_partition ();
-  ablation_seeds ();
-  ablation_stopping ();
-  ablation_dynamic_partition ();
-  ablation_larger_fpga ();
-  bechamel_bench ();
-  telemetry_overhead ();
-  fault_overhead ();
-  cluster_throughput ();
+  List.iter
+    (fun (tag, f) -> if want = [] || List.mem tag want then f ())
+    sections;
   Printf.printf "\ndone.\n"

@@ -10,6 +10,8 @@
      s2fa cache    -w KERNEL [--seed N] [--minutes M]  (result-DB stats)
      s2fa report   -w KERNEL [--seed N]     (Table-2-style row)
      s2fa speedup  -w KERNEL [--tasks N]    (Fig-4-style row)
+     s2fa verify   (-w KERNEL | --all) [--symbolic] [--chains N] [--seed N]
+                   [--tasks N]              (prove/refute Merlin rewrites)
      s2fa serve    [--apps SPEC] [--policy P] [--devices N] [--seed N]
                    [--horizon S] [--faults SPEC] [--trace FILE]
 
@@ -27,6 +29,12 @@ module Telemetry = S2fa_telemetry.Telemetry
 module Trace = S2fa_telemetry.Trace
 module Fault = S2fa_fault.Fault
 module Fuzz = S2fa_fuzz.Fuzz
+module Sym = S2fa_sym.Sym
+module Transform = S2fa_merlin.Transform
+module Csyntax = S2fa_hlsc.Csyntax
+module Cinterp = S2fa_hlsc.Cinterp
+module Dspace = S2fa_dse.Dspace
+module Space = S2fa_tuner.Space
 module Fleet = S2fa_fleet.Fleet
 module Traffic = S2fa_workloads.Traffic
 open Cmdliner
@@ -482,6 +490,135 @@ let speedup_cmd =
     (Cmd.info "speedup" ~doc:"Fig-4-style JVM-vs-accelerator comparison.")
     Term.(const run $ workload_arg $ seed_arg $ tasks_arg)
 
+(* ---------- verify ---------- *)
+
+let verify_cmd =
+  let all_arg =
+    let doc = "Verify every built-in kernel." in
+    Arg.(value & flag & info [ "all" ] ~doc)
+  in
+  let symbolic_arg =
+    let doc =
+      "Prove equivalence with the bounded symbolic evaluator instead of \
+       concrete differential sampling."
+    in
+    Arg.(value & flag & info [ "symbolic" ] ~doc)
+  in
+  let chains_arg =
+    let doc = "Random design-space configs to check per kernel." in
+    Arg.(value & opt int 2 & info [ "chains" ] ~doc)
+  in
+  let tasks_arg =
+    let doc = "Task count the kernel is run with." in
+    Arg.(value & opt int 2 & info [ "tasks" ] ~doc)
+  in
+  let run workload all symbolic chains seed tasks =
+    let names =
+      if all then List.map (fun (w : W.t) -> w.W.w_name) W.all
+      else
+        match workload with
+        | Some n -> [ n ]
+        | None ->
+          Printf.eprintf "verify needs -w KERNEL or --all\n";
+          exit 1
+    in
+    let proved = ref 0 and refuted = ref 0 in
+    let unknown = ref 0 and skipped = ref 0 in
+    List.iter
+      (fun name ->
+        let w = load_workload name in
+        let c = W.compile w in
+        let flat = c.S2fa.c_flat in
+        let caps = Fuzz.scale_caps ~tasks c.S2fa.c_buffer_elems in
+        let bindings = [ ("N", Cinterp.VI tasks) ] in
+        let check tag p2 =
+          if symbolic then
+            match Sym.equiv ~bindings ~seed ~caps flat p2 "kernel" with
+            | Sym.Proved st ->
+              incr proved;
+              Printf.printf "%-8s %-14s proved (%d outputs, %d terms)\n" name
+                tag st.Sym.pv_outputs st.Sym.pv_nodes
+            | Sym.Refuted cx ->
+              incr refuted;
+              Printf.printf "%-8s %-14s REFUTED: %s\n" name tag
+                cx.Sym.cx_detail
+            | Sym.Unknown m ->
+              incr unknown;
+              Printf.printf "%-8s %-14s unknown: %s\n" name tag m
+          else
+            match Sym.refute ~seed ~bindings ~caps flat p2 "kernel" with
+            | None ->
+              incr proved;
+              Printf.printf "%-8s %-14s ok (no counterexample)\n" name tag
+            | Some cx ->
+              incr refuted;
+              Printf.printf "%-8s %-14s REFUTED: %s\n" name tag
+                cx.Sym.cx_detail
+        in
+        let try_t tag mk =
+          match mk () with
+          | exception Transform.Transform_error _ -> incr skipped
+          | p2 -> check tag p2
+        in
+        (* Every step-1 loop under the three structural rewrites. *)
+        let lids = ref [] in
+        List.iter
+          (fun (f : Csyntax.cfunc) ->
+            Csyntax.iter_loops
+              (fun _ l ->
+                if l.Csyntax.lstep = 1 then lids := l.Csyntax.lid :: !lids)
+              f.Csyntax.cfbody)
+          flat.Csyntax.cfuncs;
+        List.iter
+          (fun lid ->
+            try_t
+              (Printf.sprintf "tile4@L%d" lid)
+              (fun () ->
+                Transform.apply
+                  { Transform.cfg_loops =
+                      [ ( lid,
+                          { Transform.lc_tile = 4;
+                            lc_parallel = 1;
+                            lc_pipeline = Csyntax.PipeOff } ) ];
+                    cfg_bitwidths = [] }
+                  flat);
+            try_t
+              (Printf.sprintf "unroll3@L%d" lid)
+              (fun () -> Transform.real_unroll ~factor:3 ~loop_id:lid flat);
+            try_t
+              (Printf.sprintf "reduce4@L%d" lid)
+              (fun () -> Transform.tree_reduce ~lanes:4 ~loop_id:lid flat))
+          (List.rev !lids);
+        (* Random design-space configs, as the DSE would apply them. *)
+        let ds = Dspace.identify flat in
+        let trng = Rng.create seed in
+        for k = 1 to chains do
+          try_t
+            (Printf.sprintf "cfg%d" k)
+            (fun () ->
+              Transform.apply
+                (Dspace.to_merlin ds (Space.random_cfg trng ds.Dspace.ds_space))
+                flat)
+        done)
+      names;
+    Printf.printf
+      "# %d %s, %d refuted, %d unknown, %d rewrites refused as illegal\n"
+      !proved
+      (if symbolic then "proved" else "ok")
+      !refuted !unknown !skipped;
+    if !refuted > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check that Merlin rewrites preserve kernel semantics: every \
+          per-loop tile/unroll/tree-reduction and random design-space \
+          configs, via concrete differential sampling or (--symbolic) the \
+          bounded symbolic evaluator's equivalence proof.")
+    Term.(
+      const run $ workload_arg $ all_arg $ symbolic_arg $ chains_arg
+      $ seed_arg $ tasks_arg)
+
 let fuzz_cmd =
   let count_arg =
     let doc = "Number of kernels (and C transform cases) to generate." in
@@ -495,8 +632,17 @@ let fuzz_cmd =
     let doc = "Report failures unminimized." in
     Arg.(value & flag & info [ "no-shrink" ] ~doc)
   in
-  let run seed count out no_shrink =
-    let st = Fuzz.run_campaign ~shrink:(not no_shrink) ~seed ~count () in
+  let coverage_arg =
+    let doc =
+      "Coverage-guided mode: kernels contributing new symbolic path \
+       features seed a mutation pool."
+    in
+    Arg.(value & flag & info [ "coverage" ] ~doc)
+  in
+  let run seed count out no_shrink coverage =
+    let st =
+      Fuzz.run_campaign ~shrink:(not no_shrink) ~coverage ~seed ~count ()
+    in
     Format.printf "%a@." Fuzz.pp_stats st;
     List.iteri
       (fun i (f : Fuzz.failure) ->
@@ -519,7 +665,9 @@ let fuzz_cmd =
        ~doc:
          "Differentially fuzz the pipeline: random kernels checked under \
           the verify / JVM-vs-C / transform / estimate oracles.")
-    Term.(const run $ seed_arg $ count_arg $ out_arg $ no_shrink_arg)
+    Term.(
+      const run $ seed_arg $ count_arg $ out_arg $ no_shrink_arg
+      $ coverage_arg)
 
 (* ---------- serve ---------- *)
 
@@ -633,4 +781,4 @@ let () =
        (Cmd.group info
           [ list_cmd; compile_cmd; echo_cmd; bytecode_cmd; dse_cmd;
             resume_cmd; trace_cmd; cache_cmd; report_cmd; speedup_cmd;
-            fuzz_cmd; serve_cmd ]))
+            verify_cmd; fuzz_cmd; serve_cmd ]))

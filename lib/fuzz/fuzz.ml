@@ -16,6 +16,7 @@ module Dspace = S2fa_dse.Dspace
 module Space = S2fa_tuner.Space
 module Estimate = S2fa_hls.Estimate
 module Serde = S2fa_blaze.Serde
+module Sym = S2fa_sym.Sym
 
 type failure = {
   f_oracle : string;
@@ -35,6 +36,8 @@ type stats = {
   st_c_total : int;
   st_c_passed : int;
   st_c_skipped : int;
+  st_cov_new : int;
+  st_cov_features : int;
   st_failures : failure list;
 }
 
@@ -762,6 +765,75 @@ let run_source ?(tasks = 3) ?(chains = 2) ~len ~input_seed source : outcome =
         f_len = len;
         f_input_seed = input_seed }
 
+(* ==================== symbolic coverage ==================== *)
+
+let compile_flat ~len source =
+  try
+    let cls =
+      let prog = Parser.parse_program source in
+      let tprog = Typecheck.check_program prog in
+      let classes = Compile.compile_program tprog in
+      match
+        List.find_opt (fun (c : Insn.cls) -> c.Insn.jaccel <> None) classes
+      with
+      | Some c -> c
+      | None -> failwith "no accelerator class"
+    in
+    let caps = List.init 8 (fun _ -> len) in
+    let fcaps =
+      List.filter_map
+        (fun (f, t) ->
+          match t with Ast.TArray _ -> Some (f, len) | _ -> None)
+        cls.Insn.jfields
+    in
+    let cprog, iface =
+      Decompile.decompile_class ~in_caps:caps ~out_caps:caps ~field_caps:fcaps
+        cls
+    in
+    let flat = Decompile.flat_kernel cprog in
+    let elems =
+      List.map
+        (fun (l : Decompile.slot_layout) ->
+          (l.Decompile.sl_name, l.Decompile.sl_len))
+        (iface.Decompile.if_inputs @ iface.Decompile.if_outputs
+       @ iface.Decompile.if_fields)
+    in
+    Ok (flat, elems)
+  with
+  | Parser.Parse_error (m, _) -> Error ("parse: " ^ m)
+  | Lexer.Lex_error (m, _) -> Error ("lex: " ^ m)
+  | Typecheck.Type_error (m, _) -> Error ("typecheck: " ^ m)
+  | Compile.Unsupported m -> Error ("compile: " ^ m)
+  | Decompile.Decompile_error m -> Error ("decompile: " ^ m)
+  | Failure m -> Error m
+
+(* Input/output buffer element counts are per task; field buffers (the
+   [f_] prefix) are shared and already full-size. *)
+let scale_caps ~tasks elems =
+  List.map
+    (fun (n, k) ->
+      if String.length n >= 2 && String.equal (String.sub n 0 2) "f_" then
+        (n, k)
+      else (n, k * tasks))
+    elems
+
+let cov_budget =
+  { Sym.bg_steps = 200_000; bg_nodes = 150_000; bg_trip = 256 }
+
+let kernel_coverage ~len source : int list =
+  match compile_flat ~len source with
+  | Error _ -> []
+  | Ok (flat, elems) -> (
+    let tasks = 2 in
+    match
+      Sym.coverage ~budget:cov_budget
+        ~bindings:[ ("N", Cinterp.VI tasks) ]
+        ~caps:(scale_caps ~tasks elems)
+        flat "kernel"
+    with
+    | Ok feats -> feats
+    | Error _ -> [])
+
 (* ==================== shrinker ==================== *)
 
 let replace_nth l i x = List.mapi (fun j y -> if j = i then x else y) l
@@ -1079,7 +1151,7 @@ let rec gen_cstmts rng vars depth budget : Csyntax.cstmt list =
     stmt @ gen_cstmts rng vars depth (budget - 1)
   end
 
-let run_c_case rng : [ `Pass | `Skip | `Fail of failure ] =
+let gen_c_kernel rng : Csyntax.cprog =
   let vars = ref [] in
   let body = gen_cstmts rng vars 2 (Rng.int_in rng 2 4) in
   (* Guarantee at least one transformable loop, otherwise most cases
@@ -1118,7 +1190,10 @@ let run_c_case rng : [ `Pass | `Skip | `Fail of failure ] =
       cfret = None;
       cfbody = body }
   in
-  let prog = { Csyntax.cfuncs = [ kern ] } in
+  { Csyntax.cfuncs = [ kern ] }
+
+let run_c_case rng : [ `Pass | `Skip | `Fail of failure ] =
+  let prog = gen_c_kernel rng in
   let exec p =
     let out = Array.init c_cap (fun _ -> Cinterp.VI 0) in
     let args =
@@ -1193,23 +1268,81 @@ let run_c_case rng : [ `Pass | `Skip | `Fail of failure ] =
 
 (* ==================== campaign ==================== *)
 
-let run_campaign ?(tasks = 3) ?(shrink = true) ~seed ~count () : stats =
+(* A mutant is accepted only when it round-trips through the printer and
+   typechecker; [program_variants] happily drops a declaration whose name
+   is still used. *)
+let pick_mutant rng (base : Ast.program) : Ast.program option =
+  match program_variants base with
+  | [] -> None
+  | vars ->
+    let rec go k =
+      if k <= 0 then None
+      else
+        let v = Rng.choose_list rng vars in
+        match Parser.parse_program (Pretty.to_string v) with
+        | exception _ -> go (k - 1)
+        | p -> (
+          match Typecheck.check_program p with
+          | exception _ -> go (k - 1)
+          | _ -> Some v)
+    in
+    go 4
+
+let run_campaign ?(tasks = 3) ?(shrink = true) ?(coverage = false) ~seed
+    ~count () : stats =
   let rng = Rng.create seed in
   let passed = ref 0 and rejected = ref 0 and skips = ref 0 in
   let failures = ref [] in
+  (* Coverage guidance: symbolic path features of every kernel feed a
+     global feature set; a kernel contributing a new feature joins the
+     mutation pool, and later iterations mutate pool members instead of
+     generating from scratch. *)
+  let seen = Hashtbl.create 256 in
+  let pool = ref [] in
+  let cov_new = ref 0 in
   for i = 1 to count do
     let krng = Rng.split rng in
-    let prog, len = gen_kernel krng in
+    let prog, len, is_mutant =
+      if coverage && !pool <> [] && Rng.int krng 3 > 0 then begin
+        let base, blen = Rng.choose_list krng !pool in
+        match pick_mutant krng base with
+        | Some v -> (v, blen, true)
+        | None ->
+          let p, l = gen_kernel krng in
+          (p, l, false)
+      end
+      else
+        let p, l = gen_kernel krng in
+        (p, l, false)
+    in
     let source = Pretty.to_string prog in
     let input_seed = (seed * 1_000_003) + i in
-    match run_source ~tasks ~len ~input_seed source with
+    (match run_source ~tasks ~len ~input_seed source with
     | Passed k ->
       incr passed;
       skips := !skips + k
     | Rejected _ -> incr rejected
+    (* A mutant that breaks a generator invariant (traps, compiles to an
+       unsupported shape) is a rejection, not a pipeline bug: the
+       generator promises trap-freedom, mutation does not. Cross-stage
+       disagreements on a mutant are still real failures. *)
+    | Failed f when is_mutant && String.equal f.f_oracle "pipeline" ->
+      incr rejected
     | Failed f ->
       let f = if shrink then shrink_failure ~tasks f else f in
-      failures := f :: !failures
+      failures := f :: !failures);
+    if coverage then begin
+      let fresh =
+        List.filter
+          (fun x -> not (Hashtbl.mem seen x))
+          (kernel_coverage ~len source)
+      in
+      if fresh <> [] then begin
+        incr cov_new;
+        List.iter (fun x -> Hashtbl.replace seen x ()) fresh;
+        pool := (prog, len) :: List.filteri (fun j _ -> j < 31) !pool
+      end
+    end
   done;
   let c_passed = ref 0 and c_skipped = ref 0 in
   for _ = 1 to count do
@@ -1225,7 +1358,14 @@ let run_campaign ?(tasks = 3) ?(shrink = true) ~seed ~count () : stats =
     st_c_total = count;
     st_c_passed = !c_passed;
     st_c_skipped = !c_skipped;
+    st_cov_new = !cov_new;
+    st_cov_features = Hashtbl.length seen;
     st_failures = List.rev !failures }
+
+let distinct_failures st =
+  List.length
+    (List.sort_uniq compare
+       (List.map (fun f -> failure_key f.f_oracle f.f_detail) st.st_failures))
 
 let pp_stats ppf st =
   Format.fprintf ppf
@@ -1241,7 +1381,11 @@ let pp_stats ppf st =
     (List.length
        (List.filter
           (fun f -> String.equal f.f_oracle "c-transform")
-          st.st_failures))
+          st.st_failures));
+  if st.st_cov_features > 0 then
+    Format.fprintf ppf "@.coverage: %d symbolic path features (%d kernels \
+                        contributed new ones)"
+      st.st_cov_features st.st_cov_new
 
 (* ==================== corpus ==================== *)
 

@@ -53,6 +53,10 @@ type stats = {
   st_c_total : int;        (** C-level transform cases generated. *)
   st_c_passed : int;
   st_c_skipped : int;
+  st_cov_new : int;        (** Kernels that contributed a new symbolic
+                               path feature (coverage mode only). *)
+  st_cov_features : int;   (** Distinct symbolic path features seen
+                               (coverage mode only, else 0). *)
   st_failures : failure list;  (** Minimized when shrinking is on. *)
 }
 
@@ -75,10 +79,50 @@ val shrink_failure : ?tasks:int -> failure -> failure
     replace an expression by a subexpression, shrink a literal) while
     the same oracle keeps failing, within a bounded number of re-runs. *)
 
+val compile_flat :
+  len:int -> string ->
+  (S2fa_hlsc.Csyntax.cprog * (string * int) list, string) result
+(** Push one kernel (source text) through parse, typecheck, compile,
+    decompile and flattening. Returns the flat C program together with
+    the element count of every kernel buffer parameter (inputs, outputs,
+    then fields) as reported by the interface layout; input/output
+    counts are per task. [Error] carries the refusing stage's
+    diagnostic. *)
+
+val scale_caps : tasks:int -> (string * int) list -> (string * int) list
+(** Turn per-task buffer element counts into whole-buffer capacities for
+    a [tasks]-task run: input/output buffers scale by [tasks], field
+    buffers (names prefixed [f_]) are shared and stay as-is. *)
+
+val kernel_coverage : len:int -> string -> int list
+(** Symbolic path features ({!S2fa_sym.Sym.coverage}) of one kernel's
+    flat C program, run with 2 tasks under a small budget. [[]] when the
+    kernel does not reach the symbolic evaluator (any stage refuses) or
+    the evaluator gives up — such kernels are simply not interesting to
+    the coverage signal. Deterministic. *)
+
+val gen_c_kernel : Rng.t -> S2fa_hlsc.Csyntax.cprog
+(** Generate a random C-level kernel of the shape the transform fuzzer
+    uses: [kernel(N, in, out)] with nested counted loops, shadowing
+    declarations and clamped buffer accesses, guaranteed to contain at
+    least one transformable loop. *)
+
 val run_campaign :
-  ?tasks:int -> ?shrink:bool -> seed:int -> count:int -> unit -> stats
+  ?tasks:int -> ?shrink:bool -> ?coverage:bool -> seed:int -> count:int ->
+  unit -> stats
 (** Run [count] generated MiniScala kernels and [count] C-level
-    transform cases, deterministically from [seed]. *)
+    transform cases, deterministically from [seed]. With
+    [~coverage:true], kernels whose flat C contributes a new symbolic
+    path feature join a mutation pool and later iterations mutate pool
+    members (via the shrinker's one-edit rewrites) instead of always
+    generating from scratch; a mutant failing the [pipeline] oracle is
+    counted as rejected, since mutation may break the generator's
+    trap-freedom invariants — cross-stage disagreements on mutants are
+    still failures. *)
+
+val distinct_failures : stats -> int
+(** Number of distinct failure signatures (oracle plus normalized
+    diagnostic — the same key the shrinker preserves). *)
 
 type expectation = Expect_pass | Expect_reject | Expect_fail
 

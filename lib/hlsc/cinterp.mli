@@ -23,6 +23,29 @@ val alloc : Csyntax.cty -> cvalue
 
 val equal_cvalue : cvalue -> cvalue -> bool
 
+(** {2 Scalar semantics}
+
+    The exact numeric behaviour of the interpreter, exposed so that the
+    symbolic evaluator ({!S2fa_sym}) folds constants with byte-identical
+    results. All of these raise {!C_error} on shape mismatches (arrays
+    where scalars are expected, division by zero, ...). *)
+
+val truthy : cvalue -> bool
+val as_int : cvalue -> int
+val as_float : cvalue -> float
+
+val arith : Csyntax.cbinop -> cvalue -> cvalue -> cvalue
+(** Arithmetic and bitwise operators, with the usual promotion order
+    (float > long > int). Not comparisons or short-circuit logic. *)
+
+val compare_cv : Csyntax.cbinop -> cvalue -> cvalue -> cvalue
+(** Comparison operators; always returns [VI 0] or [VI 1]. *)
+
+val cast : Csyntax.cty -> cvalue -> cvalue
+
+val call_math : string -> cvalue list -> cvalue
+(** The libm subset available to kernels (sqrt, exp, pow, fmin, ...). *)
+
 val run_func :
   ?fuel:int -> Csyntax.cprog -> string -> (string * cvalue) list -> cvalue option
 (** [run_func prog name args] executes function [name] with the named

@@ -197,6 +197,64 @@ let tile_loop (l : loop) ~tile ~inner_pragmas ~outer_pragmas =
     lbody = [ SFor inner ];
     lpragmas = outer_pragmas }
 
+(* ---------- symbolic self-check (debug-assert mode) ---------- *)
+
+(* When enabled, every structural rewrite is re-verified against its
+   input by the bounded symbolic evaluator before being returned. Scalar
+   int parameters are pinned to 1 and buffers given a small default
+   capacity so loop bounds fold; [Unknown] verdicts pass (a backstop, not
+   a gate), a refutation aborts the transform with its witness. *)
+let self_check =
+  ref
+    (match Sys.getenv_opt "S2FA_TRANSFORM_VERIFY" with
+    | Some ("1" | "true" | "on") -> true
+    | _ -> false)
+
+let set_self_check b = self_check := b
+
+let self_check_enabled () = !self_check
+
+let backstop_budget =
+  { S2fa_sym.Sym.bg_steps = 500_000; bg_nodes = 300_000; bg_trip = 1024 }
+
+let self_verify orig result =
+  if !self_check then
+    List.iter
+      (fun (f : cfunc) ->
+        match Csyntax.find_cfunc orig f.cfname with
+        | Some f0
+          when Csyntax.to_string { cfuncs = [ f0 ] }
+               <> Csyntax.to_string { cfuncs = [ f ] } ->
+          let caps =
+            List.filter_map
+              (fun (p : cparam) ->
+                match p.cpty with
+                | CPtr _ -> Some (p.cpname, 64)
+                | _ -> None)
+              f.cfparams
+          in
+          let bindings =
+            List.filter_map
+              (fun (p : cparam) ->
+                match p.cpty with
+                | CInt | CChar | CBool ->
+                  Some (p.cpname, S2fa_hlsc.Cinterp.VI 1)
+                | CLong -> Some (p.cpname, S2fa_hlsc.Cinterp.VL 1L)
+                | _ -> None)
+              f.cfparams
+          in
+          (match
+             S2fa_sym.Sym.equiv ~budget:backstop_budget ~bindings ~samples:16
+               ~caps orig result f.cfname
+           with
+          | S2fa_sym.Sym.Refuted cx ->
+            err "transform self-check refuted on %s: %s" f.cfname
+              cx.S2fa_sym.Sym.cx_detail
+          | S2fa_sym.Sym.Proved _ | S2fa_sym.Sym.Unknown _ -> ())
+        | _ -> ())
+      result.cfuncs;
+  result
+
 (* ---------- applying a config ---------- *)
 
 let apply cfg prog =
@@ -229,7 +287,7 @@ let apply cfg prog =
     in
     { f with cfparams = params; cfbody = map_loops rewrite_loop f.cfbody }
   in
-  { cfuncs = List.map rewrite_func prog.cfuncs }
+  self_verify prog { cfuncs = List.map rewrite_func prog.cfuncs }
 
 (* ---------- real unrolling (for tests) ---------- *)
 
@@ -262,7 +320,155 @@ let real_unroll ~factor ~loop_id prog =
       { l with lvar = vu; lstep = factor; lbody = copies }
     end
   in
-  { cfuncs =
-      List.map
-        (fun f -> { f with cfbody = map_loops rewrite f.cfbody })
-        prog.cfuncs }
+  self_verify prog
+    { cfuncs =
+        List.map
+          (fun f -> { f with cfbody = map_loops rewrite f.cfbody })
+          prog.cfuncs }
+
+(* ---------- tree reduction ---------- *)
+
+(* Integer-class check for the reduction operand: exact class propagation
+   needs only declared types (comparisons and casts force the class).
+   Conservative — anything unrecognized is treated as float. *)
+let rec expr_has_call = function
+  | ECall _ -> true
+  | EInt _ | ELong _ | EFloat _ | EDouble _ | EChar _ | EBool _ | EVar _ ->
+    false
+  | EBin (_, a, b) -> expr_has_call a || expr_has_call b
+  | EUn (_, a) | ECast (_, a) -> expr_has_call a
+  | EIndex (a, i) -> expr_has_call a || expr_has_call i
+  | ECond (c, a, b) ->
+    expr_has_call c || expr_has_call a || expr_has_call b
+
+let is_int_ty = function
+  | CInt | CLong | CChar | CBool -> true
+  | CFloat | CDouble | CArr _ | CPtr _ -> false
+
+let rec is_int_expr tenv = function
+  | EInt _ | ELong _ | EChar _ | EBool _ -> true
+  | EFloat _ | EDouble _ -> false
+  | EVar x -> (
+    match Hashtbl.find_opt tenv x with
+    | Some t -> is_int_ty t
+    | None -> false)
+  | EIndex (EVar a, _) -> (
+    match Hashtbl.find_opt tenv a with
+    | Some (CPtr t) | Some (CArr (t, _)) -> is_int_ty t
+    | _ -> false)
+  | EIndex _ -> false
+  | EBin ((CAnd | COr | CLt | CLe | CGt | CGe | CEq | CNe), _, _) -> true
+  | EBin (_, a, b) -> is_int_expr tenv a && is_int_expr tenv b
+  | EUn (CNot, _) -> true
+  | EUn (_, a) -> is_int_expr tenv a
+  | ECast (t, _) -> is_int_ty t
+  | ECall _ -> false
+  | ECond (_, a, b) -> is_int_expr tenv a && is_int_expr tenv b
+
+let func_tenv (f : cfunc) =
+  let tenv = Hashtbl.create 16 in
+  let add name t =
+    (* a name declared at two different types poisons the check *)
+    match Hashtbl.find_opt tenv name with
+    | Some t' when t' <> t -> Hashtbl.replace tenv name (CPtr (CPtr CInt))
+    | _ -> Hashtbl.replace tenv name t
+  in
+  List.iter (fun (p : cparam) -> add p.cpname p.cpty) f.cfparams;
+  let rec go s =
+    match s with
+    | SDecl (t, n, _) -> add n t
+    | SFor l ->
+      add l.lvar l.lvty;
+      List.iter go l.lbody
+    | SIf (_, a, b) ->
+      List.iter go a;
+      List.iter go b
+    | SWhile (_, b) -> List.iter go b
+    | SAssign _ | SExpr _ | SReturn _ -> ()
+  in
+  List.iter go f.cfbody;
+  tenv
+
+let tree_reduce ~lanes ~loop_id prog =
+  if lanes < 2 then err "tree_reduce: lane count %d" lanes;
+  let expand tenv (l : loop) =
+    if l.lstep <> 1 then err "tree_reduce: loop step %d" l.lstep;
+    if not l.ldecl then
+      err
+        "tree_reduce: loop '%s' counter is declared outside the loop; its \
+         exit value is observable"
+        l.lvar;
+    match l.lbody with
+    | [ SAssign (EVar acc, EBin (((CAdd | CMul) as op), EVar acc', e)) ]
+      when String.equal acc acc' ->
+      if String.equal acc l.lvar then
+        err "tree_reduce: accumulator is the induction variable";
+      if expr_uses acc e then
+        err "tree_reduce: accumulator '%s' read in the reduction operand"
+          acc;
+      if expr_uses acc l.lhi || expr_uses acc l.llo then
+        err "tree_reduce: accumulator '%s' appears in a loop bound" acc;
+      if expr_has_call e then
+        err "tree_reduce: call in the reduction operand";
+      let acc_ty =
+        match Hashtbl.find_opt tenv acc with
+        | Some ((CInt | CLong) as t) -> t
+        | _ ->
+          err
+            "tree_reduce: accumulator '%s' is not an integer scalar \
+             (floating-point reduction is not associative)"
+            acc
+      in
+      if not (is_int_expr tenv e) then
+        err
+          "tree_reduce: reduction operand is not integer-class \
+           (floating-point reduction is not associative)";
+      let ident =
+        let n = match op with CAdd -> 0 | _ -> 1 in
+        match acc_ty with
+        | CLong -> ELong (Int64.of_int n)
+        | _ -> EInt n
+      in
+      let vr = l.lvar ^ "_r" in
+      let lane k = Printf.sprintf "%s_r%d" acc k in
+      let lanes_ix = List.init lanes (fun k -> k) in
+      let decls =
+        List.map (fun k -> SDecl (acc_ty, lane k, Some ident)) lanes_ix
+      in
+      let copies =
+        List.concat_map
+          (fun k ->
+            let idx = EBin (CAdd, EVar vr, EInt k) in
+            let e' = subst_expr l.lvar idx e in
+            [ SIf
+                ( EBin (CLt, idx, l.lhi),
+                  [ SAssign
+                      (EVar (lane k), EBin (op, EVar (lane k), e')) ],
+                  [] ) ])
+          lanes_ix
+      in
+      let loop' = { l with lvar = vr; lstep = lanes; lbody = copies } in
+      let combine =
+        SAssign
+          ( EVar acc,
+            List.fold_left
+              (fun acc_e k -> EBin (op, acc_e, EVar (lane k)))
+              (EVar acc) lanes_ix )
+      in
+      decls @ [ SFor loop'; combine ]
+    | _ -> err "tree_reduce: body is not a single scalar reduction"
+  in
+  let rewrite_func (f : cfunc) =
+    let tenv = lazy (func_tenv f) in
+    let rec rw_stmts stmts = List.concat_map rw_stmt stmts
+    and rw_stmt s =
+      match s with
+      | SFor l when l.lid = loop_id -> expand (Lazy.force tenv) l
+      | SFor l -> [ SFor { l with lbody = rw_stmts l.lbody } ]
+      | SIf (c, a, b) -> [ SIf (c, rw_stmts a, rw_stmts b) ]
+      | SWhile (c, b) -> [ SWhile (c, rw_stmts b) ]
+      | SDecl _ | SAssign _ | SExpr _ | SReturn _ -> [ s ]
+    in
+    { f with cfbody = rw_stmts f.cfbody }
+  in
+  self_verify prog { cfuncs = List.map rewrite_func prog.cfuncs }

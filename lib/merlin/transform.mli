@@ -44,3 +44,23 @@ val apply : config -> Csyntax.cprog -> Csyntax.cprog
 val real_unroll : factor:int -> loop_id:int -> Csyntax.cprog -> Csyntax.cprog
 (** Textually unroll a counted loop by [factor] (with a remainder guard),
     for semantics-preservation tests. *)
+
+val tree_reduce : lanes:int -> loop_id:int -> Csyntax.cprog -> Csyntax.cprog
+(** Re-group a scalar reduction loop into [lanes] independent partial
+    accumulators combined after the loop — the rewrite that exposes
+    reduction parallelism to the HLS scheduler. Only legal for counted
+    step-1 loops whose body is exactly [acc = acc op e] with [op] in
+    [{+, *}] and an {e integer} accumulator/operand: modular int and long
+    arithmetic is associative, floats are not, so float reductions are
+    refused with {!Transform_error}. Unknown loop ids are ignored. *)
+
+val set_self_check : bool -> unit
+(** Enable the debug-assert mode in which every structural rewrite
+    ([apply], [real_unroll], [tree_reduce]) is re-verified against its
+    input by the bounded symbolic evaluator ({!S2fa_sym.Sym.equiv}) on
+    small default buffer capacities. A refuted rewrite raises
+    {!Transform_error} carrying the concrete counterexample; [Unknown]
+    verdicts pass (the check is a backstop, not a gate). Also enabled by
+    setting [S2FA_TRANSFORM_VERIFY=1] in the environment. *)
+
+val self_check_enabled : unit -> bool

@@ -1,0 +1,1191 @@
+module Csyntax = S2fa_hlsc.Csyntax
+module Cinterp = S2fa_hlsc.Cinterp
+module Canalysis = S2fa_hlsc.Canalysis
+module Rng = S2fa_util.Rng
+open Csyntax
+
+(* Raised whenever execution leaves the provable fragment (symbolic loop
+   bound, budget exhausted, unsupported construct). Converted to
+   [Unknown] at the API boundary: giving up is always sound. *)
+exception Give_up of string
+
+let give_up fmt = Printf.ksprintf (fun m -> raise (Give_up m)) fmt
+
+(* ---------- terms ---------- *)
+
+(* Value class of a term, mirroring the interpreter's cvalue classes.
+   Class propagation in the C dialect depends only on operand classes,
+   never on values, so one static class per term is exact. *)
+type vcls = KI | KL | KF
+
+(* Widening/narrowing conversions that survive normalization. Lossless
+   embeddings of concrete values fold away; these mark the rest. *)
+type conv = IofL | IofF | LofI | LofF | FofI | FofL
+
+type term = { id : int; node : node }
+
+and node =
+  | TI of int
+  | TL of int64
+  | TF of float
+  | TSym of vcls * string
+  | TBin of vcls * cbinop * term * term
+  | TUn of vcls * cunop * term
+  | TConv of conv * term
+  | TCall of vcls * string * term list
+  | TIte of vcls * term * term * term
+
+let cls_of t =
+  match t.node with
+  | TI _ -> KI
+  | TL _ -> KL
+  | TF _ -> KF
+  | TSym (c, _) -> c
+  | TBin (c, _, _, _) | TUn (c, _, _) | TCall (c, _, _) | TIte (c, _, _, _) ->
+    c
+  | TConv ((IofL | IofF), _) -> KI
+  | TConv ((LofI | LofF), _) -> KL
+  | TConv ((FofI | FofL), _) -> KF
+
+(* Hash-consing key: children by id. The class of every composite node is
+   derived deterministically from its children and operator, so only
+   symbolic leaves need the class in the key. *)
+type hkey =
+  | HI of int
+  | HL of int64
+  | HF of int64
+  | HSym of int * string
+  | HBin of cbinop * int * int
+  | HUn of cunop * int
+  | HConv of conv * int
+  | HCall of string * int list
+  | HIte of int * int * int
+
+let key_of = function
+  | TI n -> HI n
+  | TL n -> HL n
+  | TF f -> HF (Int64.bits_of_float f)
+  | TSym (c, s) -> HSym ((match c with KI -> 0 | KL -> 1 | KF -> 2), s)
+  | TBin (_, op, a, b) -> HBin (op, a.id, b.id)
+  | TUn (_, op, a) -> HUn (op, a.id)
+  | TConv (c, a) -> HConv (c, a.id)
+  | TCall (_, f, args) -> HCall (f, List.map (fun a -> a.id) args)
+  | TIte (_, c, a, b) -> HIte (c.id, a.id, b.id)
+
+type budget = { bg_steps : int; bg_nodes : int; bg_trip : int }
+
+let default_budget = { bg_steps = 4_000_000; bg_nodes = 2_000_000; bg_trip = 8192 }
+
+type ctx = {
+  tbl : (hkey, term) Hashtbl.t;
+  mutable next_id : int;
+  mutable steps_left : int;
+  mutable nodes_left : int;
+  cov : (int, unit) Hashtbl.t;
+  max_trip : int;
+}
+
+let new_ctx (b : budget) =
+  { tbl = Hashtbl.create 4096;
+    next_id = 0;
+    steps_left = b.bg_steps;
+    nodes_left = b.bg_nodes;
+    cov = Hashtbl.create 64;
+    max_trip = b.bg_trip }
+
+let intern ctx node =
+  let k = key_of node in
+  match Hashtbl.find_opt ctx.tbl k with
+  | Some t -> t
+  | None ->
+    ctx.nodes_left <- ctx.nodes_left - 1;
+    if ctx.nodes_left <= 0 then give_up "term budget exhausted";
+    let t = { id = ctx.next_id; node } in
+    ctx.next_id <- ctx.next_id + 1;
+    Hashtbl.replace ctx.tbl k t;
+    t
+
+let ti ctx n = intern ctx (TI n)
+let tl ctx n = intern ctx (TL n)
+let tf ctx f = intern ctx (TF f)
+let sym ctx c name = intern ctx (TSym (c, name))
+
+let cv_of t =
+  match t.node with
+  | TI n -> Some (Cinterp.VI n)
+  | TL n -> Some (Cinterp.VL n)
+  | TF f -> Some (Cinterp.VF f)
+  | _ -> None
+
+let term_of_cv ctx = function
+  | Cinterp.VI n -> ti ctx n
+  | Cinterp.VL n -> tl ctx n
+  | Cinterp.VF f -> tf ctx f
+  | Cinterp.VA _ -> give_up "array value in scalar position"
+
+let promote a b =
+  match (a, b) with
+  | KF, _ | _, KF -> KF
+  | KL, _ | _, KL -> KL
+  | KI, KI -> KI
+
+let zero_of_cls ctx = function
+  | KI -> ti ctx 0
+  | KL -> tl ctx 0L
+  | KF -> tf ctx 0.0
+
+(* ---------- printing (diagnostics only) ---------- *)
+
+let binop_str = function
+  | CAdd -> "+"
+  | CSub -> "-"
+  | CMul -> "*"
+  | CDiv -> "/"
+  | CRem -> "%"
+  | CLt -> "<"
+  | CLe -> "<="
+  | CGt -> ">"
+  | CGe -> ">="
+  | CEq -> "=="
+  | CNe -> "!="
+  | CAnd -> "&&"
+  | COr -> "||"
+  | CBAnd -> "&"
+  | CBOr -> "|"
+  | CBXor -> "^"
+  | CShl -> "<<"
+  | CShr -> ">>"
+
+let unop_str = function CNeg -> "-" | CNot -> "!" | CBNot -> "~"
+
+let rec pp_term ?(depth = 6) fmt t =
+  if depth = 0 then Format.fprintf fmt "..."
+  else
+    let pp = pp_term ~depth:(depth - 1) in
+    match t.node with
+    | TI n -> Format.fprintf fmt "%d" n
+    | TL n -> Format.fprintf fmt "%LdL" n
+    | TF f -> Format.fprintf fmt "%g" f
+    | TSym (_, s) -> Format.pp_print_string fmt s
+    | TBin (_, op, a, b) ->
+      Format.fprintf fmt "(%a %s %a)" pp a (binop_str op) pp b
+    | TUn (_, op, a) -> Format.fprintf fmt "%s%a" (unop_str op) pp a
+    | TConv (_, a) -> Format.fprintf fmt "cv(%a)" pp a
+    | TCall (_, f, args) ->
+      Format.fprintf fmt "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+           pp)
+        args
+    | TIte (_, c, a, b) ->
+      Format.fprintf fmt "(%a ? %a : %a)" pp c pp a pp b
+
+let term_str t = Format.asprintf "%a" (pp_term ~depth:6) t
+
+(* ---------- smart constructors ---------- *)
+
+(* All construction goes through these: they fold constants with the
+   interpreter's own scalar functions (so symbolic and concrete semantics
+   cannot drift), canonicalize associative/commutative int and long
+   [+]/[*] chains (exact: OCaml int and Int64 arithmetic are modular
+   rings), and leave floats strictly un-reassociated. *)
+
+let fold2 ctx f a b =
+  match (cv_of a, cv_of b) with
+  | Some x, Some y -> (
+    try Some (term_of_cv ctx (f x y)) with Cinterp.C_error _ -> None)
+  | _ -> None
+
+(* Lossless class conversions; [mk_conv] folds concrete operands exactly
+   the way [Cinterp.arith]'s promotion would. *)
+let mk_conv ctx c t =
+  match (c, t.node) with
+  | IofL, TL n -> ti ctx (Int64.to_int n)
+  | IofF, TF f -> ti ctx (int_of_float f)
+  | LofI, TI n -> tl ctx (Int64.of_int n)
+  | LofF, TF f -> tl ctx (Int64.of_float f)
+  | FofI, TI n -> tf ctx (float_of_int n)
+  | FofL, TL n -> tf ctx (Int64.to_float n)
+  (* to_int (of_int x) is the identity on OCaml ints *)
+  | IofL, TConv (LofI, x) -> x
+  | _ -> intern ctx (TConv (c, t))
+
+let to_cls ctx want t =
+  match (cls_of t, want) with
+  | KI, KI | KL, KL | KF, KF -> t
+  | KI, KL -> mk_conv ctx LofI t
+  | KI, KF -> mk_conv ctx FofI t
+  | KL, KF -> mk_conv ctx FofL t
+  | KL, KI -> mk_conv ctx IofL t
+  | KF, KI -> mk_conv ctx IofF t
+  | KF, KL -> mk_conv ctx LofF t
+
+let is_bool t =
+  let rec go d t =
+    d > 0
+    &&
+    match t.node with
+    | TI (0 | 1) -> true
+    | TBin (_, (CLt | CLe | CGt | CGe | CEq | CNe), _, _) -> true
+    | TUn (_, CNot, _) -> true
+    | TIte (_, _, a, b) -> go (d - 1) a && go (d - 1) b
+    | _ -> false
+  in
+  go 8 t
+
+(* n-ary canonical chains for the modular AC operators *)
+
+let rec flatten c op t acc =
+  match t.node with
+  | TBin (c', op', a, b) when c' = c && op' = op ->
+    flatten c op a (flatten c op b acc)
+  | _ -> t :: acc
+
+let rec mk_nary ctx c op operands =
+  let ident = match op with CAdd -> 0 | CMul -> 1 | _ -> assert false in
+  let ident_t =
+    match c with KI -> ti ctx ident | KL -> tl ctx (Int64.of_int ident) | KF -> assert false
+  in
+  let const = ref ident_t in
+  let syms =
+    List.filter
+      (fun t ->
+        match cv_of t with
+        | Some v ->
+          let cur = Option.get (cv_of !const) in
+          const := term_of_cv ctx (Cinterp.arith op cur v);
+          false
+        | None -> true)
+      operands
+  in
+  let syms = List.sort (fun a b -> compare a.id b.id) syms in
+  let const_is_ident = !const == ident_t in
+  let is_zero t = match t.node with TI 0 | TL 0L -> true | _ -> false in
+  if op = CMul && is_zero !const then !const
+  else
+    match syms with
+    | [] -> !const
+    | [ s ] when op = CMul && not const_is_ident -> (
+      (* distribute a constant over a sum: exact in a modular ring, and
+         what makes [x - (a + b)] meet [(x - a) - b] *)
+      match s.node with
+      | TBin (c', CAdd, _, _) when c' = c ->
+        let addends = flatten c CAdd s [] in
+        mk_nary ctx c CAdd
+          (List.map (fun a -> mk_nary ctx c CMul [ !const; a ]) addends)
+      | _ -> intern ctx (TBin (c, op, !const, s)))
+    | s0 :: rest ->
+      let chain init terms =
+        List.fold_left (fun acc t -> intern ctx (TBin (c, op, acc, t))) init terms
+      in
+      if const_is_ident then chain s0 rest else chain !const (s0 :: rest)
+
+let mk_ac ctx c op a b =
+  mk_nary ctx c op (flatten c op a (flatten c op b []))
+
+(* comparisons: fold, orient, decide syntactic coincidence. With the
+   interpreter's total (polymorphic-compare) ordering, [x op x] folds for
+   every class, NaN included. *)
+let mk_cmp ctx op a b =
+  match fold2 ctx (Cinterp.compare_cv op) a b with
+  | Some t -> t
+  | None ->
+    if a.id = b.id then
+      ti ctx (match op with CEq | CLe | CGe -> 1 | _ -> 0)
+    else
+      let op, a, b =
+        match op with
+        | CGt -> (CLt, b, a)
+        | CGe -> (CLe, b, a)
+        | (CEq | CNe) when a.id > b.id -> (op, b, a)
+        | _ -> (op, a, b)
+      in
+      intern ctx (TBin (KI, op, a, b))
+
+let mk_ite ctx c a b =
+  match cv_of c with
+  | Some v -> if Cinterp.truthy v then a else b
+  | None ->
+    if a.id = b.id then a
+    else if cls_of a <> cls_of b then
+      (* a conditional whose dynamic class depends on the path would
+         break static class propagation *)
+      give_up "mixed-class conditional"
+    else
+      match (a.node, b.node) with
+      | TI 1, TI 0 when is_bool c -> c
+      | _ -> intern ctx (TIte (cls_of a, c, a, b))
+
+let bool_of ctx t =
+  match cv_of t with
+  | Some v -> ti ctx (if Cinterp.truthy v then 1 else 0)
+  | None ->
+    if is_bool t then t else mk_cmp ctx CNe t (zero_of_cls ctx (cls_of t))
+
+let mk_arith ctx op a b =
+  match fold2 ctx (Cinterp.arith op) a b with
+  | Some t -> t
+  | None -> (
+    let c = promote (cls_of a) (cls_of b) in
+    match c with
+    | KF -> intern ctx (TBin (KF, op, to_cls ctx KF a, to_cls ctx KF b))
+    | KI | KL -> (
+      let a = to_cls ctx c a and b = to_cls ctx c b in
+      let neg1 = match c with KI -> ti ctx (-1) | _ -> tl ctx (-1L) in
+      match op with
+      | CAdd -> mk_ac ctx c CAdd a b
+      | CMul -> mk_ac ctx c CMul a b
+      | CSub -> mk_ac ctx c CAdd a (mk_ac ctx c CMul neg1 b)
+      | CBAnd | CBOr | CBXor ->
+        if a.id = b.id then
+          if op = CBXor then zero_of_cls ctx c else a
+        else
+          let zero = zero_of_cls ctx c in
+          if a.id = zero.id || b.id = zero.id then
+            let other = if a.id = zero.id then b else a in
+            (match op with CBAnd -> zero | _ -> other)
+          else
+            let a, b = if a.id > b.id then (b, a) else (a, b) in
+            intern ctx (TBin (c, op, a, b))
+      | CShl | CShr ->
+        let zero = zero_of_cls ctx (cls_of b) in
+        if b.id = zero.id then a else intern ctx (TBin (c, op, a, b))
+      | _ -> intern ctx (TBin (c, op, a, b))))
+
+let mk_un ctx op a =
+  match op with
+  | CNeg -> (
+    match cls_of a with
+    | KF -> (
+      match cv_of a with
+      | Some (Cinterp.VF f) -> tf ctx (-.f)
+      | _ -> intern ctx (TUn (KF, CNeg, a)))
+    | KI -> mk_ac ctx KI CMul (ti ctx (-1)) a
+    | KL -> mk_ac ctx KL CMul (tl ctx (-1L)) a)
+  | CNot -> (
+    match cv_of a with
+    | Some v -> ti ctx (if Cinterp.truthy v then 0 else 1)
+    | None -> (
+      match a.node with
+      | TUn (_, CNot, x) when is_bool x -> x
+      | _ -> intern ctx (TUn (KI, CNot, a))))
+  | CBNot -> (
+    match (cv_of a, cls_of a) with
+    | Some (Cinterp.VI n), _ -> ti ctx (lnot n)
+    | Some (Cinterp.VL n), _ -> tl ctx (Int64.lognot n)
+    | _, c -> intern ctx (TUn (c, CBNot, a)))
+
+let math_cls f args =
+  match (f, args) with
+  | "labs", [ a ] -> ( match cls_of a with KL -> KL | _ -> KF)
+  | "abs", [ a ] -> ( match cls_of a with KI -> KI | _ -> KF)
+  | ( ("sqrt" | "exp" | "log" | "floor" | "ceil" | "fabs" | "pow" | "fmin"
+      | "fmax"),
+      _ ) ->
+    KF
+  | _ -> give_up "unknown C function %s/%d" f (List.length args)
+
+let mk_call ctx f args =
+  let cvs = List.map cv_of args in
+  if List.for_all Option.is_some cvs then
+    try term_of_cv ctx (Cinterp.call_math f (List.map Option.get cvs))
+    with Cinterp.C_error m -> give_up "math call: %s" m
+  else intern ctx (TCall (math_cls f args, f, args))
+
+let mk_cast ctx ty t =
+  match cv_of t with
+  | Some v -> (
+    try term_of_cv ctx (Cinterp.cast ty v)
+    with Cinterp.C_error m -> give_up "cast: %s" m)
+  | None -> (
+    match ty with
+    | CBool -> bool_of ctx t
+    | CChar -> mk_arith ctx CBAnd (to_cls ctx KI t) (ti ctx 0xff)
+    | CInt -> to_cls ctx KI t
+    | CLong -> to_cls ctx KL t
+    | CFloat | CDouble -> to_cls ctx KF t
+    | CArr _ | CPtr _ -> give_up "cast to aggregate type")
+
+(* ---------- interval analysis ---------- *)
+
+(* Best-effort value ranges for int-class terms; used to discharge the
+   in-bounds obligation of symbolically indexed array accesses (the AES
+   s-box pattern [(x ^ k) & 255]). Magnitudes are clamped so the interval
+   arithmetic itself cannot overflow. *)
+let range t =
+  let lim = 1 lsl 40 in
+  let ok (lo, hi) = lo >= -lim && hi <= lim && lo <= hi in
+  let rec go d t =
+    if d = 0 then None
+    else
+      let r =
+        match t.node with
+        | TI n -> Some (n, n)
+        | TBin (KI, CBAnd, a, b) -> (
+          let mask = function
+            | { node = TI k; _ } when k >= 0 -> Some k
+            | _ -> None
+          in
+          match (mask a, mask b) with
+          | Some k, _ | _, Some k ->
+            let hi =
+              match go (d - 1) (if mask a = Some k then b else a) with
+              | Some (lo', hi') when lo' >= 0 -> min k hi'
+              | _ -> k
+            in
+            Some (0, hi)
+          | None, None -> None)
+        | TBin (KI, CRem, a, { node = TI k; _ }) when k > 0 -> (
+          match go (d - 1) a with
+          | Some (lo, _) when lo >= 0 -> Some (0, k - 1)
+          | _ -> Some (-(k - 1), k - 1))
+        | TBin (KI, CAdd, a, b) -> (
+          match (go (d - 1) a, go (d - 1) b) with
+          | Some (al, ah), Some (bl, bh) -> Some (al + bl, ah + bh)
+          | _ -> None)
+        | TBin (KI, CMul, a, b) -> (
+          match (go (d - 1) a, go (d - 1) b) with
+          | Some (al, ah), Some (bl, bh) ->
+            let ps = [ al * bl; al * bh; ah * bl; ah * bh ] in
+            Some (List.fold_left min max_int ps, List.fold_left max min_int ps)
+          | _ -> None)
+        | TBin (KI, CDiv, a, { node = TI k; _ }) when k > 0 -> (
+          match go (d - 1) a with
+          | Some (lo, hi) -> Some (lo / k, hi / k)
+          | _ -> None)
+        | TIte (KI, _, a, b) -> (
+          match (go (d - 1) a, go (d - 1) b) with
+          | Some (al, ah), Some (bl, bh) -> Some (min al bl, max ah bh)
+          | _ -> None)
+        | _ -> None
+      in
+      match r with Some iv when ok iv -> Some iv | _ -> None
+  in
+  go 12 t
+
+(* ---------- coverage fingerprints ---------- *)
+
+(* Structural shape of a term, constants and leaf names abstracted, depth
+   capped: two kernels exercising the same branch/access shape share a
+   fingerprint. Independent of hash-consing ids, hence stable across
+   processes and runs. *)
+let fingerprint kind t =
+  let mix h x = (h * 31) + x land 0x3FFFFFFF in
+  let rec go d t =
+    if d = 0 then 7
+    else
+      match t.node with
+      | TI _ -> 11
+      | TL _ -> 13
+      | TF _ -> 17
+      | TSym (c, _) -> 19 + (match c with KI -> 0 | KL -> 1 | KF -> 2)
+      | TBin (_, op, a, b) ->
+        mix (mix (mix 23 (Hashtbl.hash op)) (go (d - 1) a)) (go (d - 1) b)
+      | TUn (_, op, a) -> mix (mix 29 (Hashtbl.hash op)) (go (d - 1) a)
+      | TConv (c, a) -> mix (mix 31 (Hashtbl.hash c)) (go (d - 1) a)
+      | TCall (_, f, args) ->
+        List.fold_left (fun h a -> mix h (go (d - 1) a)) (mix 37 (Hashtbl.hash f)) args
+      | TIte (_, c, a, b) ->
+        mix (mix (mix 41 (go (d - 1) c)) (go (d - 1) a)) (go (d - 1) b)
+  in
+  (go 8 t * 4) + kind
+
+let record_cov ctx kind t = Hashtbl.replace ctx.cov (fingerprint kind t) ()
+
+(* ---------- symbolic execution ---------- *)
+
+exception Sym_return of term option
+
+type sval = Scal of term | Arr of term array
+
+type cell = CScal of term ref | CArrv of term array
+
+type wentry =
+  | WScal of term ref * term
+  | WArr of term array * int * term
+
+type loc = LScal of term ref | LArr of term array * int
+
+let loc_eq a b =
+  match (a, b) with
+  | LScal r1, LScal r2 -> r1 == r2
+  | LArr (a1, i1), LArr (a2, i2) -> a1 == a2 && i1 = i2
+  | (LScal _ | LArr _), _ -> false
+
+type ex = {
+  ctx : ctx;
+  prog : cprog;
+  mutable log : wentry list;
+  mutable spec : int;  (* speculation depth: branches under merge *)
+}
+
+let step ex =
+  ex.ctx.steps_left <- ex.ctx.steps_left - 1;
+  if ex.ctx.steps_left <= 0 then give_up "step budget exhausted"
+
+let set_scal ex r v =
+  if ex.spec > 0 then ex.log <- WScal (r, !r) :: ex.log;
+  r := v
+
+let set_arr ex a i v =
+  if ex.spec > 0 then ex.log <- WArr (a, i, a.(i)) :: ex.log;
+  a.(i) <- v
+
+let read_loc = function LScal r -> !r | LArr (a, i) -> a.(i)
+
+let write_loc ex = function
+  | LScal r -> set_scal ex r
+  | LArr (a, i) -> set_arr ex a i
+
+(* Run [f] with every write logged, then undo them all; returns the net
+   per-location effect (pre-value, post-value). Merging happens at the
+   caller. Mutating through the shared arrays (instead of cloning state)
+   is what keeps buffer aliasing across user-function calls exact. *)
+let speculate ex f =
+  let mark = ex.log in
+  ex.spec <- ex.spec + 1;
+  (try f () with
+  | Sym_return _ ->
+    ex.spec <- ex.spec - 1;
+    give_up "return under a data-dependent branch"
+  | e ->
+    ex.spec <- ex.spec - 1;
+    raise e);
+  ex.spec <- ex.spec - 1;
+  let rec entries acc l =
+    if l == mark then acc
+    else match l with [] -> acc | e :: tl -> entries (e :: acc) tl
+  in
+  let oldest_first = entries [] ex.log in
+  let writes = ref [] in
+  List.iter
+    (fun e ->
+      let loc, old =
+        match e with
+        | WScal (r, old) -> (LScal r, old)
+        | WArr (a, i, old) -> (LArr (a, i), old)
+      in
+      if not (List.exists (fun (l, _) -> loc_eq l loc) !writes) then
+        writes := (loc, old) :: !writes)
+    oldest_first;
+  let net = List.map (fun (loc, _) -> (loc, read_loc loc)) !writes in
+  (* roll back, newest write first *)
+  let rec undo l =
+    if l == mark then ()
+    else
+      match l with
+      | [] -> ()
+      | WScal (r, old) :: tl ->
+        r := old;
+        undo tl
+      | WArr (a, i, old) :: tl ->
+        a.(i) <- old;
+        undo tl
+  in
+  undo ex.log;
+  ex.log <- mark;
+  net
+
+let as_concrete_int what t =
+  match t.node with
+  | TI n -> n
+  | TL n -> Int64.to_int n
+  | TF f -> int_of_float f
+  | _ -> give_up "symbolic %s: %s" what (term_str t)
+
+let scal what = function
+  | Scal t -> t
+  | Arr _ -> give_up "array value in %s" what
+
+let rec exec_func ex fname fargs =
+  let f =
+    match Csyntax.find_cfunc ex.prog fname with
+    | Some f -> f
+    | None -> give_up "no function %s" fname
+  in
+  let env : (string, cell) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (p : cparam) ->
+      match List.assoc_opt p.cpname fargs with
+      | Some (Scal t) -> Hashtbl.replace env p.cpname (CScal (ref t))
+      | Some (Arr a) -> Hashtbl.replace env p.cpname (CArrv a)
+      | None -> give_up "%s: missing argument %s" fname p.cpname)
+    f.cfparams;
+  try
+    List.iter (exec_stmt ex env) f.cfbody;
+    None
+  with Sym_return v -> v
+
+and lookup env v =
+  match Hashtbl.find_opt env v with
+  | Some c -> c
+  | None -> give_up "unbound variable %s" v
+
+(* Evaluate [e] and insist it performs no writes — used for the untaken
+   operand of a short-circuit operator and the arms of [?:] under a
+   symbolic condition, which concrete execution may skip. *)
+and eval_pure ex env e =
+  let mark = ex.log in
+  ex.spec <- ex.spec + 1;
+  let v =
+    try eval ex env e
+    with exn ->
+      ex.spec <- ex.spec - 1;
+      raise exn
+  in
+  ex.spec <- ex.spec - 1;
+  if not (ex.log == mark) then
+    give_up "side effect under a data-dependent guard";
+  v
+
+and eval ex env (e : cexpr) : sval =
+  let ctx = ex.ctx in
+  match e with
+  | EInt n -> Scal (ti ctx n)
+  | ELong n -> Scal (tl ctx n)
+  | EFloat f | EDouble f -> Scal (tf ctx f)
+  | EChar c -> Scal (ti ctx (Char.code c))
+  | EBool b -> Scal (ti ctx (if b then 1 else 0))
+  | EVar v -> (
+    match lookup env v with CScal r -> Scal !r | CArrv a -> Arr a)
+  | EBin (CAnd, a, b) -> (
+    let sa = scal "&&" (eval ex env a) in
+    match cv_of sa with
+    | Some v ->
+      if Cinterp.truthy v then
+        Scal (bool_of ctx (scal "&&" (eval ex env b)))
+      else Scal (ti ctx 0)
+    | None ->
+      record_cov ctx 1 sa;
+      let sb = scal "&&" (eval_pure ex env b) in
+      Scal (mk_ite ctx (bool_of ctx sa) (bool_of ctx sb) (ti ctx 0)))
+  | EBin (COr, a, b) -> (
+    let sa = scal "||" (eval ex env a) in
+    match cv_of sa with
+    | Some v ->
+      if Cinterp.truthy v then Scal (ti ctx 1)
+      else Scal (bool_of ctx (scal "||" (eval ex env b)))
+    | None ->
+      record_cov ctx 1 sa;
+      let sb = scal "||" (eval_pure ex env b) in
+      Scal (mk_ite ctx (bool_of ctx sa) (ti ctx 1) (bool_of ctx sb)))
+  | EBin (((CLt | CLe | CGt | CGe | CEq | CNe) as op), a, b) ->
+    let sa = scal "comparison" (eval ex env a) in
+    let sb = scal "comparison" (eval ex env b) in
+    Scal (mk_cmp ctx op sa sb)
+  | EBin (op, a, b) ->
+    let sa = scal "arithmetic" (eval ex env a) in
+    let sb = scal "arithmetic" (eval ex env b) in
+    Scal (mk_arith ctx op sa sb)
+  | EUn (op, a) -> Scal (mk_un ctx op (scal "unary" (eval ex env a)))
+  | EIndex (arr, idx) -> (
+    match eval ex env arr with
+    | Arr data -> Scal (read_cell ex data (scal "index" (eval ex env idx)))
+    | Scal _ -> give_up "indexing a non-array")
+  | ECall (f, args) -> (
+    match Csyntax.find_cfunc ex.prog f with
+    | Some fn ->
+      let bound =
+        List.map2
+          (fun (p : cparam) a -> (p.cpname, eval ex env a))
+          fn.cfparams args
+      in
+      (match exec_func ex f bound with
+      | Some v -> Scal v
+      | None -> Scal (ti ctx 0))
+    | None ->
+      let args = List.map (fun a -> scal "call" (eval ex env a)) args in
+      Scal (mk_call ctx f args))
+  | ECond (c, a, b) -> (
+    let sc = scal "?:" (eval ex env c) in
+    match cv_of sc with
+    | Some v ->
+      if Cinterp.truthy v then eval ex env a else eval ex env b
+    | None ->
+      record_cov ctx 1 sc;
+      let sa = scal "?:" (eval_pure ex env a) in
+      let sb = scal "?:" (eval_pure ex env b) in
+      Scal (mk_ite ctx (bool_of ctx sc) sa sb))
+  | ECast (t, a) -> Scal (mk_cast ex.ctx t (scal "cast" (eval ex env a)))
+
+(* Array read at a possibly-symbolic index. A symbolic index must have a
+   provable range inside the bounds; the read becomes a select chain over
+   that range. *)
+and read_cell ex data idx =
+  let ctx = ex.ctx in
+  match cv_of idx with
+  | Some v ->
+    let i = Cinterp.as_int v in
+    if i < 0 || i >= Array.length data then
+      give_up "index %d out of bounds (len %d)" i (Array.length data);
+    data.(i)
+  | None -> (
+    match range idx with
+    | Some (lo, hi) when lo >= 0 && hi < Array.length data ->
+      record_cov ctx 3 idx;
+      let acc = ref data.(lo) in
+      for j = lo + 1 to hi do
+        acc :=
+          mk_ite ctx (mk_cmp ctx CEq idx (ti ctx j)) data.(j) !acc
+      done;
+      !acc
+    | _ ->
+      give_up "unbounded symbolic index: %s (len %d)" (term_str idx)
+        (Array.length data))
+
+and write_cell ex data idx v =
+  let ctx = ex.ctx in
+  match cv_of idx with
+  | Some cv ->
+    let i = Cinterp.as_int cv in
+    if i < 0 || i >= Array.length data then
+      give_up "store index %d out of bounds (len %d)" i (Array.length data);
+    set_arr ex data i v
+  | None -> (
+    match range idx with
+    | Some (lo, hi) when lo >= 0 && hi < Array.length data ->
+      record_cov ctx 4 idx;
+      if cls_of v <> cls_of data.(lo) then
+        give_up "mixed-class symbolic store";
+      for j = lo to hi do
+        set_arr ex data j
+          (mk_ite ctx (mk_cmp ctx CEq idx (ti ctx j)) v data.(j))
+      done
+    | _ ->
+      give_up "unbounded symbolic store index: %s (len %d)" (term_str idx)
+        (Array.length data))
+
+and assign ex env lv v =
+  match lv with
+  | EVar name -> (
+    match (lookup env name, v) with
+    | CScal r, Scal t -> set_scal ex r t
+    | _ -> give_up "array re-binding")
+  | EIndex (arr, idx) -> (
+    match eval ex env arr with
+    | Arr data ->
+      write_cell ex data (scal "store index" (eval ex env idx))
+        (scal "store" v)
+    | Scal _ -> give_up "index-assign on non-array")
+  | _ -> give_up "invalid lvalue"
+
+(* C99 block scoping, mirroring Cinterp.exec_block: declarations shadow
+   until the end of the statement list. Binding-structure changes are
+   self-restoring, so speculation only has to log cell writes. *)
+and exec_block ex env stmts =
+  let saved = ref [] in
+  List.iter
+    (fun s ->
+      (match s with
+      | SDecl (_, name, _) ->
+        if not (List.mem_assoc name !saved) then
+          saved := (name, Hashtbl.find_opt env name) :: !saved
+      | _ -> ());
+      exec_stmt ex env s)
+    stmts;
+  List.iter
+    (fun (name, prior) ->
+      match prior with
+      | Some c -> Hashtbl.replace env name c
+      | None -> Hashtbl.remove env name)
+    !saved
+
+and exec_stmt ex env s =
+  let ctx = ex.ctx in
+  step ex;
+  match s with
+  | SDecl (t, name, init) ->
+    let cell =
+      match init with
+      | Some e -> (
+        match eval ex env e with
+        | Scal v -> CScal (ref v)
+        | Arr a -> CArrv a)
+      | None -> (
+        match t with
+        | CArr (elt, n) -> (
+          match elt with
+          | CArr _ | CPtr _ -> give_up "nested aggregate local"
+          | _ ->
+            let z =
+              match elt with
+              | CLong -> tl ctx 0L
+              | CFloat | CDouble -> tf ctx 0.0
+              | _ -> ti ctx 0
+            in
+            CArrv (Array.make n z))
+        | CPtr _ -> give_up "pointer local without initializer"
+        | CLong -> CScal (ref (tl ctx 0L))
+        | CFloat | CDouble -> CScal (ref (tf ctx 0.0))
+        | _ -> CScal (ref (ti ctx 0)))
+    in
+    Hashtbl.replace env name cell
+  | SAssign (lv, e) -> assign ex env lv (eval ex env e)
+  | SIf (c, a, b) -> (
+    let sc = scal "if" (eval ex env c) in
+    match cv_of sc with
+    | Some v ->
+      if Cinterp.truthy v then exec_block ex env a else exec_block ex env b
+    | None ->
+      record_cov ctx 1 sc;
+      let cond = bool_of ctx sc in
+      let thenw = speculate ex (fun () -> exec_block ex env a) in
+      let elsew = speculate ex (fun () -> exec_block ex env b) in
+      let merged = ref [] in
+      List.iter
+        (fun (loc, tv) ->
+          let ev =
+            match List.find_opt (fun (l, _) -> loc_eq l loc) elsew with
+            | Some (_, v) -> v
+            | None -> read_loc loc
+          in
+          merged := (loc, tv, ev) :: !merged)
+        thenw;
+      List.iter
+        (fun (loc, ev) ->
+          if not (List.exists (fun (l, _, _) -> loc_eq l loc) !merged) then
+            merged := (loc, read_loc loc, ev) :: !merged)
+        elsew;
+      List.iter
+        (fun (loc, tv, ev) ->
+          if cls_of tv <> cls_of ev then give_up "mixed-class merge";
+          write_loc ex loc (mk_ite ctx cond tv ev))
+        !merged)
+  | SWhile (c, b) ->
+    let trips = ref 0 in
+    let continue_ () =
+      match cv_of (scal "while" (eval ex env c)) with
+      | Some v -> Cinterp.truthy v
+      | None -> give_up "symbolic while condition"
+    in
+    while continue_ () do
+      step ex;
+      incr trips;
+      if !trips > ctx.max_trip then give_up "while trip budget exhausted";
+      exec_block ex env b
+    done
+  | SFor l ->
+    let lo =
+      as_concrete_int "loop lower bound" (scal "loop bound" (eval ex env l.llo))
+    in
+    let box n =
+      match l.lvty with CLong -> tl ctx (Int64.of_int n) | _ -> ti ctx n
+    in
+    let prior =
+      if l.ldecl then Hashtbl.find_opt env l.lvar else None
+    in
+    let cell =
+      if l.ldecl then begin
+        Hashtbl.replace env l.lvar (CScal (ref (box lo)));
+        match lookup env l.lvar with
+        | CScal r -> r
+        | CArrv _ -> assert false
+      end
+      else
+        match lookup env l.lvar with
+        | CScal r ->
+          set_scal ex r (box lo);
+          r
+        | CArrv _ -> give_up "array loop counter"
+    in
+    let trips = ref 0 in
+    let continue_ () =
+      as_concrete_int "loop counter" !cell
+      < as_concrete_int "loop upper bound"
+          (scal "loop bound" (eval ex env l.lhi))
+    in
+    while continue_ () do
+      step ex;
+      incr trips;
+      if !trips > ctx.max_trip then give_up "loop trip budget exhausted";
+      exec_block ex env l.lbody;
+      set_scal ex cell (box (as_concrete_int "loop counter" !cell + l.lstep))
+    done;
+    if l.ldecl then begin
+      match prior with
+      | Some c -> Hashtbl.replace env l.lvar c
+      | None -> Hashtbl.remove env l.lvar
+    end
+  | SExpr e -> ignore (eval ex env e)
+  | SReturn v ->
+    raise (Sym_return (Option.map (fun e -> scal "return" (eval ex env e)) v))
+
+(* ---------- whole-program execution ---------- *)
+
+let cls_of_ty = function
+  | CBool | CChar | CInt -> KI
+  | CLong -> KL
+  | CFloat | CDouble -> KF
+  | CArr _ | CPtr _ -> give_up "aggregate where scalar type expected"
+
+type outputs = {
+  o_arrays : (string * term array) list;
+  o_ret : term option;
+}
+
+(* Early gate: any loop whose statically recovered trip count already
+   exceeds the budget cannot be unrolled, so refuse before spending the
+   step budget discovering that. *)
+let check_static_trips ctx prog =
+  List.iter
+    (fun (f : cfunc) ->
+      let s = Canalysis.analyze f in
+      List.iter
+        (fun (li : Canalysis.loop_info) ->
+          match li.Canalysis.li_trip with
+          | Some t when t > ctx.max_trip ->
+            give_up "%s: loop L%d static trip %d exceeds budget %d"
+              f.cfname li.Canalysis.li_loop.lid t ctx.max_trip
+          | _ -> ())
+        s.Canalysis.loops)
+    prog.cfuncs
+
+let run_sym ctx prog entry ~bindings ~caps =
+  let f =
+    match Csyntax.find_cfunc prog entry with
+    | Some f -> f
+    | None -> give_up "no function %s" entry
+  in
+  check_static_trips ctx prog;
+  let args =
+    List.map
+      (fun (p : cparam) ->
+        match p.cpty with
+        | CPtr elt | CArr (elt, _) ->
+          let n =
+            match p.cpty with
+            | CArr (_, n) -> n
+            | _ -> (
+              match List.assoc_opt p.cpname caps with
+              | Some n -> n
+              | None -> give_up "no capacity given for buffer %s" p.cpname)
+          in
+          (match elt with
+          | CArr _ | CPtr _ -> give_up "nested aggregate parameter"
+          | _ -> ());
+          let kc = cls_of_ty elt in
+          ( p.cpname,
+            Arr
+              (Array.init n (fun i ->
+                   sym ctx kc (Printf.sprintf "%s[%d]" p.cpname i))) )
+        | ty -> (
+          match List.assoc_opt p.cpname bindings with
+          | Some cv -> (p.cpname, Scal (term_of_cv ctx cv))
+          | None -> (p.cpname, Scal (sym ctx (cls_of_ty ty) p.cpname))))
+      f.cfparams
+  in
+  let ex = { ctx; prog; log = []; spec = 0 } in
+  let ret = exec_func ex entry args in
+  { o_arrays =
+      List.filter_map
+        (fun (n, v) ->
+          match v with Arr a -> Some (n, Array.copy a) | Scal _ -> None)
+        args;
+    o_ret = ret }
+
+(* ---------- concrete sampling ---------- *)
+
+let rec deep_copy = function
+  | Cinterp.VA a -> Cinterp.VA (Array.map deep_copy a)
+  | v -> v
+
+let rec eq_cv a b =
+  match (a, b) with
+  | Cinterp.VF x, Cinterp.VF y ->
+    x = y || (Float.is_nan x && Float.is_nan y)
+  | Cinterp.VA x, Cinterp.VA y ->
+    Array.length x = Array.length y
+    && Array.for_all2 eq_cv x y
+  | _ -> Cinterp.equal_cvalue a b
+
+let pp_cv fmt = function
+  | Cinterp.VI n -> Format.fprintf fmt "%d" n
+  | Cinterp.VL n -> Format.fprintf fmt "%LdL" n
+  | Cinterp.VF f -> Format.fprintf fmt "%g" f
+  | Cinterp.VA _ -> Format.pp_print_string fmt "<array>"
+
+let sample_scalar rng = function
+  | KI -> Cinterp.VI (Rng.int_in rng 0 4)
+  | KL -> Cinterp.VL (Int64.of_int (Rng.int_in rng 0 4))
+  | KF -> Cinterp.VF (float_of_int (Rng.int_in rng 0 32) /. 8.)
+
+let sample_args rng (f : cfunc) ~bindings ~caps =
+  List.map
+    (fun (p : cparam) ->
+      match p.cpty with
+      | CPtr elt | CArr (elt, _) ->
+        let n =
+          match p.cpty with
+          | CArr (_, n) -> n
+          | _ -> (
+            match List.assoc_opt p.cpname caps with
+            | Some n -> n
+            | None -> 8)
+        in
+        let one () =
+          match cls_of_ty elt with
+          | KI ->
+            if p.cpbitwidth = Some 8 then Cinterp.VI (Rng.int_in rng 0 200)
+            else Cinterp.VI (Rng.int_in rng (-9) 9)
+          | KL -> Cinterp.VL (Int64.of_int (Rng.int_in rng (-9) 9))
+          | KF -> Cinterp.VF (float_of_int (Rng.int_in rng (-40) 40) /. 8.)
+        in
+        (p.cpname, Cinterp.VA (Array.init n (fun _ -> one ())))
+      | ty -> (
+        match List.assoc_opt p.cpname bindings with
+        | Some cv -> (p.cpname, cv)
+        | None -> (p.cpname, sample_scalar rng (cls_of_ty ty))))
+    f.cfparams
+
+let run_concrete prog entry args =
+  let args' = List.map (fun (n, v) -> (n, deep_copy v)) args in
+  match Cinterp.run_func prog entry args' with
+  | ret -> Ok (ret, args')
+  | exception Cinterp.C_error m -> Error m
+
+type counterexample = {
+  cx_args : (string * Cinterp.cvalue) list;
+  cx_detail : string;
+}
+
+let diff_concrete args1 args2 ret1 ret2 =
+  let diffs = ref [] in
+  (match (ret1, ret2) with
+  | Some a, Some b when not (eq_cv a b) ->
+    diffs :=
+      Format.asprintf "return: %a vs %a" pp_cv a pp_cv b :: !diffs
+  | Some _, None | None, Some _ -> diffs := "return presence differs" :: !diffs
+  | _ -> ());
+  List.iter
+    (fun (name, v1) ->
+      match List.assoc_opt name args2 with
+      | Some v2 -> (
+        match (v1, v2) with
+        | Cinterp.VA a1, Cinterp.VA a2 ->
+          Array.iteri
+            (fun i c1 ->
+              if i < Array.length a2 && not (eq_cv c1 a2.(i)) then
+                diffs :=
+                  Format.asprintf "%s[%d]: %a vs %a" name i pp_cv c1 pp_cv
+                    a2.(i)
+                  :: !diffs)
+            a1
+        | _ -> ())
+      | None -> ())
+    args1;
+  List.rev !diffs
+
+let refute ?(samples = 32) ?(seed = 0) ?(bindings = []) ~caps p1 p2 entry =
+  match Csyntax.find_cfunc p1 entry with
+  | None -> None
+  | Some f ->
+    let rng = Rng.create (seed + 0x5f3759df) in
+    let rec go k =
+      if k = 0 then None
+      else
+        let args = sample_args rng f ~bindings ~caps in
+        match (run_concrete p1 entry args, run_concrete p2 entry args) with
+        | Ok (r1, a1), Ok (r2, a2) -> (
+          match diff_concrete a1 a2 r1 r2 with
+          | [] -> go (k - 1)
+          | d :: _ -> Some { cx_args = args; cx_detail = d })
+        | Error m, Ok _ ->
+          Some { cx_args = args; cx_detail = "first program trapped: " ^ m }
+        | Ok _, Error m ->
+          Some { cx_args = args; cx_detail = "second program trapped: " ^ m }
+        | Error _, Error _ -> go (k - 1)
+    in
+    go samples
+
+(* ---------- the verifier ---------- *)
+
+type stats = {
+  pv_outputs : int;
+  pv_paths : int;
+  pv_nodes : int;
+  pv_steps : int;
+}
+
+type verdict =
+  | Proved of stats
+  | Refuted of counterexample
+  | Unknown of string
+
+let pp_verdict fmt = function
+  | Proved st ->
+    Format.fprintf fmt "proved (%d outputs, %d paths, %d terms)"
+      st.pv_outputs st.pv_paths st.pv_nodes
+  | Refuted cx -> Format.fprintf fmt "REFUTED: %s" cx.cx_detail
+  | Unknown why -> Format.fprintf fmt "unknown: %s" why
+
+let signatures_match (f1 : cfunc) (f2 : cfunc) =
+  List.length f1.cfparams = List.length f2.cfparams
+  && List.for_all2
+       (fun (a : cparam) (b : cparam) ->
+         a.cpname = b.cpname && a.cpty = b.cpty)
+       f1.cfparams f2.cfparams
+
+let diff_outputs o1 o2 =
+  let diffs = ref [] in
+  (match (o1.o_ret, o2.o_ret) with
+  | Some a, Some b when a.id <> b.id ->
+    diffs :=
+      Printf.sprintf "return: %s vs %s" (term_str a) (term_str b) :: !diffs
+  | Some _, None | None, Some _ -> diffs := "return presence differs" :: !diffs
+  | _ -> ());
+  List.iter
+    (fun (name, a1) ->
+      match List.assoc_opt name o2.o_arrays with
+      | Some a2 ->
+        Array.iteri
+          (fun i t1 ->
+            if i < Array.length a2 && t1.id <> a2.(i).id then
+              diffs :=
+                Printf.sprintf "%s[%d]: %s vs %s" name i (term_str t1)
+                  (term_str a2.(i))
+                :: !diffs)
+          a1
+      | None -> ())
+    o1.o_arrays;
+  List.rev !diffs
+
+let count_outputs o =
+  List.fold_left (fun n (_, a) -> n + Array.length a) 0 o.o_arrays
+  + match o.o_ret with Some _ -> 1 | None -> 0
+
+let equiv ?(budget = default_budget) ?(bindings = []) ?(samples = 32)
+    ?(seed = 0) ~caps p1 p2 entry =
+  let sym_outcome =
+    try
+      match (Csyntax.find_cfunc p1 entry, Csyntax.find_cfunc p2 entry) with
+      | Some f1, Some f2 when signatures_match f1 f2 ->
+        let ctx = new_ctx budget in
+        let o1 = run_sym ctx p1 entry ~bindings ~caps in
+        let o2 = run_sym ctx p2 entry ~bindings ~caps in
+        (match diff_outputs o1 o2 with
+        | [] ->
+          `Proved
+            { pv_outputs = count_outputs o1;
+              pv_paths = Hashtbl.length ctx.cov;
+              pv_nodes = ctx.next_id;
+              pv_steps = budget.bg_steps - ctx.steps_left }
+        | d :: _ -> `Mismatch d)
+      | Some _, Some _ -> `Unknown "entry signatures differ"
+      | _ -> `Unknown ("no function " ^ entry)
+    with Give_up m -> `Unknown m
+  in
+  match sym_outcome with
+  | `Proved st -> Proved st
+  | `Unknown m -> Unknown m
+  | `Mismatch where -> (
+    match refute ~samples ~seed ~bindings ~caps p1 p2 entry with
+    | Some cx -> Refuted cx
+    | None ->
+      Unknown ("symbolic mismatch without a concrete witness: " ^ where))
+
+let coverage ?(budget = default_budget) ?(bindings = []) ~caps prog entry =
+  try
+    let ctx = new_ctx budget in
+    let (_ : outputs) = run_sym ctx prog entry ~bindings ~caps in
+    Ok (Hashtbl.fold (fun k () acc -> k :: acc) ctx.cov [] |> List.sort compare)
+  with Give_up m -> Error m

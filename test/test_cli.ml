@@ -155,6 +155,27 @@ let test_bad_kernel_fails () =
   let code, _ = run "dse -w NoSuchKernel" in
   Alcotest.(check bool) "non-zero exit" true (code <> 0)
 
+let test_verify_symbolic () =
+  let out = check_ok "verify --symbolic" "verify -w KMeans --symbolic" in
+  Alcotest.(check bool) "prints proofs" true (contains out "proved");
+  Alcotest.(check bool) "nothing refuted" false (contains out "REFUTED")
+
+let test_verify_concrete () =
+  let out = check_ok "verify" "verify -w PR" in
+  Alcotest.(check bool) "prints ok lines" true
+    (contains out "ok (no counterexample)")
+
+let test_verify_needs_target () =
+  let code, _ = run "verify" in
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
+let test_fuzz_coverage () =
+  let out =
+    check_ok "fuzz --coverage" "fuzz --coverage --count 10 --seed 3"
+  in
+  Alcotest.(check bool) "reports the coverage signal" true
+    (contains out "coverage:")
+
 let serve_args = "serve --apps KMeans:300,PR:200 --horizon 0.3 --seed 11"
 
 let test_serve () =
@@ -200,6 +221,11 @@ let () =
           Alcotest.test_case "cache" `Quick test_cache;
           Alcotest.test_case "report" `Quick test_report;
           Alcotest.test_case "unknown kernel" `Quick test_bad_kernel_fails;
+          Alcotest.test_case "verify --symbolic" `Quick test_verify_symbolic;
+          Alcotest.test_case "verify (concrete)" `Quick test_verify_concrete;
+          Alcotest.test_case "verify needs -w or --all" `Quick
+            test_verify_needs_target;
+          Alcotest.test_case "fuzz --coverage" `Quick test_fuzz_coverage;
           Alcotest.test_case "serve" `Quick test_serve;
           Alcotest.test_case "serve --trace + trace" `Quick
             test_serve_trace_and_replay;

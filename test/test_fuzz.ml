@@ -2,6 +2,7 @@ module Fuzz = S2fa_fuzz.Fuzz
 module Csyntax = S2fa_hlsc.Csyntax
 module Cinterp = S2fa_hlsc.Cinterp
 module Transform = S2fa_merlin.Transform
+module Sym = S2fa_sym.Sym
 
 (* ---------- corpus replay ---------- *)
 
@@ -38,6 +39,102 @@ let test_corpus_replay () =
         Alcotest.failf "%s: unexpectedly passed" path)
     files
 
+(* ---------- corpus promotion: symbolic regression table ---------- *)
+
+(* Every [expect=pass] reproducer — each one a fixed compiler bug — is
+   additionally pushed through the symbolic verifier: its flat C must
+   prove equal to itself, and every legal per-loop tile/unroll of it
+   must prove equal to the original. A corpus file whose bug regresses
+   shows up here as a refutation with a concrete witness. *)
+let corpus_header path =
+  let ic = open_in path in
+  let header = input_line ic in
+  let buf = Buffer.create 1024 in
+  (try
+     while true do
+       Buffer.add_channel buf ic 1
+     done
+   with End_of_file -> ());
+  close_in ic;
+  (header, Buffer.contents buf)
+
+let corpus_len header =
+  List.find_map
+    (fun tok ->
+      match String.index_opt tok '=' with
+      | Some i when String.sub tok 0 i = "len" ->
+        int_of_string_opt
+          (String.sub tok (i + 1) (String.length tok - i - 1))
+      | _ -> None)
+    (String.split_on_char ' ' header)
+
+let test_corpus_symbolic () =
+  let tasks = 2 in
+  let bindings = [ ("N", Cinterp.VI tasks) ] in
+  List.iter
+    (fun path ->
+      let header, source = corpus_header path in
+      let is_pass =
+        let rec has i =
+          i + 11 <= String.length header
+          && (String.sub header i 11 = "expect=pass" || has (i + 1))
+        in
+        has 0
+      in
+      if is_pass then begin
+        let len = Option.value ~default:2 (corpus_len header) in
+        match Fuzz.compile_flat ~len source with
+        | Error m -> Alcotest.failf "%s: does not compile flat: %s" path m
+        | Ok (flat, elems) ->
+          let caps = Fuzz.scale_caps ~tasks elems in
+          let name = Filename.basename path in
+          (match Sym.equiv ~caps ~bindings flat flat "kernel" with
+          | Sym.Proved _ -> ()
+          | v ->
+            Alcotest.failf "%s: identity not proved: %a" name Sym.pp_verdict
+              v);
+          let lids = ref [] in
+          List.iter
+            (fun (f : Csyntax.cfunc) ->
+              Csyntax.iter_loops
+                (fun _ l ->
+                  if l.Csyntax.lstep = 1 then lids := l.Csyntax.lid :: !lids)
+                f.Csyntax.cfbody)
+            flat.Csyntax.cfuncs;
+          List.iter
+            (fun lid ->
+              List.iter
+                (fun (kind, mk) ->
+                  match mk () with
+                  | exception Transform.Transform_error _ -> ()
+                  | p2 -> (
+                    match Sym.equiv ~caps ~bindings flat p2 "kernel" with
+                    | Sym.Proved _ -> ()
+                    | Sym.Refuted cx ->
+                      Alcotest.failf "%s: %s@L%d refuted: %s" name kind lid
+                        cx.Sym.cx_detail
+                    | Sym.Unknown _ ->
+                      (* A corpus kernel may sit outside the evaluator's
+                         bounded fragment (e.g. a symbolic while); that
+                         is a budget limit, not a regression. *)
+                      ()))
+                [ ( "tile2",
+                    fun () ->
+                      Transform.apply
+                        { Transform.cfg_loops =
+                            [ ( lid,
+                                { Transform.lc_tile = 2;
+                                  lc_parallel = 1;
+                                  lc_pipeline = Csyntax.PipeOff } ) ];
+                          cfg_bitwidths = [] }
+                        flat );
+                  ( "unroll2",
+                    fun () ->
+                      Transform.real_unroll ~factor:2 ~loop_id:lid flat ) ])
+            !lids
+      end)
+    (corpus_files ())
+
 (* ---------- campaigns ---------- *)
 
 let test_campaign_deterministic () =
@@ -60,6 +157,35 @@ let test_campaign_smoke () =
       Alcotest.failf "unexpected failure [%s] %s\n%s" f.Fuzz.f_oracle
         f.Fuzz.f_detail f.Fuzz.f_source)
     st.Fuzz.st_failures
+
+let test_coverage_campaign_deterministic () =
+  let run () =
+    Fuzz.run_campaign ~shrink:false ~coverage:true ~seed:11 ~count:10 ()
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "cov features" a.Fuzz.st_cov_features
+    b.Fuzz.st_cov_features;
+  Alcotest.(check int) "cov contributors" a.Fuzz.st_cov_new b.Fuzz.st_cov_new;
+  Alcotest.(check int) "passed" a.Fuzz.st_passed b.Fuzz.st_passed;
+  Alcotest.(check int) "failures"
+    (List.length a.Fuzz.st_failures)
+    (List.length b.Fuzz.st_failures)
+
+(* The coverage signal must actually accumulate, and guided mode must
+   discover at least as many distinct failure signatures as random mode
+   on the same seeds (both are 0 on a healthy pipeline — the comparison
+   is the regression guard for when a bug is introduced). *)
+let test_coverage_vs_random () =
+  let random = Fuzz.run_campaign ~shrink:false ~seed:23 ~count:30 () in
+  let guided =
+    Fuzz.run_campaign ~shrink:false ~coverage:true ~seed:23 ~count:30 ()
+  in
+  Alcotest.(check int) "random mode records no coverage" 0
+    random.Fuzz.st_cov_features;
+  Alcotest.(check bool) "guided mode accumulates features" true
+    (guided.Fuzz.st_cov_features > 0);
+  Alcotest.(check bool) "guided finds >= distinct failure signatures" true
+    (Fuzz.distinct_failures guided >= Fuzz.distinct_failures random)
 
 (* ---------- transform regressions on hand-built C ---------- *)
 
@@ -210,12 +336,17 @@ let test_tile_keeps_long_counter () =
 let () =
   Alcotest.run "fuzz"
     [ ( "corpus",
-        [ Alcotest.test_case "replay" `Quick test_corpus_replay ] );
+        [ Alcotest.test_case "replay" `Quick test_corpus_replay;
+          Alcotest.test_case "symbolic regression table" `Quick
+            test_corpus_symbolic ] );
       ( "campaign",
         [ Alcotest.test_case "deterministic" `Quick
             test_campaign_deterministic;
-          Alcotest.test_case "smoke (25 kernels)" `Slow test_campaign_smoke
-        ] );
+          Alcotest.test_case "smoke (25 kernels)" `Slow test_campaign_smoke;
+          Alcotest.test_case "coverage deterministic" `Quick
+            test_coverage_campaign_deterministic;
+          Alcotest.test_case "coverage vs random" `Slow
+            test_coverage_vs_random ] );
       ( "transform",
         [ Alcotest.test_case "unroll keeps shadowed decl" `Quick
             test_unroll_shadowed_decl;

@@ -4,6 +4,7 @@ module Csyntax = S2fa_hlsc.Csyntax
 module Cinterp = S2fa_hlsc.Cinterp
 module Canalysis = S2fa_hlsc.Canalysis
 module T = S2fa_merlin.Transform
+module Sym = S2fa_sym.Sym
 module W = S2fa_workloads.Workloads
 module S2fa = S2fa_core.S2fa
 module Dspace = S2fa_dse.Dspace
@@ -139,6 +140,92 @@ let test_unknown_loop_ignored () =
   let p = T.apply cfg prog in
   Alcotest.(check string) "unchanged" (to_string prog) (to_string p)
 
+(* ---------- tree reduction ---------- *)
+
+let reduce_prog ty op =
+  let elty = match ty with CLong -> CLong | t -> t in
+  let loop =
+    mk_loop ~var:"i" ~lo:(EInt 0) ~hi:(EInt 13)
+      [ SAssign (EVar "s", EBin (op, EVar "s", EIndex (EVar "a", EVar "i"))) ]
+  in
+  let init = match ty with CLong -> ELong 0L | _ -> EInt 0 in
+  let f =
+    { cfname = "kernel";
+      cfparams =
+        [ { cpname = "a"; cpty = CPtr elty; cpbitwidth = None };
+          { cpname = "o"; cpty = CPtr elty; cpbitwidth = None } ];
+      cfret = None;
+      cfbody =
+        [ SDecl (ty, "s", Some init);
+          SFor loop;
+          SAssign (EIndex (EVar "o", EInt 0), EVar "s") ] }
+  in
+  ({ cfuncs = [ f ] }, loop.lid)
+
+let run_reduce prog input =
+  let a = Array.map (fun x -> Cinterp.VI x) input in
+  let o = Array.make 1 (Cinterp.VI 0) in
+  ignore
+    (Cinterp.run_func prog "kernel" [ ("a", Cinterp.VA a); ("o", Cinterp.VA o) ]);
+  match o.(0) with Cinterp.VI v -> v | _ -> Alcotest.fail "VI"
+
+let test_tree_reduce_semantics () =
+  let input = Array.init 13 (fun i -> (i * 5) - 17) in
+  let prog, lid = reduce_prog CInt CAdd in
+  let reference = run_reduce prog input in
+  List.iter
+    (fun lanes ->
+      let p = T.tree_reduce ~lanes ~loop_id:lid prog in
+      Alcotest.(check int)
+        (Printf.sprintf "lanes=%d" lanes)
+        reference (run_reduce p input))
+    [ 2; 3; 4; 5; 13 ]
+
+let expect_te f =
+  try
+    ignore (f ());
+    Alcotest.fail "expected Transform_error"
+  with T.Transform_error _ -> ()
+
+let test_tree_reduce_refusals () =
+  (* Floating-point accumulator: not associative. *)
+  let pf, lf = reduce_prog CFloat CAdd in
+  expect_te (fun () -> T.tree_reduce ~lanes:4 ~loop_id:lf pf);
+  (* The accumulator read inside the reduction operand. *)
+  let l =
+    mk_loop ~var:"i" ~lo:(EInt 0) ~hi:(EInt 8)
+      [ SAssign (EVar "s", EBin (CAdd, EVar "s", EBin (CMul, EVar "s", EInt 2))) ]
+  in
+  let p =
+    { cfuncs =
+        [ { cfname = "kernel";
+            cfparams = [ { cpname = "o"; cpty = CPtr CInt; cpbitwidth = None } ];
+            cfret = None;
+            cfbody = [ SDecl (CInt, "s", Some (EInt 1)); SFor l ] } ] }
+  in
+  expect_te (fun () -> T.tree_reduce ~lanes:2 ~loop_id:l.lid p);
+  (* The accumulator as a loop bound. *)
+  let l2 =
+    mk_loop ~var:"i" ~lo:(EInt 0) ~hi:(EVar "s")
+      [ SAssign (EVar "s", EBin (CAdd, EVar "s", EInt 1)) ]
+  in
+  let p2 =
+    { cfuncs =
+        [ { cfname = "kernel";
+            cfparams = [ { cpname = "o"; cpty = CPtr CInt; cpbitwidth = None } ];
+            cfret = None;
+            cfbody = [ SDecl (CInt, "s", Some (EInt 3)); SFor l2 ] } ] }
+  in
+  expect_te (fun () -> T.tree_reduce ~lanes:2 ~loop_id:l2.lid p2);
+  (* A body that is not a single scalar reduction. *)
+  let prog, lid = prefix_prog () in
+  expect_te (fun () -> T.tree_reduce ~lanes:2 ~loop_id:lid prog)
+
+let test_tree_reduce_unknown_loop_ignored () =
+  let prog, _ = reduce_prog CInt CAdd in
+  let p = T.tree_reduce ~lanes:4 ~loop_id:99_999 prog in
+  Alcotest.(check string) "unchanged" (to_string prog) (to_string p)
+
 (* ---------- transformed workloads stay correct ---------- *)
 
 let test_workload_transformed_equivalence () =
@@ -232,6 +319,75 @@ let random_transform rng prog =
     let l = Rng.choose_list rng candidates in
     T.real_unroll ~factor:(Rng.int_in rng 2 8) ~loop_id:l.lid prog
 
+(* ---------- property: symbolic verdict agrees with the concrete
+   oracle ---------- *)
+
+(* Break a transformed program observably: bump the accumulator's
+   initializer, shifting every prefix sum by one. *)
+let bump_acc_init prog =
+  let rec fix ss =
+    List.map
+      (function
+        | SDecl (t, n, Some (EInt 0)) when String.equal n "acc" ->
+          SDecl (t, n, Some (EInt 1))
+        | SFor l -> SFor { l with lbody = fix l.lbody }
+        | SIf (c, a, b) -> SIf (c, fix a, fix b)
+        | SWhile (c, b) -> SWhile (c, fix b)
+        | s -> s)
+      ss
+  in
+  { cfuncs = List.map (fun f -> { f with cfbody = fix f.cfbody }) prog.cfuncs }
+
+let concretely_refutes p1 p2 (cx : Sym.counterexample) =
+  let deep = function
+    | Cinterp.VA a -> Cinterp.VA (Array.copy a)
+    | v -> v
+  in
+  let run p =
+    let args = List.map (fun (n, v) -> (n, deep v)) cx.Sym.cx_args in
+    match Cinterp.run_func p "kernel" args with
+    | ret -> Ok (ret, args)
+    | exception Cinterp.C_error m -> Error m
+  in
+  match (run p1, run p2) with
+  | Ok (r1, a1), Ok (r2, a2) ->
+    not
+      (r1 = r2
+      && List.for_all2
+           (fun (_, x) (_, y) -> Cinterp.equal_cvalue x y)
+           a1 a2)
+  | Error _, Error _ -> false
+  | _ -> true
+
+let sym_caps = [ ("a", 16); ("o", 16) ]
+
+let prop_symbolic_agrees_with_concrete =
+  QCheck.Test.make
+    ~name:
+      "symbolic verdict agrees with the concrete differential oracle; \
+       counterexamples concretely refute"
+    ~count:60
+    QCheck.(pair bool (int_range 0 1_000_000))
+    (fun (break, seed) ->
+      let rng = Rng.create seed in
+      let prog, _ = prefix_prog () in
+      let p2 = ref prog in
+      for _ = 1 to Rng.int_in rng 1 3 do
+        p2 := random_transform rng !p2
+      done;
+      let p2 = if break then bump_acc_init !p2 else !p2 in
+      match Sym.equiv ~caps:sym_caps ~seed prog p2 "kernel" with
+      | Sym.Proved _ ->
+        (* The concrete oracle must find nothing to disagree with. *)
+        Sym.refute ~caps:sym_caps ~seed prog p2 "kernel" = None
+      | Sym.Refuted cx ->
+        (* Only broken rewrites may be refuted, and the witness must
+           independently re-refute through Cinterp. *)
+        break && concretely_refutes prog p2 cx
+      | Sym.Unknown _ ->
+        (* Never Unknown on these bounded integer kernels. *)
+        false)
+
 let prop_transform_chains_sound =
   QCheck.Test.make ~name:"chains of 2-4 transforms preserve semantics"
     ~count:200
@@ -264,6 +420,14 @@ let () =
             test_unknown_loop_ignored;
           Alcotest.test_case "transformed workload equivalence" `Quick
             test_workload_transformed_equivalence ] );
+      ( "tree-reduce",
+        [ Alcotest.test_case "semantics preserved" `Quick
+            test_tree_reduce_semantics;
+          Alcotest.test_case "illegal shapes refused" `Quick
+            test_tree_reduce_refusals;
+          Alcotest.test_case "unknown loop ignored" `Quick
+            test_tree_reduce_unknown_loop_ignored ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_tiling_sound; prop_transform_chains_sound ] ) ]
+          [ prop_tiling_sound; prop_transform_chains_sound;
+            prop_symbolic_agrees_with_concrete ] ) ]

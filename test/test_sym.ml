@@ -1,0 +1,481 @@
+(* The bounded symbolic evaluator: equivalence proofs for legal Merlin
+   rewrites, concrete counterexamples for broken ones, honest Unknown
+   verdicts where neither is possible, and the coverage signal. *)
+module Csyntax = S2fa_hlsc.Csyntax
+module Cinterp = S2fa_hlsc.Cinterp
+module Sym = S2fa_sym.Sym
+module T = S2fa_merlin.Transform
+module W = S2fa_workloads.Workloads
+module S2fa = S2fa_core.S2fa
+module Fuzz = S2fa_fuzz.Fuzz
+open Csyntax
+
+(* The reference kernel used throughout: prefix sums into a buffer. *)
+let prefix_prog () =
+  let loop =
+    mk_loop ~var:"i" ~lo:(EInt 0) ~hi:(EInt 16)
+      [ SAssign (EVar "acc", EBin (CAdd, EVar "acc", EIndex (EVar "a", EVar "i")));
+        SAssign (EIndex (EVar "o", EVar "i"), EVar "acc") ]
+  in
+  let f =
+    { cfname = "kernel";
+      cfparams =
+        [ { cpname = "a"; cpty = CPtr CInt; cpbitwidth = None };
+          { cpname = "o"; cpty = CPtr CInt; cpbitwidth = None } ];
+      cfret = None;
+      cfbody = [ SDecl (CInt, "acc", Some (EInt 0)); SFor loop ] }
+  in
+  ({ cfuncs = [ f ] }, loop.lid)
+
+let prefix_caps = [ ("a", 16); ("o", 16) ]
+
+let tile_cfg lid t =
+  { T.cfg_loops =
+      [ (lid, { T.lc_tile = t; lc_parallel = 1; lc_pipeline = PipeOff }) ];
+    cfg_bitwidths = [] }
+
+let check_proved name v =
+  match v with
+  | Sym.Proved st ->
+    Alcotest.(check bool) (name ^ ": proved some outputs") true
+      (st.Sym.pv_outputs > 0)
+  | v -> Alcotest.failf "%s: expected Proved, got %a" name Sym.pp_verdict v
+
+(* A refutation must carry a witness that independently re-refutes: both
+   programs re-run through Cinterp on cx_args from scratch must actually
+   disagree (or trap on exactly one side). *)
+let check_refuted name p1 p2 v =
+  match v with
+  | Sym.Refuted cx ->
+    let deep = function
+      | Cinterp.VA a -> Cinterp.VA (Array.copy a)
+      | v -> v
+    in
+    let run p =
+      let args = List.map (fun (n, v) -> (n, deep v)) cx.Sym.cx_args in
+      match Cinterp.run_func p "kernel" args with
+      | ret -> Ok (ret, args)
+      | exception Cinterp.C_error m -> Error m
+    in
+    (match (run p1, run p2) with
+    | Ok (r1, a1), Ok (r2, a2) ->
+      let eq =
+        r1 = r2
+        && List.for_all2
+             (fun (_, x) (_, y) -> Cinterp.equal_cvalue x y)
+             a1 a2
+      in
+      Alcotest.(check bool) (name ^ ": witness refutes concretely") false eq
+    | Error _, Error _ ->
+      Alcotest.failf "%s: witness traps both programs" name
+    | _ -> (* a one-sided trap is a genuine behavioural difference *) ())
+  | v -> Alcotest.failf "%s: expected Refuted, got %a" name Sym.pp_verdict v
+
+(* ---------- proofs ---------- *)
+
+let test_identity_proved () =
+  let p, _ = prefix_prog () in
+  check_proved "identity" (Sym.equiv ~caps:prefix_caps p p "kernel")
+
+let test_tile_unroll_proved () =
+  let p, lid = prefix_prog () in
+  List.iter
+    (fun (name, p2) ->
+      check_proved name (Sym.equiv ~caps:prefix_caps p p2 "kernel"))
+    [ ("tile 4 (even)", T.apply (tile_cfg lid 4) p);
+      ("tile 5 (remainder)", T.apply (tile_cfg lid 5) p);
+      ("unroll 3", T.real_unroll ~factor:3 ~loop_id:lid p) ]
+
+(* The normalizer itself: a fully left-associated sum against its
+   right-associated, commuted regrouping — exactly the shape tree
+   reduction produces. *)
+let test_regrouped_sum_proved () =
+  let sum_prog e =
+    { cfuncs =
+        [ { cfname = "kernel";
+            cfparams =
+              [ { cpname = "a"; cpty = CPtr CInt; cpbitwidth = None };
+                { cpname = "o"; cpty = CPtr CInt; cpbitwidth = None } ];
+            cfret = None;
+            cfbody = [ SAssign (EIndex (EVar "o", EInt 0), e) ] } ] }
+  in
+  let a i = EIndex (EVar "a", EInt i) in
+  let left =
+    EBin (CAdd, EBin (CAdd, EBin (CAdd, a 0, a 1), a 2), a 3)
+  in
+  let regrouped =
+    EBin (CAdd, EBin (CAdd, a 3, a 1), EBin (CAdd, a 2, a 0))
+  in
+  check_proved "regrouped int sum"
+    (Sym.equiv ~caps:[ ("a", 4); ("o", 1) ] (sum_prog left)
+       (sum_prog regrouped) "kernel")
+
+(* ---------- tree reduction ---------- *)
+
+let reduce_prog ?(n = 13) ty op =
+  let elty = match ty with CLong -> CLong | t -> t in
+  let loop =
+    mk_loop ~var:"i" ~lo:(EInt 0) ~hi:(EInt n)
+      [ SAssign (EVar "s", EBin (op, EVar "s", EIndex (EVar "a", EVar "i"))) ]
+  in
+  let init =
+    match ty with
+    | CLong -> ELong 0L
+    | CFloat | CDouble -> EFloat 0.0
+    | _ -> EInt 0
+  in
+  let f =
+    { cfname = "kernel";
+      cfparams =
+        [ { cpname = "a"; cpty = CPtr elty; cpbitwidth = None };
+          { cpname = "o"; cpty = CPtr elty; cpbitwidth = None } ];
+      cfret = None;
+      cfbody =
+        [ SDecl (ty, "s", Some init);
+          SFor loop;
+          SAssign (EIndex (EVar "o", EInt 0), EVar "s") ] }
+  in
+  ({ cfuncs = [ f ] }, loop.lid)
+
+let reduce_caps = [ ("a", 13); ("o", 1) ]
+
+let test_tree_reduce_proved () =
+  List.iter
+    (fun (name, ty, op, lanes) ->
+      let p, lid = reduce_prog ty op in
+      let p2 = T.tree_reduce ~lanes ~loop_id:lid p in
+      check_proved name (Sym.equiv ~caps:reduce_caps p p2 "kernel"))
+    [ ("int sum, 4 lanes", CInt, CAdd, 4);
+      ("int product, 3 lanes", CInt, CMul, 3);
+      ("long sum, 5 lanes", CLong, CAdd, 5) ]
+
+let test_tree_reduce_refuses_float () =
+  let p, lid = reduce_prog CFloat CAdd in
+  try
+    ignore (T.tree_reduce ~lanes:4 ~loop_id:lid p);
+    Alcotest.fail "float reduction must be refused"
+  with T.Transform_error m ->
+    Alcotest.(check bool) "mentions associativity" true
+      (let rec has i =
+         i + 11 <= String.length m
+         && (String.sub m i 11 = "associative" || has (i + 1))
+       in
+       has 0)
+
+(* ---------- mutation negatives: broken rewrites are refuted ---------- *)
+
+(* Off-by-one tile bound: decrement the tile guard the transform emits. *)
+let test_broken_tile_refuted () =
+  let p, lid = prefix_prog () in
+  let p2 = T.apply (tile_cfg lid 4) p in
+  let rec fix_stmts ss = List.map fix_stmt ss
+  and fix_stmt = function
+    | SIf (EBin (CLt, v, EInt n), a, b) ->
+      SIf (EBin (CLt, v, EInt (n - 1)), fix_stmts a, fix_stmts b)
+    | SIf (c, a, b) -> SIf (c, fix_stmts a, fix_stmts b)
+    | SFor l -> SFor { l with lbody = fix_stmts l.lbody }
+    | SWhile (c, b) -> SWhile (c, fix_stmts b)
+    | s -> s
+  in
+  let broken =
+    { cfuncs =
+        List.map (fun f -> { f with cfbody = fix_stmts f.cfbody }) p2.cfuncs }
+  in
+  check_refuted "off-by-one tile bound" p broken
+    (Sym.equiv ~caps:prefix_caps p broken "kernel")
+
+(* Dropped reduction init: a tree-reduced sum whose lane 0 starts at 7
+   instead of the identity. *)
+let test_dropped_init_refuted () =
+  let p, lid = reduce_prog CInt CAdd in
+  let p2 = T.tree_reduce ~lanes:4 ~loop_id:lid p in
+  let rec fix_stmts ss = List.map fix_stmt ss
+  and fix_stmt = function
+    | SDecl (t, n, Some _) when String.equal n "s_r0" ->
+      SDecl (t, n, Some (EInt 7))
+    | SFor l -> SFor { l with lbody = fix_stmts l.lbody }
+    | SIf (c, a, b) -> SIf (c, fix_stmts a, fix_stmts b)
+    | s -> s
+  in
+  let broken =
+    { cfuncs =
+        List.map (fun f -> { f with cfbody = fix_stmts f.cfbody }) p2.cfuncs }
+  in
+  check_refuted "dropped reduction init" p broken
+    (Sym.equiv ~caps:reduce_caps p broken "kernel")
+
+(* Reordered float reduction: s += a[i]/3 summed sequentially vs in two
+   strided lanes. The divisions round, so the regrouped sum differs on
+   concrete inputs — the verifier must find and confirm such a witness. *)
+let float_seq_prog () =
+  let body i = EBin (CDiv, EIndex (EVar "a", i), EFloat 3.0) in
+  let mk stmts =
+    { cfuncs =
+        [ { cfname = "kernel";
+            cfparams =
+              [ { cpname = "a"; cpty = CPtr CFloat; cpbitwidth = None };
+                { cpname = "o"; cpty = CPtr CFloat; cpbitwidth = None } ];
+            cfret = None;
+            cfbody = stmts } ] }
+  in
+  let seq =
+    let l =
+      mk_loop ~var:"i" ~lo:(EInt 0) ~hi:(EInt 6)
+        [ SAssign (EVar "s", EBin (CAdd, EVar "s", body (EVar "i"))) ]
+    in
+    mk
+      [ SDecl (CFloat, "s", Some (EFloat 0.0));
+        SFor l;
+        SAssign (EIndex (EVar "o", EInt 0), EVar "s") ]
+  in
+  let lanes =
+    let l =
+      mk_loop ~var:"i" ~lo:(EInt 0) ~hi:(EInt 6) ~step:2
+        [ SAssign (EVar "s0", EBin (CAdd, EVar "s0", body (EVar "i")));
+          SAssign
+            ( EVar "s1",
+              EBin (CAdd, EVar "s1", body (EBin (CAdd, EVar "i", EInt 1))) ) ]
+    in
+    mk
+      [ SDecl (CFloat, "s0", Some (EFloat 0.0));
+        SDecl (CFloat, "s1", Some (EFloat 0.0));
+        SFor l;
+        SAssign
+          (EIndex (EVar "o", EInt 0), EBin (CAdd, EVar "s0", EVar "s1")) ]
+  in
+  (seq, lanes)
+
+let float_caps = [ ("a", 6); ("o", 1) ]
+
+let test_float_reorder_refuted () =
+  let seq, lanes = float_seq_prog () in
+  check_refuted "reordered float reduce" seq lanes
+    (Sym.equiv ~caps:float_caps ~samples:64 seq lanes "kernel")
+
+(* The same regrouping over exact float values (no rounding anywhere):
+   symbolically unequal, concretely indistinguishable — the verifier
+   must say Unknown rather than invent a refutation. *)
+let test_float_exact_reorder_unknown () =
+  let a i = EIndex (EVar "a", EInt i) in
+  let mk e =
+    { cfuncs =
+        [ { cfname = "kernel";
+            cfparams =
+              [ { cpname = "a"; cpty = CPtr CFloat; cpbitwidth = None };
+                { cpname = "o"; cpty = CPtr CFloat; cpbitwidth = None } ];
+            cfret = None;
+            cfbody = [ SAssign (EIndex (EVar "o", EInt 0), e) ] } ] }
+  in
+  let left = EBin (CAdd, EBin (CAdd, a 0, a 1), a 2) in
+  let right = EBin (CAdd, a 0, EBin (CAdd, a 1, a 2)) in
+  match
+    Sym.equiv ~caps:[ ("a", 3); ("o", 1) ] (mk left) (mk right) "kernel"
+  with
+  | Sym.Unknown _ -> ()
+  | v ->
+    Alcotest.failf "expected Unknown for exact float regroup, got %a"
+      Sym.pp_verdict v
+
+(* ---------- limits ---------- *)
+
+let test_symbolic_while_unknown () =
+  let p =
+    { cfuncs =
+        [ { cfname = "kernel";
+            cfparams =
+              [ { cpname = "n"; cpty = CInt; cpbitwidth = None };
+                { cpname = "o"; cpty = CPtr CInt; cpbitwidth = None } ];
+            cfret = None;
+            cfbody =
+              [ SDecl (CInt, "i", Some (EInt 0));
+                SWhile
+                  ( EBin (CLt, EVar "i", EVar "n"),
+                    [ SAssign (EVar "i", EBin (CAdd, EVar "i", EInt 1)) ] );
+                SAssign (EIndex (EVar "o", EInt 0), EVar "i") ] } ] }
+  in
+  match Sym.equiv ~caps:[ ("o", 1) ] p p "kernel" with
+  | Sym.Unknown _ -> ()
+  | v -> Alcotest.failf "expected Unknown for symbolic while, got %a"
+           Sym.pp_verdict v
+
+let test_trip_budget_unknown () =
+  let l = mk_loop ~var:"i" ~lo:(EInt 0) ~hi:(EInt 1000) [] in
+  let p =
+    { cfuncs =
+        [ { cfname = "kernel";
+            cfparams = [ { cpname = "o"; cpty = CPtr CInt; cpbitwidth = None } ];
+            cfret = None;
+            cfbody = [ SFor l ] } ] }
+  in
+  let budget = { Sym.default_budget with Sym.bg_trip = 100 } in
+  match Sym.equiv ~budget ~caps:[ ("o", 1) ] p p "kernel" with
+  | Sym.Unknown _ -> ()
+  | v -> Alcotest.failf "expected Unknown past trip budget, got %a"
+           Sym.pp_verdict v
+
+(* ---------- transform self-check backstop ---------- *)
+
+let test_self_check_passes_legal () =
+  T.set_self_check true;
+  Fun.protect
+    ~finally:(fun () -> T.set_self_check false)
+    (fun () ->
+      Alcotest.(check bool) "enabled" true (T.self_check_enabled ());
+      let p, lid = prefix_prog () in
+      ignore (T.apply (tile_cfg lid 4) p);
+      ignore (T.real_unroll ~factor:3 ~loop_id:lid p);
+      let rp, rlid = reduce_prog CInt CAdd in
+      ignore (T.tree_reduce ~lanes:4 ~loop_id:rlid rp))
+
+(* ---------- coverage ---------- *)
+
+let branchy_prog () =
+  let l =
+    mk_loop ~var:"i" ~lo:(EInt 0) ~hi:(EInt 8)
+      [ SIf
+          ( EBin (CGt, EIndex (EVar "a", EVar "i"), EInt 0),
+            [ SAssign (EIndex (EVar "o", EVar "i"), EInt 1) ],
+            [ SAssign (EIndex (EVar "o", EVar "i"), EInt 0) ] ) ]
+  in
+  { cfuncs =
+      [ { cfname = "kernel";
+          cfparams =
+            [ { cpname = "a"; cpty = CPtr CInt; cpbitwidth = None };
+              { cpname = "o"; cpty = CPtr CInt; cpbitwidth = None } ];
+          cfret = None;
+          cfbody = [ SFor l ] } ] }
+
+let test_coverage_deterministic () =
+  let p = branchy_prog () in
+  let caps = [ ("a", 8); ("o", 8) ] in
+  let c1 = Sym.coverage ~caps p "kernel" in
+  let c2 = Sym.coverage ~caps p "kernel" in
+  (match c1 with
+  | Ok feats ->
+    Alcotest.(check bool) "branchy kernel has features" true (feats <> []);
+    Alcotest.(check bool) "sorted" true
+      (List.sort_uniq compare feats = feats)
+  | Error m -> Alcotest.failf "coverage gave up: %s" m);
+  Alcotest.(check bool) "same features twice" true (c1 = c2)
+
+let test_coverage_distinguishes () =
+  let p1 = branchy_prog () in
+  let p2, _ = prefix_prog () in
+  let f1 = Sym.coverage ~caps:[ ("a", 8); ("o", 8) ] p1 "kernel" in
+  let f2 = Sym.coverage ~caps:prefix_caps p2 "kernel" in
+  Alcotest.(check bool) "different programs, different features" true
+    (f1 <> f2)
+
+(* ---------- concrete refuter ---------- *)
+
+let test_refute_finds_witness () =
+  let p, lid = prefix_prog () in
+  let p2 = T.apply (tile_cfg lid 4) p in
+  Alcotest.(check bool) "legal rewrite: no witness" true
+    (Sym.refute ~caps:prefix_caps p p2 "kernel" = None);
+  let rec drop_store ss =
+    List.concat_map
+      (function
+        | SAssign (EIndex (EVar "o", EVar "i"), _) -> []
+        | SFor l -> [ SFor { l with lbody = drop_store l.lbody } ]
+        | SIf (c, a, b) -> [ SIf (c, drop_store a, drop_store b) ]
+        | s -> [ s ])
+      ss
+  in
+  let broken =
+    { cfuncs =
+        List.map (fun f -> { f with cfbody = drop_store f.cfbody }) p2.cfuncs }
+  in
+  Alcotest.(check bool) "dropped store: witness found" true
+    (Sym.refute ~caps:prefix_caps p broken "kernel" <> None)
+
+(* ---------- workloads ---------- *)
+
+let workload_caps c ~tasks = Fuzz.scale_caps ~tasks c.S2fa.c_buffer_elems
+
+let test_workload_identity_proved () =
+  List.iter
+    (fun name ->
+      let w = Option.get (W.find name) in
+      let c = W.compile w in
+      let flat = c.S2fa.c_flat in
+      let caps = workload_caps c ~tasks:2 in
+      check_proved name
+        (Sym.equiv ~caps ~bindings:[ ("N", Cinterp.VI 2) ] flat flat "kernel"))
+    [ "PR"; "KMeans"; "KNN"; "LR"; "SVM"; "LLS"; "AES"; "S-W" ]
+
+(* Every legal per-loop tile/unroll on all 8 paper workloads proves —
+   the PR's acceptance bar, in-suite. *)
+let test_workload_transforms_proved () =
+  List.iter
+    (fun name ->
+      let w = Option.get (W.find name) in
+      let c = W.compile w in
+      let flat = c.S2fa.c_flat in
+      let caps = workload_caps c ~tasks:2 in
+      let bindings = [ ("N", Cinterp.VI 2) ] in
+      let lids = ref [] in
+      List.iter
+        (fun (f : cfunc) ->
+          iter_loops
+            (fun _ l -> if l.lstep = 1 then lids := l.lid :: !lids)
+            f.cfbody)
+        flat.cfuncs;
+      List.iter
+        (fun lid ->
+          List.iter
+            (fun (kind, mk) ->
+              match mk () with
+              | exception T.Transform_error _ -> ()
+              | p2 ->
+                check_proved
+                  (Printf.sprintf "%s %s@L%d" name kind lid)
+                  (Sym.equiv ~caps ~bindings flat p2 "kernel"))
+            [ ("tile4", fun () -> T.apply (tile_cfg lid 4) flat);
+              ("unroll3", fun () -> T.real_unroll ~factor:3 ~loop_id:lid flat);
+              ("reduce4",
+               fun () -> T.tree_reduce ~lanes:4 ~loop_id:lid flat) ])
+        !lids)
+    [ "PR"; "KMeans"; "KNN"; "LR"; "SVM"; "LLS"; "AES"; "S-W" ]
+
+let () =
+  Alcotest.run "sym"
+    [ ( "proofs",
+        [ Alcotest.test_case "identity" `Quick test_identity_proved;
+          Alcotest.test_case "tile + unroll" `Quick test_tile_unroll_proved;
+          Alcotest.test_case "regrouped int sum" `Quick
+            test_regrouped_sum_proved;
+          Alcotest.test_case "tree reduction" `Quick test_tree_reduce_proved
+        ] );
+      ( "negatives",
+        [ Alcotest.test_case "off-by-one tile bound" `Quick
+            test_broken_tile_refuted;
+          Alcotest.test_case "dropped reduction init" `Quick
+            test_dropped_init_refuted;
+          Alcotest.test_case "reordered float reduce" `Quick
+            test_float_reorder_refuted;
+          Alcotest.test_case "float reduction refused" `Quick
+            test_tree_reduce_refuses_float ] );
+      ( "limits",
+        [ Alcotest.test_case "exact float regroup is Unknown" `Quick
+            test_float_exact_reorder_unknown;
+          Alcotest.test_case "symbolic while is Unknown" `Quick
+            test_symbolic_while_unknown;
+          Alcotest.test_case "trip budget is Unknown" `Quick
+            test_trip_budget_unknown ] );
+      ( "self-check",
+        [ Alcotest.test_case "legal rewrites pass" `Quick
+            test_self_check_passes_legal ] );
+      ( "coverage",
+        [ Alcotest.test_case "deterministic" `Quick
+            test_coverage_deterministic;
+          Alcotest.test_case "distinguishes programs" `Quick
+            test_coverage_distinguishes ] );
+      ( "refuter",
+        [ Alcotest.test_case "finds witnesses" `Quick
+            test_refute_finds_witness ] );
+      ( "workloads",
+        [ Alcotest.test_case "identity on all 8" `Slow
+            test_workload_identity_proved;
+          Alcotest.test_case "all legal rewrites on all 8" `Slow
+            test_workload_transforms_proved ] ) ]
