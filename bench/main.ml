@@ -15,11 +15,14 @@
      [TRACE]        - telemetry overhead: off / collector / JSONL sink
      [FAULT]        - fault-injector overhead and virtual-minutes bill
      [SERVE]        - multi-tenant serving throughput/latency per policy
-     [SYM]          - symbolic verifier wall time per workload/chain; also
-                      persists BENCH_sym_verify.json (the perf trajectory)
+     [SYM]          - symbolic verifier wall time per workload/chain
+
+   Every Bechamel section persists its estimates to BENCH_<section>.json
+   (the perf trajectory; compare runs with `s2fa perf diff OLD NEW`).
 
    With no arguments every section runs; section tags on the command line
-   (e.g. `main.exe SYM SERVE`) restrict the run to those sections. *)
+   (e.g. `main.exe SYM SERVE`) restrict the run to those sections; an
+   unknown tag prints the known sections and exits non-zero. *)
 
 module W = S2fa_workloads.Workloads
 module S2fa = S2fa_core.S2fa
@@ -41,6 +44,7 @@ module Fuzz = S2fa_fuzz.Fuzz
 module Transform = S2fa_merlin.Transform
 module Csyntax = S2fa_hlsc.Csyntax
 module Cinterp = S2fa_hlsc.Cinterp
+module Perf = S2fa_obs.Perf
 
 let fig3_seeds = [ 1; 7; 13 ]
 
@@ -502,6 +506,15 @@ let run_bechamel tests =
         results [])
     tests
 
+(* Every Bechamel section persists its estimates as a perf trajectory
+   (BENCH_<section>.json); `s2fa perf diff OLD NEW` gates regressions
+   against the committed baselines in CI. *)
+let persist_trajectory section rows =
+  let path = Printf.sprintf "BENCH_%s.json" section in
+  Perf.save path
+    { Perf.p_bench = section; p_unit = "ns/run"; p_results = rows };
+  Printf.printf "  -> wrote %s (%d entries)\n" path (List.length rows)
+
 let bechamel_bench () =
   section "BENCH" "Bechamel - throughput of each reproduced artifact's stage";
   let open Bechamel in
@@ -529,7 +542,7 @@ let bechamel_bench () =
          (Staged.stage (fun () ->
               Resultdb.memoize db (S2fa.objective ~tasks:4096 c) cfg))) ]
   in
-  ignore (run_bechamel tests : (string * float) list)
+  persist_trajectory "stage_throughput" (run_bechamel tests)
 
 (* ------------------------------------------------------------------ *)
 (* Telemetry overhead: the same small DSE with tracing off, with the
@@ -565,7 +578,7 @@ let telemetry_overhead () =
                ~trace:(Telemetry.create ~sinks:[ Telemetry.buffer_sink buf ] ())
                ())) ]
   in
-  ignore (run_bechamel tests : (string * float) list)
+  persist_trajectory "telemetry_overhead" (run_bechamel tests)
 
 (* ------------------------------------------------------------------ *)
 (* Fault-injection overhead: the same small DSE with the injector off
@@ -599,7 +612,7 @@ let fault_overhead () =
         (Staged.stage (fun () ->
              run ~faults:(Fault.create ~seed:7 spec) ())) ]
   in
-  ignore (run_bechamel tests : (string * float) list);
+  persist_trajectory "fault_overhead" (run_bechamel tests);
   (* The virtual-clock side of the bill: minutes lost per failure class
      on one representative faulted run. *)
   let clean = run () in
@@ -664,7 +677,7 @@ let cluster_throughput () =
   (* The scheduler hot path: one full serving run per measurement, all
      policies, so regressions in dispatch/pick show up here. *)
   let open Bechamel in
-  ignore
+  persist_trajectory "cluster_throughput"
     (run_bechamel
        (List.map
           (fun policy ->
@@ -672,8 +685,7 @@ let cluster_throughput () =
             Test.make
               ~name:(Printf.sprintf "serve.%s" (Fleet.policy_name policy))
               (Staged.stage (fun () -> Fleet.serve ~opts apps requests)))
-          Fleet.all_policies)
-      : (string * float) list)
+          Fleet.all_policies))
 
 (* ------------------------------------------------------------------ *)
 (* Symbolic verifier cost: Sym.equiv wall time per workload/chain, the
@@ -681,8 +693,6 @@ let cluster_throughput () =
    persisted to BENCH_sym_verify.json so the verifier's cost stays
    visible in the perf trajectory PR over PR. *)
 (* ------------------------------------------------------------------ *)
-
-let bench_json = "BENCH_sym_verify.json"
 
 let sym_verify () =
   section "SYM" "Bechamel - symbolic verifier wall time per workload/chain";
@@ -786,23 +796,8 @@ let sym_verify () =
         (Staged.stage
            (prove (Transform.tree_reduce ~lanes:4 ~loop_id:loop.lid prog))) ]
   in
-  let rows =
-    run_bechamel (List.concat_map chain_tests compiled @ synth_tests)
-  in
-  let rows = List.sort compare rows in
-  let oc = open_out bench_json in
-  Printf.fprintf oc
-    "{\n  \"bench\": \"sym_verify\",\n  \"unit\": \"ns/run\",\n  \
-     \"results\": {\n";
-  let n = List.length rows in
-  List.iteri
-    (fun i (name, ns) ->
-      Printf.fprintf oc "    \"%s\": %.0f%s\n" name ns
-        (if i = n - 1 then "" else ","))
-    rows;
-  Printf.fprintf oc "  }\n}\n";
-  close_out oc;
-  Printf.printf "  -> wrote %s (%d entries)\n" bench_json n
+  persist_trajectory "sym_verify"
+    (run_bechamel (List.concat_map chain_tests compiled @ synth_tests))
 
 (* ------------------------------------------------------------------ *)
 

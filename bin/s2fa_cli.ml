@@ -14,6 +14,13 @@
                    [--tasks N]              (prove/refute Merlin rewrites)
      s2fa serve    [--apps SPEC] [--policy P] [--devices N] [--seed N]
                    [--horizon S] [--faults SPEC] [--trace FILE]
+                   [--metrics FILE]         (Prometheus text exposition)
+     s2fa prof     FILE [--top N]           (replay a --profile span log)
+     s2fa perf     diff OLD NEW [--threshold PCT]  (perf-trajectory gate)
+
+   dse, verify, fuzz and serve also take --profile FILE: a hierarchical
+   span log of the run (JSONL + FILE.folded flamegraph stacks), off by
+   default and observer-effect-free when enabled.
 
    Everything runs against the simulated F1 instance; see DESIGN.md. *)
 
@@ -37,6 +44,8 @@ module Dspace = S2fa_dse.Dspace
 module Space = S2fa_tuner.Space
 module Fleet = S2fa_fleet.Fleet
 module Traffic = S2fa_workloads.Traffic
+module Obs = S2fa_obs.Obs
+module Perf = S2fa_obs.Perf
 open Cmdliner
 
 let workload_arg =
@@ -92,6 +101,48 @@ let make_tracer path =
       Telemetry.logs_sink ~level () :: sinks
   in
   (Telemetry.create ~sinks (), oc)
+
+(* --profile FILE plumbing: install an ambient span profiler around the
+   command body and persist the completed spans on the way out — both as
+   JSONL (inspect with `s2fa prof FILE`) and as a folded-stack file
+   (FILE.folded, for flamegraph.pl / speedscope). Host wall/alloc fields
+   are serialized only when S2FA_PROFILE_HOST asks for them, so the
+   default log is byte-reproducible under a fixed seed. The writer also
+   runs from at_exit because several commands exit non-zero mid-body
+   (verify's refutations, fuzz's failures). *)
+let profile_arg =
+  let doc =
+    "Write a span profile of the run: FILE gets one JSON span per line \
+     (deterministic virtual-clock stamps; set S2FA_PROFILE_HOST=1 to add \
+     host wall/alloc fields) and FILE.folded a folded-stack file for \
+     flamegraph tools. Inspect with `s2fa prof FILE`."
+  in
+  Arg.(value & opt (some string) None & info [ "profile" ] ~docv:"FILE" ~doc)
+
+let with_profile path f =
+  match path with
+  | None -> f ()
+  | Some path ->
+    let p = Obs.Profiler.create () in
+    let written = ref false in
+    let finish () =
+      if not !written then begin
+        written := true;
+        let spans = Obs.Profiler.spans p in
+        let oc = open_out path in
+        Obs.write_jsonl ~host:(Obs.host_requested ()) oc spans;
+        close_out oc;
+        let oc = open_out (path ^ ".folded") in
+        Obs.write_folded oc spans;
+        close_out oc;
+        Printf.printf "# profile: %d spans -> %s (+ %s.folded)\n"
+          (List.length spans) path path
+      end
+    in
+    at_exit finish;
+    let r = Obs.with_profiler p f in
+    finish ();
+    r
 
 (* ---------- list ---------- *)
 
@@ -247,7 +298,8 @@ let dse_cmd =
     Arg.(value & opt float 30.0 & info [ "ck-every" ] ~docv:"MINUTES" ~doc)
   in
   let run workload file mode seed minutes shared_db trace_file fault_spec
-      ck_file ck_every =
+      ck_file ck_every profile =
+    with_profile profile @@ fun () ->
     let tracer = Option.map make_tracer trace_file in
     let trace = Option.map fst tracer in
     let _, c = compiled_of ?trace ~workload ~file () in
@@ -303,7 +355,7 @@ let dse_cmd =
     Term.(
       const run $ workload_arg $ file_arg $ mode_arg $ seed_arg $ minutes_arg
       $ shared_db_arg $ trace_arg $ faults_arg $ checkpoint_arg
-      $ ck_every_arg)
+      $ ck_every_arg $ profile_arg)
 
 (* ---------- resume ---------- *)
 
@@ -512,7 +564,8 @@ let verify_cmd =
     let doc = "Task count the kernel is run with." in
     Arg.(value & opt int 2 & info [ "tasks" ] ~doc)
   in
-  let run workload all symbolic chains seed tasks =
+  let run workload all symbolic chains seed tasks profile =
+    with_profile profile @@ fun () ->
     let names =
       if all then List.map (fun (w : W.t) -> w.W.w_name) W.all
       else
@@ -617,7 +670,7 @@ let verify_cmd =
           bounded symbolic evaluator's equivalence proof.")
     Term.(
       const run $ workload_arg $ all_arg $ symbolic_arg $ chains_arg
-      $ seed_arg $ tasks_arg)
+      $ seed_arg $ tasks_arg $ profile_arg)
 
 let fuzz_cmd =
   let count_arg =
@@ -639,7 +692,8 @@ let fuzz_cmd =
     in
     Arg.(value & flag & info [ "coverage" ] ~doc)
   in
-  let run seed count out no_shrink coverage =
+  let run seed count out no_shrink coverage profile =
+    with_profile profile @@ fun () ->
     let st =
       Fuzz.run_campaign ~shrink:(not no_shrink) ~coverage ~seed ~count ()
     in
@@ -667,7 +721,7 @@ let fuzz_cmd =
           the verify / JVM-vs-C / transform / estimate oracles.")
     Term.(
       const run $ seed_arg $ count_arg $ out_arg $ no_shrink_arg
-      $ coverage_arg)
+      $ coverage_arg $ profile_arg)
 
 (* ---------- serve ---------- *)
 
@@ -708,6 +762,37 @@ let serve_cmd =
     let doc = "Write a JSONL telemetry trace of the serving run." in
     Arg.(value & opt (some string) None & info [ "trace" ] ~doc)
   in
+  let metrics_arg =
+    let doc =
+      "Write the run's metrics registry and fleet report as a \
+       Prometheus text exposition (counters, gauges, histograms)."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  (* The fleet report's headline numbers, as gauges alongside the
+     registry so one scrape file carries the whole run. *)
+  let fleet_gauges (r : Fleet.report) =
+    let b = Buffer.create 256 in
+    let gauge name v =
+      Buffer.add_string b
+        (Printf.sprintf "# TYPE s2fa_fleet_%s gauge\ns2fa_fleet_%s %s\n" name
+           name v)
+    in
+    let g_i name i = gauge name (string_of_int i) in
+    let g_f name f = gauge name (Telemetry.Json.fstr f) in
+    g_i "devices" r.Fleet.rp_devices;
+    g_i "requests" r.Fleet.rp_requests;
+    g_i "accelerated" r.Fleet.rp_accelerated;
+    g_i "fallbacks" r.Fleet.rp_fallbacks;
+    g_i "batches" r.Fleet.rp_batches;
+    g_i "reconfigs" r.Fleet.rp_reconfigs;
+    g_i "requeued" r.Fleet.rp_requeued;
+    g_i "devices_lost" r.Fleet.rp_devices_lost;
+    g_f "makespan_seconds" r.Fleet.rp_makespan;
+    g_f "throughput_rps" r.Fleet.rp_throughput;
+    g_f "fairness" r.Fleet.rp_fairness;
+    Buffer.contents b
+  in
   let parse_tenants spec batch queue_cap =
     String.split_on_char ',' spec
     |> List.map String.trim
@@ -735,7 +820,8 @@ let serve_cmd =
            Traffic.tenant ~rate ~weight ~batch ~queue_cap (load_workload name))
   in
   let run apps_spec policy_name devices seed horizon batch queue_cap faults
-      trace_path =
+      trace_path metrics_path profile =
+    with_profile profile @@ fun () ->
     let policy =
       match Fleet.policy_of_name policy_name with
       | Some p -> p
@@ -746,7 +832,14 @@ let serve_cmd =
     in
     let tenants = parse_tenants apps_spec batch queue_cap in
     let tracer = Option.map make_tracer trace_path in
-    let trace = Option.map fst tracer in
+    let trace =
+      (* --metrics without --trace still needs a tracer for the registry
+         to populate; a sink-less one emits nothing. *)
+      match (tracer, metrics_path) with
+      | Some (tr, _), _ -> Some tr
+      | None, Some _ -> Some (Telemetry.create ~sinks:[] ())
+      | None, None -> None
+    in
     let faults = Option.map (fun s -> make_injector ~seed s) faults in
     let apps = Traffic.apps ?trace ~seed tenants in
     let requests = Traffic.requests ~seed ~horizon tenants in
@@ -756,6 +849,15 @@ let serve_cmd =
     (match faults with
     | Some f -> Format.printf "# faults: %a@." Fault.pp_stats (Fault.stats f)
     | None -> ());
+    (match (metrics_path, trace) with
+    | Some path, Some tr ->
+      let snap = Telemetry.Metrics.snapshot (Telemetry.metrics tr) in
+      let oc = open_out path in
+      output_string oc (Obs.prometheus_of_snapshot snap);
+      output_string oc (fleet_gauges outcome.Fleet.oc_report);
+      close_out oc;
+      Printf.printf "# metrics: %s\n" path
+    | _ -> ());
     match tracer with
     | Some (_, oc) ->
       close_out oc;
@@ -769,7 +871,78 @@ let serve_cmd =
           kernels under open-loop traffic.")
     Term.(
       const run $ apps_arg $ policy_arg $ devices_arg $ seed_arg $ horizon_arg
-      $ batch_arg $ queue_cap_arg $ faults_arg $ trace_arg)
+      $ batch_arg $ queue_cap_arg $ faults_arg $ trace_arg $ metrics_arg
+      $ profile_arg)
+
+(* ---------- prof ---------- *)
+
+let prof_cmd =
+  let prof_file_arg =
+    let doc = "Span JSONL profile written by --profile." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PROFILE" ~doc)
+  in
+  let top_arg =
+    let doc = "Hotspots to list in the self-time ranking." in
+    Arg.(value & opt int 10 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let run path top =
+    match Obs.load_file path with
+    | exception Failure m ->
+      Printf.eprintf "%s\n" m;
+      exit 1
+    | spans -> Obs.print_report ~top Format.std_formatter spans
+  in
+  Cmd.v
+    (Cmd.info "prof"
+       ~doc:
+         "Replay a span profile: the aggregated span tree with total and \
+          self time, the per-stage share table, and the top self-time \
+          hotspots — all reconstructed from the JSONL log alone.")
+    Term.(const run $ prof_file_arg $ top_arg)
+
+(* ---------- perf ---------- *)
+
+let perf_cmd =
+  let old_file_arg =
+    let doc = "Baseline trajectory (a committed BENCH_<section>.json)." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"OLD" ~doc)
+  in
+  let new_file_arg =
+    let doc = "Fresh trajectory to compare against the baseline." in
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"NEW" ~doc)
+  in
+  let threshold_arg =
+    let doc =
+      "Relative slowdown (percent) a benchmark may show before the diff \
+       counts it as a regression and exits non-zero."
+    in
+    Arg.(value & opt float 10.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+  in
+  let diff_cmd =
+    let run old_path new_path threshold =
+      let load path =
+        match Perf.load path with
+        | t -> t
+        | exception Failure m ->
+          Printf.eprintf "%s\n" m;
+          exit 1
+      in
+      let p_old = load old_path and p_new = load new_path in
+      let d = Perf.diff ~threshold p_old p_new in
+      Perf.print_diff Format.std_formatter ~threshold p_old p_new d;
+      if d.Perf.d_regressions <> [] then exit 1
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two BENCH_<section>.json trajectories; exit non-zero \
+            when any benchmark regressed past --threshold. The CI perf \
+            gate runs this against the committed baselines.")
+      Term.(const run $ old_file_arg $ new_file_arg $ threshold_arg)
+  in
+  Cmd.group
+    (Cmd.info "perf" ~doc:"Perf-trajectory tools (see `s2fa perf diff`).")
+    [ diff_cmd ]
 
 let () =
   let info =
@@ -781,4 +954,4 @@ let () =
        (Cmd.group info
           [ list_cmd; compile_cmd; echo_cmd; bytecode_cmd; dse_cmd;
             resume_cmd; trace_cmd; cache_cmd; report_cmd; speedup_cmd;
-            verify_cmd; fuzz_cmd; serve_cmd ]))
+            verify_cmd; fuzz_cmd; serve_cmd; prof_cmd; perf_cmd ]))

@@ -847,6 +847,7 @@ let decompile_helper (cls : Insn.cls) helper_names ~fcaps ~fields
 
 let decompile_class ?(operator = `Map) ?(in_caps = []) ?(out_caps = [])
     ?(field_caps = []) (cls : Insn.cls) : cprog * iface =
+  S2fa_obs.Obs.span "b2c.decompile" @@ fun () ->
   let accel_in, accel_out =
     match cls.Insn.jaccel with
     | Some (i, o) -> (i, o)
@@ -1131,6 +1132,7 @@ let rec subst_var_stmts v repl stmts =
     stmts
 
 let flat_kernel (prog : cprog) : cprog =
+  S2fa_obs.Obs.span "b2c.flatten" @@ fun () ->
   match (find_cfunc prog "call", find_cfunc prog "kernel") with
   | Some call, Some kernel ->
     (* The fold/task loop is the last statement; reduce kernels have

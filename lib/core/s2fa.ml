@@ -34,6 +34,7 @@ type compiled = {
 
 let compile ?class_name ?(operator = `Map) ?(in_caps = []) ?(out_caps = [])
     ?(field_caps = []) ?trace source =
+  S2fa_obs.Obs.span "core.compile" @@ fun () ->
   let prog =
     Telemetry.with_span trace Telemetry.Parse (fun () ->
         try Parser.parse_program source with

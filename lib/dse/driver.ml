@@ -3,6 +3,7 @@ module Tuner = S2fa_tuner.Tuner
 module Resultdb = S2fa_tuner.Resultdb
 module Rng = S2fa_util.Rng
 module Telemetry = S2fa_telemetry.Telemetry
+module Obs = S2fa_obs.Obs
 module Fault = S2fa_fault.Fault
 module Json = S2fa_telemetry.Telemetry.Json
 
@@ -487,6 +488,7 @@ let rule_sets dspace =
 
 let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace ?faults ?checkpoint dspace
     objective rng =
+  Obs.span "dse.s2fa" @@ fun () ->
   let db_before = Option.map Resultdb.snapshot db in
   trace_run_begin trace ~flow:"s2fa" ~cores:opts.so_cores
     ~time_limit:opts.so_time_limit;
@@ -496,10 +498,14 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace ?faults ?checkpoint dspace
   let search_objective = fault_objective faults trace objective in
   let samples =
     if opts.so_partition || opts.so_seed_mode = `Both then
-      offline_samples dspace (traced_objective trace db objective)
-        (Rng.split rng) opts.so_samples
+      Obs.span "dse.offline" (fun () ->
+          offline_samples dspace (traced_objective trace db objective)
+            (Rng.split rng) opts.so_samples)
     else []
   in
+  (* The offline probes charged the ambient profiler clock; the search
+     phase starts at virtual zero. *)
+  Obs.set_clock 0.0;
   let partitions =
     if opts.so_partition then
       Partition.build ~depth:opts.so_depth ~rule_params:(rule_sets dspace)
@@ -569,6 +575,8 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace ?faults ?checkpoint dspace
       | _ -> global_best := Some (cfg, perf)
   in
   let run_partition core idx part resumed =
+    Obs.set_clock core_time.(core);
+    Obs.span "dse.partition" @@ fun () ->
     let tuner =
       match resumed with
       | Some t -> t
@@ -604,9 +612,15 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace ?faults ?checkpoint dspace
         (match trace with
         | None -> ()
         | Some tr -> Telemetry.set_clock tr core_time.(core));
-        let o = Tuner.step tuner in
+        Obs.set_clock core_time.(core);
+        let o =
+          Obs.span "dse.eval" (fun () ->
+              let o = Tuner.step tuner in
+              core_time.(core) <- core_time.(core) +. o.Tuner.o_minutes;
+              Obs.set_clock core_time.(core);
+              o)
+        in
         incr evals;
-        core_time.(core) <- core_time.(core) +. o.Tuner.o_minutes;
         events :=
           { ev_minutes = core_time.(core);
             ev_perf = o.Tuner.o_perf;
@@ -696,6 +710,7 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace ?faults ?checkpoint dspace
   done;
   let finish = Array.fold_left Float.max 0.0 core_time in
   let rr_minutes = Float.min finish opts.so_time_limit in
+  Obs.set_clock rr_minutes;
   { rr_events = List.rev !events;
     rr_best = !global_best;
     rr_minutes;
@@ -710,14 +725,17 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db ?trace
   (* Same partition tree as the static flow, but per DATuner: random
      starting points, an on-line sampling phase per partition, then
      greedy core reallocation toward the best-performing partitions. *)
+  Obs.span "dse.dynamic" @@ fun () ->
   let db_before = Option.map Resultdb.snapshot db in
   trace_run_begin trace ~flow:"dynamic" ~cores:opts.so_cores
     ~time_limit:opts.so_time_limit;
   let search_objective = fault_objective faults trace objective in
   let samples =
-    offline_samples dspace (traced_objective trace db objective)
-      (Rng.split rng) opts.so_samples
+    Obs.span "dse.offline" (fun () ->
+        offline_samples dspace (traced_objective trace db objective)
+          (Rng.split rng) opts.so_samples)
   in
+  Obs.set_clock 0.0;
   let partitions =
     Partition.build ~depth:opts.so_depth ~rule_params:(rule_sets dspace)
       dspace.Dspace.ds_space samples
@@ -752,10 +770,16 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db ?trace
     | Some tr ->
       Telemetry.set_partition tr p;
       Telemetry.set_clock tr core_time.(core));
-    let o = Tuner.step tuners.(p) in
+    Obs.set_clock core_time.(core);
+    let o =
+      Obs.span "dse.eval" (fun () ->
+          let o = Tuner.step tuners.(p) in
+          core_time.(core) <- core_time.(core) +. o.Tuner.o_minutes;
+          Obs.set_clock core_time.(core);
+          o)
+    in
     incr evals;
     part_evals.(p) <- part_evals.(p) + 1;
-    core_time.(core) <- core_time.(core) +. o.Tuner.o_minutes;
     events :=
       { ev_minutes = core_time.(core);
         ev_perf = o.Tuner.o_perf;
@@ -826,6 +850,7 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db ?trace
   let rr_minutes =
     Float.min (Array.fold_left Float.max 0.0 core_time) opts.so_time_limit
   in
+  Obs.set_clock rr_minutes;
   { rr_events = List.rev !events;
     rr_best = !global_best;
     rr_minutes;
@@ -840,6 +865,7 @@ let run_vanilla ?(cores = 8) ?(time_limit = 240.0) ?db ?trace ?faults
   (* One random starting point, no partitions, no systematic stopping:
      per iteration the 8 cores evaluate the next 8 proposals and the
      clock advances by the slowest of them. *)
+  Obs.span "dse.vanilla" @@ fun () ->
   let db_before = Option.map Resultdb.snapshot db in
   trace_run_begin trace ~flow:"vanilla" ~cores ~time_limit;
   let search_objective = fault_objective faults trace objective in
@@ -866,11 +892,19 @@ let run_vanilla ?(cores = 8) ?(time_limit = 240.0) ?db ?trace ?faults
   (match trace with None -> () | Some tr -> Telemetry.set_partition tr 0);
   while !clock < time_limit && not (db_stuck db tuner) && alive_count () > 0 do
     (match trace with None -> () | Some tr -> Telemetry.set_clock tr !clock);
-    let batch = Tuner.step_batch tuner (alive_count ()) in
-    let slowest =
-      List.fold_left (fun m o -> Float.max m o.Tuner.o_minutes) 0.0 batch
+    Obs.set_clock !clock;
+    let batch =
+      Obs.span "dse.batch" (fun () ->
+          let batch = Tuner.step_batch tuner (alive_count ()) in
+          let slowest =
+            List.fold_left (fun m o -> Float.max m o.Tuner.o_minutes) 0.0 batch
+          in
+          (* Simulated cores run the batch in parallel: the clock moves
+             by the slowest member, not the sum the estimator charged. *)
+          clock := !clock +. slowest;
+          Obs.set_clock !clock;
+          batch)
     in
-    clock := !clock +. slowest;
     List.iter
       (fun o ->
         incr evals;
@@ -898,6 +932,7 @@ let run_vanilla ?(cores = 8) ?(time_limit = 240.0) ?db ?trace ?faults
         kill_cores ?trace alive ~clock:!clock ~first:(-1) ~partition:0 losses
   done;
   let rr_minutes = if !clock < time_limit then !clock else time_limit in
+  Obs.set_clock rr_minutes;
   { rr_events = List.rev !events;
     rr_best = !global_best;
     rr_minutes;

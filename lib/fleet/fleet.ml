@@ -7,6 +7,7 @@ module Interp = S2fa_jvm.Interp
 module Blaze = S2fa_blaze.Blaze
 module Serde = S2fa_blaze.Serde
 module Telemetry = S2fa_telemetry.Telemetry
+module Obs = S2fa_obs.Obs
 module Fault = S2fa_fault.Fault
 
 exception Fleet_error of string
@@ -192,6 +193,7 @@ let request_order a b =
   compare (a.rq_arrival, a.rq_app, a.rq_id) (b.rq_arrival, b.rq_app, b.rq_id)
 
 let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
+  Obs.span "fleet.serve" @@ fun () ->
   if opts.o_devices < 1 then fail "need at least one device";
   check_apps apps;
   let n_apps = Array.length apps in
@@ -229,10 +231,15 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
         Serde.bytes_of_iface acc.Blaze.acc_iface ~tasks:n
         /. (opts.o_pcie_gbps *. 1.0e9)
       in
+      (* The estimator charges its modeled DSE minutes to the ambient
+         clock; serving time is the event loop's, so restore it. *)
+      let v0 = Obs.clock () in
       let r =
-        Estimate.estimate ~device:opts.o_device acc.Blaze.acc_prog ~tasks:n
-          ~buffer_elems:acc.Blaze.acc_buffer_elems
+        Obs.span "fleet.estimate" (fun () ->
+            Estimate.estimate ~device:opts.o_device acc.Blaze.acc_prog
+              ~tasks:n ~buffer_elems:acc.Blaze.acc_buffer_elems)
       in
+      Obs.set_clock v0;
       let s =
         opts.o_invoke_seconds +. xfer
         +. Float.max 0.0 r.Estimate.r_compute_seconds
@@ -263,6 +270,8 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
     compare (ta, ra.rq_app, ra.rq_id) (tb, rb.rq_app, rb.rq_id)
   in
   let fallback ~reason ~start r =
+    Obs.span "fleet.fallback" @@ fun () ->
+    Obs.count "fleet.fallbacks";
     let a = apps.(r.rq_app) in
     let tr = Blaze.map_jvm a.ap_cls ~fields:a.ap_fields [| r.rq_payload |] in
     incr fallbacks;
@@ -328,6 +337,7 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
         cands
   in
   let launch d a =
+    Obs.span "fleet.launch" @@ fun () ->
     let dev = devs.(d) in
     let reqs = dq_take queues.(a) apps.(a).ap_batch in
     let n = List.length reqs in
@@ -335,8 +345,11 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
     let service = service_seconds d a n in
     served.(a) <- served.(a) + n;
     incr batches;
+    Obs.count "fleet.batches";
+    Obs.count ~by:n "fleet.batched_requests";
     if reconfig then begin
       incr reconfigs;
+      Obs.count "fleet.reconfigs";
       clocked
         (Telemetry.Serve_reconfig
            { device = d;
@@ -383,6 +396,7 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
   in
   let handle_arrival r =
     now := r.rq_arrival;
+    Obs.set_clock (!now /. 60.0);
     if alive_devices () = 0 then fallback ~reason:"no_devices" ~start:!now r
     else begin
       let q = queues.(r.rq_app) in
@@ -400,6 +414,7 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
     end
   in
   let complete ~accelerated r value =
+    Obs.count "fleet.completions";
     let latency = !now -. r.rq_arrival in
     results :=
       { rs_app = r.rq_app;
@@ -427,6 +442,7 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
            in-flight requests at the front of their queue (the PR-3
            failover discipline — no work is lost, order is kept). *)
         now := t;
+        Obs.set_clock (!now /. 60.0);
         dev.d_alive <- false;
         dev.d_busy <- None;
         incr devices_lost;
@@ -448,6 +464,7 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
         if alive_devices () = 0 then drain_to_jvm () else try_dispatch ()
       | None ->
         now := b.b_done;
+        Obs.set_clock (!now /. 60.0);
         dev.d_busy <- None;
         let payloads =
           Array.of_list (List.map (fun r -> r.rq_payload) b.b_reqs)
@@ -464,6 +481,7 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
     | (t, r, v) :: rest ->
       jvm_pending := rest;
       now := t;
+      Obs.set_clock (!now /. 60.0);
       complete ~accelerated:false r v
   in
   let next_device () =
@@ -552,6 +570,7 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
   let makespan =
     List.fold_left (fun m r -> Float.max m r.rs_done) 0.0 results
   in
+  Obs.set_clock (makespan /. 60.0);
   let report =
     { rp_policy = policy_name opts.o_policy;
       rp_devices = opts.o_devices;

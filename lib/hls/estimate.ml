@@ -95,6 +95,8 @@ let ops_resources ~helper_res ~shared (o : Canalysis.op_counts) (t : totals)
 
 let estimate ?(device = Device.vu9p) ?(nominal_trip = 64) prog ~tasks
     ~buffer_elems =
+  S2fa_obs.Obs.span "hls.estimate" @@ fun () ->
+  S2fa_obs.Obs.count "hls.evals";
   let kernel =
     match Csyntax.find_cfunc prog "kernel" with
     | Some f -> f
@@ -451,6 +453,10 @@ let estimate ?(device = Device.vu9p) ?(nominal_trip = 64) prog ~tasks
     in
     Float.min 15.0 (Float.max 3.0 (3.0 +. complexity))
   in
+  (* Charge the modeled HLS cost to this span: the profiler's virtual
+     attribution puts the simulated minutes where the model says they
+     are spent. The DSE driver re-anchors the clock at its own sites. *)
+  S2fa_obs.Obs.advance_clock eval_minutes;
   { r_cycles = compute_cycles;
     r_ii = !worst_ii;
     r_freq_mhz = freq;

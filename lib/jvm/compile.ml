@@ -514,7 +514,9 @@ let compile_class (c : Tast.tclass) : Insn.cls =
     jaccel = c.Tast.tcaccel;
     jmethods = List.map compile_method c.Tast.tcmethods }
 
-let compile_program (p : Tast.tprogram) = List.map compile_class p.Tast.tclasses
+let compile_program (p : Tast.tprogram) =
+  S2fa_obs.Obs.span "jvm.compile" (fun () ->
+      List.map compile_class p.Tast.tclasses)
 
 let compile_source src =
   let prog = Parser.parse_program src in

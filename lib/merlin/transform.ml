@@ -258,6 +258,8 @@ let self_verify orig result =
 (* ---------- applying a config ---------- *)
 
 let apply cfg prog =
+  S2fa_obs.Obs.span "merlin.apply" @@ fun () ->
+  S2fa_obs.Obs.count "transforms.applied";
   List.iter
     (fun (id, lc) ->
       if lc.lc_tile < 1 then err "loop %d: tile factor %d" id lc.lc_tile;
@@ -292,6 +294,8 @@ let apply cfg prog =
 (* ---------- real unrolling (for tests) ---------- *)
 
 let real_unroll ~factor ~loop_id prog =
+  S2fa_obs.Obs.span "merlin.unroll" @@ fun () ->
+  S2fa_obs.Obs.count "transforms.applied";
   if factor < 1 then err "unroll factor %d" factor;
   let rewrite (l : loop) =
     if l.lid <> loop_id || factor = 1 then l
@@ -390,6 +394,8 @@ let func_tenv (f : cfunc) =
   tenv
 
 let tree_reduce ~lanes ~loop_id prog =
+  S2fa_obs.Obs.span "merlin.tree_reduce" @@ fun () ->
+  S2fa_obs.Obs.count "transforms.applied";
   if lanes < 2 then err "tree_reduce: lane count %d" lanes;
   let expand tenv (l : loop) =
     if l.lstep <> 1 then err "tree_reduce: loop step %d" l.lstep;

@@ -1,0 +1,212 @@
+(* BENCH_<section>.json trajectories: one shared writer for the bench
+   harness and a reader + comparator for the `s2fa perf diff` gate.
+
+   The files are multi-line two-level JSON, which the flat single-line
+   telemetry codec cannot parse, so a dedicated recursive-descent
+   reader lives here. It accepts exactly the shape `save` emits (plus
+   arbitrary whitespace): strings, numbers, and one nested object under
+   any key. *)
+
+type t = {
+  p_bench : string;
+  p_unit : string;
+  p_results : (string * float) list;
+}
+
+let save path t =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "{\n  \"bench\": \"%s\",\n  \"unit\": \"%s\",\n  \
+                         \"results\": {\n"
+        t.p_bench t.p_unit;
+      let rows = List.sort compare t.p_results in
+      let n = List.length rows in
+      List.iteri
+        (fun i (name, v) ->
+          Printf.fprintf oc "    \"%s\": %.0f%s\n" name v
+            (if i = n - 1 then "" else ","))
+        rows;
+      Printf.fprintf oc "  }\n}\n")
+
+(* ---------------------------- parsing ----------------------------- *)
+
+exception Bad of string
+
+type tok = Lbrace | Rbrace | Colon | Comma | Str of string | Num of float
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    (match src.[!i] with
+    | ' ' | '\t' | '\n' | '\r' -> incr i
+    | '{' -> toks := Lbrace :: !toks; incr i
+    | '}' -> toks := Rbrace :: !toks; incr i
+    | ':' -> toks := Colon :: !toks; incr i
+    | ',' -> toks := Comma :: !toks; incr i
+    | '"' ->
+      let b = Buffer.create 16 in
+      incr i;
+      let fin = ref false in
+      while not !fin do
+        if !i >= n then raise (Bad "unterminated string");
+        (match src.[!i] with
+        | '"' -> fin := true
+        | '\\' ->
+          if !i + 1 >= n then raise (Bad "dangling escape");
+          incr i;
+          (match src.[!i] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | c -> raise (Bad (Printf.sprintf "escape \\%c" c)))
+        | c -> Buffer.add_char b c);
+        incr i
+      done;
+      toks := Str (Buffer.contents b) :: !toks
+    | '-' | '+' | '0' .. '9' ->
+      let j = ref !i in
+      while
+        !j < n
+        && (match src.[!j] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      let lit = String.sub src !i (!j - !i) in
+      (match float_of_string_opt lit with
+      | Some v -> toks := Num v :: !toks
+      | None -> raise (Bad ("bad number " ^ lit)));
+      i := !j
+    | c -> raise (Bad (Printf.sprintf "unexpected character %C" c)))
+  done;
+  List.rev !toks
+
+type value = Vstr of string | Vnum of float | Vobj of (string * value) list
+
+let parse_value toks =
+  let rec value = function
+    | Str s :: rest -> (Vstr s, rest)
+    | Num v :: rest -> (Vnum v, rest)
+    | Lbrace :: rest -> obj [] rest
+    | _ -> raise (Bad "expected a value")
+  and obj acc = function
+    | Rbrace :: rest -> (Vobj (List.rev acc), rest)
+    | Str k :: Colon :: rest -> (
+      let v, rest = value rest in
+      match rest with
+      | Comma :: rest -> obj ((k, v) :: acc) rest
+      | Rbrace :: rest -> (Vobj (List.rev ((k, v) :: acc)), rest)
+      | _ -> raise (Bad "expected , or } after a member"))
+    | _ -> raise (Bad "expected a \"key\": member")
+  in
+  match value toks with
+  | v, [] -> v
+  | _, _ -> raise (Bad "trailing tokens")
+
+let load path =
+  let src =
+    try
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error m -> failwith m
+  in
+  match parse_value (tokenize src) with
+  | exception Bad m -> failwith (Printf.sprintf "%s: %s" path m)
+  | Vobj fields ->
+    let str k =
+      match List.assoc_opt k fields with
+      | Some (Vstr s) -> s
+      | _ -> failwith (Printf.sprintf "%s: missing string field %S" path k)
+    in
+    let results =
+      match List.assoc_opt "results" fields with
+      | Some (Vobj rs) ->
+        List.map
+          (fun (k, v) ->
+            match v with
+            | Vnum n -> (k, n)
+            | _ ->
+              failwith (Printf.sprintf "%s: result %S is not a number" path k))
+          rs
+        |> List.sort compare
+      | _ -> failwith (Printf.sprintf "%s: missing \"results\" object" path)
+    in
+    { p_bench = str "bench"; p_unit = str "unit"; p_results = results }
+  | _ -> failwith (Printf.sprintf "%s: not a JSON object" path)
+
+(* ----------------------------- diffing ---------------------------- *)
+
+type change = { c_name : string; c_old : float; c_new : float; c_pct : float }
+
+type diff = {
+  d_regressions : change list;
+  d_improvements : change list;
+  d_within : int;
+  d_only_old : string list;
+  d_only_new : string list;
+}
+
+let pct old_v new_v =
+  if old_v = 0. then (if new_v = 0. then 0. else infinity)
+  else 100. *. (new_v -. old_v) /. old_v
+
+let diff ~threshold old_t new_t =
+  let regs = ref [] and imps = ref [] and within = ref 0 in
+  let only_old = ref [] and only_new = ref [] in
+  List.iter
+    (fun (k, old_v) ->
+      match List.assoc_opt k new_t.p_results with
+      | None -> only_old := k :: !only_old
+      | Some new_v ->
+        let p = pct old_v new_v in
+        let c = { c_name = k; c_old = old_v; c_new = new_v; c_pct = p } in
+        if p > threshold then regs := c :: !regs
+        else if p < -.threshold then imps := c :: !imps
+        else incr within)
+    old_t.p_results;
+  List.iter
+    (fun (k, _) ->
+      if not (List.mem_assoc k old_t.p_results) then only_new := k :: !only_new)
+    new_t.p_results;
+  let by_magnitude a b = compare (Float.abs b.c_pct, a.c_name)
+                                 (Float.abs a.c_pct, b.c_name) in
+  { d_regressions = List.sort by_magnitude !regs;
+    d_improvements = List.sort by_magnitude !imps;
+    d_within = !within;
+    d_only_old = List.sort compare !only_old;
+    d_only_new = List.sort compare !only_new }
+
+let pp_pct ppf p =
+  if Float.is_integer p && Float.abs p < 1e6 then Fmt.pf ppf "%+.0f%%" p
+  else Fmt.pf ppf "%+.1f%%" p
+
+let print_diff ppf ~threshold old_t new_t d =
+  Fmt.pf ppf "perf diff: %s (%s), threshold %g%%@." old_t.p_bench
+    old_t.p_unit threshold;
+  if new_t.p_bench <> old_t.p_bench then
+    Fmt.pf ppf "warning: comparing %s against %s@." new_t.p_bench
+      old_t.p_bench;
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "REGRESSION %-44s %12.0f -> %12.0f  (%a)@." c.c_name c.c_old
+        c.c_new pp_pct c.c_pct)
+    d.d_regressions;
+  List.iter
+    (fun c ->
+      Fmt.pf ppf "improved   %-44s %12.0f -> %12.0f  (%a)@." c.c_name c.c_old
+        c.c_new pp_pct c.c_pct)
+    d.d_improvements;
+  List.iter (fun k -> Fmt.pf ppf "removed    %s@." k) d.d_only_old;
+  List.iter (fun k -> Fmt.pf ppf "added      %s@." k) d.d_only_new;
+  Fmt.pf ppf "%d regression(s), %d improvement(s), %d within %g%%@."
+    (List.length d.d_regressions)
+    (List.length d.d_improvements)
+    d.d_within threshold

@@ -516,16 +516,17 @@ let make_state src =
   { toks = Array.of_list (Lexer.tokenize src); idx = 0 }
 
 let parse_program src =
-  let st = make_state src in
-  let rec loop acc =
-    match peek_tok st with
-    | Lexer.EOF -> List.rev acc
-    | Lexer.SEMI ->
-      advance st;
-      loop acc
-    | _ -> loop (parse_class st :: acc)
-  in
-  { Ast.classes = loop [] }
+  S2fa_obs.Obs.span "scala.parse" (fun () ->
+      let st = make_state src in
+      let rec loop acc =
+        match peek_tok st with
+        | Lexer.EOF -> List.rev acc
+        | Lexer.SEMI ->
+          advance st;
+          loop acc
+        | _ -> loop (parse_class st :: acc)
+      in
+      { Ast.classes = loop [] })
 
 let parse_expr src =
   let st = make_state src in

@@ -566,4 +566,5 @@ let check_class prog (c : Ast.cls) : Tast.tclass =
     tcmethods }
 
 let check_program prog =
-  { Tast.tclasses = List.map (check_class prog) prog.Ast.classes }
+  S2fa_obs.Obs.span "scala.typecheck" (fun () ->
+      { Tast.tclasses = List.map (check_class prog) prog.Ast.classes })

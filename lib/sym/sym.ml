@@ -1155,11 +1155,20 @@ let count_outputs o =
 
 let equiv ?(budget = default_budget) ?(bindings = []) ?(samples = 32)
     ?(seed = 0) ~caps p1 p2 entry =
+  S2fa_obs.Obs.span "sym.equiv" @@ fun () ->
+  S2fa_obs.Obs.count "sym.proof";
   let sym_outcome =
     try
       match (Csyntax.find_cfunc p1 entry, Csyntax.find_cfunc p2 entry) with
       | Some f1, Some f2 when signatures_match f1 f2 ->
         let ctx = new_ctx budget in
+        let charge () =
+          (* Proof budget actually consumed, whatever the verdict. *)
+          S2fa_obs.Obs.count ~by:(budget.bg_steps - ctx.steps_left)
+            "sym.steps";
+          S2fa_obs.Obs.count ~by:ctx.next_id "sym.nodes"
+        in
+        Fun.protect ~finally:charge @@ fun () ->
         let o1 = run_sym ctx p1 entry ~bindings ~caps in
         let o2 = run_sym ctx p2 entry ~bindings ~caps in
         (match diff_outputs o1 o2 with

@@ -111,6 +111,11 @@ type replay = {
   rp_serve_batches : int;
   rp_serve_reconfigs : int;
   rp_serve_apps : serve_row list;
+  rp_eval_minutes : float;
+  rp_offline_minutes : float;
+  rp_fault_minutes : float;
+  rp_service_minutes : float;
+  rp_reconfig_minutes : float;
 }
 
 let replay t =
@@ -128,6 +133,9 @@ let replay t =
   let quarantined = ref 0 in
   let cores_lost = ref 0 and failovers = ref 0 and checkpoints = ref 0 in
   let serve_batches = ref 0 and serve_reconfigs = ref 0 in
+  (* Virtual-minute bills per stage, for the stage-share lines. *)
+  let eval_minutes = ref 0.0 and offline_minutes = ref 0.0 in
+  let service_minutes = ref 0.0 and reconfig_minutes = ref 0.0 in
   (* app -> (enqueued, completed, fallbacks, latencies-in-ms rev) *)
   let serve = Hashtbl.create 4 in
   let serve_get app =
@@ -142,9 +150,13 @@ let replay t =
         limit := r.time_limit
       | T.Run_end r -> minutes := r.minutes
       | T.Eval_done d ->
-        if d.partition < 0 then incr offline
+        if d.partition < 0 then begin
+          incr offline;
+          offline_minutes := !offline_minutes +. d.eval_minutes
+        end
         else begin
           incr evals;
+          eval_minutes := !eval_minutes +. d.eval_minutes;
           if d.feasible then incr feasible;
           if d.cache_hit then incr hits;
           if d.feasible && d.quality < !best then best := d.quality;
@@ -194,8 +206,12 @@ let replay t =
       | T.Serve_enqueue s ->
         let e, c, f, l = serve_get s.app in
         Hashtbl.replace serve s.app (e + 1, c, f, l)
-      | T.Serve_batch _ -> incr serve_batches
-      | T.Serve_reconfig _ -> incr serve_reconfigs
+      | T.Serve_batch b ->
+        incr serve_batches;
+        service_minutes := !service_minutes +. b.service_minutes
+      | T.Serve_reconfig r ->
+        incr serve_reconfigs;
+        reconfig_minutes := !reconfig_minutes +. r.minutes
       | T.Serve_fallback s ->
         let e, c, f, l = serve_get s.app in
         Hashtbl.replace serve s.app (e, c, f + 1, l)
@@ -261,7 +277,13 @@ let replay t =
             sv_p99_ms = pct S2fa_util.Stats.p99 }
           :: acc)
         serve []
-      |> List.sort (fun a b -> String.compare a.sv_app b.sv_app) }
+      |> List.sort (fun a b -> String.compare a.sv_app b.sv_app);
+    rp_eval_minutes = !eval_minutes;
+    rp_offline_minutes = !offline_minutes;
+    rp_fault_minutes =
+      Hashtbl.fold (fun _ (_, l) acc -> acc +. l) faults 0.0;
+    rp_service_minutes = !service_minutes;
+    rp_reconfig_minutes = !reconfig_minutes }
 
 (* ---------- the s2fa trace report ---------- *)
 
@@ -306,6 +328,14 @@ let gantt ppf rp =
 let print_report ppf t =
   let rp = replay t in
   let p fmt = Format.fprintf ppf fmt in
+  (* Virtual minutes the trace can attribute to a stage; each section
+     below states its own bill against this total. *)
+  let attributed =
+    rp.rp_eval_minutes +. rp.rp_offline_minutes +. rp.rp_fault_minutes
+    +. rp.rp_backoff_minutes +. rp.rp_service_minutes
+    +. rp.rp_reconfig_minutes
+  in
+  let share m = if attributed > 0.0 then 100.0 *. m /. attributed else 0.0 in
   p "== trace summary ==@.";
   p "flow %s on %d cores, budget %.0f virtual minutes@." rp.rp_flow
     rp.rp_cores rp.rp_limit;
@@ -317,6 +347,11 @@ let print_report ppf t =
     p "best quality %.6g s; run ended at %.1f virtual minutes@." rp.rp_best
       rp.rp_minutes
   else p "nothing feasible found; run ended at %.1fm@." rp.rp_minutes;
+  if rp.rp_eval_minutes > 0.0 || rp.rp_offline_minutes > 0.0 then
+    p "stage share: search evals %.1fm (%.1f%%) + offline probes %.1fm \
+       (%.1f%%) of %.1fm attributed@."
+      rp.rp_eval_minutes (share rp.rp_eval_minutes) rp.rp_offline_minutes
+      (share rp.rp_offline_minutes) attributed;
   p "@.== best-so-far curve (replayed from eval_done events) ==@.";
   List.iter (fun (m, q) -> p "  %8.1fm  %.6g@." m q) rp.rp_curve;
   p "@.== per-partition core occupancy ==@.";
@@ -363,7 +398,12 @@ let print_report ppf t =
       p "  cores lost %d, partition failovers %d@." rp.rp_cores_lost
         rp.rp_failovers;
     if rp.rp_checkpoints > 0 then
-      p "  checkpoints written %d@." rp.rp_checkpoints
+      p "  checkpoints written %d@." rp.rp_checkpoints;
+    p "  stage share: fault losses %.1fm + retry backoff %.1fm (%.1f%% of \
+       %.1fm attributed)@."
+      rp.rp_fault_minutes rp.rp_backoff_minutes
+      (share (rp.rp_fault_minutes +. rp.rp_backoff_minutes))
+      attributed
   end;
   if rp.rp_serve_apps <> [] || rp.rp_serve_batches > 0 then begin
     p "@.== serving ==@.";
@@ -375,7 +415,12 @@ let print_report ppf t =
       (fun s ->
         p "  %-10s %8d %8d %8d %10.4f %10.4f %10.4f@." s.sv_app s.sv_enqueued
           s.sv_completed s.sv_fallbacks s.sv_p50_ms s.sv_p95_ms s.sv_p99_ms)
-      rp.rp_serve_apps
+      rp.rp_serve_apps;
+    p "  stage share: accelerator service %.4fm + reconfiguration %.4fm \
+       (%.1f%% of %.4fm attributed)@."
+      rp.rp_service_minutes rp.rp_reconfig_minutes
+      (share (rp.rp_service_minutes +. rp.rp_reconfig_minutes))
+      attributed
   end;
   p "@.== entropy-stop timeline ==@.";
   if rp.rp_entropy = [] then p "  (no entropy samples in this trace)@."

@@ -94,6 +94,15 @@ type replay = {
   rp_serve_reconfigs : int;
   rp_serve_apps : serve_row list;  (** Sorted by app name; empty for
                                        non-serving traces. *)
+  rp_eval_minutes : float;     (** Simulated minutes billed by search
+                                   evaluations ([eval_done.eval_minutes],
+                                   partitions only). *)
+  rp_offline_minutes : float;  (** Same, offline sampling probes. *)
+  rp_fault_minutes : float;    (** Virtual minutes lost to injected
+                                   faults (sum over {!rp_faults}). *)
+  rp_service_minutes : float;  (** Accelerator busy minutes
+                                   ([serve_batch.service_minutes]). *)
+  rp_reconfig_minutes : float; (** FPGA reconfiguration minutes. *)
 }
 
 val replay : t -> replay
@@ -102,4 +111,6 @@ val print_report : Format.formatter -> t -> unit
 (** The [s2fa trace] rendering: summary, best-so-far curve, Gantt-style
     core occupancy, per-technique attribution, fault/resilience
     attribution (only when fault events are present), a serving section
-    (only when serve events are present), entropy-stop timeline. *)
+    (only when serve events are present), entropy-stop timeline. Each
+    section that bills virtual minutes ends with a [stage share:] line
+    placing its minutes against the total the trace attributes. *)

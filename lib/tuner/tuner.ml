@@ -1,6 +1,7 @@
 module Rng = S2fa_util.Rng
 module Stats = S2fa_util.Stats
 module Telemetry = S2fa_telemetry.Telemetry
+module Obs = S2fa_obs.Obs
 
 type eval_result = Resultdb.eval_result = {
   e_perf : float;
@@ -93,13 +94,17 @@ let exhausted t =
    retries and returns an already-seen point, re-measuring it costs a DB
    lookup (zero simulated minutes), not another HLS run. *)
 let evaluate t cfg =
+  Obs.span "tuner.evaluate" @@ fun () ->
   match t.db with
-  | None -> (t.objective cfg, false)
+  | None ->
+    Obs.count "resultdb.miss";
+    (t.objective cfg, false)
   | Some db ->
     (* [peek] is the uncounted raw accessor, so asking whether this will
        be a hit leaves the database counters (and hence every report)
        exactly as they were. *)
     let hit = Resultdb.peek db cfg <> None in
+    Obs.count (if hit then "resultdb.hit" else "resultdb.miss");
     (Resultdb.memoize db t.objective cfg, hit)
 
 let current_entropy t =
@@ -131,6 +136,10 @@ let propose t =
     attempt 0
 
 let record t cfg (r : eval_result) arm cache_hit =
+  Obs.count
+    (match arm with
+    | Some a -> "technique." ^ t.techniques.(a).Technique.name
+    | None -> "technique.seed");
   t.evaluated <- t.evaluated + 1;
   let improved =
     r.e_feasible

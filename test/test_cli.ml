@@ -199,6 +199,178 @@ let test_serve_bad_policy_fails () =
   let code, _ = run "serve --policy nope" in
   Alcotest.(check bool) "non-zero exit" true (code <> 0)
 
+(* ---------- the span profiler surface ---------- *)
+
+let read_file path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+(* Drop the `# profile: ...` footer so profiled and unprofiled stdout
+   can be compared byte for byte. *)
+let strip_profile_footer out =
+  String.split_on_char '\n' out
+  |> List.filter (fun l ->
+         not (String.length l >= 10 && String.sub l 0 10 = "# profile:"))
+  |> String.concat "\n"
+
+let test_dse_profile_reproducible () =
+  let p1 = Filename.temp_file "s2fa_prof" ".jsonl" in
+  let p2 = Filename.temp_file "s2fa_prof" ".jsonl" in
+  let dse = "dse -w KMeans --minutes 30 --seed 3" in
+  let out1 =
+    check_ok "dse --profile" (Printf.sprintf "%s --profile %s" dse p1)
+  in
+  let _ = check_ok "dse --profile (again)"
+      (Printf.sprintf "%s --profile %s" dse p2)
+  in
+  Alcotest.(check bool) "footer notes the profile" true
+    (contains out1 "# profile:");
+  Alcotest.(check string) "span log byte-identical across runs"
+    (read_file p1) (read_file p2);
+  Alcotest.(check bool) "folded-stack file written" true
+    (Sys.file_exists (p1 ^ ".folded"));
+  Alcotest.(check bool) "spans are JSON" true
+    (contains (read_file p1) "\"path\":");
+  (* Zero observer effect: the run without --profile prints exactly the
+     same result. *)
+  let _, plain = run dse in
+  Alcotest.(check string) "results bit-identical without --profile" plain
+    (strip_profile_footer out1);
+  List.iter Sys.remove [ p1; p1 ^ ".folded"; p2; p2 ^ ".folded" ]
+
+let test_prof_report () =
+  let p = Filename.temp_file "s2fa_prof" ".jsonl" in
+  let _ =
+    check_ok "dse --profile"
+      (Printf.sprintf "dse -w KMeans --minutes 30 --seed 3 --profile %s" p)
+  in
+  let rep = check_ok "prof" ("prof " ^ p) in
+  Sys.remove p;
+  Sys.remove (p ^ ".folded");
+  List.iter
+    (fun section ->
+      Alcotest.(check bool) ("report has " ^ section) true
+        (contains rep section))
+    [ "== span tree"; "== per-stage share"; "== top";
+      "hls.estimate"; "dse.partition" ]
+
+let test_prof_rejects_garbage () =
+  let bad = Filename.temp_file "s2fa_prof" ".jsonl" in
+  let oc = open_out bad in
+  output_string oc "not a span\n";
+  close_out oc;
+  let code, _ = run ("prof " ^ bad) in
+  Sys.remove bad;
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
+let test_verify_profile () =
+  let p = Filename.temp_file "s2fa_prof" ".jsonl" in
+  let _ =
+    check_ok "verify --profile"
+      (Printf.sprintf "verify -w KMeans --symbolic --profile %s" p)
+  in
+  let log = read_file p in
+  Sys.remove p;
+  Sys.remove (p ^ ".folded");
+  Alcotest.(check bool) "sym.equiv spans recorded" true
+    (contains log "sym.equiv")
+
+let test_trace_stage_share () =
+  let trace = Filename.temp_file "s2fa_cli" ".jsonl" in
+  let _ =
+    check_ok "dse --trace"
+      (Printf.sprintf "dse -w KMeans --minutes 30 --seed 3 --trace %s" trace)
+  in
+  let rep = check_ok "trace" ("trace " ^ trace) in
+  Sys.remove trace;
+  Alcotest.(check bool) "stage-share summary line" true
+    (contains rep "stage share: search evals")
+
+let test_serve_metrics () =
+  let m = Filename.temp_file "s2fa_metrics" ".prom" in
+  let out = check_ok "serve --metrics" (serve_args ^ " --metrics " ^ m) in
+  Alcotest.(check bool) "notes the metrics file" true
+    (contains out "# metrics:");
+  let prom = read_file m in
+  Sys.remove m;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("exposition has " ^ needle) true
+        (contains prom needle))
+    [ "# TYPE s2fa_serve_completed counter";
+      "# TYPE s2fa_fleet_requests gauge";
+      "s2fa_fleet_devices 2" ]
+
+(* ---------- the perf-trajectory gate ---------- *)
+
+let write_traj path results =
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n  \"bench\": \"t\",\n  \"unit\": \"ns/run\",\n  \"results\": {\n";
+  let n = List.length results in
+  List.iteri
+    (fun i (k, v) ->
+      Printf.fprintf oc "    \"%s\": %.0f%s\n" k v
+        (if i = n - 1 then "" else ","))
+    results;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc
+
+let test_perf_diff_passes () =
+  let old_f = Filename.temp_file "perf" ".json" in
+  write_traj old_f [ ("a", 100.0); ("b", 2e9) ];
+  let out = check_ok "perf diff (identical)"
+      (Printf.sprintf "perf diff %s %s" old_f old_f)
+  in
+  Sys.remove old_f;
+  Alcotest.(check bool) "summary line" true
+    (contains out "0 regression(s)")
+
+let test_perf_diff_gates_regression () =
+  let old_f = Filename.temp_file "perf" ".json" in
+  let new_f = Filename.temp_file "perf" ".json" in
+  write_traj old_f [ ("a", 100.0); ("b", 100.0) ];
+  write_traj new_f [ ("a", 200.0); ("b", 100.0) ];
+  let code, out =
+    run (Printf.sprintf "perf diff %s %s --threshold 10" old_f new_f)
+  in
+  Sys.remove old_f;
+  Sys.remove new_f;
+  Alcotest.(check bool) "non-zero exit" true (code <> 0);
+  Alcotest.(check bool) "names the regression" true
+    (contains out "REGRESSION a");
+  Alcotest.(check bool) "shows +100%" true (contains out "+100%")
+
+let test_perf_diff_rejects_garbage () =
+  let bad = Filename.temp_file "perf" ".json" in
+  let oc = open_out bad in
+  output_string oc "nope\n";
+  close_out oc;
+  let code, _ = run (Printf.sprintf "perf diff %s %s" bad bad) in
+  Sys.remove bad;
+  Alcotest.(check bool) "non-zero exit" true (code <> 0)
+
+(* ---------- the bench harness section filter ---------- *)
+
+let bench_exe =
+  Filename.concat (Filename.dirname Sys.executable_name) "../bench/main.exe"
+
+let test_bench_rejects_unknown_section () =
+  let out_f = Filename.temp_file "bench" ".out" in
+  let code =
+    Sys.command (Printf.sprintf "%s NOPE > %s 2>&1" bench_exe out_f)
+  in
+  let out = read_file out_f in
+  Sys.remove out_f;
+  Alcotest.(check bool) "non-zero exit" true (code <> 0);
+  Alcotest.(check bool) "names the bad tag" true
+    (contains out "unknown section NOPE");
+  Alcotest.(check bool) "lists the known sections" true
+    (contains out "SYM")
+
 let () =
   Alcotest.run "cli"
     [ ( "smoke",
@@ -230,4 +402,23 @@ let () =
           Alcotest.test_case "serve --trace + trace" `Quick
             test_serve_trace_and_replay;
           Alcotest.test_case "bad policy" `Quick
-            test_serve_bad_policy_fails ] ) ]
+            test_serve_bad_policy_fails ] );
+      ( "profiling",
+        [ Alcotest.test_case "dse --profile reproducible" `Quick
+            test_dse_profile_reproducible;
+          Alcotest.test_case "prof report" `Quick test_prof_report;
+          Alcotest.test_case "prof rejects garbage" `Quick
+            test_prof_rejects_garbage;
+          Alcotest.test_case "verify --profile" `Quick test_verify_profile;
+          Alcotest.test_case "trace stage share" `Quick
+            test_trace_stage_share;
+          Alcotest.test_case "serve --metrics" `Quick test_serve_metrics ] );
+      ( "perf-gate",
+        [ Alcotest.test_case "diff passes identical" `Quick
+            test_perf_diff_passes;
+          Alcotest.test_case "diff gates a 2x regression" `Quick
+            test_perf_diff_gates_regression;
+          Alcotest.test_case "diff rejects garbage" `Quick
+            test_perf_diff_rejects_garbage;
+          Alcotest.test_case "bench rejects unknown section" `Quick
+            test_bench_rejects_unknown_section ] ) ]
