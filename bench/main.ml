@@ -688,6 +688,54 @@ let cluster_throughput () =
           Fleet.all_policies))
 
 (* ------------------------------------------------------------------ *)
+(* SLO control-plane overhead: the same serving scenario with the
+   control plane off vs fully armed (deadlines + watchdog + hedge +
+   breaker, fault-free so both runs do identical useful work), plus one
+   full chaos-campaign seed. Persisted to BENCH_chaos_overhead.json so
+   the control plane's cost stays visible in the perf trajectory. *)
+(* ------------------------------------------------------------------ *)
+
+let chaos_overhead () =
+  section "CHAOS" "Bechamel - SLO control-plane and chaos-harness overhead";
+  let tenants =
+    [ Traffic.tenant ~rate:400.0 ~weight:1.0 ~batch:64 ~queue_cap:512
+        (Option.get (W.find "KMeans"));
+      Traffic.tenant ~rate:300.0 ~weight:2.0 ~batch:64 ~queue_cap:512
+        (Option.get (W.find "LR")) ]
+  in
+  let seed = 7 in
+  let apps = Traffic.apps ~seed tenants in
+  let requests = Traffic.requests ~seed ~horizon:1.0 tenants in
+  let slo =
+    { Fleet.sl_hang_factor = 3.0;
+      sl_hedge = true;
+      sl_breaker = Some Fleet.default_breaker }
+  in
+  let armed = Fleet.with_deadline 30.0 requests in
+  let base = Fleet.serve apps requests in
+  let slo_opts = { Fleet.default_opts with Fleet.o_slo = slo } in
+  let guarded = Fleet.serve ~opts:slo_opts apps armed in
+  Printf.printf
+    "same scenario, fault-free: baseline %d accelerated vs armed %d (shed \
+     %d, deadlines %d/%d met) - identical useful work, so the delta below \
+     is pure control-plane bookkeeping:\n"
+    base.Fleet.oc_report.Fleet.rp_accelerated
+    guarded.Fleet.oc_report.Fleet.rp_accelerated
+    guarded.Fleet.oc_report.Fleet.rp_shed
+    guarded.Fleet.oc_report.Fleet.rp_deadline_hits
+    (guarded.Fleet.oc_report.Fleet.rp_deadline_hits
+    + guarded.Fleet.oc_report.Fleet.rp_deadline_misses);
+  let open Bechamel in
+  persist_trajectory "chaos_overhead"
+    (run_bechamel
+       [ Test.make ~name:"serve.baseline"
+           (Staged.stage (fun () -> Fleet.serve apps requests));
+         Test.make ~name:"serve.slo-armed"
+           (Staged.stage (fun () -> Fleet.serve ~opts:slo_opts apps armed));
+         Test.make ~name:"chaos.one-seed"
+           (Staged.stage (fun () -> S2fa_workloads.Chaos.run_seed 0)) ])
+
+(* ------------------------------------------------------------------ *)
 (* Symbolic verifier cost: Sym.equiv wall time per workload/chain, the
    same proofs `s2fa verify --all --symbolic` runs. The estimates are
    persisted to BENCH_sym_verify.json so the verifier's cost stays
@@ -816,6 +864,7 @@ let sections =
     ("TRACE", telemetry_overhead);
     ("FAULT", fault_overhead);
     ("SERVE", cluster_throughput);
+    ("CHAOS", chaos_overhead);
     ("SYM", sym_verify) ]
 
 let () =

@@ -15,6 +15,9 @@
      s2fa serve    [--apps SPEC] [--policy P] [--devices N] [--seed N]
                    [--horizon S] [--faults SPEC] [--trace FILE]
                    [--metrics FILE]         (Prometheus text exposition)
+                   [--slo-ms MS] [--hang-factor F] [--hedge] [--breaker]
+                   [--checkpoint FILE] [--ck-every-s S]
+     s2fa chaos    [--seeds N] [--from SEED] (seeded fault/SLO campaigns)
      s2fa prof     FILE [--top N]           (replay a --profile span log)
      s2fa perf     diff OLD NEW [--threshold PCT]  (perf-trajectory gate)
 
@@ -44,6 +47,7 @@ module Dspace = S2fa_dse.Dspace
 module Space = S2fa_tuner.Space
 module Fleet = S2fa_fleet.Fleet
 module Traffic = S2fa_workloads.Traffic
+module Chaos = S2fa_workloads.Chaos
 module Obs = S2fa_obs.Obs
 module Perf = S2fa_obs.Perf
 open Cmdliner
@@ -359,12 +363,138 @@ let dse_cmd =
 
 (* ---------- resume ---------- *)
 
+(* Shared by `serve` and fleet `resume`: tenant-spec parsing and SLO
+   assembly, so a resumed run rebuilds byte-identical inputs from the
+   scalar parameters recorded in the checkpoint's meta. *)
+let parse_tenants spec batch queue_cap =
+  String.split_on_char ',' spec
+  |> List.map String.trim
+  |> List.filter (fun s -> s <> "")
+  |> List.map (fun item ->
+         let parts = String.split_on_char ':' item in
+         let num what v =
+           match float_of_string_opt v with
+           | Some f -> f
+           | None ->
+             Printf.eprintf "bad --apps item %S: %s %S is not a number\n"
+               item what v;
+             exit 1
+         in
+         let name, rate, weight =
+           match parts with
+           | [ n ] -> (n, 100.0, 1.0)
+           | [ n; r ] -> (n, num "rate" r, 1.0)
+           | [ n; r; w ] -> (n, num "rate" r, num "weight" w)
+           | _ ->
+             Printf.eprintf "bad --apps item %S (want NAME[:RATE[:WEIGHT]])\n"
+               item;
+             exit 1
+         in
+         Traffic.tenant ~rate ~weight ~batch ~queue_cap (load_workload name))
+
+let parse_policy name =
+  match Fleet.policy_of_name name with
+  | Some p -> p
+  | None ->
+    Printf.eprintf "unknown policy %s (want fcfs|sjf|affinity|fair)\n" name;
+    exit 1
+
+let slo_of ~hang_factor ~hedge ~breaker ~bk_failures ~bk_cooldown ~bk_probes =
+  { Fleet.sl_hang_factor =
+      (match hang_factor with Some f -> f | None -> infinity);
+    sl_hedge = hedge;
+    sl_breaker =
+      (if breaker then
+         Some
+           { Fleet.bk_failures;
+             bk_cooldown_s = bk_cooldown;
+             bk_probes = bk_probes }
+       else None) }
+
+let deadline_requests slo_ms requests =
+  match slo_ms with
+  | None -> requests
+  | Some ms -> Fleet.with_deadline (ms /. 1000.0) requests
+
+(* Recover a mid-serve snapshot: rebuild the scenario from the
+   checkpoint's meta, then replay-validate and run to completion. *)
+let resume_fleet path =
+  match Fleet.load_checkpoint path with
+  | Error m ->
+    Printf.eprintf "%s\n" m;
+    exit 1
+  | Ok snapshot ->
+    let meta k = List.assoc_opt k snapshot.Fleet.fk_meta in
+    let str k d = Option.value ~default:d (meta k) in
+    let int_of k d =
+      match meta k with Some s -> int_of_string s | None -> d
+    in
+    let float_of k d =
+      match meta k with Some s -> float_of_string s | None -> d
+    in
+    let batch = int_of "batch" 16 and queue_cap = int_of "queue_cap" 64 in
+    let seed = int_of "seed" 7 in
+    let tenants = parse_tenants (str "apps" "KMeans:400,LR:300") batch
+                    queue_cap in
+    let policy = parse_policy (str "policy" "fcfs") in
+    let faults = Option.map (fun s -> make_injector ~seed s) (meta "faults") in
+    let slo =
+      slo_of
+        ~hang_factor:(Option.map float_of_string (meta "hang_factor"))
+        ~hedge:(meta "hedge" = Some "true")
+        ~breaker:(meta "breaker" = Some "true")
+        ~bk_failures:
+          (int_of "breaker_failures" Fleet.default_breaker.Fleet.bk_failures)
+        ~bk_cooldown:
+          (float_of "breaker_cooldown_s"
+             Fleet.default_breaker.Fleet.bk_cooldown_s)
+        ~bk_probes:
+          (int_of "breaker_probes" Fleet.default_breaker.Fleet.bk_probes)
+    in
+    let opts =
+      { Fleet.default_opts with
+        o_policy = policy;
+        o_devices = int_of "devices" 2;
+        o_slo = slo }
+    in
+    let apps = Traffic.apps ~seed tenants in
+    let requests =
+      deadline_requests
+        (Option.map float_of_string (meta "slo_ms"))
+        (Traffic.requests ~seed ~horizon:(float_of "horizon" 1.0) tenants)
+    in
+    let checkpoint =
+      (* Keep refreshing the same file past the recovered snapshot. *)
+      { Fleet.cks_path = path;
+        cks_every_s = snapshot.Fleet.fk_every;
+        cks_meta = snapshot.Fleet.fk_meta }
+    in
+    (match
+       Fleet.resume ~opts ?faults ~checkpoint ~snapshot apps requests
+     with
+    | exception Fleet.Fleet_error m ->
+      Printf.eprintf "%s\n" m;
+      exit 1
+    | outcome ->
+      Printf.printf
+        "# resumed fleet serve from %s at %.3f virtual seconds (%d events)\n"
+        path snapshot.Fleet.fk_now snapshot.Fleet.fk_events;
+      print_string (Fleet.report_to_string outcome.Fleet.oc_report);
+      match faults with
+      | Some f -> Format.printf "# faults: %a@." Fault.pp_stats (Fault.stats f)
+      | None -> ())
+
 let resume_cmd =
   let ck_file_arg =
-    let doc = "Checkpoint written by `s2fa dse --checkpoint`." in
+    let doc =
+      "Checkpoint written by `s2fa dse --checkpoint` or `s2fa serve \
+       --checkpoint` (the header tells them apart)."
+    in
     Arg.(required & pos 0 (some file) None & info [] ~docv:"CHECKPOINT" ~doc)
   in
   let run path =
+    if Fleet.is_fleet_checkpoint path then resume_fleet path
+    else
     match Driver.load_checkpoint path with
     | Error m ->
       Printf.eprintf "%s\n" m;
@@ -406,10 +536,11 @@ let resume_cmd =
   Cmd.v
     (Cmd.info "resume"
        ~doc:
-         "Recover a DSE from a checkpoint file: replay the recorded \
-          configuration deterministically, validate the regenerated state \
-          byte-for-byte against the snapshot, and run to completion. The \
-          final best is bit-identical to an uninterrupted run's.")
+         "Recover a DSE or fleet-serve from a checkpoint file: replay the \
+          recorded configuration deterministically, validate the \
+          regenerated state byte-for-byte against the snapshot, and run \
+          to completion. The outcome is bit-identical to an \
+          uninterrupted run's.")
     Term.(const run $ ck_file_arg)
 
 (* ---------- trace ---------- *)
@@ -769,6 +900,69 @@ let serve_cmd =
     in
     Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
   in
+  let slo_ms_arg =
+    let doc =
+      "Per-request completion deadline in virtual milliseconds (measured \
+       from arrival). Requests the pool cannot finish in time are shed \
+       to the JVM path — they still complete, bit-identically."
+    in
+    Arg.(value & opt (some float) None & info [ "slo-ms" ] ~docv:"MS" ~doc)
+  in
+  let hang_factor_arg =
+    let doc =
+      "Watchdog: cancel an accelerator batch once it has run FACTOR \
+       times its estimated service time (must be > 1). Off by default."
+    in
+    Arg.(
+      value & opt (some float) None & info [ "hang-factor" ] ~docv:"FACTOR" ~doc)
+  in
+  let hedge_arg =
+    let doc =
+      "On watchdog timeout, speculatively duplicate the batch onto an \
+       idle device instead of only re-queueing; first result wins."
+    in
+    Arg.(value & flag & info [ "hedge" ] ~doc)
+  in
+  let breaker_arg =
+    let doc =
+      "Enable per-device circuit breakers: repeated watchdog timeouts \
+       quarantine a device, half-open probes readmit it."
+    in
+    Arg.(value & flag & info [ "breaker" ] ~doc)
+  in
+  let bk_failures_arg =
+    let doc = "Consecutive failures before a breaker trips." in
+    Arg.(
+      value
+      & opt int Fleet.default_breaker.Fleet.bk_failures
+      & info [ "breaker-failures" ] ~docv:"N" ~doc)
+  in
+  let bk_cooldown_arg =
+    let doc = "Quarantine cooldown in virtual seconds before half-open." in
+    Arg.(
+      value
+      & opt float Fleet.default_breaker.Fleet.bk_cooldown_s
+      & info [ "breaker-cooldown-s" ] ~docv:"S" ~doc)
+  in
+  let bk_probes_arg =
+    let doc = "Successful half-open probes needed to close a breaker." in
+    Arg.(
+      value
+      & opt int Fleet.default_breaker.Fleet.bk_probes
+      & info [ "breaker-probes" ] ~docv:"N" ~doc)
+  in
+  let ck_arg =
+    let doc =
+      "Write a JSONL snapshot of the serve, replaced every --ck-every-s \
+       virtual seconds; recover it with `s2fa resume FILE`."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let ck_every_arg =
+    let doc = "Virtual seconds between serve snapshots." in
+    Arg.(value & opt float 1.0 & info [ "ck-every-s" ] ~docv:"S" ~doc)
+  in
   (* The fleet report's headline numbers, as gauges alongside the
      registry so one scrape file carries the whole run. *)
   let fleet_gauges (r : Fleet.report) =
@@ -791,45 +985,29 @@ let serve_cmd =
     g_f "makespan_seconds" r.Fleet.rp_makespan;
     g_f "throughput_rps" r.Fleet.rp_throughput;
     g_f "fairness" r.Fleet.rp_fairness;
+    (* SLO gauges only when the control plane acted, so a run with it
+       disabled scrapes byte-identically to the pre-SLO exposition. *)
+    if
+      r.Fleet.rp_shed + r.Fleet.rp_timeouts + r.Fleet.rp_hedges
+        + r.Fleet.rp_breaker_trips
+      > 0
+    then begin
+      g_i "shed" r.Fleet.rp_shed;
+      g_i "timeouts" r.Fleet.rp_timeouts;
+      g_i "hedges" r.Fleet.rp_hedges;
+      g_i "breaker_trips" r.Fleet.rp_breaker_trips
+    end;
+    if r.Fleet.rp_deadline_hits + r.Fleet.rp_deadline_misses > 0 then begin
+      g_i "deadline_hits" r.Fleet.rp_deadline_hits;
+      g_i "deadline_misses" r.Fleet.rp_deadline_misses
+    end;
     Buffer.contents b
   in
-  let parse_tenants spec batch queue_cap =
-    String.split_on_char ',' spec
-    |> List.map String.trim
-    |> List.filter (fun s -> s <> "")
-    |> List.map (fun item ->
-           let parts = String.split_on_char ':' item in
-           let num what v =
-             match float_of_string_opt v with
-             | Some f -> f
-             | None ->
-               Printf.eprintf "bad --apps item %S: %s %S is not a number\n"
-                 item what v;
-               exit 1
-           in
-           let name, rate, weight =
-             match parts with
-             | [ n ] -> (n, 100.0, 1.0)
-             | [ n; r ] -> (n, num "rate" r, 1.0)
-             | [ n; r; w ] -> (n, num "rate" r, num "weight" w)
-             | _ ->
-               Printf.eprintf "bad --apps item %S (want NAME[:RATE[:WEIGHT]])\n"
-                 item;
-               exit 1
-           in
-           Traffic.tenant ~rate ~weight ~batch ~queue_cap (load_workload name))
-  in
-  let run apps_spec policy_name devices seed horizon batch queue_cap faults
-      trace_path metrics_path profile =
+  let run apps_spec policy_name devices seed horizon batch queue_cap
+      fault_spec trace_path metrics_path slo_ms hang_factor hedge breaker
+      bk_failures bk_cooldown bk_probes ck_path ck_every profile =
     with_profile profile @@ fun () ->
-    let policy =
-      match Fleet.policy_of_name policy_name with
-      | Some p -> p
-      | None ->
-        Printf.eprintf "unknown policy %s (want fcfs|sjf|affinity|fair)\n"
-          policy_name;
-        exit 1
-    in
+    let policy = parse_policy policy_name in
     let tenants = parse_tenants apps_spec batch queue_cap in
     let tracer = Option.map make_tracer trace_path in
     let trace =
@@ -840,14 +1018,68 @@ let serve_cmd =
       | None, Some _ -> Some (Telemetry.create ~sinks:[] ())
       | None, None -> None
     in
-    let faults = Option.map (fun s -> make_injector ~seed s) faults in
+    let faults = Option.map (fun s -> make_injector ~seed s) fault_spec in
     let apps = Traffic.apps ?trace ~seed tenants in
-    let requests = Traffic.requests ~seed ~horizon tenants in
-    let opts = { Fleet.default_opts with o_policy = policy; o_devices = devices } in
-    let outcome = Fleet.serve ~opts ?trace ?faults apps requests in
+    let requests =
+      deadline_requests slo_ms (Traffic.requests ~seed ~horizon tenants)
+    in
+    let slo =
+      slo_of ~hang_factor ~hedge ~breaker ~bk_failures ~bk_cooldown ~bk_probes
+    in
+    let opts =
+      { Fleet.default_opts with
+        o_policy = policy;
+        o_devices = devices;
+        o_slo = slo }
+    in
+    let checkpoint =
+      Option.map
+        (fun path ->
+          (* Everything fleet `resume` needs to rebuild this scenario. *)
+          let meta =
+            List.concat
+              [ [ ("apps", apps_spec);
+                  ("policy", policy_name);
+                  ("devices", string_of_int devices);
+                  ("seed", string_of_int seed);
+                  ("horizon", string_of_float horizon);
+                  ("batch", string_of_int batch);
+                  ("queue_cap", string_of_int queue_cap) ];
+                (match fault_spec with
+                | Some _ ->
+                  [ ("faults",
+                     Fault.spec_string (Fault.spec (Option.get faults))) ]
+                | None -> []);
+                (match slo_ms with
+                | Some ms -> [ ("slo_ms", string_of_float ms) ]
+                | None -> []);
+                (match hang_factor with
+                | Some f -> [ ("hang_factor", string_of_float f) ]
+                | None -> []);
+                (if hedge then [ ("hedge", "true") ] else []);
+                (if breaker then
+                   [ ("breaker", "true");
+                     ("breaker_failures", string_of_int bk_failures);
+                     ("breaker_cooldown_s", string_of_float bk_cooldown);
+                     ("breaker_probes", string_of_int bk_probes) ]
+                 else []) ]
+          in
+          { Fleet.cks_path = path; cks_every_s = ck_every; cks_meta = meta })
+        ck_path
+    in
+    let outcome = Fleet.serve ~opts ?trace ?faults ?checkpoint apps requests in
     print_string (Fleet.report_to_string outcome.Fleet.oc_report);
     (match faults with
     | Some f -> Format.printf "# faults: %a@." Fault.pp_stats (Fault.stats f)
+    | None -> ());
+    (match ck_path with
+    | Some path when Sys.file_exists path ->
+      Printf.printf "# checkpoint: %s\n" path
+    | Some path ->
+      (* The run finished before the first --ck-every-s tick. *)
+      Printf.printf "# checkpoint: %s not written (run shorter than \
+                     --ck-every-s)\n"
+        path
     | None -> ());
     (match (metrics_path, trace) with
     | Some path, Some tr ->
@@ -868,11 +1100,44 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Simulate a multi-tenant accelerator pool serving the built-in \
-          kernels under open-loop traffic.")
+          kernels under open-loop traffic, optionally under an SLO \
+          control plane (deadlines, watchdog, hedging, breakers).")
     Term.(
       const run $ apps_arg $ policy_arg $ devices_arg $ seed_arg $ horizon_arg
       $ batch_arg $ queue_cap_arg $ faults_arg $ trace_arg $ metrics_arg
-      $ profile_arg)
+      $ slo_ms_arg $ hang_factor_arg $ hedge_arg $ breaker_arg
+      $ bk_failures_arg $ bk_cooldown_arg $ bk_probes_arg $ ck_arg
+      $ ck_every_arg $ profile_arg)
+
+(* ---------- chaos ---------- *)
+
+let chaos_cmd =
+  let seeds_arg =
+    let doc = "Campaign size: number of seeded scenarios to run." in
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let from_arg =
+    let doc = "First seed of the campaign." in
+    Arg.(value & opt int 0 & info [ "from" ] ~docv:"SEED" ~doc)
+  in
+  let run seeds seed0 =
+    if seeds <= 0 then begin
+      Printf.eprintf "--seeds must be positive\n";
+      exit 1
+    end;
+    let c = Chaos.run ~seeds ~seed0 () in
+    Format.printf "%a@?" Chaos.pp_campaign c;
+    if c.Chaos.cg_violations <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a seeded chaos campaign over the serving fleet: each seed \
+          derives a randomized scenario (tenants, pool size, faults, SLO \
+          config) and is checked against the determinism, \
+          no-request-lost, JVM-oracle and pool-monotonicity invariants. \
+          Exits non-zero on any violation.")
+    Term.(const run $ seeds_arg $ from_arg)
 
 (* ---------- prof ---------- *)
 
@@ -914,9 +1179,30 @@ let perf_cmd =
   let threshold_arg =
     let doc =
       "Relative slowdown (percent) a benchmark may show before the diff \
-       counts it as a regression and exits non-zero."
+       counts it as a regression and exits non-zero. Must be a finite \
+       non-negative number."
     in
-    Arg.(value & opt float 10.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
+    (* A custom conv so garbage ("abc", "-5", "nan") produces a usage
+       message instead of an uncaught exception or a nonsense gate. *)
+    let pct =
+      let parse s =
+        match float_of_string_opt s with
+        | Some f when Float.is_finite f && f >= 0.0 -> Ok f
+        | Some _ ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "threshold must be a finite non-negative percentage, got %s"
+                  s))
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf "threshold must be a number (percent), got %S"
+                  s))
+      in
+      Arg.conv (parse, Format.pp_print_float)
+    in
+    Arg.(value & opt pct 10.0 & info [ "threshold" ] ~docv:"PCT" ~doc)
   in
   let diff_cmd =
     let run old_path new_path threshold =
@@ -954,4 +1240,5 @@ let () =
        (Cmd.group info
           [ list_cmd; compile_cmd; echo_cmd; bytecode_cmd; dse_cmd;
             resume_cmd; trace_cmd; cache_cmd; report_cmd; speedup_cmd;
-            verify_cmd; fuzz_cmd; serve_cmd; prof_cmd; perf_cmd ]))
+            verify_cmd; fuzz_cmd; serve_cmd; chaos_cmd; prof_cmd;
+            perf_cmd ]))

@@ -215,6 +215,28 @@ let serve_loss t =
     else None
   end
 
+(* The serving layer's second integration point: one Bernoulli draw per
+   batch launch at the hang rate. A hung accelerator invocation does not
+   crash — it stalls, running far past its estimated service time until
+   the fleet's watchdog (if armed) cancels it. [Some frac] is the
+   uniform stall draw the fleet maps onto a stall multiplier; the fleet,
+   not the injector, knows the batch's service time, so wasted virtual
+   seconds are accounted there. A zero [fs_hang] makes no draw,
+   preserving both the fault-free ≡ no-injector contract and byte
+   compatibility of loss-only specs with the pre-SLO serving path. *)
+let serve_hang t =
+  if t.f_spec.fs_hang = 0.0 then None
+  else begin
+    let u = Rng.float t.f_rng 1.0 in
+    if u < t.f_spec.fs_hang then begin
+      let frac = Rng.float t.f_rng 1.0 in
+      let i = failure_index Hang in
+      t.counts.(i) <- t.counts.(i) + 1;
+      Some frac
+    end
+    else None
+  end
+
 (* A plausible-looking report for the corruptor to start from; the
    values are irrelevant (the corruption is what the checker sees). *)
 let template_report =

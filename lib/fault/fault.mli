@@ -129,6 +129,19 @@ val serve_loss : t -> float option
     bit-identical to serving without an injector. Injected losses are
     counted in {!stats} and queued for {!take_core_losses}. *)
 
+val serve_hang : t -> float option
+(** The serving layer's hang integration point: one Bernoulli draw at
+    the [fs_hang] rate per accelerator batch launch (drawn {e after}
+    {!serve_loss}'s draw for the same launch). [Some frac] means the
+    invocation {e stalls}: it runs far past its estimated service time,
+    with [frac] (uniform) fixing how far — the fleet maps it onto a
+    stall multiplier and either cancels the batch at its watchdog
+    timeout ([Fleet.serve_hang] discipline: cancel + re-dispatch,
+    optionally hedged) or, with no watchdog armed, lets the stalled
+    batch complete late. A zero [fs_hang] makes {e no} draw, so
+    loss-only specs are bit-identical to the pre-timeout serving path.
+    Injected hangs are counted in {!stats} under ["hang"]. *)
+
 val take_core_losses : t -> int
 (** Number of core deaths injected since the last call, and reset the
     counter — the driver drains this after every tuner step to trigger

@@ -7,6 +7,7 @@ module Interp = S2fa_jvm.Interp
 module Blaze = S2fa_blaze.Blaze
 module Serde = S2fa_blaze.Serde
 module Telemetry = S2fa_telemetry.Telemetry
+module Json = S2fa_telemetry.Telemetry.Json
 module Obs = S2fa_obs.Obs
 module Fault = S2fa_fault.Fault
 
@@ -32,6 +33,7 @@ type request = {
   rq_app : int;
   rq_id : int;
   rq_arrival : float;
+  rq_deadline : float option;
   rq_payload : Interp.value;
 }
 
@@ -52,12 +54,33 @@ let policy_of_name = function
   | "fair" -> Some Fair
   | _ -> None
 
+(* ------------------------------------------------------------------ *)
+(* The SLO control plane's configuration *)
+(* ------------------------------------------------------------------ *)
+
+type breaker_cfg = {
+  bk_failures : int;
+  bk_cooldown_s : float;
+  bk_probes : int;
+}
+
+let default_breaker = { bk_failures = 3; bk_cooldown_s = 5.0; bk_probes = 2 }
+
+type slo = {
+  sl_hang_factor : float;
+  sl_hedge : bool;
+  sl_breaker : breaker_cfg option;
+}
+
+let no_slo = { sl_hang_factor = infinity; sl_hedge = false; sl_breaker = None }
+
 type opts = {
   o_devices : int;
   o_device : Device.t;
   o_policy : policy;
   o_pcie_gbps : float;
   o_invoke_seconds : float;
+  o_slo : slo;
 }
 
 let default_opts =
@@ -65,7 +88,15 @@ let default_opts =
     o_device = Device.vu9p;
     o_policy = Fcfs;
     o_pcie_gbps = 8.0;
-    o_invoke_seconds = 5.0e-4 }
+    o_invoke_seconds = 5.0e-4;
+    o_slo = no_slo }
+
+let with_deadline slo_seconds requests =
+  if not (slo_seconds > 0.0 && Float.is_finite slo_seconds) then
+    fail "deadline offset must be positive and finite";
+  List.map
+    (fun r -> { r with rq_deadline = Some (r.rq_arrival +. slo_seconds) })
+    requests
 
 (* ------------------------------------------------------------------ *)
 (* Results and the serving report *)
@@ -104,6 +135,12 @@ type report = {
   rp_reconfigs : int;
   rp_requeued : int;
   rp_devices_lost : int;
+  rp_shed : int;
+  rp_timeouts : int;
+  rp_hedges : int;
+  rp_breaker_trips : int;
+  rp_deadline_hits : int;
+  rp_deadline_misses : int;
   rp_makespan : float;
   rp_throughput : float;
   rp_fairness : float;
@@ -114,7 +151,8 @@ type outcome = { oc_report : report; oc_results : result list }
 
 (* ------------------------------------------------------------------ *)
 (* A small FIFO that also supports re-queueing at the front (in-flight
-   work recovered from a lost device must not lose its place) *)
+   work recovered from a lost or cancelled batch must not lose its
+   place) *)
 (* ------------------------------------------------------------------ *)
 
 type 'a dq = {
@@ -162,21 +200,45 @@ let dq_take q n =
 
 let dq_drain q = dq_take q (dq_len q)
 
+let dq_to_list q = q.dq_front @ List.rev q.dq_back
+
 (* ------------------------------------------------------------------ *)
 (* The discrete-event simulator *)
 (* ------------------------------------------------------------------ *)
 
+type bstate = Healthy | Probation of int | Quarantined | Half_open of int
+
+let bstate_name = function
+  | Healthy -> "healthy"
+  | Probation _ -> "probation"
+  | Quarantined -> "quarantined"
+  | Half_open _ -> "half_open"
+
+(* The checkpoint encoding keeps the counter so a regenerated state
+   matches byte-for-byte, not just by phase. *)
+let bstate_detail = function
+  | Healthy -> "healthy"
+  | Probation k -> Printf.sprintf "probation:%d" k
+  | Quarantined -> "quarantined"
+  | Half_open k -> Printf.sprintf "half_open:%d" k
+
 type busy = {
   b_app : int;
   b_reqs : request list;
-  b_done : float;
-  b_lost : float option;  (* absolute loss time, within [launch, done) *)
+  b_launched : float;
+  b_done : float;          (* actual completion (stalled when hung) *)
+  b_timeout : float;       (* watchdog fire time; infinity = disarmed *)
+  b_lost : float option;   (* absolute loss time, within [launch, done) *)
+  b_group : int;           (* shared by a hedged batch and its twin *)
+  b_hedged : bool;         (* a twin copy may exist *)
 }
 
 type dev = {
   mutable d_loaded : int option;
   mutable d_busy : busy option;
   mutable d_alive : bool;
+  mutable d_state : bstate;
+  mutable d_reopen : float;  (* absolute half-open probe time *)
 }
 
 let check_apps apps =
@@ -185,22 +247,131 @@ let check_apps apps =
       if a.ap_batch < 1 then fail "app %d (%s): batch must be >= 1" i a.ap_name;
       if a.ap_queue_cap < 1 then
         fail "app %d (%s): queue capacity must be >= 1" i a.ap_name;
+      if not (Float.is_finite a.ap_weight) then
+        fail "app %d (%s): weight must be finite" i a.ap_name;
       if not (a.ap_weight > 0.0) then
         fail "app %d (%s): weight must be positive" i a.ap_name)
     apps
 
+let check_slo s =
+  if not (s.sl_hang_factor > 1.0) then
+    fail "slo: hang factor must be > 1 (infinity disables the watchdog)";
+  match s.sl_breaker with
+  | None -> ()
+  | Some c ->
+    if c.bk_failures < 1 then
+      fail "slo: breaker failure threshold must be >= 1";
+    if not (c.bk_cooldown_s > 0.0 && Float.is_finite c.bk_cooldown_s) then
+      fail "slo: breaker cooldown must be positive and finite";
+    if c.bk_probes < 1 then fail "slo: breaker probe count must be >= 1"
+
 let request_order a b =
   compare (a.rq_arrival, a.rq_app, a.rq_id) (b.rq_arrival, b.rq_app, b.rq_id)
 
-let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
+(* ------------------------------------------------------------------ *)
+(* Mid-serve checkpoints (the PR-3 JSONL discipline: atomic writes, a
+   truncation-guard end marker, and replay-based resume validation) *)
+(* ------------------------------------------------------------------ *)
+
+type ck_spec = {
+  cks_path : string;
+  cks_every_s : float;
+  cks_meta : (string * string) list;
+}
+
+type snapshot = {
+  fk_events : int;
+  fk_now : float;
+  fk_every : float;
+  fk_policy : string;
+  fk_devices : int;
+  fk_apps : int;
+  fk_meta : (string * string) list;
+  fk_lines : string list;
+}
+
+let read_all_lines path =
+  let ic = open_in path in
+  let rec read acc =
+    match input_line ic with
+    | l -> read (l :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  let lines = read [] in
+  close_in ic;
+  List.filter (fun l -> String.trim l <> "") lines
+
+let is_fleet_checkpoint path =
+  match open_in path with
+  | exception Sys_error _ -> false
+  | ic ->
+    let line = try input_line ic with End_of_file -> "" in
+    close_in ic;
+    (try Json.get_str (Json.parse_obj line) "ck" = "fleet" with _ -> false)
+
+let load_checkpoint path =
+  match read_all_lines path with
+  | exception Sys_error m -> Error m
+  | lines -> (
+    try
+      let parsed = List.map Json.parse_obj lines in
+      match List.rev parsed with
+      | [] -> Error "empty fleet checkpoint file"
+      | last :: _ ->
+        if (try Json.get_str last "ck" with Json.Bad -> "") <> "end" then
+          Error "fleet checkpoint missing its end marker (truncated write?)"
+        else if Json.get_int last "lines" <> List.length lines - 1 then
+          Error
+            "fleet checkpoint truncated: line count does not match its end \
+             marker"
+        else (
+          match parsed with
+          | header :: rest
+            when (try Json.get_str header "ck" with Json.Bad -> "") = "fleet"
+            ->
+            let meta =
+              List.filter_map
+                (fun f ->
+                  if (try Json.get_str f "ck" with Json.Bad -> "") = "meta"
+                  then Some (Json.get_str f "k", Json.get_str f "v")
+                  else None)
+                rest
+            in
+            Ok
+              { fk_events = Json.get_int header "events";
+                fk_now = Json.get_float header "now";
+                fk_every = Json.get_float header "every";
+                fk_policy = Json.get_str header "policy";
+                fk_devices = Json.get_int header "devices";
+                fk_apps = Json.get_int header "apps";
+                fk_meta = meta;
+                fk_lines = lines }
+          | _ -> Error "not a fleet checkpoint (header line is not ck=fleet)")
+    with Json.Bad -> Error "malformed fleet checkpoint JSON")
+
+(* ------------------------------------------------------------------ *)
+(* Serving *)
+(* ------------------------------------------------------------------ *)
+
+let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
+    requests =
   Obs.span "fleet.serve" @@ fun () ->
   if opts.o_devices < 1 then fail "need at least one device";
   check_apps apps;
+  check_slo opts.o_slo;
+  (match checkpoint with
+  | Some c when not (c.cks_every_s > 0.0) ->
+    fail "checkpoint interval must be positive"
+  | _ -> ());
   let n_apps = Array.length apps in
   List.iter
     (fun r ->
       if r.rq_app < 0 || r.rq_app >= n_apps then
-        fail "request %d targets unknown app %d" r.rq_id r.rq_app)
+        fail "request %d targets unknown app %d" r.rq_id r.rq_app;
+      match r.rq_deadline with
+      | Some d when not (Float.is_finite d) ->
+        fail "request %d: deadline must be finite" r.rq_id
+      | _ -> ())
     requests;
   let arrivals = ref (List.sort request_order requests) in
   (* Accelerator ids may collide across tenants serving the same kernel;
@@ -214,7 +385,11 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
   let served = Array.make n_apps 0 in  (* dispatched to the pool *)
   let devs =
     Array.init opts.o_devices (fun _ ->
-        { d_loaded = None; d_busy = None; d_alive = true })
+        { d_loaded = None;
+          d_busy = None;
+          d_alive = true;
+          d_state = Healthy;
+          d_reopen = infinity })
   in
   let reconfig_s = opts.o_device.Device.reconfig_minutes *. 60.0 in
   (* The per-batch cost model is deterministic per (app, size); memoize
@@ -262,6 +437,11 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
   let results = ref [] in
   let batches = ref 0 and reconfigs = ref 0 in
   let fallbacks = ref 0 and requeued = ref 0 and devices_lost = ref 0 in
+  let shed_n = ref 0 and timeouts = ref 0 and hedges = ref 0 in
+  let breaker_trips = ref 0 in
+  let dl_hits = ref 0 and dl_misses = ref 0 in
+  let groups = ref 0 in
+  let events = ref 0 in
   (* Completed-but-not-yet-collected JVM executions, ordered like the
      arrival stream so simultaneous completions resolve identically
      across runs. *)
@@ -285,6 +465,58 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
   in
   let alive_devices () =
     Array.fold_left (fun n d -> if d.d_alive then n + 1 else n) 0 devs
+  in
+  (* A quarantined device is alive but not schedulable: the breaker
+     routes work around it until its half-open probe readmits it. *)
+  let routable dv = dv.d_alive && dv.d_state <> Quarantined in
+  let routable_count () =
+    Array.fold_left (fun n d -> if routable d then n + 1 else n) 0 devs
+  in
+  (* ---------- circuit breakers ---------- *)
+  let set_bstate d st =
+    let dev = devs.(d) in
+    let from_ = bstate_name dev.d_state and to_ = bstate_name st in
+    if from_ <> to_ then
+      clocked
+        (Telemetry.Serve_breaker
+           { device = d; from_state = from_; to_state = to_ });
+    (match (st, dev.d_state) with
+    | Quarantined, Quarantined -> ()
+    | Quarantined, _ ->
+      incr breaker_trips;
+      Obs.count "fleet.breaker_trips"
+    | _ -> ());
+    dev.d_state <- st
+  in
+  let breaker_failure d =
+    match opts.o_slo.sl_breaker with
+    | None -> ()
+    | Some c -> (
+      let dev = devs.(d) in
+      let quarantine () =
+        set_bstate d Quarantined;
+        dev.d_reopen <- !now +. c.bk_cooldown_s
+      in
+      match dev.d_state with
+      | Healthy ->
+        if c.bk_failures <= 1 then quarantine ()
+        else set_bstate d (Probation 1)
+      | Probation k ->
+        if k + 1 >= c.bk_failures then quarantine ()
+        else set_bstate d (Probation (k + 1))
+      | Half_open _ -> quarantine ()
+      | Quarantined -> ())
+  in
+  let breaker_success d =
+    match opts.o_slo.sl_breaker with
+    | None -> ()
+    | Some c -> (
+      match devs.(d).d_state with
+      | Probation _ -> set_bstate d Healthy
+      | Half_open k ->
+        if k + 1 >= c.bk_probes then set_bstate d Healthy
+        else set_bstate d (Half_open (k + 1))
+      | Healthy | Quarantined -> ())
   in
   (* ---------- the four policies, behind one signature ---------- *)
   (* A policy maps (device index) to the app whose queue the device
@@ -336,17 +568,60 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
         (fun a -> (float_of_int served.(a) /. apps.(a).ap_weight, a))
         cands
   in
-  let launch d a =
-    Obs.span "fleet.launch" @@ fun () ->
+  (* ---------- deadline-aware admission ---------- *)
+  let has_loaded a =
+    Array.exists (fun dv -> routable dv && dv.d_loaded = Some a) devs
+  in
+  (* Deterministic admission estimate from the existing cost model:
+     queue wait (whole batches ahead, amortized over the routable pool)
+     + reconfiguration (unless some routable device already carries this
+     bitstream) + transfer + compute for the batch this request would
+     join. An estimate, not a guarantee — but the same inputs always
+     produce the same estimate, so shed decisions replay exactly. *)
+  let estimate_completion a qlen =
+    let pool = max 1 (routable_count ()) in
+    let b = apps.(a).ap_batch in
+    let wait =
+      float_of_int (qlen / b)
+      *. (reconfig_s +. body_seconds a b)
+      /. float_of_int pool
+    in
+    let own =
+      (if has_loaded a then 0.0 else reconfig_s)
+      +. body_seconds a ((qlen mod b) + 1)
+    in
+    !now +. wait +. own
+  in
+  let shed ~stage r est =
+    let dl = Option.get r.rq_deadline in
+    incr shed_n;
+    Obs.count "fleet.shed";
+    clocked
+      (Telemetry.Serve_shed
+         { app = apps.(r.rq_app).ap_name;
+           request = r.rq_id;
+           stage;
+           deadline_minutes = dl /. 60.0;
+           estimate_minutes = est /. 60.0 });
+    fallback ~reason:"deadline" ~start:!now r
+  in
+  (* ---------- launching ---------- *)
+  let launch_batch ~hedge_from d a reqs =
     let dev = devs.(d) in
-    let reqs = dq_take queues.(a) apps.(a).ap_batch in
     let n = List.length reqs in
     let reconfig = dev.d_loaded <> Some a in
     let service = service_seconds d a n in
-    served.(a) <- served.(a) + n;
+    (match hedge_from with
+    | None ->
+      served.(a) <- served.(a) + n;
+      Obs.count ~by:n "fleet.batched_requests"
+    | Some _ ->
+      (* A hedge is a duplicate dispatch: it counts as an invocation but
+         not as served work — fairness tracks requests, not copies. *)
+      incr hedges;
+      Obs.count "fleet.hedges");
     incr batches;
     Obs.count "fleet.batches";
-    Obs.count ~by:n "fleet.batched_requests";
     if reconfig then begin
       incr reconfigs;
       Obs.count "fleet.reconfigs";
@@ -366,6 +641,15 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
            device = d;
            size = n;
            service_minutes = service /. 60.0 });
+    (match hedge_from with
+    | Some from_d ->
+      clocked
+        (Telemetry.Serve_hedge
+           { app = apps.(a).ap_name;
+             from_device = from_d;
+             to_device = d;
+             size = n })
+    | None -> ());
     let lost =
       match faults with
       | None -> None
@@ -374,14 +658,74 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
         | None -> None
         | Some frac -> Some (!now +. (frac *. service)))
     in
+    (* Drawn after the loss draw (the injector's documented order). A
+       hang stalls the invocation far past its estimate; the watchdog —
+       when armed — fires first and cancels or hedges it. *)
+    let stall =
+      match faults with None -> None | Some f -> Fault.serve_hang f
+    in
+    let done_t =
+      !now
+      +.
+      match stall with
+      | None -> service
+      | Some frac -> service *. (4.0 +. (16.0 *. frac))
+    in
+    let timeout =
+      let f = opts.o_slo.sl_hang_factor in
+      if Float.is_finite f then begin
+        let t = !now +. (f *. service) in
+        if t < done_t then t else infinity
+      end
+      else infinity
+    in
+    let group =
+      match hedge_from with
+      | Some from_d -> (
+        match devs.(from_d).d_busy with
+        | Some b -> b.b_group
+        | None -> assert false)
+      | None ->
+        incr groups;
+        !groups
+    in
     dev.d_loaded <- Some a;
     dev.d_busy <-
-      Some { b_app = a; b_reqs = reqs; b_done = !now +. service; b_lost = lost }
+      Some
+        { b_app = a;
+          b_reqs = reqs;
+          b_launched = !now;
+          b_done = done_t;
+          b_timeout = timeout;
+          b_lost = lost;
+          b_group = group;
+          b_hedged = hedge_from <> None }
+  in
+  let rec launch d a =
+    Obs.span "fleet.launch" @@ fun () ->
+    let reqs = dq_take queues.(a) apps.(a).ap_batch in
+    let svc0 = service_seconds d a (List.length reqs) in
+    (* Dispatch-time deadline re-check: the queue-wait estimate paid at
+       admission is gone; now the batch's own service time decides. *)
+    let keep, doomed =
+      List.partition
+        (fun r ->
+          match r.rq_deadline with
+          | Some dl -> !now +. svc0 <= dl
+          | None -> true)
+        reqs
+    in
+    List.iter (fun r -> shed ~stage:"dispatch" r (!now +. svc0)) doomed;
+    match keep with
+    | [] -> (
+      (* Everything shed; this device is still free — pick again. *)
+      match pick d with Some a' -> launch d a' | None -> ())
+    | _ -> launch_batch ~hedge_from:None d a keep
   in
   let try_dispatch () =
     Array.iteri
       (fun d dev ->
-        if dev.d_alive && dev.d_busy = None then
+        if routable dev && dev.d_busy = None then
           match pick d with Some a -> launch d a | None -> ())
       devs
   in
@@ -400,17 +744,27 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
     if alive_devices () = 0 then fallback ~reason:"no_devices" ~start:!now r
     else begin
       let q = queues.(r.rq_app) in
-      if dq_len q >= apps.(r.rq_app).ap_queue_cap then
-        fallback ~reason:"overflow" ~start:!now r
-      else begin
-        dq_push q r;
-        clocked
-          (Telemetry.Serve_enqueue
-             { app = apps.(r.rq_app).ap_name;
-               request = r.rq_id;
-               queue_len = dq_len q });
-        try_dispatch ()
-      end
+      let est_miss =
+        match r.rq_deadline with
+        | Some dl ->
+          let est = estimate_completion r.rq_app (dq_len q) in
+          if est > dl then Some est else None
+        | None -> None
+      in
+      match est_miss with
+      | Some est -> shed ~stage:"enqueue" r est
+      | None ->
+        if dq_len q >= apps.(r.rq_app).ap_queue_cap then
+          fallback ~reason:"overflow" ~start:!now r
+        else begin
+          dq_push q r;
+          clocked
+            (Telemetry.Serve_enqueue
+               { app = apps.(r.rq_app).ap_name;
+                 request = r.rq_id;
+                 queue_len = dq_len q });
+          try_dispatch ()
+        end
     end
   in
   let complete ~accelerated r value =
@@ -429,43 +783,134 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
          { app = apps.(r.rq_app).ap_name;
            request = r.rq_id;
            latency_minutes = latency /. 60.0;
-           accelerated })
+           accelerated });
+    match r.rq_deadline with
+    | None -> ()
+    | Some dl ->
+      let met = !now <= dl in
+      if met then incr dl_hits else incr dl_misses;
+      clocked
+        (Telemetry.Serve_deadline
+           { app = apps.(r.rq_app).ap_name;
+             request = r.rq_id;
+             met;
+             slack_minutes = (dl -. !now) /. 60.0 })
+  in
+  let twin_of d group =
+    let found = ref None in
+    Array.iteri
+      (fun i dv ->
+        if i <> d && !found = None then
+          match dv.d_busy with
+          | Some b when b.b_group = group -> found := Some i
+          | _ -> ())
+      devs;
+    !found
+  in
+  let cancel_requeue d (b : busy) =
+    let a = b.b_app in
+    devs.(d).d_busy <- None;
+    requeued := !requeued + List.length b.b_reqs;
+    served.(a) <- served.(a) - List.length b.b_reqs;
+    dq_push_front queues.(a) b.b_reqs;
+    List.iter
+      (fun r ->
+        clocked
+          (Telemetry.Serve_enqueue
+             { app = apps.(a).ap_name;
+               request = r.rq_id;
+               queue_len = dq_len queues.(a) }))
+      b.b_reqs
+  in
+  let handle_timeout d (b : busy) =
+    now := b.b_timeout;
+    Obs.set_clock (!now /. 60.0);
+    let a = b.b_app in
+    incr timeouts;
+    Obs.count "fleet.timeouts";
+    clocked
+      (Telemetry.Serve_timeout
+         { app = apps.(a).ap_name;
+           device = d;
+           size = List.length b.b_reqs;
+           waited_minutes = (!now -. b.b_launched) /. 60.0 });
+    breaker_failure d;
+    (match twin_of d b.b_group with
+    | Some _ ->
+      (* Another copy is still running and will deliver; abandon this
+         one without touching the queue. *)
+      devs.(d).d_busy <- None
+    | None ->
+      let hedge_to =
+        if not opts.o_slo.sl_hedge then None
+        else begin
+          (* Lowest-index idle routable device, matching the event
+             loop's tie-break direction. *)
+          let d2 = ref None in
+          Array.iteri
+            (fun i dv ->
+              if !d2 = None && i <> d && routable dv && dv.d_busy = None
+              then d2 := Some i)
+            devs;
+          !d2
+        end
+      in
+      (match hedge_to with
+      | Some d2 ->
+        (* The stalled primary keeps running (its watchdog is spent);
+           the twin races it, first result wins. *)
+        devs.(d).d_busy <- Some { b with b_timeout = infinity; b_hedged = true };
+        launch_batch ~hedge_from:(Some d) d2 a b.b_reqs
+      | None -> cancel_requeue d b));
+    try_dispatch ()
   in
   let handle_device d =
     let dev = devs.(d) in
     match dev.d_busy with
     | None -> assert false
     | Some b -> (
-      match b.b_lost with
-      | Some t ->
+      let t_lost = match b.b_lost with Some l -> l | None -> infinity in
+      if t_lost <= b.b_timeout && t_lost <= b.b_done then begin
         (* The device died mid-batch: decommission it and re-queue the
            in-flight requests at the front of their queue (the PR-3
-           failover discipline — no work is lost, order is kept). *)
-        now := t;
+           failover discipline — no work is lost, order is kept), unless
+           a hedged twin still carries a copy. *)
+        now := t_lost;
         Obs.set_clock (!now /. 60.0);
         dev.d_alive <- false;
         dev.d_busy <- None;
         incr devices_lost;
         clocked (Telemetry.Core_lost { core = d; partition = -1 });
-        let a = b.b_app in
-        requeued := !requeued + List.length b.b_reqs;
-        (* De-count the lost dispatch so fair share tracks completed
-           work, not work burned on a dead device. *)
-        served.(a) <- served.(a) - List.length b.b_reqs;
-        dq_push_front queues.(a) b.b_reqs;
-        List.iter
-          (fun r ->
-            clocked
-              (Telemetry.Serve_enqueue
-                 { app = apps.(a).ap_name;
-                   request = r.rq_id;
-                   queue_len = dq_len queues.(a) }))
-          b.b_reqs;
+        (match twin_of d b.b_group with
+        | Some _ -> ()  (* the surviving copy delivers *)
+        | None ->
+          let a = b.b_app in
+          requeued := !requeued + List.length b.b_reqs;
+          (* De-count the lost dispatch so fair share tracks completed
+             work, not work burned on a dead device. *)
+          served.(a) <- served.(a) - List.length b.b_reqs;
+          dq_push_front queues.(a) b.b_reqs;
+          List.iter
+            (fun r ->
+              clocked
+                (Telemetry.Serve_enqueue
+                   { app = apps.(a).ap_name;
+                     request = r.rq_id;
+                     queue_len = dq_len queues.(a) }))
+            b.b_reqs);
         if alive_devices () = 0 then drain_to_jvm () else try_dispatch ()
-      | None ->
+      end
+      else if b.b_timeout <= b.b_done then handle_timeout d b
+      else begin
         now := b.b_done;
         Obs.set_clock (!now /. 60.0);
         dev.d_busy <- None;
+        (* First result wins: the loser of a hedged pair is cancelled
+           the moment the winner completes. *)
+        (if b.b_hedged then
+           match twin_of d b.b_group with
+           | Some d2 -> devs.(d2).d_busy <- None
+           | None -> ());
         let payloads =
           Array.of_list (List.map (fun r -> r.rq_payload) b.b_reqs)
         in
@@ -473,7 +918,9 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
         List.iteri
           (fun i r -> complete ~accelerated:true r tr.Blaze.tr_values.(i))
           b.b_reqs;
-        try_dispatch ())
+        breaker_success d;
+        try_dispatch ()
+      end)
   in
   let handle_jvm () =
     match !jvm_pending with
@@ -484,17 +931,172 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
       Obs.set_clock (!now /. 60.0);
       complete ~accelerated:false r v
   in
+  let handle_reopen d =
+    let dev = devs.(d) in
+    now := dev.d_reopen;
+    Obs.set_clock (!now /. 60.0);
+    dev.d_reopen <- infinity;
+    set_bstate d (Half_open 0);
+    try_dispatch ()
+  in
   let next_device () =
     let best = ref (infinity, -1) in
     Array.iteri
       (fun d dev ->
         match dev.d_busy with
         | Some b ->
-          let t = match b.b_lost with Some l -> l | None -> b.b_done in
+          let t =
+            Float.min
+              (match b.b_lost with Some l -> l | None -> infinity)
+              (Float.min b.b_done b.b_timeout)
+          in
           if t < fst !best then best := (t, d)
         | None -> ())
       devs;
     !best
+  in
+  let next_reopen () =
+    let best = ref (infinity, -1) in
+    Array.iteri
+      (fun d dv ->
+        if dv.d_alive && dv.d_state = Quarantined && dv.d_reopen < fst !best
+        then best := (dv.d_reopen, d))
+      devs;
+    !best
+  in
+  (* ---------- checkpoint rendering ---------- *)
+  let snapshot_lines ~every ~meta () =
+    let fstr = Json.fstr and quote = Json.quote in
+    let header =
+      Printf.sprintf
+        "{\"ck\":\"fleet\",\"v\":1,\"policy\":%s,\"devices\":%d,\"device\":%s,\"apps\":%d,\"events\":%d,\"now\":%s,\"every\":%s}"
+        (quote (policy_name opts.o_policy))
+        opts.o_devices
+        (quote opts.o_device.Device.name)
+        n_apps !events (fstr !now) (fstr every)
+    in
+    let metal =
+      List.map
+        (fun (k, v) ->
+          Printf.sprintf "{\"ck\":\"meta\",\"k\":%s,\"v\":%s}" (quote k)
+            (quote v))
+        meta
+    in
+    let queue_lines =
+      Array.to_list
+        (Array.mapi
+           (fun i q ->
+             let ids =
+               List.map
+                 (fun r -> fstr (float_of_int r.rq_id))
+                 (dq_to_list q)
+             in
+             Printf.sprintf
+               "{\"ck\":\"queue\",\"app\":%d,\"served\":%d,\"ids\":[%s]}" i
+               served.(i)
+               (String.concat "," ids))
+           queues)
+    in
+    let dev_lines =
+      Array.to_list
+        (Array.mapi
+           (fun i dv ->
+             let base =
+               Printf.sprintf
+                 "{\"ck\":\"dev\",\"i\":%d,\"alive\":%b,\"loaded\":%d,\"state\":%s,\"reopen\":%s"
+                 i dv.d_alive
+                 (match dv.d_loaded with Some a -> a | None -> -1)
+                 (quote (bstate_detail dv.d_state))
+                 (fstr dv.d_reopen)
+             in
+             match dv.d_busy with
+             | None -> base ^ "}"
+             | Some b ->
+               base
+               ^ Printf.sprintf
+                   ",\"app\":%d,\"launched\":%s,\"done\":%s,\"timeout\":%s,\"lost\":%s,\"group\":%d,\"hedged\":%b,\"ids\":[%s]}"
+                   b.b_app (fstr b.b_launched) (fstr b.b_done)
+                   (fstr b.b_timeout)
+                   (match b.b_lost with
+                   | Some l -> fstr l
+                   | None -> fstr infinity)
+                   b.b_group b.b_hedged
+                   (String.concat ","
+                      (List.map
+                         (fun r -> fstr (float_of_int r.rq_id))
+                         b.b_reqs)))
+           devs)
+    in
+    let counter_line =
+      Printf.sprintf
+        "{\"ck\":\"counters\",\"batches\":%d,\"reconfigs\":%d,\"fallbacks\":%d,\"requeued\":%d,\"lost\":%d,\"shed\":%d,\"timeouts\":%d,\"hedges\":%d,\"trips\":%d,\"dl_hit\":%d,\"dl_miss\":%d,\"groups\":%d}"
+        !batches !reconfigs !fallbacks !requeued !devices_lost !shed_n
+        !timeouts !hedges !breaker_trips !dl_hits !dl_misses !groups
+    in
+    let jvm_lines =
+      List.map
+        (fun (t, r, _) ->
+          Printf.sprintf "{\"ck\":\"jvm\",\"t\":%s,\"app\":%d,\"id\":%d}"
+            (fstr t) r.rq_app r.rq_id)
+        !jvm_pending
+    in
+    let result_line =
+      let digest =
+        Digest.to_hex
+          (Digest.string
+             (String.concat ";"
+                (List.rev_map
+                   (fun r ->
+                     Printf.sprintf "%d:%d:%s:%b" r.rs_app r.rs_id
+                       (fstr r.rs_done) r.rs_accelerated)
+                   !results)))
+      in
+      Printf.sprintf "{\"ck\":\"results\",\"count\":%d,\"digest\":%s}"
+        (List.length !results) (quote digest)
+    in
+    let arr_line =
+      Printf.sprintf "{\"ck\":\"arrivals\",\"left\":%d}"
+        (List.length !arrivals)
+    in
+    let body =
+      (header :: metal) @ queue_lines @ dev_lines @ [ counter_line ]
+      @ jvm_lines
+      @ [ result_line; arr_line ]
+    in
+    body @ [ Printf.sprintf "{\"ck\":\"end\",\"lines\":%d}" (List.length body) ]
+  in
+  let write_snapshot (c : ck_spec) =
+    let lines = snapshot_lines ~every:c.cks_every_s ~meta:c.cks_meta () in
+    let tmp = c.cks_path ^ ".tmp" in
+    let oc = open_out tmp in
+    List.iter
+      (fun l ->
+        output_string oc l;
+        output_char oc '\n')
+      lines;
+    close_out oc;
+    Sys.rename tmp c.cks_path
+  in
+  let next_ck =
+    ref (match checkpoint with Some c -> c.cks_every_s | None -> infinity)
+  in
+  let after_event () =
+    (match validate with
+    | Some s when !events = s.fk_events ->
+      if snapshot_lines ~every:s.fk_every ~meta:s.fk_meta () <> s.fk_lines
+      then
+        fail
+          "resume validation failed: regenerated state diverges from the \
+           checkpoint (different inputs?)"
+    | _ -> ());
+    match checkpoint with
+    | Some c when !now >= !next_ck ->
+      next_ck := !now +. c.cks_every_s;
+      write_snapshot c;
+      clocked
+        (Telemetry.Checkpoint_written
+           { path = c.cks_path; minutes = !now /. 60.0; evals = !events })
+    | _ -> ()
   in
   let rec loop () =
     let t_arr =
@@ -504,19 +1106,33 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
     let t_jvm =
       match !jvm_pending with [] -> infinity | (t, _, _) :: _ -> t
     in
-    if t_arr = infinity && t_dev = infinity && t_jvm = infinity then ()
+    (* Breaker reopen probes only matter while work can still reach a
+       queue; gating them keeps quiesced runs from trailing half-open
+       transitions after the last completion. *)
+    let queued = Array.exists (fun q -> dq_len q > 0) queues in
+    let t_brk, bd =
+      if queued || t_arr < infinity then next_reopen () else (infinity, -1)
+    in
+    if
+      t_arr = infinity && t_dev = infinity && t_jvm = infinity
+      && t_brk = infinity
+    then ()
     else begin
       (* Fixed priority on ties — arrivals, then device events, then JVM
-         completions — so simultaneous events replay identically. *)
-      if t_arr <= t_dev && t_arr <= t_jvm then begin
+         completions, then breaker probes — so simultaneous events
+         replay identically. *)
+      if t_arr <= t_dev && t_arr <= t_jvm && t_arr <= t_brk then begin
         match !arrivals with
         | r :: rest ->
           arrivals := rest;
           handle_arrival r
         | [] -> assert false
       end
-      else if t_dev <= t_jvm then handle_device d
-      else handle_jvm ();
+      else if t_dev <= t_jvm && t_dev <= t_brk then handle_device d
+      else if t_jvm <= t_brk then handle_jvm ()
+      else handle_reopen bd;
+      incr events;
+      after_event ();
       loop ()
     end
   in
@@ -582,6 +1198,12 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
       rp_reconfigs = !reconfigs;
       rp_requeued = !requeued;
       rp_devices_lost = !devices_lost;
+      rp_shed = !shed_n;
+      rp_timeouts = !timeouts;
+      rp_hedges = !hedges;
+      rp_breaker_trips = !breaker_trips;
+      rp_deadline_hits = !dl_hits;
+      rp_deadline_misses = !dl_misses;
       rp_makespan = makespan;
       rp_throughput =
         (if makespan > 0.0 then float_of_int total /. makespan else 0.0);
@@ -589,6 +1211,24 @@ let serve ?(opts = default_opts) ?trace ?faults (apps : app array) requests =
       rp_apps = per_app }
   in
   { oc_report = report; oc_results = results }
+
+let serve ?(opts = default_opts) ?trace ?faults ?checkpoint apps requests =
+  serve_impl ~opts ?trace ?faults ?checkpoint apps requests
+
+let resume ?(opts = default_opts) ?trace ?faults ?checkpoint ~snapshot apps
+    requests =
+  if snapshot.fk_policy <> policy_name opts.o_policy then
+    fail "resume: checkpoint policy %s does not match the requested %s"
+      snapshot.fk_policy
+      (policy_name opts.o_policy);
+  if snapshot.fk_devices <> opts.o_devices then
+    fail "resume: checkpoint has %d devices, requested %d"
+      snapshot.fk_devices opts.o_devices;
+  if snapshot.fk_apps <> Array.length apps then
+    fail "resume: checkpoint has %d apps, requested %d" snapshot.fk_apps
+      (Array.length apps);
+  serve_impl ~opts ?trace ?faults ?checkpoint ~validate:snapshot apps
+    requests
 
 (* ------------------------------------------------------------------ *)
 (* Report rendering (fixed formats, so equal reports render to equal
@@ -606,6 +1246,16 @@ let pp_report ppf r =
     r.rp_accelerated r.rp_batches r.rp_fallbacks;
   p "reconfigurations %d, devices lost %d, requests requeued %d@."
     r.rp_reconfigs r.rp_devices_lost r.rp_requeued;
+  (* The SLO lines only appear when the control plane did something, so
+     a run with it disabled renders byte-identically to the pre-SLO
+     format. *)
+  if r.rp_shed + r.rp_timeouts + r.rp_hedges + r.rp_breaker_trips > 0 then
+    p "slo: %d shed, %d timeouts, %d hedges, %d breaker trips@." r.rp_shed
+      r.rp_timeouts r.rp_hedges r.rp_breaker_trips;
+  (let dl = r.rp_deadline_hits + r.rp_deadline_misses in
+   if dl > 0 then
+     p "deadlines: %d/%d met (%.1f%%)@." r.rp_deadline_hits dl
+       (100.0 *. float_of_int r.rp_deadline_hits /. float_of_int dl));
   p "makespan %.6f s, throughput %.1f req/s@." r.rp_makespan r.rp_throughput;
   p "  %-10s %6s %8s %8s %8s %10s %10s %10s %7s@." "app" "weight" "reqs"
     "accel" "jvm" "p50 ms" "p95 ms" "p99 ms" "share";

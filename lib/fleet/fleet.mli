@@ -21,16 +21,28 @@
       all tie-broken by app index so no policy's choice depends on
       unordered-structure iteration;
     - {b faults}: an optional {!S2fa_fault.Fault} injector may kill a
-      device mid-batch; in-flight requests re-queue at the {e front} of
-      their queue (the PR-3 failover discipline) and the run completes
-      on the surviving pool — or on the JVM if none survives.
+      device mid-batch ([serve_loss]) or stall an invocation far past
+      its estimate ([serve_hang]); in-flight requests re-queue at the
+      {e front} of their queue (the PR-3 failover discipline) and the
+      run completes on the surviving pool — or on the JVM if none
+      survives;
+    - {b SLO control plane} ({!slo}): deadline-aware admission sheds
+      requests that cannot meet their deadline straight to the JVM
+      path; a per-invocation watchdog cancels (or hedges) hung batches;
+      per-device circuit breakers quarantine flapping devices and
+      readmit them through half-open probes; and mid-serve
+      {!type:snapshot} checkpoints support replay-validated {!resume}.
+      Every feature is off by default and, when off, the run is
+      byte-identical to the pre-SLO simulator.
 
     Determinism contract: [serve] does not create randomness. All
     stochastic inputs (arrival times, payloads, fault schedule) come in
     pre-drawn or via the injector's private stream, so the same inputs
     give a byte-identical report, telemetry stream, and result list —
     independent of policy internals or device count
-    ([test/test_fleet.ml]). *)
+    ([test/test_fleet.ml]). Hedged first-result-wins races inherit the
+    event loop's fixed tie-break (lowest device index on equal times),
+    so they replay exactly too. *)
 
 exception Fleet_error of string
 
@@ -43,17 +55,21 @@ type app = {
   ap_accel : S2fa_blaze.Blaze.accel;
   ap_cls : S2fa_jvm.Insn.cls;       (** For the JVM fallback path. *)
   ap_fields : (string * S2fa_jvm.Interp.value) list;
-  ap_weight : float;                (** Fair-share weight (> 0). *)
+  ap_weight : float;                (** Fair-share weight (> 0, finite). *)
   ap_batch : int;                   (** Max requests per invocation. *)
   ap_queue_cap : int;               (** Bound before overflow-to-JVM. *)
 }
 
 (** One request: a single input record for [rq_app], arriving at
-    [rq_arrival] virtual {e seconds}. *)
+    [rq_arrival] virtual {e seconds}. [rq_deadline] is an optional
+    absolute completion deadline (virtual seconds, finite); requests
+    the pool cannot finish by it are shed to the JVM path at admission
+    or dispatch — they still complete, with a bit-identical result. *)
 type request = {
   rq_app : int;
   rq_id : int;
   rq_arrival : float;
+  rq_deadline : float option;
   rq_payload : S2fa_jvm.Interp.value;
 }
 
@@ -77,16 +93,60 @@ val policy_of_name : string -> policy option
 
 (** {1 Cluster configuration} *)
 
+(** Per-device circuit breaker: [bk_failures] consecutive watchdog
+    timeouts move a device healthy → probation → quarantined; after
+    [bk_cooldown_s] virtual seconds it goes half-open, and
+    [bk_probes] consecutive successful batches readmit it. Any failure
+    while half-open re-quarantines immediately. *)
+type breaker_cfg = {
+  bk_failures : int;      (** Consecutive failures before quarantine
+                              (>= 1). *)
+  bk_cooldown_s : float;  (** Quarantine duration before the half-open
+                              probe (> 0, finite). *)
+  bk_probes : int;        (** Successes needed to close again (>= 1). *)
+}
+
+val default_breaker : breaker_cfg
+(** 3 failures, 5 s cooldown, 2 probes. *)
+
+(** The SLO control plane. Every field's default disables it, and a
+    disabled control plane is byte-identical to the pre-SLO simulator
+    (report, telemetry, results). *)
+type slo = {
+  sl_hang_factor : float;
+      (** Watchdog: cancel a batch after [sl_hang_factor] times its
+          estimated service time (must be > 1; [infinity] disables).
+          Only a batch stalled by [Fault.serve_hang] can exceed its
+          estimate, so the watchdog never fires on healthy runs. *)
+  sl_hedge : bool;
+      (** On watchdog timeout, leave the stalled batch running and
+          duplicate it onto the lowest-index idle device; first result
+          wins and the loser is cancelled. Without an idle device the
+          batch is cancelled and re-queued at the front instead. *)
+  sl_breaker : breaker_cfg option;  (** [None] disables breakers. *)
+}
+
+val no_slo : slo
+(** No watchdog, no hedging, no breakers. *)
+
 type opts = {
   o_devices : int;            (** Pool size (>= 1). *)
   o_device : S2fa_hls.Device.t;  (** Every device in the pool. *)
   o_policy : policy;
   o_pcie_gbps : float;        (** Host-to-device link, GB/s. *)
   o_invoke_seconds : float;   (** Fixed per-invocation overhead. *)
+  o_slo : slo;
 }
 
 val default_opts : opts
-(** 2 VU9P devices, FCFS, 8 GB/s PCIe, 0.5 ms invocation overhead. *)
+(** 2 VU9P devices, FCFS, 8 GB/s PCIe, 0.5 ms invocation overhead,
+    {!no_slo}. *)
+
+val with_deadline : float -> request list -> request list
+(** [with_deadline slo_seconds reqs] stamps every request with the
+    absolute deadline [rq_arrival +. slo_seconds] (the CLI's [--slo-ms]
+    plumbing). Raises {!Fleet_error} unless [slo_seconds] is positive
+    and finite. *)
 
 (** {1 Results and reports} *)
 
@@ -125,11 +185,18 @@ type report = {
   rp_requests : int;
   rp_accelerated : int;
   rp_fallbacks : int;
-  rp_batches : int;
+  rp_batches : int;       (** Accelerator invocations, hedges included. *)
   rp_reconfigs : int;
   rp_requeued : int;      (** In-flight requests recovered from lost
-                              devices. *)
+                              devices or cancelled batches. *)
   rp_devices_lost : int;
+  rp_shed : int;          (** Requests shed to the JVM path by deadline
+                              admission (enqueue or dispatch stage). *)
+  rp_timeouts : int;      (** Watchdog firings. *)
+  rp_hedges : int;        (** Duplicate dispatches launched. *)
+  rp_breaker_trips : int; (** Transitions into quarantine. *)
+  rp_deadline_hits : int;   (** Deadline-carrying requests that met it. *)
+  rp_deadline_misses : int;
   rp_makespan : float;    (** Last completion time, virtual seconds. *)
   rp_throughput : float;  (** Requests per virtual second (0 when no
                               traffic). *)
@@ -144,26 +211,89 @@ type outcome = {
                                  exactly once. *)
 }
 
+(** {1 Checkpoints} *)
+
+(** Periodic mid-serve snapshots: the PR-3 JSONL discipline (atomic
+    tmp-then-rename writes, an end-marker truncation guard, replay
+    validation on resume) applied to fleet state — queues, per-device
+    busy/breaker state, counters, pending JVM completions, a results
+    digest, and the virtual clock. *)
+type ck_spec = {
+  cks_path : string;      (** Snapshot file, replaced in place. *)
+  cks_every_s : float;    (** Virtual seconds between snapshots (> 0). *)
+  cks_meta : (string * string) list;
+      (** Opaque key/value pairs stored verbatim — the CLI records
+          everything needed to rebuild the run ([s2fa resume]). *)
+}
+
+(** A parsed snapshot, as {!load_checkpoint} returns it. *)
+type snapshot = {
+  fk_events : int;    (** Simulator events processed at the snapshot. *)
+  fk_now : float;     (** Virtual seconds at the snapshot. *)
+  fk_every : float;
+  fk_policy : string;
+  fk_devices : int;
+  fk_apps : int;
+  fk_meta : (string * string) list;
+  fk_lines : string list;  (** The raw snapshot lines, for validation. *)
+}
+
+val is_fleet_checkpoint : string -> bool
+(** Whether the file's first line is a fleet-checkpoint header — the
+    CLI's dispatch test between DSE and fleet checkpoints. *)
+
+val load_checkpoint : string -> (snapshot, string) Stdlib.result
+(** Read and structurally validate a snapshot (end marker present,
+    line count matches — a truncated write is rejected). *)
+
 (** {1 Serving} *)
 
 val serve :
   ?opts:opts ->
   ?trace:S2fa_telemetry.Telemetry.t ->
   ?faults:S2fa_fault.Fault.t ->
+  ?checkpoint:ck_spec ->
   app array ->
   request list ->
   outcome
 (** Run the pool over the request stream until every request completes
     (the run is open-loop: arrivals are fixed up front). With [?trace]
     the serving events ([serve_enq] / [serve_batch] / [serve_reconfig] /
-    [serve_fallback] / [serve_done], plus [core_lost] on device death)
-    are emitted with the virtual clock in minutes; tracing has zero
-    effect on the simulation. Zero traffic is a strict no-op: an
+    [serve_fallback] / [serve_done], plus [core_lost] on device death
+    and the SLO kinds [serve_shed] / [serve_timeout] / [serve_hedge] /
+    [serve_breaker] / [serve_deadline] when the control plane acts) are
+    emitted with the virtual clock in minutes; tracing has zero effect
+    on the simulation. [Serve_fallback] reasons: ["overflow"],
+    ["no_devices"], or ["deadline"] (shed). With [?checkpoint] a
+    snapshot is (re)written every [cks_every_s] virtual seconds,
+    emitting a [checkpoint] event. Zero traffic is a strict no-op: an
     all-zero report, no events, no metrics. Raises {!Fleet_error} on an
-    invalid configuration (empty pool, non-positive weight or batch, a
-    request naming an unknown app). *)
+    invalid configuration (empty pool, non-positive or non-finite
+    weight, non-positive batch, a non-finite deadline, a bad SLO or
+    checkpoint spec, a request naming an unknown app). *)
+
+val resume :
+  ?opts:opts ->
+  ?trace:S2fa_telemetry.Telemetry.t ->
+  ?faults:S2fa_fault.Fault.t ->
+  ?checkpoint:ck_spec ->
+  snapshot:snapshot ->
+  app array ->
+  request list ->
+  outcome
+(** Recover a serve from a snapshot: re-run the {e same} scenario
+    deterministically from t = 0 and, at the snapshot's event count,
+    validate the regenerated state byte-for-byte against the stored
+    lines — then continue to completion. The outcome is bit-identical
+    to an uninterrupted run's (proved in [test/test_fleet.ml]). Raises
+    {!Fleet_error} if the configuration disagrees with the snapshot
+    header or the regenerated state diverges (i.e. the inputs differ
+    from the checkpointed run's). *)
 
 val pp_report : Format.formatter -> report -> unit
-(** Fixed-format rendering: equal reports produce equal bytes. *)
+(** Fixed-format rendering: equal reports produce equal bytes. The SLO
+    and deadline lines are omitted when their counters are all zero, so
+    a run with the control plane disabled renders byte-identically to
+    the pre-SLO format. *)
 
 val report_to_string : report -> string

@@ -109,6 +109,32 @@ type kind =
       latency_minutes : float;
       accelerated : bool;
     }
+  | Serve_shed of {
+      app : string;
+      request : int;
+      stage : string;  (* "enqueue" | "dispatch" *)
+      deadline_minutes : float;
+      estimate_minutes : float;
+    }
+  | Serve_timeout of {
+      app : string;
+      device : int;
+      size : int;
+      waited_minutes : float;
+    }
+  | Serve_hedge of {
+      app : string;
+      from_device : int;
+      to_device : int;
+      size : int;
+    }
+  | Serve_breaker of { device : int; from_state : string; to_state : string }
+  | Serve_deadline of {
+      app : string;
+      request : int;
+      met : bool;
+      slack_minutes : float;
+    }
 
 type event = { e_seq : int; e_minutes : float; e_kind : kind }
 
@@ -279,6 +305,13 @@ let fold_into_metrics m ev =
     Metrics.incr m "serve.completed";
     Metrics.observe ~buckets:serve_latency_buckets m "serve.latency_minutes"
       c.latency_minutes
+  | Serve_shed _ -> Metrics.incr m "serve.shed"
+  | Serve_timeout _ -> Metrics.incr m "serve.timeouts"
+  | Serve_hedge _ -> Metrics.incr m "serve.hedges"
+  | Serve_breaker b -> Metrics.incr m ("serve.breaker." ^ b.to_state)
+  | Serve_deadline d ->
+    Metrics.incr m
+      (if d.met then "serve.deadline.met" else "serve.deadline.missed")
   | Span_begin _ -> ()
   | Span_end st -> Metrics.incr m ("spans." ^ stage_name st)
   | Run_begin _ -> Metrics.incr m "runs"
@@ -501,7 +534,37 @@ let json_of_event e =
     str "app" s.app;
     int_ "req" s.request;
     num "lat" s.latency_minutes;
-    bool_ "acc" s.accelerated);
+    bool_ "acc" s.accelerated
+  | Serve_shed s ->
+    str "ev" "serve_shed";
+    str "app" s.app;
+    int_ "req" s.request;
+    str "stage" s.stage;
+    num "deadline" s.deadline_minutes;
+    num "est" s.estimate_minutes
+  | Serve_timeout s ->
+    str "ev" "serve_timeout";
+    str "app" s.app;
+    int_ "dev" s.device;
+    int_ "size" s.size;
+    num "waited" s.waited_minutes
+  | Serve_hedge s ->
+    str "ev" "serve_hedge";
+    str "app" s.app;
+    int_ "from" s.from_device;
+    int_ "to" s.to_device;
+    int_ "size" s.size
+  | Serve_breaker s ->
+    str "ev" "serve_breaker";
+    int_ "dev" s.device;
+    str "from" s.from_state;
+    str "to" s.to_state
+  | Serve_deadline s ->
+    str "ev" "serve_deadline";
+    str "app" s.app;
+    int_ "req" s.request;
+    bool_ "met" s.met;
+    num "slack" s.slack_minutes);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -758,6 +821,36 @@ let event_of_json line =
             request = iget fields "req";
             latency_minutes = fget fields "lat";
             accelerated = bget fields "acc" }
+      | "serve_shed" ->
+        Serve_shed
+          { app = sget fields "app";
+            request = iget fields "req";
+            stage = sget fields "stage";
+            deadline_minutes = fget fields "deadline";
+            estimate_minutes = fget fields "est" }
+      | "serve_timeout" ->
+        Serve_timeout
+          { app = sget fields "app";
+            device = iget fields "dev";
+            size = iget fields "size";
+            waited_minutes = fget fields "waited" }
+      | "serve_hedge" ->
+        Serve_hedge
+          { app = sget fields "app";
+            from_device = iget fields "from";
+            to_device = iget fields "to";
+            size = iget fields "size" }
+      | "serve_breaker" ->
+        Serve_breaker
+          { device = iget fields "dev";
+            from_state = sget fields "from";
+            to_state = sget fields "to" }
+      | "serve_deadline" ->
+        Serve_deadline
+          { app = sget fields "app";
+            request = iget fields "req";
+            met = bget fields "met";
+            slack_minutes = fget fields "slack" }
       | _ -> raise Bad
     in
     { e_seq = iget fields "seq"; e_minutes = fget fields "min"; e_kind = kind }
@@ -833,6 +926,20 @@ let pp_event ppf e =
   | Serve_complete s ->
     p "serve_done app=%s req=%d lat=%.4fm%s" s.app s.request s.latency_minutes
       (if s.accelerated then "" else " jvm")
+  | Serve_shed s ->
+    p "serve_shed app=%s req=%d stage=%s deadline=%.4fm est=%.4fm" s.app
+      s.request s.stage s.deadline_minutes s.estimate_minutes
+  | Serve_timeout s ->
+    p "serve_timeout app=%s dev=%d size=%d waited=%.4fm" s.app s.device
+      s.size s.waited_minutes
+  | Serve_hedge s ->
+    p "serve_hedge app=%s from=%d to=%d size=%d" s.app s.from_device
+      s.to_device s.size
+  | Serve_breaker s ->
+    p "serve_breaker dev=%d %s->%s" s.device s.from_state s.to_state
+  | Serve_deadline s ->
+    p "serve_deadline app=%s req=%d met=%b slack=%.4fm" s.app s.request s.met
+      s.slack_minutes
 
 (* ------------------------------------------------------------------ *)
 (* Built-in sinks *)

@@ -129,6 +129,43 @@ type kind =
       latency_minutes : float;  (** Arrival to completion. *)
       accelerated : bool;       (** [false] for JVM-fallback service. *)
     }
+  | Serve_shed of {
+      app : string;
+      request : int;
+      stage : string;
+          (** ["enqueue"] (shed at admission) or ["dispatch"] (shed when
+              its batch was about to launch). *)
+      deadline_minutes : float;  (** The request's absolute deadline. *)
+      estimate_minutes : float;
+          (** Estimated completion that provoked the shed. *)
+    }  (** Deadline-aware admission routed the request straight to the
+           JVM path because the accelerator could not meet its
+           deadline. Only emitted when SLO admission is active. *)
+  | Serve_timeout of {
+      app : string;
+      device : int;
+      size : int;
+      waited_minutes : float;  (** Virtual minutes before cancellation. *)
+    }  (** The watchdog cancelled a hung batch; its requests are
+           re-dispatched. *)
+  | Serve_hedge of {
+      app : string;
+      from_device : int;  (** The device running the primary attempt. *)
+      to_device : int;    (** The idle device the hedge launched on. *)
+      size : int;
+    }  (** A timed-out batch was speculatively duplicated onto a second
+           device; first result wins (lowest device index on ties). *)
+  | Serve_breaker of { device : int; from_state : string; to_state : string }
+      (** A circuit-breaker transition
+          (["healthy"|"probation"|"quarantined"|"half_open"]). *)
+  | Serve_deadline of {
+      app : string;
+      request : int;
+      met : bool;
+      slack_minutes : float;
+          (** Deadline minus completion time (negative = missed). *)
+    }  (** Deadline outcome for a request that carried one. Only
+           emitted when the request had a deadline. *)
 
 type event = {
   e_seq : int;       (** Monotonic per tracer, gapless from 0. *)

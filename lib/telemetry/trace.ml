@@ -110,6 +110,12 @@ type replay = {
   rp_checkpoints : int;
   rp_serve_batches : int;
   rp_serve_reconfigs : int;
+  rp_serve_shed : int;
+  rp_serve_timeouts : int;
+  rp_serve_hedges : int;
+  rp_serve_breaker_trips : int;
+  rp_serve_deadline_hits : int;
+  rp_serve_deadline_misses : int;
   rp_serve_apps : serve_row list;
   rp_eval_minutes : float;
   rp_offline_minutes : float;
@@ -133,6 +139,9 @@ let replay t =
   let quarantined = ref 0 in
   let cores_lost = ref 0 and failovers = ref 0 and checkpoints = ref 0 in
   let serve_batches = ref 0 and serve_reconfigs = ref 0 in
+  let serve_shed = ref 0 and serve_timeouts = ref 0 in
+  let serve_hedges = ref 0 and serve_trips = ref 0 in
+  let deadline_hits = ref 0 and deadline_misses = ref 0 in
   (* Virtual-minute bills per stage, for the stage-share lines. *)
   let eval_minutes = ref 0.0 and offline_minutes = ref 0.0 in
   let service_minutes = ref 0.0 and reconfig_minutes = ref 0.0 in
@@ -219,6 +228,13 @@ let replay t =
         let e, c, f, l = serve_get s.app in
         Hashtbl.replace serve s.app
           (e, c + 1, f, (s.latency_minutes *. 60_000.0) :: l)
+      | T.Serve_shed _ -> incr serve_shed
+      | T.Serve_timeout _ -> incr serve_timeouts
+      | T.Serve_hedge _ -> incr serve_hedges
+      | T.Serve_breaker b ->
+        if b.to_state = "quarantined" then incr serve_trips
+      | T.Serve_deadline d ->
+        if d.met then incr deadline_hits else incr deadline_misses
       | _ -> ())
     t.t_events;
   { rp_flow = !flow;
@@ -263,6 +279,12 @@ let replay t =
     rp_checkpoints = !checkpoints;
     rp_serve_batches = !serve_batches;
     rp_serve_reconfigs = !serve_reconfigs;
+    rp_serve_shed = !serve_shed;
+    rp_serve_timeouts = !serve_timeouts;
+    rp_serve_hedges = !serve_hedges;
+    rp_serve_breaker_trips = !serve_trips;
+    rp_serve_deadline_hits = !deadline_hits;
+    rp_serve_deadline_misses = !deadline_misses;
     rp_serve_apps =
       Hashtbl.fold
         (fun app (e, c, f, lats) acc ->
@@ -409,6 +431,18 @@ let print_report ppf t =
     p "@.== serving ==@.";
     p "  batches %d, reconfigurations %d@." rp.rp_serve_batches
       rp.rp_serve_reconfigs;
+    if
+      rp.rp_serve_shed + rp.rp_serve_timeouts + rp.rp_serve_hedges
+        + rp.rp_serve_breaker_trips
+      > 0
+    then
+      p "  slo: %d shed, %d timeouts, %d hedges, %d breaker trips@."
+        rp.rp_serve_shed rp.rp_serve_timeouts rp.rp_serve_hedges
+        rp.rp_serve_breaker_trips;
+    (let dl = rp.rp_serve_deadline_hits + rp.rp_serve_deadline_misses in
+     if dl > 0 then
+       p "  deadlines: %d/%d met (%.1f%%)@." rp.rp_serve_deadline_hits dl
+         (100.0 *. float_of_int rp.rp_serve_deadline_hits /. float_of_int dl));
     p "  %-10s %8s %8s %8s %10s %10s %10s@." "app" "enq" "done" "jvm"
       "p50 ms" "p95 ms" "p99 ms";
     List.iter

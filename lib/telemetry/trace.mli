@@ -92,6 +92,12 @@ type replay = {
   rp_checkpoints : int;
   rp_serve_batches : int;
   rp_serve_reconfigs : int;
+  rp_serve_shed : int;           (** Deadline sheds to the JVM path. *)
+  rp_serve_timeouts : int;       (** Watchdog cancellations. *)
+  rp_serve_hedges : int;         (** Speculative duplicate dispatches. *)
+  rp_serve_breaker_trips : int;  (** Transitions into quarantine. *)
+  rp_serve_deadline_hits : int;
+  rp_serve_deadline_misses : int;
   rp_serve_apps : serve_row list;  (** Sorted by app name; empty for
                                        non-serving traces. *)
   rp_eval_minutes : float;     (** Simulated minutes billed by search
@@ -111,6 +117,8 @@ val print_report : Format.formatter -> t -> unit
 (** The [s2fa trace] rendering: summary, best-so-far curve, Gantt-style
     core occupancy, per-technique attribution, fault/resilience
     attribution (only when fault events are present), a serving section
-    (only when serve events are present), entropy-stop timeline. Each
+    (only when serve events are present; its SLO and deadline lines
+    only when those counters are non-zero, so pre-SLO traces render
+    unchanged), entropy-stop timeline. Each
     section that bills virtual minutes ends with a [stage share:] line
     placing its minutes against the total the trace attributes. *)

@@ -48,7 +48,7 @@ let requests ~seed ~horizon tenants =
             let payload = (tn.tn_workload.Workloads.w_gen pay 1).(0) in
             go t (id + 1)
               ({ Fleet.rq_app = i; rq_id = id; rq_arrival = t;
-                 rq_payload = payload }
+                 rq_deadline = None; rq_payload = payload }
               :: acc)
         in
         go 0.0 0 [])

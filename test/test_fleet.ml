@@ -322,9 +322,333 @@ let test_rejects_bad_config () =
     ignore
       (Fleet.serve apps
          [ { Fleet.rq_app = 99; rq_id = 0; rq_arrival = 0.0;
-             rq_payload = Interp.VInt 0 } ]);
+             rq_deadline = None; rq_payload = Interp.VInt 0 } ]);
     Alcotest.fail "unknown app must be rejected"
   with Fleet.Fleet_error _ -> ()
+
+(* ---------- golden byte-compat (pre-SLO baseline) ---------- *)
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* dune runtest runs us in test/; a bare [dune exec] runs from the
+   workspace root. Accept either. *)
+let golden name =
+  let local = Filename.concat "golden" name in
+  if Sys.file_exists local then local else Filename.concat "test/golden" name
+
+(* The committed golden files hold the exact report and telemetry bytes
+   the pre-SLO simulator (PR 5) produced for the fixture scenario. With
+   the control plane disabled (the default), the current simulator must
+   reproduce them byte for byte — new event kinds, report lines and
+   RNG draws are all gated on the SLO being active. *)
+let test_golden_pr5_byte_compat () =
+  let apps, requests = Lazy.force scenario in
+  let buf = Buffer.create 4096 in
+  let trace = T.create ~sinks:[ T.buffer_sink buf ] () in
+  let outcome = Fleet.serve ~trace apps requests in
+  Alcotest.(check string)
+    "report byte-identical to the PR-5 golden"
+    (read_file (golden "serve_pr5.report"))
+    (Fleet.report_to_string outcome.Fleet.oc_report);
+  Alcotest.(check string)
+    "telemetry byte-identical to the PR-5 golden"
+    (read_file (golden "serve_pr5.jsonl"))
+    (Buffer.contents buf)
+
+(* ---------- slo control plane ---------- *)
+
+let test_shed_all_matches_baseline () =
+  (* A 2 s deadline is tighter than one cold 3 s reconfiguration, so
+     every request sheds at admission — and still completes with a
+     bit-identical JVM result. *)
+  let apps, requests = Lazy.force scenario in
+  let requests = Fleet.with_deadline 2.0 requests in
+  let outcome = Fleet.serve apps requests in
+  check_differential ~msg:"shed" apps requests outcome;
+  let r = outcome.Fleet.oc_report in
+  Alcotest.(check int) "everything shed" (List.length requests) r.Fleet.rp_shed;
+  Alcotest.(check int) "no batches launched" 0 r.Fleet.rp_batches;
+  Alcotest.(check int) "every deadline accounted"
+    (List.length requests)
+    (r.Fleet.rp_deadline_hits + r.Fleet.rp_deadline_misses)
+
+let test_mixed_deadline_matches_baseline () =
+  (* A 10 s deadline straddles the cold-start cost: early requests shed
+     while the pool warms up, later ones are served on it. *)
+  let apps, requests = Lazy.force scenario in
+  let requests = Fleet.with_deadline 10.0 requests in
+  let outcome = Fleet.serve apps requests in
+  check_differential ~msg:"mixed-deadline" apps requests outcome;
+  let r = outcome.Fleet.oc_report in
+  Alcotest.(check bool) "some shed" true (r.Fleet.rp_shed > 0);
+  Alcotest.(check bool) "some accelerated" true (r.Fleet.rp_accelerated > 0);
+  Alcotest.(check int) "every deadline accounted"
+    (List.length requests)
+    (r.Fleet.rp_deadline_hits + r.Fleet.rp_deadline_misses)
+
+let test_timeout_and_hedge_match_baseline () =
+  let apps, requests = Lazy.force scenario in
+  let slo = { Fleet.no_slo with Fleet.sl_hang_factor = 3.0; sl_hedge = true } in
+  let inj =
+    Fault.create ~seed:5 { Fault.zero_spec with Fault.fs_hang = 0.3 }
+  in
+  let outcome =
+    Fleet.serve ~opts:{ Fleet.default_opts with Fleet.o_slo = slo }
+      ~faults:inj apps requests
+  in
+  check_differential ~msg:"timed-out" apps requests outcome;
+  let r = outcome.Fleet.oc_report in
+  Alcotest.(check bool) "watchdog fired" true (r.Fleet.rp_timeouts > 0);
+  Alcotest.(check bool) "a hedge launched" true (r.Fleet.rp_hedges > 0)
+
+let test_breaker_trips_and_recovers () =
+  let apps, requests = Lazy.force scenario in
+  let slo =
+    { Fleet.no_slo with
+      Fleet.sl_hang_factor = 2.0;
+      sl_breaker =
+        Some { Fleet.bk_failures = 1; bk_cooldown_s = 1.0; bk_probes = 1 } }
+  in
+  let inj =
+    Fault.create ~seed:5 { Fault.zero_spec with Fault.fs_hang = 0.5 }
+  in
+  let outcome =
+    Fleet.serve ~opts:{ Fleet.default_opts with Fleet.o_slo = slo }
+      ~faults:inj apps requests
+  in
+  check_differential ~msg:"post-quarantine" apps requests outcome;
+  let r = outcome.Fleet.oc_report in
+  Alcotest.(check bool) "breakers tripped" true (r.Fleet.rp_breaker_trips > 0);
+  (* The run finished on a pool that kept readmitting devices, so work
+     still landed on accelerators after the first trip. *)
+  Alcotest.(check bool) "still accelerated" true (r.Fleet.rp_accelerated > 0)
+
+let test_slo_determinism () =
+  (* The control plane's sheds, timeouts, hedges and breaker moves all
+     replay exactly: identical runs (fresh injectors, same seed) give
+     byte-identical reports and telemetry. *)
+  let apps, requests = Lazy.force scenario in
+  let requests = Fleet.with_deadline 10.0 requests in
+  let run () =
+    let buf = Buffer.create 4096 in
+    let trace = T.create ~sinks:[ T.buffer_sink buf ] () in
+    let slo =
+      { Fleet.sl_hang_factor = 3.0;
+        sl_hedge = true;
+        sl_breaker = Some Fleet.default_breaker }
+    in
+    let inj =
+      Fault.create ~seed:5 { Fault.zero_spec with Fault.fs_hang = 0.3 }
+    in
+    let outcome =
+      Fleet.serve ~opts:{ Fleet.default_opts with Fleet.o_slo = slo }
+        ~faults:inj ~trace apps requests
+    in
+    (Fleet.report_to_string outcome.Fleet.oc_report, Buffer.contents buf)
+  in
+  let r1, j1 = run () in
+  let r2, j2 = run () in
+  Alcotest.(check string) "byte-identical SLO report" r1 r2;
+  Alcotest.(check string) "byte-identical SLO telemetry" j1 j2
+
+(* ---------- checkpoint / resume ---------- *)
+
+let outcome_fingerprint (oc : Fleet.outcome) =
+  Fleet.report_to_string oc.Fleet.oc_report
+  ^ String.concat ";"
+      (List.map
+         (fun (r : Fleet.result) ->
+           Printf.sprintf "%d:%d:%s:%b" r.Fleet.rs_app r.Fleet.rs_id
+             (T.Json.fstr r.Fleet.rs_done) r.Fleet.rs_accelerated)
+         oc.Fleet.oc_results)
+
+let test_checkpoint_resume_bit_identical () =
+  (* Copy every snapshot the serve writes (the file is re-written in
+     place each tick), then resume from each copy: every resumed
+     outcome must be bit-identical to the uninterrupted run's. *)
+  let apps, requests = Lazy.force scenario in
+  let ck = Filename.temp_file "fleet" ".ck" in
+  let copies = ref [] in
+  let copy_sink =
+    { T.on_event =
+        (fun (ev : T.event) ->
+          match ev.T.e_kind with
+          | T.Checkpoint_written { path; _ } ->
+            let dst = Printf.sprintf "%s.%d" path (List.length !copies) in
+            Out_channel.with_open_bin dst (fun oc ->
+                Out_channel.output_string oc (read_file path));
+            copies := dst :: !copies
+          | _ -> ());
+      T.on_flush = ignore }
+  in
+  let trace = T.create ~sinks:[ copy_sink ] () in
+  let spec =
+    { Fleet.cks_path = ck; cks_every_s = 2.0; cks_meta = [ ("kind", "test") ] }
+  in
+  let uninterrupted = Fleet.serve ~trace ~checkpoint:spec apps requests in
+  Alcotest.(check bool) "several mid-serve snapshots" true
+    (List.length !copies >= 3);
+  let want = outcome_fingerprint uninterrupted in
+  List.iter
+    (fun path ->
+      match Fleet.load_checkpoint path with
+      | Error m -> Alcotest.failf "load %s: %s" path m
+      | Ok snapshot ->
+        Alcotest.(check bool)
+          "fleet checkpoints are recognized" true
+          (Fleet.is_fleet_checkpoint path);
+        let got = Fleet.resume ~snapshot apps requests in
+        Alcotest.(check string)
+          (Printf.sprintf "resume from event %d bit-identical"
+             snapshot.Fleet.fk_events)
+          want (outcome_fingerprint got))
+    !copies;
+  (* A resume whose configuration disagrees with the snapshot header
+     must be rejected up front, not silently diverge. *)
+  (match Fleet.load_checkpoint (List.hd !copies) with
+  | Error m -> Alcotest.fail m
+  | Ok snapshot -> (
+    try
+      ignore
+        (Fleet.resume
+           ~opts:{ Fleet.default_opts with Fleet.o_devices = 3 }
+           ~snapshot apps requests);
+      Alcotest.fail "mismatched pool size must be rejected"
+    with Fleet.Fleet_error _ -> ()));
+  List.iter Sys.remove (ck :: !copies)
+
+(* ---------- front-requeue discipline (PR-3 failover) ---------- *)
+
+let test_front_requeue_preserves_order () =
+  (* Under repeated device loss, in-flight requests re-queue at the
+     FRONT of their app's deque, so within an app the accelerated
+     completions stay in arrival order (FCFS): sort them by completion
+     time and the ids must still be increasing. Back-of-queue requeue
+     would let younger ids overtake the recovered ones. *)
+  let apps, requests = Lazy.force scenario in
+  let inj =
+    Fault.create ~seed:3 { Fault.zero_spec with Fault.fs_core_loss = 0.4 }
+  in
+  let opts = { Fleet.default_opts with Fleet.o_devices = 3 } in
+  let outcome = Fleet.serve ~opts ~faults:inj apps requests in
+  let r = outcome.Fleet.oc_report in
+  Alcotest.(check bool) "repeated losses" true (r.Fleet.rp_devices_lost >= 2);
+  Alcotest.(check bool) "in-flight work requeued" true
+    (r.Fleet.rp_requeued > 0);
+  check_differential ~msg:"front-requeued" apps requests outcome;
+  Array.iteri
+    (fun a _ ->
+      let ids =
+        List.filter
+          (fun (x : Fleet.result) ->
+            x.Fleet.rs_app = a && x.Fleet.rs_accelerated)
+          outcome.Fleet.oc_results
+        |> List.sort (fun (x : Fleet.result) (y : Fleet.result) ->
+               compare (x.Fleet.rs_done, x.Fleet.rs_id)
+                 (y.Fleet.rs_done, y.Fleet.rs_id))
+        |> List.map (fun (x : Fleet.result) -> x.Fleet.rs_id)
+      in
+      let rec increasing = function
+        | a :: b :: tl -> a < b && increasing (b :: tl)
+        | _ -> true
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "app %d completion order = arrival order" a)
+        true (increasing ids))
+    apps
+
+(* ---------- policy name round-trip ---------- *)
+
+let prop_policy_name_roundtrip =
+  QCheck.Test.make ~name:"policy_of_name inverts policy_name" ~count:20
+    QCheck.(int_range 0 3)
+    (fun i ->
+      let p = List.nth Fleet.all_policies i in
+      Fleet.policy_of_name (Fleet.policy_name p) = Some p)
+
+let prop_policy_of_name_total =
+  QCheck.Test.make ~name:"policy_of_name total on arbitrary strings"
+    ~count:200 QCheck.string
+    (fun s ->
+      match Fleet.policy_of_name s with
+      | Some p -> String.equal (Fleet.policy_name p) s
+      | None ->
+        List.for_all
+          (fun p -> not (String.equal (Fleet.policy_name p) s))
+          Fleet.all_policies)
+
+(* ---------- slo / request validation ---------- *)
+
+let contains_substring haystack needle =
+  let hl = String.length haystack and nl = String.length needle in
+  let rec scan i =
+    if i + nl > hl then false
+    else String.sub haystack i nl = needle || scan (i + 1)
+  in
+  scan 0
+
+let expect_fleet_error what substring f =
+  match f () with
+  | _ -> Alcotest.failf "%s must be rejected" what
+  | exception Fleet.Fleet_error m ->
+    if not (contains_substring m substring) then
+      Alcotest.failf "%s: error %S does not mention %S" what m substring
+
+let test_rejects_bad_weights_and_deadlines () =
+  let apps, requests = Lazy.force scenario in
+  let with_weight w =
+    Array.mapi
+      (fun i (a : Fleet.app) ->
+        if i = 0 then { a with Fleet.ap_weight = w } else a)
+      apps
+  in
+  expect_fleet_error "zero weight" "positive" (fun () ->
+      Fleet.serve (with_weight 0.0) requests);
+  expect_fleet_error "nan weight" "finite" (fun () ->
+      Fleet.serve (with_weight Float.nan) requests);
+  expect_fleet_error "infinite weight" "finite" (fun () ->
+      Fleet.serve (with_weight Float.infinity) requests);
+  expect_fleet_error "nan deadline" "finite" (fun () ->
+      Fleet.serve apps
+        [ { Fleet.rq_app = 0; rq_id = 0; rq_arrival = 0.0;
+            rq_deadline = Some Float.nan;
+            rq_payload = (List.hd requests).Fleet.rq_payload } ]);
+  expect_fleet_error "non-positive deadline offset" "positive" (fun () ->
+      Fleet.with_deadline 0.0 requests);
+  expect_fleet_error "nan deadline offset" "finite" (fun () ->
+      Fleet.with_deadline Float.nan requests)
+
+let test_rejects_bad_slo_specs () =
+  let apps, requests = Lazy.force scenario in
+  let serve_slo slo =
+    Fleet.serve ~opts:{ Fleet.default_opts with Fleet.o_slo = slo } apps
+      requests
+  in
+  expect_fleet_error "hang factor 1.0" "hang factor" (fun () ->
+      serve_slo { Fleet.no_slo with Fleet.sl_hang_factor = 1.0 });
+  expect_fleet_error "nan hang factor" "hang factor" (fun () ->
+      serve_slo { Fleet.no_slo with Fleet.sl_hang_factor = Float.nan });
+  expect_fleet_error "zero breaker failures" "breaker" (fun () ->
+      serve_slo
+        { Fleet.no_slo with
+          Fleet.sl_breaker =
+            Some { Fleet.default_breaker with Fleet.bk_failures = 0 } });
+  expect_fleet_error "zero breaker cooldown" "breaker" (fun () ->
+      serve_slo
+        { Fleet.no_slo with
+          Fleet.sl_breaker =
+            Some { Fleet.default_breaker with Fleet.bk_cooldown_s = 0.0 } });
+  expect_fleet_error "zero breaker probes" "breaker" (fun () ->
+      serve_slo
+        { Fleet.no_slo with
+          Fleet.sl_breaker =
+            Some { Fleet.default_breaker with Fleet.bk_probes = 0 } });
+  expect_fleet_error "zero checkpoint interval" "checkpoint" (fun () ->
+      Fleet.serve
+        ~checkpoint:
+          { Fleet.cks_path = "/tmp/never-written"; cks_every_s = 0.0;
+            cks_meta = [] }
+        apps requests)
 
 (* ---------- traffic generator ---------- *)
 
@@ -382,6 +706,23 @@ let () =
           Alcotest.test_case "overflow path matches too" `Quick
             test_differential_under_overflow;
           QCheck_alcotest.to_alcotest prop_differential_random_traffic ] );
+      ( "golden",
+        [ Alcotest.test_case "SLO-disabled run matches PR-5 bytes" `Quick
+            test_golden_pr5_byte_compat ] );
+      ( "slo",
+        [ Alcotest.test_case "tight deadlines shed everything" `Quick
+            test_shed_all_matches_baseline;
+          Alcotest.test_case "mixed deadlines still differential" `Quick
+            test_mixed_deadline_matches_baseline;
+          Alcotest.test_case "timeouts and hedges still differential" `Quick
+            test_timeout_and_hedge_match_baseline;
+          Alcotest.test_case "breaker trips and recovers" `Quick
+            test_breaker_trips_and_recovers;
+          Alcotest.test_case "SLO runs byte-reproducible" `Quick
+            test_slo_determinism ] );
+      ( "checkpoint",
+        [ Alcotest.test_case "resume from any snapshot bit-identical" `Quick
+            test_checkpoint_resume_bit_identical ] );
       ( "determinism",
         [ Alcotest.test_case "report and JSONL byte-identical" `Quick
             test_determinism_report_and_trace;
@@ -401,10 +742,18 @@ let () =
         [ Alcotest.test_case "device loss recovers" `Quick
             test_device_loss_recovers;
           Alcotest.test_case "zero-rate injector invisible" `Quick
-            test_zero_rate_faults_identical ] );
+            test_zero_rate_faults_identical;
+          Alcotest.test_case "front-requeue preserves FCFS order" `Quick
+            test_front_requeue_preserves_order ] );
       ( "validation",
         [ Alcotest.test_case "bad configs rejected" `Quick
-            test_rejects_bad_config ] );
+            test_rejects_bad_config;
+          Alcotest.test_case "bad weights and deadlines rejected" `Quick
+            test_rejects_bad_weights_and_deadlines;
+          Alcotest.test_case "bad SLO specs rejected" `Quick
+            test_rejects_bad_slo_specs;
+          QCheck_alcotest.to_alcotest prop_policy_name_roundtrip;
+          QCheck_alcotest.to_alcotest prop_policy_of_name_total ] );
       ( "traffic",
         [ Alcotest.test_case "byte-reproducible schedule" `Quick
             test_traffic_reproducible;
