@@ -2,6 +2,13 @@ module Space = S2fa_tuner.Space
 module Tuner = S2fa_tuner.Tuner
 module Resultdb = S2fa_tuner.Resultdb
 module Rng = S2fa_util.Rng
+module Pheap = S2fa_util.Pheap
+
+(* (finish_time, core) heap keys; a monomorphic comparator keeps the
+   sift path off polymorphic [Stdlib.compare]. *)
+let core_cmp (t1, c1) (t2, c2) =
+  let c = Float.compare t1 t2 in
+  if c <> 0 then c else Int.compare c1 c2
 module Telemetry = S2fa_telemetry.Telemetry
 module Obs = S2fa_obs.Obs
 module Fault = S2fa_fault.Fault
@@ -64,12 +71,20 @@ let traced_objective trace db objective =
   | None -> wrapped
   | Some tr ->
     fun cfg ->
-      let hit =
+      (* Whether this eval was a cache hit falls out of the hit-counter
+         delta across the memoized call — no second key canonicalization
+         just to ask the question. *)
+      let hits_before =
         match db with
-        | Some db -> Resultdb.peek db cfg <> None
-        | None -> false
+        | Some db -> (Resultdb.snapshot db).Resultdb.sn_hits
+        | None -> 0
       in
       let r = wrapped cfg in
+      let hit =
+        match db with
+        | Some db -> (Resultdb.snapshot db).Resultdb.sn_hits > hits_before
+        | None -> false
+      in
       Telemetry.emit tr
         (Telemetry.Eval_done
            { cfg_key = Space.key cfg;
@@ -165,11 +180,14 @@ let fault_objective faults trace objective =
 (* Mark [n] simulated cores dead: the core that ran the faulted
    evaluation first, then (for simultaneous losses) the highest-indexed
    survivors — a deterministic choice. *)
-let kill_cores ?trace alive ~clock ~first ~partition n =
+let kill_cores ?trace ?on_kill alive ~clock ~first ~partition n =
   let killed = ref 0 in
   let kill c part =
     if c >= 0 && c < Array.length alive && alive.(c) then begin
       alive.(c) <- false;
+      (* The flows' free-core heaps key off [alive]; give them a hook
+         to withdraw the dead core's entry at the mutation site. *)
+      (match on_kill with Some f -> f c | None -> ());
       incr killed;
       match trace with
       | None -> ()
@@ -559,6 +577,23 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace ?faults ?checkpoint dspace
   List.iteri (fun i p -> Queue.add (i, p, None) queue) partitions;
   let core_time = Array.make opts.so_cores 0.0 in
   let alive = Array.make opts.so_cores true in
+  (* Pending-completion selection: one heap entry per surviving core,
+     keyed (finish_time, index) — pop order matches the old linear
+     argmin scan (strict <, so the lowest index wins ties). *)
+  let core_heap = Pheap.create ~cmp:core_cmp () in
+  let core_h =
+    Array.mapi (fun i t -> Some (Pheap.insert core_heap (t, i) i)) core_time
+  in
+  let sync_core i =
+    match core_h.(i) with
+    | None -> ()
+    | Some h ->
+      if alive.(i) then Pheap.update core_heap h (core_time.(i), i)
+      else begin
+        Pheap.remove core_heap h;
+        core_h.(i) <- None
+      end
+  in
   let events = ref [] in
   let evals = ref 0 in
   let global_best = ref None in
@@ -640,8 +675,8 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace ?faults ?checkpoint dspace
           (* The in-flight evaluation was rescued by the retry loop,
              but its core is gone: decommission it and send the
              partition — tuner state intact — back to the FCFS queue. *)
-          kill_cores ?trace alive ~clock:core_time.(core) ~first:core
-            ~partition:idx losses;
+          kill_cores ?trace ~on_kill:sync_core alive
+            ~clock:core_time.(core) ~first:core ~partition:idx losses;
           disposition := `Core_lost;
           continue_ := false
         end
@@ -676,12 +711,7 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace ?faults ?checkpoint dspace
      is picked up — tuner state intact — by whichever survivor frees
      up first. *)
   let next_free_core () =
-    let best = ref (-1) in
-    Array.iteri
-      (fun i t ->
-        if alive.(i) && (!best < 0 || t < core_time.(!best)) then best := i)
-      core_time;
-    !best
+    match Pheap.peek core_heap with Some ((_, i), _) -> i | None -> -1
   in
   while not (Queue.is_empty queue) do
     match next_free_core () with
@@ -703,7 +733,11 @@ let run_s2fa ?(opts = default_s2fa_opts) ?db ?trace ?faults ?checkpoint dspace
                    { partition = idx; from_core; to_core = core }));
             Some t
         in
-        match run_partition core idx part tuner with
+        let outcome = run_partition core idx part tuner in
+        (* The partition advanced (and may have lost) this core; re-key
+           its heap entry before the next selection. *)
+        sync_core core;
+        match outcome with
         | `Done -> ()
         | `Core_lost t -> Queue.add (idx, part, Some (t, core)) queue
       end
@@ -753,6 +787,22 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db ?trace
   let n = Array.length tuners in
   let core_time = Array.make opts.so_cores 0.0 in
   let alive = Array.make opts.so_cores true in
+  (* Same free-core heap as the static flow: (finish_time, index) keys
+     reproduce the scan's lowest-index-on-ties argmin. *)
+  let core_heap = Pheap.create ~cmp:core_cmp () in
+  let core_h =
+    Array.mapi (fun i t -> Some (Pheap.insert core_heap (t, i) i)) core_time
+  in
+  let sync_core i =
+    match core_h.(i) with
+    | None -> ()
+    | Some h ->
+      if alive.(i) then Pheap.update core_heap h (core_time.(i), i)
+      else begin
+        Pheap.remove core_heap h;
+        core_h.(i) <- None
+      end
+  in
   let events = ref [] in
   let evals = ref 0 in
   let global_best = ref None in
@@ -795,21 +845,17 @@ let run_dynamic ?(opts = default_s2fa_opts) ?(setup_evals = 4) ?db ?trace
        | _ -> global_best := Some (o.Tuner.o_cfg, o.Tuner.o_perf)
      end);
     ck core_time.(core);
-    match faults with
+    (match faults with
     | None -> ()
     | Some inj ->
       let losses = Fault.take_core_losses inj in
       if losses > 0 then
-        kill_cores ?trace alive ~clock:core_time.(core) ~first:core
-          ~partition:p losses
+        kill_cores ?trace ~on_kill:sync_core alive ~clock:core_time.(core)
+          ~first:core ~partition:p losses);
+    sync_core core
   in
   let next_free_core () =
-    let best = ref (-1) in
-    Array.iteri
-      (fun i t ->
-        if alive.(i) && (!best < 0 || t < core_time.(!best)) then best := i)
-      core_time;
-    !best
+    match Pheap.peek core_heap with Some ((_, i), _) -> i | None -> -1
   in
   let eligible p = not (db_stuck db tuners.(p)) in
   (* Phase 1: sampling set-up, round-robin over partitions. *)

@@ -1,5 +1,6 @@
 module Rng = S2fa_util.Rng
 module Stats = S2fa_util.Stats
+module Pheap = S2fa_util.Pheap
 module Device = S2fa_hls.Device
 module Estimate = S2fa_hls.Estimate
 module Insn = S2fa_jvm.Insn
@@ -176,25 +177,39 @@ let dq_push q x =
   q.dq_len <- q.dq_len + 1
 
 let dq_push_front q xs =
-  q.dq_front <- xs @ q.dq_front;
-  q.dq_len <- q.dq_len + List.length xs
+  (* One pass: prepend and count together (callers hand over in-flight
+     batches whose length they never computed). *)
+  let n = ref 0 in
+  let rec prepend = function
+    | [] -> q.dq_front
+    | x :: tl ->
+      incr n;
+      x :: prepend tl
+  in
+  q.dq_front <- prepend xs;
+  q.dq_len <- q.dq_len + !n
 
 let dq_peek q =
   dq_norm q;
   match q.dq_front with x :: _ -> Some x | [] -> None
 
 let dq_take q n =
+  (* Normalize only when the front actually runs dry — at most once per
+     take, since a flip leaves the back empty. *)
   let rec go n acc =
     if n = 0 then List.rev acc
-    else begin
-      dq_norm q;
+    else
       match q.dq_front with
-      | [] -> List.rev acc
       | x :: tl ->
         q.dq_front <- tl;
         q.dq_len <- q.dq_len - 1;
         go (n - 1) (x :: acc)
-    end
+      | [] ->
+        if q.dq_back = [] then List.rev acc
+        else begin
+          dq_norm q;
+          go n acc
+        end
   in
   go n []
 
@@ -202,9 +217,51 @@ let dq_drain q = dq_take q (dq_len q)
 
 let dq_to_list q = q.dq_front @ List.rev q.dq_back
 
+(* Exposed so [test/test_heap.ml] can model-check the deque against a
+   plain list under arbitrary operation interleavings. *)
+module Dq = struct
+  type 'a t = 'a dq
+
+  let create = dq_create
+  let len = dq_len
+  let push = dq_push
+  let push_front = dq_push_front
+  let peek = dq_peek
+  let take = dq_take
+  let drain = dq_drain
+  let to_list = dq_to_list
+end
+
 (* ------------------------------------------------------------------ *)
 (* The discrete-event simulator *)
 (* ------------------------------------------------------------------ *)
+
+(* Two event engines compute the same simulation. [Heap] (the default)
+   keeps every future event in indexed binary min-heaps; [Scan] is the
+   original O(devices)-per-event linear rescan, retained as a
+   differential oracle — the heap keys form a total order that encodes
+   exactly the scan loop's tie-breaks, so the two engines must produce
+   byte-identical reports, telemetry, and checkpoints on any input. *)
+type engine = Heap | Scan
+
+let engine_of_env () =
+  match Sys.getenv_opt "S2FA_FLEET_ENGINE" with
+  | Some "scan" -> Scan
+  | Some "heap" | None -> Heap
+  | Some other ->
+    fail "unknown S2FA_FLEET_ENGINE %S (expected \"heap\" or \"scan\")" other
+
+(* Heap-engine event payloads. The key carries
+   (time, kind_rank, i, j): rank 0 = the head arrival, rank 1 = a
+   device's next completion/timeout/loss (i = device index), rank 2 = a
+   pending JVM completion (i, j = app, request id) — the same fixed
+   priority the scan loop applies on equal times. Breaker reopens live
+   in a separate heap because their visibility is gated on pending
+   work (see the event loop). *)
+type ev =
+  | Ev_arrival
+  | Ev_device of int
+  | Ev_jvm of (float * request * Interp.value)
 
 type bstate = Healthy | Probation of int | Quarantined | Half_open of int
 
@@ -353,8 +410,8 @@ let load_checkpoint path =
 (* Serving *)
 (* ------------------------------------------------------------------ *)
 
-let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
-    requests =
+let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
+    (apps : app array) requests =
   Obs.span "fleet.serve" @@ fun () ->
   if opts.o_devices < 1 then fail "need at least one device";
   check_apps apps;
@@ -390,6 +447,78 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
           d_alive = true;
           d_state = Healthy;
           d_reopen = infinity })
+  in
+  let heap_mode = engine = Heap in
+  (* Heap-engine state. [ev_heap] holds the head arrival, one entry per
+     busy device, and every pending JVM completion; [reopen_heap] one
+     entry per quarantined-alive device; [idle_heap] the free-list of
+     schedulable idle devices (keyed by index — the scan walk's order).
+     The side tables keep device -> handle in O(1). [sync d], installed
+     only in heap mode, re-derives device d's membership in all three
+     heaps from [devs] and is called after every mutation of a device's
+     schedulable state — heap maintenance lives here, in one place, so
+     the shared handlers stay engine-agnostic. *)
+  (* Monomorphic comparators: polymorphic [Stdlib.compare] on tuple
+     keys is the sift path's whole cost at fleet scale. *)
+  let ev_cmp (t1, r1, i1, j1) (t2, r2, i2, j2) =
+    let c = Float.compare t1 t2 in
+    if c <> 0 then c
+    else
+      let c = Int.compare r1 r2 in
+      if c <> 0 then c
+      else
+        let c = Int.compare i1 i2 in
+        if c <> 0 then c else Int.compare j1 j2
+  in
+  let td_cmp (t1, d1) (t2, d2) =
+    let c = Float.compare t1 t2 in
+    if c <> 0 then c else Int.compare d1 d2
+  in
+  let ev_heap : (float * int * int * int, ev) Pheap.t =
+    Pheap.create ~cmp:ev_cmp ()
+  in
+  let reopen_heap : (float * int, int) Pheap.t = Pheap.create ~cmp:td_cmp () in
+  let idle_heap : (int, int) Pheap.t = Pheap.create ~cmp:Int.compare () in
+  let dev_h = Array.make opts.o_devices None in
+  let idle_h = Array.make opts.o_devices None in
+  let reo_h = Array.make opts.o_devices None in
+  let arr_h = ref None in
+  let sync = ref (fun (_ : int) -> ()) in
+  let refresh_device d =
+    let dev = devs.(d) in
+    (match dev.d_busy with
+    | Some b ->
+      let t =
+        Float.min
+          (match b.b_lost with Some l -> l | None -> infinity)
+          (Float.min b.b_done b.b_timeout)
+      in
+      let k = (t, 1, d, 0) in
+      (match dev_h.(d) with
+      | Some h -> Pheap.update ev_heap h k
+      | None -> dev_h.(d) <- Some (Pheap.insert ev_heap k (Ev_device d)))
+    | None -> (
+      match dev_h.(d) with
+      | Some h ->
+        Pheap.remove ev_heap h;
+        dev_h.(d) <- None
+      | None -> ()));
+    (match
+       (idle_h.(d), dev.d_alive && dev.d_state <> Quarantined && dev.d_busy = None)
+     with
+    | None, true -> idle_h.(d) <- Some (Pheap.insert idle_heap d d)
+    | Some h, false ->
+      Pheap.remove idle_heap h;
+      idle_h.(d) <- None
+    | _ -> ());
+    match (reo_h.(d), dev.d_alive && dev.d_state = Quarantined) with
+    | None, true ->
+      reo_h.(d) <- Some (Pheap.insert reopen_heap (dev.d_reopen, d) d)
+    | Some h, true -> Pheap.update reopen_heap h (dev.d_reopen, d)
+    | Some h, false ->
+      Pheap.remove reopen_heap h;
+      reo_h.(d) <- None
+    | None, false -> ()
   in
   let reconfig_s = opts.o_device.Device.reconfig_minutes *. 60.0 in
   (* The per-batch cost model is deterministic per (app, size); memoize
@@ -442,9 +571,17 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
   let dl_hits = ref 0 and dl_misses = ref 0 in
   let groups = ref 0 in
   let events = ref 0 in
+  (* O(1) mirrors of what used to be O(devices)/O(apps) rescans: the
+     total queued backlog and the alive/schedulable pool sizes, updated
+     at the few sites that change them. *)
+  let total_queued = ref 0 in
+  let n_alive = ref opts.o_devices in
+  let n_routable = ref opts.o_devices in
   (* Completed-but-not-yet-collected JVM executions, ordered like the
      arrival stream so simultaneous completions resolve identically
-     across runs. *)
+     across runs. The scan engine keeps them in a sorted list (O(n) per
+     merge); the heap engine files them in [ev_heap] under rank 2 with
+     the same (t, app, id) ordering. *)
   let jvm_pending = ref [] in
   let jvm_order (ta, ra, _) (tb, rb, _) =
     compare (ta, ra.rq_app, ra.rq_id) (tb, rb.rq_app, rb.rq_id)
@@ -458,20 +595,19 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
     clocked
       (Telemetry.Serve_fallback
          { app = a.ap_name; request = r.rq_id; reason });
-    jvm_pending :=
-      List.merge jvm_order
-        [ (start +. tr.Blaze.tr_seconds, r, tr.Blaze.tr_values.(0)) ]
-        !jvm_pending
+    let entry = (start +. tr.Blaze.tr_seconds, r, tr.Blaze.tr_values.(0)) in
+    if heap_mode then
+      ignore
+        (Pheap.insert ev_heap
+           (start +. tr.Blaze.tr_seconds, 2, r.rq_app, r.rq_id)
+           (Ev_jvm entry))
+    else jvm_pending := List.merge jvm_order [ entry ] !jvm_pending
   in
-  let alive_devices () =
-    Array.fold_left (fun n d -> if d.d_alive then n + 1 else n) 0 devs
-  in
+  let alive_devices () = !n_alive in
   (* A quarantined device is alive but not schedulable: the breaker
      routes work around it until its half-open probe readmits it. *)
   let routable dv = dv.d_alive && dv.d_state <> Quarantined in
-  let routable_count () =
-    Array.fold_left (fun n d -> if routable d then n + 1 else n) 0 devs
-  in
+  let routable_count () = !n_routable in
   (* ---------- circuit breakers ---------- *)
   let set_bstate d st =
     let dev = devs.(d) in
@@ -486,7 +622,14 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
       incr breaker_trips;
       Obs.count "fleet.breaker_trips"
     | _ -> ());
-    dev.d_state <- st
+    (if dev.d_alive then
+       match (dev.d_state, st) with
+       | Quarantined, Quarantined -> ()
+       | Quarantined, _ -> incr n_routable
+       | _, Quarantined -> decr n_routable
+       | _ -> ());
+    dev.d_state <- st;
+    !sync d
   in
   let breaker_failure d =
     match opts.o_slo.sl_breaker with
@@ -495,7 +638,8 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
       let dev = devs.(d) in
       let quarantine () =
         set_bstate d Quarantined;
-        dev.d_reopen <- !now +. c.bk_cooldown_s
+        dev.d_reopen <- !now +. c.bk_cooldown_s;
+        !sync d
       in
       match dev.d_state with
       | Healthy ->
@@ -699,11 +843,13 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
           b_timeout = timeout;
           b_lost = lost;
           b_group = group;
-          b_hedged = hedge_from <> None }
+          b_hedged = hedge_from <> None };
+    !sync d
   in
   let rec launch d a =
     Obs.span "fleet.launch" @@ fun () ->
     let reqs = dq_take queues.(a) apps.(a).ap_batch in
+    total_queued := !total_queued - List.length reqs;
     let svc0 = service_seconds d a (List.length reqs) in
     (* Dispatch-time deadline re-check: the queue-wait estimate paid at
        admission is gone; now the batch's own service time decides. *)
@@ -722,20 +868,42 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
       match pick d with Some a' -> launch d a' | None -> ())
     | _ -> launch_batch ~hedge_from:None d a keep
   in
-  let try_dispatch () =
+  let try_dispatch_scan () =
     Array.iteri
       (fun d dev ->
         if routable dev && dev.d_busy = None then
           match pick d with Some a -> launch d a | None -> ())
       devs
   in
+  let try_dispatch_heap () =
+    (* O(ready), not O(pool): pop idle devices (lowest index first, the
+       scan walk's direction) while any work is queued. Every policy
+       returns [Some app] whenever any queue is non-empty, so a popped
+       device always launches — unless its launch sheds the whole
+       backlog, which zeroes [total_queued] and ends the loop with the
+       device re-filed as idle. *)
+    let continue_ = ref true in
+    while !continue_ && !total_queued > 0 do
+      match Pheap.pop idle_heap with
+      | None -> continue_ := false
+      | Some (_, d) ->
+        idle_h.(d) <- None;
+        (match pick d with Some a -> launch d a | None -> ());
+        refresh_device d
+    done
+  in
+  let try_dispatch () =
+    if heap_mode then try_dispatch_heap () else try_dispatch_scan ()
+  in
   let drain_to_jvm () =
     (* Graceful degradation's last resort: with the whole pool gone,
        everything still queued runs on the JVM baseline from now on. *)
     Array.iter
       (fun q ->
+        let drained = dq_drain q in
+        total_queued := !total_queued - List.length drained;
         List.iter (fun r -> fallback ~reason:"no_devices" ~start:!now r)
-          (dq_drain q))
+          drained)
       queues
   in
   let handle_arrival r =
@@ -758,6 +926,7 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
           fallback ~reason:"overflow" ~start:!now r
         else begin
           dq_push q r;
+          incr total_queued;
           clocked
             (Telemetry.Serve_enqueue
                { app = apps.(r.rq_app).ap_name;
@@ -809,10 +978,13 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
   in
   let cancel_requeue d (b : busy) =
     let a = b.b_app in
+    let n = List.length b.b_reqs in
     devs.(d).d_busy <- None;
-    requeued := !requeued + List.length b.b_reqs;
-    served.(a) <- served.(a) - List.length b.b_reqs;
+    !sync d;
+    requeued := !requeued + n;
+    served.(a) <- served.(a) - n;
     dq_push_front queues.(a) b.b_reqs;
+    total_queued := !total_queued + n;
     List.iter
       (fun r ->
         clocked
@@ -839,7 +1011,8 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
     | Some _ ->
       (* Another copy is still running and will deliver; abandon this
          one without touching the queue. *)
-      devs.(d).d_busy <- None
+      devs.(d).d_busy <- None;
+      !sync d
     | None ->
       let hedge_to =
         if not opts.o_slo.sl_hedge then None
@@ -858,8 +1031,11 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
       (match hedge_to with
       | Some d2 ->
         (* The stalled primary keeps running (its watchdog is spent);
-           the twin races it, first result wins. *)
+           the twin races it, first result wins. Disarming the watchdog
+           moves the primary's event key {e later} — the general-update
+           case of the heap, not a decrease-key. *)
         devs.(d).d_busy <- Some { b with b_timeout = infinity; b_hedged = true };
+        !sync d;
         launch_batch ~hedge_from:(Some d) d2 a b.b_reqs
       | None -> cancel_requeue d b));
     try_dispatch ()
@@ -879,17 +1055,22 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
         Obs.set_clock (!now /. 60.0);
         dev.d_alive <- false;
         dev.d_busy <- None;
+        decr n_alive;
+        if dev.d_state <> Quarantined then decr n_routable;
+        !sync d;
         incr devices_lost;
         clocked (Telemetry.Core_lost { core = d; partition = -1 });
         (match twin_of d b.b_group with
         | Some _ -> ()  (* the surviving copy delivers *)
         | None ->
           let a = b.b_app in
-          requeued := !requeued + List.length b.b_reqs;
+          let n = List.length b.b_reqs in
+          requeued := !requeued + n;
           (* De-count the lost dispatch so fair share tracks completed
              work, not work burned on a dead device. *)
-          served.(a) <- served.(a) - List.length b.b_reqs;
+          served.(a) <- served.(a) - n;
           dq_push_front queues.(a) b.b_reqs;
+          total_queued := !total_queued + n;
           List.iter
             (fun r ->
               clocked
@@ -905,11 +1086,14 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
         now := b.b_done;
         Obs.set_clock (!now /. 60.0);
         dev.d_busy <- None;
+        !sync d;
         (* First result wins: the loser of a hedged pair is cancelled
            the moment the winner completes. *)
         (if b.b_hedged then
            match twin_of d b.b_group with
-           | Some d2 -> devs.(d2).d_busy <- None
+           | Some d2 ->
+             devs.(d2).d_busy <- None;
+             !sync d2
            | None -> ());
         let payloads =
           Array.of_list (List.map (fun r -> r.rq_payload) b.b_reqs)
@@ -923,13 +1107,23 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
       end)
   in
   let handle_jvm () =
-    match !jvm_pending with
-    | [] -> assert false
-    | (t, r, v) :: rest ->
-      jvm_pending := rest;
-      now := t;
-      Obs.set_clock (!now /. 60.0);
-      complete ~accelerated:false r v
+    let t, r, v =
+      if heap_mode then
+        (* The caller peeked this event at the heap top; nothing between
+           the peek and here mutates the heap, so pop it now. *)
+        match Pheap.pop ev_heap with
+        | Some (_, Ev_jvm e) -> e
+        | _ -> assert false
+      else
+        match !jvm_pending with
+        | e :: rest ->
+          jvm_pending := rest;
+          e
+        | [] -> assert false
+    in
+    now := t;
+    Obs.set_clock (!now /. 60.0);
+    complete ~accelerated:false r v
   in
   let handle_reopen d =
     let dev = devs.(d) in
@@ -965,6 +1159,15 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
     !best
   in
   (* ---------- checkpoint rendering ---------- *)
+  (* Pending JVM completions in (t, app, id) order, whichever engine
+     holds them — the heap's internal layout never reaches a snapshot. *)
+  let jvm_entries () =
+    if heap_mode then
+      List.sort jvm_order
+        (Pheap.fold ev_heap ~init:[] ~f:(fun acc _ e ->
+             match e with Ev_jvm entry -> entry :: acc | _ -> acc))
+    else !jvm_pending
+  in
   let snapshot_lines ~every ~meta () =
     let fstr = Json.fstr and quote = Json.quote in
     let header =
@@ -1038,7 +1241,7 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
         (fun (t, r, _) ->
           Printf.sprintf "{\"ck\":\"jvm\",\"t\":%s,\"app\":%d,\"id\":%d}"
             (fstr t) r.rq_app r.rq_id)
-        !jvm_pending
+        (jvm_entries ())
     in
     let result_line =
       let digest =
@@ -1098,7 +1301,7 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
            { path = c.cks_path; minutes = !now /. 60.0; evals = !events })
     | _ -> ()
   in
-  let rec loop () =
+  let rec loop_scan () =
     let t_arr =
       match !arrivals with [] -> infinity | r :: _ -> r.rq_arrival
     in
@@ -1133,10 +1336,70 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
       else handle_reopen bd;
       incr events;
       after_event ();
-      loop ()
+      loop_scan ()
     end
   in
-  loop ();
+  (* The heap engine. [ev_heap]'s total-order key encodes the scan
+     loop's tie chain (arrival, then lowest-index device, then
+     (t, app, id)-least JVM completion), so its minimum is exactly the
+     event the scan would pick whenever that minimum beats the gated
+     reopen probe — which wins only on strictly earlier times, like the
+     scan's trailing [else]. Device events are peeked, not popped: their
+     handlers re-key or withdraw them through [sync], the same path
+     every other mutation takes. Reopens stay in their own heap because
+     the gate is evaluated per iteration: a probe hidden by an empty
+     system must fire — possibly moving the clock backwards — once a
+     requeue re-opens the gate, exactly as the scan engine replays it. *)
+  let refresh_arrival () =
+    (match !arr_h with
+    | Some h ->
+      Pheap.remove ev_heap h;
+      arr_h := None
+    | None -> ());
+    match !arrivals with
+    | r :: _ ->
+      arr_h := Some (Pheap.insert ev_heap (r.rq_arrival, 0, 0, 0) Ev_arrival)
+    | [] -> ()
+  in
+  let rec loop_heap () =
+    let t_brk, bd =
+      if !total_queued > 0 || !arrivals <> [] then
+        match Pheap.peek reopen_heap with
+        | Some ((t, _), d) -> (t, d)
+        | None -> (infinity, -1)
+      else (infinity, -1)
+    in
+    let top = Pheap.peek ev_heap in
+    let t_ev =
+      match top with Some ((t, _, _, _), _) -> t | None -> infinity
+    in
+    if t_ev = infinity && t_brk = infinity then ()
+    else begin
+      (if t_ev <= t_brk then
+         match top with
+         | Some (_, Ev_arrival) -> (
+           match !arrivals with
+           | r :: rest ->
+             arrivals := rest;
+             refresh_arrival ();
+             handle_arrival r
+           | [] -> assert false)
+         | Some (_, Ev_device d) -> handle_device d
+         | Some (_, Ev_jvm _) -> handle_jvm ()
+         | None -> assert false
+       else handle_reopen bd);
+      incr events;
+      after_event ();
+      loop_heap ()
+    end
+  in
+  if heap_mode then begin
+    sync := refresh_device;
+    refresh_arrival ();
+    Array.iteri (fun d _ -> refresh_device d) devs;
+    loop_heap ()
+  end
+  else loop_scan ();
   (* ---------- report ---------- *)
   let results =
     List.sort (fun a b -> compare (a.rs_app, a.rs_id) (b.rs_app, b.rs_id))
@@ -1149,11 +1412,17 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
   let weight_total =
     Array.fold_left (fun s a -> s +. a.ap_weight) 0.0 apps
   in
+  (* One pass over the sorted results buckets them per app (prepend
+     then reverse keeps each bucket in (app, id) order — the same list
+     the old per-app re-filter produced, at O(results + apps) instead
+     of O(apps x results)). *)
+  let by_app = Array.make n_apps [] in
+  List.iter (fun r -> by_app.(r.rs_app) <- r :: by_app.(r.rs_app)) results;
   let per_app =
     Array.to_list
       (Array.mapi
          (fun i a ->
-           let mine = List.filter (fun r -> r.rs_app = i) results in
+           let mine = List.rev by_app.(i) in
            let acc = List.filter (fun r -> r.rs_accelerated) mine in
            let lat_ms =
              Array.of_list
@@ -1212,11 +1481,18 @@ let serve_impl ~opts ?trace ?faults ?checkpoint ?validate (apps : app array)
   in
   { oc_report = report; oc_results = results }
 
-let serve ?(opts = default_opts) ?trace ?faults ?checkpoint apps requests =
-  serve_impl ~opts ?trace ?faults ?checkpoint apps requests
-
-let resume ?(opts = default_opts) ?trace ?faults ?checkpoint ~snapshot apps
+let serve ?(opts = default_opts) ?engine ?trace ?faults ?checkpoint apps
     requests =
+  let engine =
+    match engine with Some e -> e | None -> engine_of_env ()
+  in
+  serve_impl ~opts ~engine ?trace ?faults ?checkpoint apps requests
+
+let resume ?(opts = default_opts) ?engine ?trace ?faults ?checkpoint
+    ~snapshot apps requests =
+  let engine =
+    match engine with Some e -> e | None -> engine_of_env ()
+  in
   if snapshot.fk_policy <> policy_name opts.o_policy then
     fail "resume: checkpoint policy %s does not match the requested %s"
       snapshot.fk_policy
@@ -1227,7 +1503,7 @@ let resume ?(opts = default_opts) ?trace ?faults ?checkpoint ~snapshot apps
   if snapshot.fk_apps <> Array.length apps then
     fail "resume: checkpoint has %d apps, requested %d" snapshot.fk_apps
       (Array.length apps);
-  serve_impl ~opts ?trace ?faults ?checkpoint ~validate:snapshot apps
+  serve_impl ~opts ~engine ?trace ?faults ?checkpoint ~validate:snapshot apps
     requests
 
 (* ------------------------------------------------------------------ *)

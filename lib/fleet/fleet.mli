@@ -142,6 +142,19 @@ val default_opts : opts
 (** 2 VU9P devices, FCFS, 8 GB/s PCIe, 0.5 ms invocation overhead,
     {!no_slo}. *)
 
+(** The event engine behind {!serve}. [Heap] (the default) drives the
+    simulation from indexed binary min-heaps — O(log pool) per event,
+    O(ready) dispatch; [Scan] is the original linear-rescan loop,
+    O(pool) per event, kept as a differential oracle. The heap keys are
+    a total order encoding exactly the scan loop's tie-breaks, so both
+    engines produce byte-identical reports, telemetry streams, results
+    and checkpoints on any input (proved across policies, SLO/chaos
+    configurations and checkpoint/resume in [test/test_heap.ml], and on
+    every chaos-campaign seed). The [S2FA_FLEET_ENGINE] environment
+    variable ([heap] | [scan]) sets the default for runs that do not
+    pass [?engine] — the CI differential sweep's hook. *)
+type engine = Heap | Scan
+
 val with_deadline : float -> request list -> request list
 (** [with_deadline slo_seconds reqs] stamps every request with the
     absolute deadline [rq_arrival +. slo_seconds] (the CLI's [--slo-ms]
@@ -250,6 +263,7 @@ val load_checkpoint : string -> (snapshot, string) Stdlib.result
 
 val serve :
   ?opts:opts ->
+  ?engine:engine ->
   ?trace:S2fa_telemetry.Telemetry.t ->
   ?faults:S2fa_fault.Fault.t ->
   ?checkpoint:ck_spec ->
@@ -274,6 +288,7 @@ val serve :
 
 val resume :
   ?opts:opts ->
+  ?engine:engine ->
   ?trace:S2fa_telemetry.Telemetry.t ->
   ?faults:S2fa_fault.Fault.t ->
   ?checkpoint:ck_spec ->
@@ -289,6 +304,26 @@ val resume :
     {!Fleet_error} if the configuration disagrees with the snapshot
     header or the regenerated state diverges (i.e. the inputs differ
     from the checkpointed run's). *)
+
+(** {1 Internals exposed for testing} *)
+
+(** The admission queue: a FIFO that also supports re-queueing a batch
+    at the front (recovered in-flight work must not lose its place).
+    Exposed only so [test/test_heap.ml] can model-check it against a
+    plain list under arbitrary push / push-front / take / drain
+    interleavings; the simulator is its real consumer. *)
+module Dq : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val len : 'a t -> int
+  val push : 'a t -> 'a -> unit
+  val push_front : 'a t -> 'a list -> unit
+  val peek : 'a t -> 'a option
+  val take : 'a t -> int -> 'a list
+  val drain : 'a t -> 'a list
+  val to_list : 'a t -> 'a list
+end
 
 val pp_report : Format.formatter -> report -> unit
 (** Fixed-format rendering: equal reports produce equal bytes. The SLO

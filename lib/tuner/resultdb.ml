@@ -11,9 +11,18 @@ type detail = {
 
 type entry = { en_result : eval_result; en_detail : detail option }
 
+(* Configuration keys are interned: the canonical key string is built
+   (and hashed) once per distinct design point, then every table is
+   keyed by its dense integer id. A DSE probes the same points over and
+   over, so the old scheme re-normalized, re-rendered and re-hashed the
+   long "n=v;..." string on every lookup/insert/peek — pure overhead
+   the ROADMAP's "raw speed" item called out. *)
 type t = {
-  tbl : (string, entry) Hashtbl.t;
-  pending : (string, detail) Hashtbl.t;
+  ids : (string, int) Hashtbl.t;    (* canonical key -> dense id *)
+  mutable names : string array;     (* dense id -> canonical key *)
+  mutable n_ids : int;
+  tbl : (int, entry) Hashtbl.t;
+  pending : (int, detail) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
   mutable inserts : int;
@@ -31,13 +40,32 @@ type snapshot = {
 }
 
 let create ?(size = 256) () =
-  { tbl = Hashtbl.create size;
+  { ids = Hashtbl.create size;
+    names = [||];
+    n_ids = 0;
+    tbl = Hashtbl.create size;
     pending = Hashtbl.create 8;
     hits = 0;
     misses = 0;
     inserts = 0;
     rejected = 0;
     minutes_saved = 0.0 }
+
+let intern db s =
+  match Hashtbl.find_opt db.ids s with
+  | Some id -> id
+  | None ->
+    let id = db.n_ids in
+    let cap = Array.length db.names in
+    if id = cap then begin
+      let names = Array.make (max 16 (2 * cap)) "" in
+      Array.blit db.names 0 names 0 id;
+      db.names <- names
+    end;
+    db.names.(id) <- s;
+    Hashtbl.add db.ids s id;
+    db.n_ids <- id + 1;
+    id
 
 (* The poisoning guard. A quarantined design point — one whose every
    evaluation attempt was eaten by injected faults — carries a NaN
@@ -50,8 +78,10 @@ let length db = Hashtbl.length db.tbl
 
 let key_of cfg = Space.key (Space.normalize cfg)
 
-let lookup db cfg =
-  match Hashtbl.find_opt db.tbl (key_of cfg) with
+let id_of db cfg = intern db (key_of cfg)
+
+let lookup_id db id =
+  match Hashtbl.find_opt db.tbl id with
   | Some e ->
     db.hits <- db.hits + 1;
     db.minutes_saved <- db.minutes_saved +. e.en_result.e_minutes;
@@ -61,40 +91,46 @@ let lookup db cfg =
     db.misses <- db.misses + 1;
     None
 
-let peek db cfg = Hashtbl.find_opt db.tbl (key_of cfg)
+let lookup db cfg = lookup_id db (id_of db cfg)
 
-let insert db ?detail cfg r =
-  let key = key_of cfg in
+let peek db cfg = Hashtbl.find_opt db.tbl (id_of db cfg)
+
+let insert_id db ?detail id r =
   if poisoned r then db.rejected <- db.rejected + 1
-  else if not (Hashtbl.mem db.tbl key) then begin
+  else if not (Hashtbl.mem db.tbl id) then begin
     let detail =
       match detail with
       | Some _ -> detail
       | None ->
-        let d = Hashtbl.find_opt db.pending key in
-        Hashtbl.remove db.pending key;
+        let d = Hashtbl.find_opt db.pending id in
+        Hashtbl.remove db.pending id;
         d
     in
-    Hashtbl.replace db.tbl key { en_result = r; en_detail = detail };
+    Hashtbl.replace db.tbl id { en_result = r; en_detail = detail };
     db.inserts <- db.inserts + 1
   end
 
-let attach_detail db cfg d =
-  let key = key_of cfg in
-  match Hashtbl.find_opt db.tbl key with
-  | Some e -> Hashtbl.replace db.tbl key { e with en_detail = Some d }
-  | None -> Hashtbl.replace db.pending key d
+let insert db ?detail cfg r = insert_id db ?detail (id_of db cfg) r
 
+let attach_detail db cfg d =
+  let id = id_of db cfg in
+  match Hashtbl.find_opt db.tbl id with
+  | Some e -> Hashtbl.replace db.tbl id { e with en_detail = Some d }
+  | None -> Hashtbl.replace db.pending id d
+
+(* The key is canonicalized once per call, not once for the lookup and
+   again for the insert. *)
 let memoize db f cfg =
-  match lookup db cfg with
+  let id = id_of db cfg in
+  match lookup_id db id with
   | Some r -> r
   | None ->
     let r = f cfg in
-    insert db cfg r;
+    insert_id db id r;
     r
 
 let to_list db =
-  Hashtbl.fold (fun k e acc -> (k, e.en_result) :: acc) db.tbl []
+  Hashtbl.fold (fun id e acc -> (db.names.(id), e.en_result) :: acc) db.tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot db =

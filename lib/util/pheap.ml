@@ -1,0 +1,129 @@
+(* A classic array-backed binary min-heap, except every slot holds a
+   mutable handle record carrying its own position, so re-keying and
+   removal are O(log n) without a search. *)
+
+type ('k, 'v) handle = {
+  mutable h_key : 'k;
+  h_value : 'v;
+  mutable h_pos : int;  (* index in [arr]; -1 once popped or removed *)
+}
+
+type ('k, 'v) t = {
+  cmp : 'k -> 'k -> int;
+  mutable arr : ('k, 'v) handle array;
+  mutable len : int;
+}
+
+let create ?(cmp = Stdlib.compare) () = { cmp; arr = [||]; len = 0 }
+
+let length t = t.len
+
+let is_empty t = t.len = 0
+
+let mem h = h.h_pos >= 0
+
+let key h = h.h_key
+
+let value h = h.h_value
+
+let set t i h =
+  t.arr.(i) <- h;
+  h.h_pos <- i
+
+let rec sift_up t i h =
+  if i = 0 then set t i h
+  else
+    let p = (i - 1) / 2 in
+    let ph = t.arr.(p) in
+    if t.cmp h.h_key ph.h_key < 0 then begin
+      set t i ph;
+      sift_up t p h
+    end
+    else set t i h
+
+let rec sift_down t i h =
+  let l = (2 * i) + 1 in
+  if l >= t.len then set t i h
+  else
+    let c =
+      let r = l + 1 in
+      if r < t.len && t.cmp t.arr.(r).h_key t.arr.(l).h_key < 0 then r else l
+    in
+    let ch = t.arr.(c) in
+    if t.cmp ch.h_key h.h_key < 0 then begin
+      set t i ch;
+      sift_down t c h
+    end
+    else set t i h
+
+let insert t k v =
+  let h = { h_key = k; h_value = v; h_pos = -1 } in
+  let cap = Array.length t.arr in
+  if t.len = cap then begin
+    let arr = Array.make (max 8 (2 * cap)) h in
+    Array.blit t.arr 0 arr 0 t.len;
+    t.arr <- arr
+  end;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1) h;
+  h
+
+let peek t =
+  if t.len = 0 then None
+  else
+    let h = t.arr.(0) in
+    Some (h.h_key, h.h_value)
+
+(* Detach the entry at [i]: move the last slot into the hole and sift
+   it whichever way restores the invariant. *)
+let delete_at t i =
+  let h = t.arr.(i) in
+  h.h_pos <- -1;
+  t.len <- t.len - 1;
+  if i < t.len then begin
+    let last = t.arr.(t.len) in
+    if i > 0 && t.cmp last.h_key t.arr.((i - 1) / 2).h_key < 0 then
+      sift_up t i last
+    else sift_down t i last
+  end
+
+let pop t =
+  if t.len = 0 then None
+  else begin
+    let h = t.arr.(0) in
+    delete_at t 0;
+    Some (h.h_key, h.h_value)
+  end
+
+let check_live fn h =
+  if h.h_pos < 0 then
+    invalid_arg (Printf.sprintf "Pheap.%s: dead handle" fn)
+
+let update t h k =
+  check_live "update" h;
+  let c = t.cmp k h.h_key in
+  h.h_key <- k;
+  if c < 0 then sift_up t h.h_pos h
+  else if c > 0 then sift_down t h.h_pos h
+
+let decrease_key t h k =
+  check_live "decrease_key" h;
+  if t.cmp k h.h_key > 0 then
+    invalid_arg "Pheap.decrease_key: new key orders after the current one";
+  h.h_key <- k;
+  sift_up t h.h_pos h
+
+let remove t h =
+  check_live "remove" h;
+  delete_at t h.h_pos
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.len - 1 do
+    let h = t.arr.(i) in
+    acc := f !acc h.h_key h.h_value
+  done;
+  !acc
+
+let to_list t =
+  List.rev (fold t ~init:[] ~f:(fun acc k v -> (k, v) :: acc))

@@ -106,7 +106,7 @@ let requests_of sc =
 (* One serve run of the scenario. A fresh injector per run (same
    private seed) keeps repeated runs draw-for-draw identical; [faulty]
    lets the monotonicity check strip the fault schedule. *)
-let run_serve ?(faulty = true) sc ~devices apps requests =
+let run_serve ?(faulty = true) ?engine sc ~devices apps requests =
   let buf = Buffer.create 4096 in
   let trace = T.create ~sinks:[ T.buffer_sink buf ] () in
   let faults =
@@ -120,7 +120,7 @@ let run_serve ?(faulty = true) sc ~devices apps requests =
       o_policy = sc.sc_policy;
       o_slo = sc.sc_slo }
   in
-  let outcome = Fleet.serve ~opts ~trace ?faults apps requests in
+  let outcome = Fleet.serve ~opts ~trace ?faults ?engine apps requests in
   T.flush trace;
   (outcome, Buffer.contents buf)
 
@@ -196,6 +196,20 @@ let run_seed seed =
       if rb +. 1e-9 < rs then
         fail "monotonicity: hit-rate %.4f at %d device(s) fell to %.4f at %d"
           rs sc.sc_devices rb (sc.sc_devices + 1));
+  (* Invariant 5: engine differential — the linear-scan event loop is
+     kept as an oracle for the heap engine; both must produce the same
+     report and telemetry stream byte for byte. *)
+  let oc_scan, jsonl_scan =
+    run_serve ~engine:Fleet.Scan sc ~devices:sc.sc_devices apps requests
+  in
+  if
+    not
+      (String.equal
+         (Fleet.report_to_string oc.Fleet.oc_report)
+         (Fleet.report_to_string oc_scan.Fleet.oc_report))
+  then fail "engine differential: heap and scan reports differ";
+  if not (String.equal jsonl jsonl_scan) then
+    fail "engine differential: heap and scan telemetry differ";
   let rp = oc.Fleet.oc_report in
   { sr_seed = seed;
     sr_requests = rp.Fleet.rp_requests;

@@ -1,0 +1,416 @@
+(* The event-heap core, model-checked and differentially verified:
+   the priority heap against a sorted-list model under arbitrary
+   insert / pop / re-key / remove interleavings, the admission deque
+   against a plain list, the heap event engine against the linear-scan
+   oracle byte-for-byte (reports, telemetry, checkpoints, resume)
+   across every policy and SLO configuration, and a committed golden
+   pinning the tie-break order on simultaneous events. *)
+module Pheap = S2fa_util.Pheap
+module Fleet = S2fa_fleet.Fleet
+module Traffic = S2fa_workloads.Traffic
+module W = S2fa_workloads.Workloads
+module T = S2fa_telemetry.Telemetry
+module Fault = S2fa_fault.Fault
+
+(* ---------- priority heap vs sorted-list model ---------- *)
+
+(* Keys carry a unique sequence number, so the model's minimum is
+   unique and the comparison with the heap's pop is exact. *)
+let prop_heap_model =
+  QCheck.Test.make ~name:"heap matches sorted-list model" ~count:300
+    QCheck.(list (pair small_int (int_range 0 3)))
+    (fun ops ->
+      let h = Pheap.create () in
+      let seq = ref 0 in
+      let live = ref [] in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (fun (x, op) ->
+          match op with
+          | 0 ->
+            incr seq;
+            let k = (x mod 50, !seq) in
+            let hd = Pheap.insert h k () in
+            live := (k, hd) :: !live
+          | 1 -> (
+            match Pheap.pop h with
+            | None -> check (!live = [])
+            | Some (k, ()) ->
+              let mn =
+                List.fold_left
+                  (fun acc (k, _) -> min acc k)
+                  (max_int, max_int) !live
+              in
+              check (k = mn);
+              live := List.filter (fun (_, hd) -> Pheap.mem hd) !live)
+          | 2 -> (
+            (* Re-key in either direction: the simulator both advances
+               device deadlines and disarms them to infinity. *)
+            match !live with
+            | [] -> ()
+            | l ->
+              let _, hd = List.nth l (x mod List.length l) in
+              incr seq;
+              let k' = (x * 7 mod 50, !seq) in
+              Pheap.update h hd k';
+              live :=
+                List.map
+                  (fun (k, h0) -> if h0 == hd then (k', h0) else (k, h0))
+                  l)
+          | _ -> (
+            match !live with
+            | [] -> ()
+            | l ->
+              let _, hd = List.nth l (x mod List.length l) in
+              Pheap.remove h hd;
+              live := List.filter (fun (_, h0) -> not (h0 == hd)) l))
+        ops;
+      let rec drain acc =
+        match Pheap.pop h with
+        | None -> List.rev acc
+        | Some (k, ()) -> drain (k :: acc)
+      in
+      let got = drain [] in
+      let want = List.sort compare (List.map fst !live) in
+      !ok && got = want)
+
+let test_heap_unit () =
+  let h = Pheap.create () in
+  Alcotest.(check bool) "empty peek" true (Pheap.peek h = None);
+  Alcotest.(check bool) "empty pop" true (Pheap.pop h = None);
+  let a = Pheap.insert h 5 "a" in
+  let b = Pheap.insert h 3 "b" in
+  let c = Pheap.insert h 7 "c" in
+  Alcotest.(check int) "length" 3 (Pheap.length h);
+  Alcotest.(check bool) "peek is min" true (Pheap.peek h = Some (3, "b"));
+  Pheap.decrease_key h c 1;
+  Alcotest.(check bool) "decrease-key promotes" true
+    (Pheap.peek h = Some (1, "c"));
+  (try
+     Pheap.decrease_key h b 100;
+     Alcotest.fail "decrease_key must reject an increase"
+   with Invalid_argument _ -> ());
+  Pheap.update h b 100;
+  Alcotest.(check int) "update reads back" 100 (Pheap.key b);
+  Alcotest.(check string) "value reads back" "b" (Pheap.value b);
+  Pheap.remove h a;
+  Alcotest.(check bool) "removed handle is dead" false (Pheap.mem a);
+  (try
+     Pheap.remove h a;
+     Alcotest.fail "double remove must be rejected"
+   with Invalid_argument _ -> ());
+  Alcotest.(check bool) "pop order after surgery" true
+    (Pheap.pop h = Some (1, "c"));
+  Alcotest.(check bool) "last element" true (Pheap.pop h = Some (100, "b"));
+  Alcotest.(check bool) "drained" true (Pheap.is_empty h);
+  (try
+     Pheap.update h b 0;
+     Alcotest.fail "update of a popped handle must be rejected"
+   with Invalid_argument _ -> ())
+
+(* ---------- admission deque vs plain-list model ---------- *)
+
+let rec split_at n l =
+  if n <= 0 then ([], l)
+  else
+    match l with
+    | [] -> ([], [])
+    | x :: tl ->
+      let a, b = split_at (n - 1) tl in
+      (x :: a, b)
+
+let prop_dq_model =
+  QCheck.Test.make ~name:"deque matches plain-list model" ~count:300
+    QCheck.(list (pair small_int (int_range 0 3)))
+    (fun ops ->
+      let q = Fleet.Dq.create () in
+      let model = ref [] in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (fun (x, op) ->
+          (match op with
+          | 0 ->
+            Fleet.Dq.push q x;
+            model := !model @ [ x ]
+          | 1 ->
+            (* Front-requeue takes a whole recovered batch at once. *)
+            let xs = [ x; x + 1; x + 2 ] in
+            Fleet.Dq.push_front q xs;
+            model := xs @ !model
+          | 2 ->
+            let n = x mod 5 in
+            let want, rest = split_at n !model in
+            model := rest;
+            check (Fleet.Dq.take q n = want)
+          | _ ->
+            check (Fleet.Dq.drain q = !model);
+            model := []);
+          check (Fleet.Dq.len q = List.length !model);
+          check
+            (Fleet.Dq.peek q
+            = (match !model with [] -> None | h :: _ -> Some h)))
+        ops;
+      check (Fleet.Dq.to_list q = !model);
+      !ok)
+
+(* ---------- heap engine vs scan oracle, byte for byte ---------- *)
+
+let tenants =
+  lazy
+    [ Traffic.tenant ~rate:300.0 ~weight:1.0 (Option.get (W.find "KMeans"));
+      Traffic.tenant ~rate:200.0 ~weight:3.0 (Option.get (W.find "PR")) ]
+
+let scenario =
+  lazy
+    (let ts = Lazy.force tenants in
+     (Traffic.apps ~seed:11 ts, Traffic.requests ~seed:11 ~horizon:0.4 ts))
+
+(* A fresh injector per run (same seed) keeps the two engines'
+   fault-draw sequences identical, exactly as a re-run would. *)
+let serve_capture ?fspec ?(devices = 2) ?(policy = Fleet.Fcfs)
+    ?(slo = Fleet.no_slo) ~engine apps requests =
+  let buf = Buffer.create 4096 in
+  let trace = T.create ~sinks:[ T.buffer_sink buf ] () in
+  let faults = Option.map (fun spec -> Fault.create ~seed:5 spec) fspec in
+  let opts =
+    { Fleet.default_opts with
+      Fleet.o_devices = devices;
+      o_policy = policy;
+      o_slo = slo }
+  in
+  let outcome = Fleet.serve ~opts ~engine ~trace ?faults apps requests in
+  T.flush trace;
+  (outcome, Buffer.contents buf)
+
+let test_engine_differential_sweep () =
+  let apps, requests = Lazy.force scenario in
+  let with_deadline = Fleet.with_deadline 10.0 requests in
+  let armed =
+    { Fleet.sl_hang_factor = 3.0;
+      sl_hedge = true;
+      sl_breaker = Some Fleet.default_breaker }
+  in
+  let chaos_spec =
+    { Fault.zero_spec with Fault.fs_hang = 0.3; fs_core_loss = 0.1 }
+  in
+  List.iter
+    (fun policy ->
+      List.iter
+        (fun (nm, reqs, slo, fspec) ->
+          let oh, jh =
+            serve_capture ?fspec ~devices:3 ~policy ~slo ~engine:Fleet.Heap
+              apps reqs
+          in
+          let os, js =
+            serve_capture ?fspec ~devices:3 ~policy ~slo ~engine:Fleet.Scan
+              apps reqs
+          in
+          let tag = Fleet.policy_name policy ^ "/" ^ nm in
+          Alcotest.(check string)
+            (tag ^ ": heap report = scan report")
+            (Fleet.report_to_string os.Fleet.oc_report)
+            (Fleet.report_to_string oh.Fleet.oc_report);
+          Alcotest.(check string) (tag ^ ": heap JSONL = scan JSONL") js jh)
+        [ ("plain", requests, Fleet.no_slo, None);
+          ("deadline", with_deadline, Fleet.no_slo, None);
+          ("chaos", with_deadline, armed, Some chaos_spec) ])
+    Fleet.all_policies
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let outcome_fingerprint (oc : Fleet.outcome) =
+  Fleet.report_to_string oc.Fleet.oc_report
+  ^ String.concat ";"
+      (List.map
+         (fun (r : Fleet.result) ->
+           Printf.sprintf "%d:%d:%s:%b" r.Fleet.rs_app r.Fleet.rs_id
+             (T.Json.fstr r.Fleet.rs_done) r.Fleet.rs_accelerated)
+         oc.Fleet.oc_results)
+
+(* Every mid-serve snapshot the heap engine writes must be
+   byte-identical to the scan engine's at the same tick, and a resume
+   from a heap-written snapshot on EITHER engine must land on the
+   uninterrupted outcome, bit for bit. *)
+let test_engine_checkpoint_differential () =
+  let apps, requests = Lazy.force scenario in
+  let run engine =
+    let ck = Filename.temp_file "fleet_heap" ".ck" in
+    let copies = ref [] in
+    let copy_sink =
+      { T.on_event =
+          (fun (ev : T.event) ->
+            match ev.T.e_kind with
+            | T.Checkpoint_written { path; _ } ->
+              copies := read_file path :: !copies
+            | _ -> ());
+        T.on_flush = ignore }
+    in
+    let trace = T.create ~sinks:[ copy_sink ] () in
+    let spec =
+      { Fleet.cks_path = ck; cks_every_s = 2.0; cks_meta = [ ("kind", "diff") ] }
+    in
+    let outcome = Fleet.serve ~engine ~trace ~checkpoint:spec apps requests in
+    let last = ck in
+    (outcome, List.rev !copies, last)
+  in
+  let oc_h, snaps_h, ck_h = run Fleet.Heap in
+  let oc_s, snaps_s, ck_s = run Fleet.Scan in
+  Alcotest.(check string) "reports agree"
+    (Fleet.report_to_string oc_s.Fleet.oc_report)
+    (Fleet.report_to_string oc_h.Fleet.oc_report);
+  Alcotest.(check int) "same snapshot count" (List.length snaps_s)
+    (List.length snaps_h);
+  Alcotest.(check bool) "several mid-serve snapshots" true
+    (List.length snaps_h >= 3);
+  List.iteri
+    (fun i (s, h) ->
+      Alcotest.(check string)
+        (Printf.sprintf "snapshot %d byte-identical across engines" i)
+        s h)
+    (List.combine snaps_s snaps_h);
+  (match Fleet.load_checkpoint ck_h with
+  | Error m -> Alcotest.failf "load heap checkpoint: %s" m
+  | Ok snapshot ->
+    let want = outcome_fingerprint oc_h in
+    List.iter
+      (fun engine ->
+        let got = Fleet.resume ~engine ~snapshot apps requests in
+        Alcotest.(check string)
+          "resume lands on the uninterrupted outcome" want
+          (outcome_fingerprint got))
+      [ Fleet.Heap; Fleet.Scan ]);
+  Sys.remove ck_h;
+  Sys.remove ck_s
+
+(* ---------- simultaneous-event tie-breaks, pinned ---------- *)
+
+let rec take n l =
+  if n = 0 then [] else match l with [] -> [] | x :: tl -> x :: take (n - 1) tl
+
+(* A scenario engineered for exact event-time collisions. A 16-request
+   burst at t = 0 over a 4-device pool with batch 4 launches four
+   identical invocations in the same instant, so their completions (and
+   any watchdog timeouts under the hang injector) tie to the bit and
+   only the device index breaks the tie. A probe run then harvests the
+   two earliest completion instants and replays them as arrival times —
+   arrival/completion ties, duplicated — exercising the
+   arrival-before-device rank on equal clocks. *)
+let tie_slo =
+  { Fleet.sl_hang_factor = 2.0;
+    sl_hedge = true;
+    sl_breaker = Some { Fleet.bk_failures = 1; bk_cooldown_s = 1.0; bk_probes = 1 } }
+
+let tie_fspec = { Fault.zero_spec with Fault.fs_hang = 0.5 }
+
+let tie_scenario =
+  lazy
+    (let tn =
+       Traffic.tenant ~rate:200.0 ~weight:1.0 ~batch:4 ~queue_cap:64
+         (Option.get (W.find "KMeans"))
+     in
+     let apps = Traffic.apps ~seed:7 [ tn ] in
+     let raw = Traffic.requests ~seed:7 ~horizon:0.4 [ tn ] in
+     let burst =
+       List.mapi
+         (fun i (r : Fleet.request) ->
+           { r with Fleet.rq_id = i; rq_arrival = 0.0 })
+         (take 16 raw)
+     in
+     let probe, _ =
+       serve_capture ~fspec:tie_fspec ~devices:4 ~slo:tie_slo
+         ~engine:Fleet.Scan apps burst
+     in
+     let instants =
+       List.sort_uniq compare
+         (List.map (fun (r : Fleet.result) -> r.Fleet.rs_done)
+            probe.Fleet.oc_results)
+     in
+     let t1, t2 =
+       match instants with
+       | a :: b :: _ -> (a, b)
+       | _ -> Alcotest.fail "tie probe produced fewer than two instants"
+     in
+     let wave =
+       List.mapi
+         (fun i (r : Fleet.request) ->
+           { r with
+             Fleet.rq_id = 16 + i;
+             rq_arrival = (if i < 2 then t1 else t2) })
+         (take 4 (List.filteri (fun i _ -> i >= 16) raw))
+     in
+     let requests =
+       List.sort
+         (fun (a : Fleet.request) (b : Fleet.request) ->
+           compare (a.Fleet.rq_arrival, a.Fleet.rq_id)
+             (b.Fleet.rq_arrival, b.Fleet.rq_id))
+         (burst @ wave)
+     in
+     (apps, requests))
+
+(* dune runtest runs us in test/; a bare [dune exec] runs from the
+   workspace root. Pick by directory, not file, so the update mode can
+   create a golden that does not exist yet. *)
+let golden name =
+  let dir =
+    if Sys.file_exists "golden" && Sys.is_directory "golden" then "golden"
+    else "test/golden"
+  in
+  Filename.concat dir name
+
+let test_tie_golden () =
+  let apps, requests = Lazy.force tie_scenario in
+  let oh, jh =
+    serve_capture ~fspec:tie_fspec ~devices:4 ~slo:tie_slo ~engine:Fleet.Heap
+      apps requests
+  in
+  let os, js =
+    serve_capture ~fspec:tie_fspec ~devices:4 ~slo:tie_slo ~engine:Fleet.Scan
+      apps requests
+  in
+  (* The scenario must actually collide: at least one completion
+     instant shared by two results, and at least one arrival placed on
+     a completion instant by construction. *)
+  let dones =
+    List.map (fun (r : Fleet.result) -> r.Fleet.rs_done) oh.Fleet.oc_results
+  in
+  let has_dup =
+    List.length dones > List.length (List.sort_uniq compare dones)
+  in
+  Alcotest.(check bool) "simultaneous completions present" true has_dup;
+  Alcotest.(check string) "tie report: heap = scan"
+    (Fleet.report_to_string os.Fleet.oc_report)
+    (Fleet.report_to_string oh.Fleet.oc_report);
+  Alcotest.(check string) "tie JSONL: heap = scan" js jh;
+  let report = Fleet.report_to_string oh.Fleet.oc_report in
+  if Sys.getenv_opt "S2FA_UPDATE_GOLDEN" = Some "1" then begin
+    Out_channel.with_open_bin (golden "serve_pr9_ties.report") (fun oc ->
+        Out_channel.output_string oc report);
+    Out_channel.with_open_bin (golden "serve_pr9_ties.jsonl") (fun oc ->
+        Out_channel.output_string oc jh)
+  end
+  else begin
+    Alcotest.(check string) "tie report matches the committed golden"
+      (read_file (golden "serve_pr9_ties.report"))
+      report;
+    Alcotest.(check string) "tie JSONL matches the committed golden"
+      (read_file (golden "serve_pr9_ties.jsonl"))
+      jh
+  end
+
+let () =
+  Alcotest.run "heap"
+    [ ( "pheap",
+        [ QCheck_alcotest.to_alcotest prop_heap_model;
+          Alcotest.test_case "handle surgery and edge cases" `Quick
+            test_heap_unit ] );
+      ("deque", [ QCheck_alcotest.to_alcotest prop_dq_model ]);
+      ( "engine-differential",
+        [ Alcotest.test_case "policies x SLO x faults, byte for byte" `Quick
+            test_engine_differential_sweep;
+          Alcotest.test_case "checkpoints and resume, byte for byte" `Quick
+            test_engine_checkpoint_differential ] );
+      ( "ties",
+        [ Alcotest.test_case "simultaneous events pinned by golden" `Quick
+            test_tie_golden ] ) ]
