@@ -15,6 +15,7 @@
      [TRACE]        - telemetry overhead: off / collector / JSONL sink
      [FAULT]        - fault-injector overhead and virtual-minutes bill
      [SERVE]        - multi-tenant serving throughput/latency per policy
+     [FEDERATION]   - 1 pool vs N geo-sharded clusters, per route policy
      [SYM]          - symbolic verifier wall time per workload/chain
 
    Every Bechamel section persists its estimates to BENCH_<section>.json
@@ -39,6 +40,7 @@ module Rng = S2fa_util.Rng
 module Telemetry = S2fa_telemetry.Telemetry
 module Fault = S2fa_fault.Fault
 module Fleet = S2fa_fleet.Fleet
+module Fed = S2fa_federation.Federation
 module Traffic = S2fa_workloads.Traffic
 module Sym = S2fa_sym.Sym
 module Fuzz = S2fa_fuzz.Fuzz
@@ -976,6 +978,78 @@ let fleet_event () =
                 Fleet.serve ~opts ~engine:Fleet.Scan apps small)) ])
 
 (* ------------------------------------------------------------------ *)
+(* Federation: the same two-tenant stream served by one 4-device pool
+   vs a 2x2-cluster federation (2 ms inter-region RTT) under each route
+   policy. The federation pays the routing tier and the RTT on every
+   cross-region request; the table shows what that costs (and what
+   locality routing claws back). Persisted to BENCH_federation.json for
+   the perf-trajectory gate. *)
+(* ------------------------------------------------------------------ *)
+
+let federation () =
+  section "FEDERATION" "Federation - 1 pool vs 2x2 geo-sharded clusters";
+  let tenants =
+    [ Traffic.tenant ~rate:300.0 ~weight:1.0 (Option.get (W.find "KMeans"));
+      Traffic.tenant ~rate:200.0 ~weight:3.0 (Option.get (W.find "PR")) ]
+  in
+  let seed = 11 in
+  let apps = Traffic.apps ~seed tenants in
+  let regions = [ Traffic.region "east"; Traffic.region ~scale:2.0 "west" ] in
+  let requests = Traffic.regional_requests ~seed ~horizon:1.0 regions tenants in
+  let n = List.length requests in
+  let clusters =
+    [ Fed.cluster ~devices:2 ~rtt_s:[| 0.0; 0.002 |] "east";
+      Fed.cluster ~devices:2 ~rtt_s:[| 0.002; 0.0 |] "west" ]
+  in
+  Printf.printf
+    "2 tenants (KMeans 300 req/s w=1, PR 200 req/s w=3), 2 regions \
+     (west x2), 1 s horizon, %d requests:\n"
+    n;
+  Printf.printf "  %-16s %10s %10s %10s %10s %10s\n" "config" "req/s"
+    "p50 ms" "p95 ms" "p99 ms" "makespan";
+  (* Baseline: every request lands on one 4-device pool, no RTT. *)
+  let flat = List.map snd requests in
+  let pool_opts = { Fleet.default_opts with Fleet.o_devices = 4 } in
+  let pool = Fleet.serve ~opts:pool_opts apps flat in
+  let pr = pool.Fleet.oc_report in
+  let pool_lats =
+    Array.of_list
+      (List.map
+         (fun (r : Fleet.result) -> r.Fleet.rs_latency *. 1000.0)
+         pool.Fleet.oc_results)
+  in
+  Printf.printf "  %-16s %10.1f %10.4f %10.4f %10.4f %9.3fs\n" "1-pool-4dev"
+    pr.Fleet.rp_throughput (Stats.p50 pool_lats) (Stats.p95 pool_lats)
+    (Stats.p99 pool_lats) pr.Fleet.rp_makespan;
+  let fed_tenants = Array.to_list (Array.map Fed.tenant apps) in
+  List.iter
+    (fun route ->
+      let opts = { Fed.default_opts with Fed.fd_route = route } in
+      let oc = Fed.serve ~opts ~clusters fed_tenants requests in
+      let r = oc.Fed.fo_report in
+      Printf.printf "  %-16s %10.1f %10.4f %10.4f %10.4f %9.3fs\n"
+        ("fed." ^ Fed.route_name route)
+        (float_of_int r.Fed.fr_requests /. r.Fed.fr_makespan)
+        r.Fed.fr_p50_ms r.Fed.fr_p95_ms r.Fed.fr_p99_ms r.Fed.fr_makespan)
+    Fed.all_routes;
+  (* One serving run per measurement: the routing tier + driver loop on
+     top of the same member-fleet work the SERVE section already
+     tracks. *)
+  let open Bechamel in
+  persist_trajectory "federation"
+    (run_bechamel
+       (Test.make ~name:"serve.1pool-4dev"
+          (Staged.stage (fun () -> Fleet.serve ~opts:pool_opts apps flat))
+       :: List.map
+            (fun route ->
+              let opts = { Fed.default_opts with Fed.fd_route = route } in
+              Test.make
+                ~name:(Printf.sprintf "federate.%s-2x2" (Fed.route_name route))
+                (Staged.stage (fun () ->
+                     Fed.serve ~opts ~clusters fed_tenants requests)))
+            Fed.all_routes))
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [ ("T1", table1);
@@ -994,6 +1068,7 @@ let sections =
     ("SERVE", cluster_throughput);
     ("CHAOS", chaos_overhead);
     ("FLEET_EVENT", fleet_event);
+    ("FEDERATION", federation);
     ("SYM", sym_verify) ]
 
 let () =

@@ -17,7 +17,12 @@
                    [--metrics FILE]         (Prometheus text exposition)
                    [--slo-ms MS] [--hang-factor F] [--hedge] [--breaker]
                    [--checkpoint FILE] [--ck-every-s S]
-     s2fa chaos    [--seeds N] [--from SEED] (seeded fault/SLO campaigns)
+     s2fa federate [--apps SPEC] [--clusters SPEC] [--regions SPEC]
+                   [--route P] [--rtt-ms MS] [--autoscale]
+                   [--retune-slo-ms MS] [--trace FILE]
+                   (geo-sharded multi-cluster serving)
+     s2fa chaos    [--seeds N] [--from SEED] [--fed]
+                   (seeded fault/SLO campaigns)
      s2fa prof     FILE [--top N]           (replay a --profile span log)
      s2fa perf     diff OLD NEW [--threshold PCT]  (perf-trajectory gate)
 
@@ -46,6 +51,7 @@ module Cinterp = S2fa_hlsc.Cinterp
 module Dspace = S2fa_dse.Dspace
 module Space = S2fa_tuner.Space
 module Fleet = S2fa_fleet.Fleet
+module Fed = S2fa_federation.Federation
 module Traffic = S2fa_workloads.Traffic
 module Chaos = S2fa_workloads.Chaos
 module Obs = S2fa_obs.Obs
@@ -1109,6 +1115,227 @@ let serve_cmd =
       $ bk_failures_arg $ bk_cooldown_arg $ bk_probes_arg $ ck_arg
       $ ck_every_arg $ profile_arg)
 
+(* ---------- federate ---------- *)
+
+let federate_cmd =
+  let apps_arg =
+    let doc =
+      "Tenants as NAME[:RATE[:WEIGHT]] items, comma-separated (see \
+       `s2fa serve`). RATE is per region, scaled by each region's \
+       multiplier."
+    in
+    Arg.(value & opt string "KMeans:300,LR:200" & info [ "apps" ] ~doc)
+  in
+  let clusters_arg =
+    let doc =
+      "Member pools as NAME[:DEVICES[:WEIGHT]] items, comma-separated \
+       — e.g. 'east:2:1,west:3:2'."
+    in
+    Arg.(value & opt string "east:2,west:2" & info [ "clusters" ] ~doc)
+  in
+  let regions_arg =
+    let doc =
+      "Origin regions as NAME[:SCALE] items, comma-separated; SCALE \
+       multiplies every tenant's arrival rate in that region (skewed \
+       regional traffic)."
+    in
+    Arg.(value & opt string "east,west" & info [ "regions" ] ~doc)
+  in
+  let route_arg =
+    let doc = "Routing policy: wrr, least-queue, cache-affinity or locality." in
+    Arg.(value & opt string "wrr" & info [ "route" ] ~doc)
+  in
+  let rtt_ms_arg =
+    let doc =
+      "One-way RTT in virtual milliseconds between region i and cluster \
+       j for i <> j (cluster i is region i's local pool and costs \
+       nothing)."
+    in
+    Arg.(value & opt float 0.0 & info [ "rtt-ms" ] ~docv:"MS" ~doc)
+  in
+  let horizon_arg =
+    let doc = "Arrival horizon in virtual seconds." in
+    Arg.(value & opt float 0.5 & info [ "horizon" ] ~doc)
+  in
+  let slo_ms_arg =
+    let doc = "Per-request completion deadline in virtual milliseconds." in
+    Arg.(value & opt (some float) None & info [ "slo-ms" ] ~docv:"MS" ~doc)
+  in
+  let autoscale_arg =
+    let doc =
+      "Enable queue-depth autoscaling: pools lease pre-provisioned \
+       devices under backlog and release them when drained."
+    in
+    Arg.(value & flag & info [ "autoscale" ] ~doc)
+  in
+  let scale_max_arg =
+    let doc = "Autoscaler per-cluster device ceiling." in
+    Arg.(
+      value
+      & opt int Fed.default_autoscale.Fed.as_max_devices
+      & info [ "scale-max" ] ~docv:"N" ~doc)
+  in
+  let scale_interval_arg =
+    let doc = "Virtual seconds between autoscaler ticks." in
+    Arg.(value & opt float 0.05 & info [ "scale-interval-s" ] ~docv:"S" ~doc)
+  in
+  let retune_slo_arg =
+    let doc =
+      "Enable the online DSE loop: a tenant whose federation-level p99 \
+       exceeds MS at an epoch boundary gets a bounded re-tuning run, \
+       its winning design promoted to every pool at the next epoch."
+    in
+    Arg.(value & opt (some float) None & info [ "retune-slo-ms" ] ~docv:"MS" ~doc)
+  in
+  let retune_epoch_arg =
+    let doc = "Virtual seconds between online-DSE epochs." in
+    Arg.(value & opt float 0.1 & info [ "retune-epoch-s" ] ~docv:"S" ~doc)
+  in
+  let trace_arg =
+    let doc = "Write a JSONL telemetry trace of the federated run." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~doc)
+  in
+  let parse_clusters spec n_regions rtt_ms =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.mapi (fun ci item ->
+           let parts = String.split_on_char ':' item in
+           let num what v =
+             match float_of_string_opt v with
+             | Some f -> f
+             | None ->
+               Printf.eprintf "bad --clusters item %S: %s %S is not a number\n"
+                 item what v;
+               exit 1
+           in
+           let name, devices, weight =
+             match parts with
+             | [ n ] -> (n, 2, 1.0)
+             | [ n; d ] -> (n, int_of_float (num "devices" d), 1.0)
+             | [ n; d; w ] ->
+               (n, int_of_float (num "devices" d), num "weight" w)
+             | _ ->
+               Printf.eprintf
+                 "bad --clusters item %S (want NAME[:DEVICES[:WEIGHT]])\n" item;
+               exit 1
+           in
+           let rtt_s =
+             Array.init n_regions (fun ri ->
+                 if ri = ci then 0.0 else rtt_ms /. 1000.0)
+           in
+           Fed.cluster ~devices ~weight ~rtt_s name)
+  in
+  let parse_regions spec =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+    |> List.map (fun item ->
+           match String.split_on_char ':' item with
+           | [ n ] -> Traffic.region n
+           | [ n; s ] -> (
+             match float_of_string_opt s with
+             | Some f -> Traffic.region ~scale:f n
+             | None ->
+               Printf.eprintf "bad --regions item %S: scale %S is not a \
+                               number\n" item s;
+               exit 1)
+           | _ ->
+             Printf.eprintf "bad --regions item %S (want NAME[:SCALE])\n" item;
+             exit 1)
+  in
+  let run apps_spec clusters_spec regions_spec route_name rtt_ms seed horizon
+      slo_ms autoscale scale_max scale_interval retune_slo retune_epoch
+      trace_path profile =
+    with_profile profile @@ fun () ->
+    let route =
+      match Fed.route_of_name route_name with
+      | Some r -> r
+      | None ->
+        Printf.eprintf
+          "unknown route %s (want wrr|least-queue|cache-affinity|locality)\n"
+          route_name;
+        exit 1
+    in
+    let tenants = parse_tenants apps_spec 16 64 in
+    let regions = parse_regions regions_spec in
+    let clusters =
+      parse_clusters clusters_spec (List.length regions) rtt_ms
+    in
+    let tracer = Option.map make_tracer trace_path in
+    let trace = Option.map fst tracer in
+    let apps = Traffic.apps ?trace ~seed tenants in
+    let fed_tenants =
+      List.mapi
+        (fun i tn ->
+          (* Compile once more, trace-less, to hand the online DSE loop
+             its re-tuning substrate; the serving apps above already
+             carry the structured-seed design. *)
+          let compiled =
+            if retune_slo <> None then
+              Some (W.compile tn.Traffic.tn_workload)
+            else None
+          in
+          Fed.tenant ?compiled apps.(i))
+        tenants
+    in
+    let requests =
+      let reqs = Traffic.regional_requests ~seed ~horizon regions tenants in
+      match slo_ms with
+      | None -> reqs
+      | Some ms ->
+        List.map
+          (fun (ri, (r : Fleet.request)) ->
+            ( ri,
+              { r with
+                Fleet.rq_deadline =
+                  Some (r.Fleet.rq_arrival +. (ms /. 1000.0)) } ))
+          reqs
+    in
+    let opts =
+      { Fed.default_opts with
+        Fed.fd_route = route;
+        fd_seed = seed;
+        fd_autoscale =
+          (if autoscale then
+             Some
+               { Fed.default_autoscale with
+                 Fed.as_max_devices = scale_max;
+                 as_interval_s = scale_interval }
+           else None);
+        fd_retune =
+          Option.map
+            (fun ms -> Fed.retune ~epoch_s:retune_epoch ms)
+            retune_slo }
+    in
+    (match
+       Fed.serve ~opts ?trace ~clusters fed_tenants requests
+     with
+    | outcome ->
+      print_string (Fed.report_to_string outcome.Fed.fo_report)
+    | exception Fed.Federation_error m ->
+      Printf.eprintf "federation error: %s\n" m;
+      exit 1);
+    match tracer with
+    | Some (_, oc) ->
+      close_out oc;
+      Printf.printf "# trace written to %s\n" (Option.get trace_path)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "federate"
+       ~doc:
+         "Simulate a geo-sharded federation of accelerator pools: a \
+          routing tier over per-region traffic, optional queue-depth \
+          autoscaling, and an optional online DSE loop that re-tunes \
+          SLO-breaching tenants and promotes winning designs to every \
+          member pool at deterministic epoch boundaries.")
+    Term.(
+      const run $ apps_arg $ clusters_arg $ regions_arg $ route_arg
+      $ rtt_ms_arg $ seed_arg $ horizon_arg $ slo_ms_arg $ autoscale_arg
+      $ scale_max_arg $ scale_interval_arg $ retune_slo_arg
+      $ retune_epoch_arg $ trace_arg $ profile_arg)
+
 (* ---------- chaos ---------- *)
 
 let chaos_cmd =
@@ -1120,14 +1347,30 @@ let chaos_cmd =
     let doc = "First seed of the campaign." in
     Arg.(value & opt int 0 & info [ "from" ] ~docv:"SEED" ~doc)
   in
-  let run seeds seed0 =
+  let fed_arg =
+    let doc =
+      "Run federation scenarios instead: random cluster counts, skewed \
+       regional traffic and correlated device loss within one cluster, \
+       checked against the fleet invariants plus cluster invariance \
+       (result values never depend on the serving cluster)."
+    in
+    Arg.(value & flag & info [ "fed" ] ~doc)
+  in
+  let run seeds seed0 fed =
     if seeds <= 0 then begin
       Printf.eprintf "--seeds must be positive\n";
       exit 1
     end;
-    let c = Chaos.run ~seeds ~seed0 () in
-    Format.printf "%a@?" Chaos.pp_campaign c;
-    if c.Chaos.cg_violations <> [] then exit 1
+    if fed then begin
+      let c = Chaos.run_fed ~seeds ~seed0 () in
+      Format.printf "%a@?" Chaos.pp_fed_campaign c;
+      if c.Chaos.fc_violations <> [] then exit 1
+    end
+    else begin
+      let c = Chaos.run ~seeds ~seed0 () in
+      Format.printf "%a@?" Chaos.pp_campaign c;
+      if c.Chaos.cg_violations <> [] then exit 1
+    end
   in
   Cmd.v
     (Cmd.info "chaos"
@@ -1135,9 +1378,10 @@ let chaos_cmd =
          "Run a seeded chaos campaign over the serving fleet: each seed \
           derives a randomized scenario (tenants, pool size, faults, SLO \
           config) and is checked against the determinism, \
-          no-request-lost, JVM-oracle and pool-monotonicity invariants. \
-          Exits non-zero on any violation.")
-    Term.(const run $ seeds_arg $ from_arg)
+          no-request-lost, JVM-oracle and pool-monotonicity invariants \
+          (with --fed, federation scenarios and the cluster-invariance \
+          invariant instead). Exits non-zero on any violation.")
+    Term.(const run $ seeds_arg $ from_arg $ fed_arg)
 
 (* ---------- prof ---------- *)
 
@@ -1240,5 +1484,5 @@ let () =
        (Cmd.group info
           [ list_cmd; compile_cmd; echo_cmd; bytecode_cmd; dse_cmd;
             resume_cmd; trace_cmd; cache_cmd; report_cmd; speedup_cmd;
-            verify_cmd; fuzz_cmd; serve_cmd; chaos_cmd; prof_cmd;
-            perf_cmd ]))
+            verify_cmd; fuzz_cmd; serve_cmd; federate_cmd; chaos_cmd;
+            prof_cmd; perf_cmd ]))

@@ -294,6 +294,7 @@ type dev = {
   mutable d_loaded : int option;
   mutable d_busy : busy option;
   mutable d_alive : bool;
+  mutable d_released : bool; (* parked by the autoscaler, not a fault *)
   mutable d_state : bstate;
   mutable d_reopen : float;  (* absolute half-open probe time *)
 }
@@ -410,9 +411,34 @@ let load_checkpoint path =
 (* Serving *)
 (* ------------------------------------------------------------------ *)
 
-let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
+(* The stepping/mailbox interface over one pool's simulation. A [sim]
+   is the serve loop turned inside out: the driver (plain [serve], or
+   the federation's global event heap) owns the loop and the sim
+   exposes one-event steps, just-in-time arrival injection, device
+   lease/release for autoscaling, and live design promotion. Running
+   [s_step] to exhaustion and then [s_finish] is byte-identical to
+   [serve] — the goldens prove it. *)
+type sim = {
+  s_step : unit -> bool;
+  s_next : unit -> float;
+  s_now : unit -> float;
+  s_inject : request -> unit;
+  s_expect_more : bool -> unit;
+  s_queue_depth : unit -> int;
+  s_alive : unit -> int;
+  s_routable : unit -> int;
+  s_loaded : int -> bool;
+  s_lease : unit -> bool;
+  s_release : unit -> bool;
+  s_update_app : int -> app -> unit;
+  s_drain : unit -> result list;
+  s_deadline_hits : unit -> int;
+  s_deadline_misses : unit -> int;
+  s_finish : unit -> outcome;
+}
+
+let make_sim_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
     (apps : app array) requests =
-  Obs.span "fleet.serve" @@ fun () ->
   if opts.o_devices < 1 then fail "need at least one device";
   check_apps apps;
   check_slo opts.o_slo;
@@ -430,6 +456,9 @@ let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
         fail "request %d: deadline must be finite" r.rq_id
       | _ -> ())
     requests;
+  (* The sim owns its app table: a live promotion ([s_update_app]) must
+     not mutate the caller's array. *)
+  let apps = Array.copy apps in
   let arrivals = ref (List.sort request_order requests) in
   (* Accelerator ids may collide across tenants serving the same kernel;
      registration is keyed by tenant index instead. *)
@@ -445,6 +474,7 @@ let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
         { d_loaded = None;
           d_busy = None;
           d_alive = true;
+          d_released = false;
           d_state = Healthy;
           d_reopen = infinity })
   in
@@ -564,6 +594,12 @@ let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
       Telemetry.emit tr emit_kind
   in
   let results = ref [] in
+  let res_count = ref 0 in
+  let finished = ref false in
+  (* Set by a driver that will inject arrivals the sim cannot yet see;
+     holds the breaker-reopen gate open exactly as a non-empty
+     [arrivals] list would. Always false under plain [serve]. *)
+  let expect_more = ref false in
   let batches = ref 0 and reconfigs = ref 0 in
   let fallbacks = ref 0 and requeued = ref 0 and devices_lost = ref 0 in
   let shed_n = ref 0 and timeouts = ref 0 and hedges = ref 0 in
@@ -938,6 +974,7 @@ let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
   in
   let complete ~accelerated r value =
     Obs.count "fleet.completions";
+    incr res_count;
     let latency = !now -. r.rq_arrival in
     results :=
       { rs_app = r.rq_app;
@@ -1301,7 +1338,7 @@ let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
            { path = c.cks_path; minutes = !now /. 60.0; evals = !events })
     | _ -> ()
   in
-  let rec loop_scan () =
+  let step_scan () =
     let t_arr =
       match !arrivals with [] -> infinity | r :: _ -> r.rq_arrival
     in
@@ -1311,15 +1348,17 @@ let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
     in
     (* Breaker reopen probes only matter while work can still reach a
        queue; gating them keeps quiesced runs from trailing half-open
-       transitions after the last completion. *)
+       transitions after the last completion. [expect_more] stands in
+       for arrivals a federation driver has not injected yet. *)
     let queued = Array.exists (fun q -> dq_len q > 0) queues in
     let t_brk, bd =
-      if queued || t_arr < infinity then next_reopen () else (infinity, -1)
+      if queued || t_arr < infinity || !expect_more then next_reopen ()
+      else (infinity, -1)
     in
     if
       t_arr = infinity && t_dev = infinity && t_jvm = infinity
       && t_brk = infinity
-    then ()
+    then false
     else begin
       (* Fixed priority on ties — arrivals, then device events, then JVM
          completions, then breaker probes — so simultaneous events
@@ -1336,7 +1375,7 @@ let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
       else handle_reopen bd;
       incr events;
       after_event ();
-      loop_scan ()
+      true
     end
   in
   (* The heap engine. [ev_heap]'s total-order key encodes the scan
@@ -1361,9 +1400,9 @@ let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
       arr_h := Some (Pheap.insert ev_heap (r.rq_arrival, 0, 0, 0) Ev_arrival)
     | [] -> ()
   in
-  let rec loop_heap () =
+  let step_heap () =
     let t_brk, bd =
-      if !total_queued > 0 || !arrivals <> [] then
+      if !total_queued > 0 || !arrivals <> [] || !expect_more then
         match Pheap.peek reopen_heap with
         | Some ((t, _), d) -> (t, d)
         | None -> (infinity, -1)
@@ -1373,7 +1412,7 @@ let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
     let t_ev =
       match top with Some ((t, _, _, _), _) -> t | None -> infinity
     in
-    if t_ev = infinity && t_brk = infinity then ()
+    if t_ev = infinity && t_brk = infinity then false
     else begin
       (if t_ev <= t_brk then
          match top with
@@ -1390,16 +1429,138 @@ let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
        else handle_reopen bd);
       incr events;
       after_event ();
-      loop_heap ()
+      true
     end
   in
   if heap_mode then begin
     sync := refresh_device;
     refresh_arrival ();
-    Array.iteri (fun d _ -> refresh_device d) devs;
-    loop_heap ()
-  end
-  else loop_scan ();
+    Array.iteri (fun d _ -> refresh_device d) devs
+  end;
+  (* The earliest pending event's time, under the same reopen gating
+     the step functions apply — the key the federation files this sim
+     under in its global heap. *)
+  let next_pending () =
+    if heap_mode then begin
+      let t_brk =
+        if !total_queued > 0 || !arrivals <> [] || !expect_more then
+          match Pheap.peek reopen_heap with
+          | Some ((t, _), _) -> t
+          | None -> infinity
+        else infinity
+      in
+      let t_ev =
+        match Pheap.peek ev_heap with
+        | Some ((t, _, _, _), _) -> t
+        | None -> infinity
+      in
+      Float.min t_ev t_brk
+    end
+    else begin
+      let t_arr =
+        match !arrivals with [] -> infinity | r :: _ -> r.rq_arrival
+      in
+      let t_dev, _ = next_device () in
+      let t_jvm =
+        match !jvm_pending with [] -> infinity | (t, _, _) :: _ -> t
+      in
+      let queued = Array.exists (fun q -> dq_len q > 0) queues in
+      let t_brk =
+        if queued || t_arr < infinity || !expect_more then
+          fst (next_reopen ())
+        else infinity
+      in
+      Float.min (Float.min t_arr t_dev) (Float.min t_jvm t_brk)
+    end
+  in
+  let inject r =
+    if !finished then fail "sim: inject after finish";
+    if r.rq_app < 0 || r.rq_app >= n_apps then
+      fail "request %d targets unknown app %d" r.rq_id r.rq_app;
+    (match r.rq_deadline with
+    | Some d when not (Float.is_finite d) ->
+      fail "request %d: deadline must be finite" r.rq_id
+    | _ -> ());
+    arrivals := List.merge request_order [ r ] !arrivals;
+    if heap_mode then refresh_arrival ()
+  in
+  (* Autoscaling: release parks the highest-index idle device (so the
+     low indices every tie-break prefers stay stable); lease brings the
+     lowest-index parked device back. Both are silent state edits — no
+     event, no telemetry — so a federation that never calls them leaves
+     the simulation untouched. *)
+  let release () =
+    if !n_alive <= 1 then false
+    else begin
+      let cand = ref (-1) in
+      Array.iteri
+        (fun i dv -> if dv.d_alive && dv.d_busy = None then cand := i)
+        devs;
+      if !cand < 0 then false
+      else begin
+        let d = !cand in
+        let dev = devs.(d) in
+        dev.d_alive <- false;
+        dev.d_released <- true;
+        decr n_alive;
+        if dev.d_state <> Quarantined then decr n_routable;
+        !sync d;
+        true
+      end
+    end
+  in
+  let lease () =
+    let cand = ref (-1) in
+    Array.iteri
+      (fun i dv -> if !cand < 0 && dv.d_released then cand := i)
+      devs;
+    if !cand < 0 then false
+    else begin
+      let d = !cand in
+      let dev = devs.(d) in
+      dev.d_released <- false;
+      dev.d_alive <- true;
+      incr n_alive;
+      if dev.d_state <> Quarantined then incr n_routable;
+      !sync d;
+      try_dispatch ();
+      true
+    end
+  in
+  let update_app i (a : app) =
+    if i < 0 || i >= n_apps then fail "update_app: unknown app %d" i;
+    if a.ap_name <> apps.(i).ap_name then
+      fail "update_app: app %d is %s, not %s" i apps.(i).ap_name a.ap_name;
+    check_apps [| a |];
+    apps.(i) <- a;
+    (* The per-(app, size) cost memo is stale for this tenant; the
+       other tenants' entries stay warm. *)
+    Hashtbl.filter_map_inplace
+      (fun (ai, _) v -> if ai = i then None else Some v)
+      svc_memo;
+    (* Same uid, so [Blaze.register] swaps the accelerator in place —
+       the Blaze-style live promotion; results stay bit-identical to the
+       JVM oracle because designs only change timing, never values. *)
+    Blaze.register mgr { a.ap_accel with Blaze.acc_id = uid i }
+  in
+  let drained = ref 0 in
+  let drain () =
+    (* [results] is newest-first; peeling the fresh prefix into an
+       accumulator hands back the undrained tail oldest-first. *)
+    let n = !res_count - !drained in
+    drained := !res_count;
+    let rec take k l acc =
+      if k = 0 then acc
+      else
+        match l with
+        | x :: tl -> take (k - 1) tl (x :: acc)
+        | [] -> assert false
+    in
+    take n !results []
+  in
+  let finish () =
+  if !finished then fail "sim: finish called twice";
+  finished := true;
   (* ---------- report ---------- *)
   let results =
     List.sort (fun a b -> compare (a.rs_app, a.rs_id) (b.rs_app, b.rs_id))
@@ -1480,6 +1641,41 @@ let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate
       rp_apps = per_app }
   in
   { oc_report = report; oc_results = results }
+  in
+  { s_step = (fun () -> if heap_mode then step_heap () else step_scan ());
+    s_next = next_pending;
+    s_now = (fun () -> !now);
+    s_inject = inject;
+    s_expect_more = (fun v -> expect_more := v);
+    s_queue_depth = (fun () -> !total_queued);
+    s_alive = alive_devices;
+    s_routable = routable_count;
+    s_loaded = (fun a -> a >= 0 && a < n_apps && has_loaded a);
+    s_lease = lease;
+    s_release = release;
+    s_update_app = update_app;
+    s_drain = drain;
+    s_deadline_hits = (fun () -> !dl_hits);
+    s_deadline_misses = (fun () -> !dl_misses);
+    s_finish = finish }
+
+let serve_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate apps
+    requests =
+  Obs.span "fleet.serve" @@ fun () ->
+  let sim =
+    make_sim_impl ~opts ~engine ?trace ?faults ?checkpoint ?validate apps
+      requests
+  in
+  while sim.s_step () do
+    ()
+  done;
+  sim.s_finish ()
+
+let make_sim ?(opts = default_opts) ?engine ?trace ?faults apps requests =
+  let engine =
+    match engine with Some e -> e | None -> engine_of_env ()
+  in
+  make_sim_impl ~opts ~engine ?trace ?faults apps requests
 
 let serve ?(opts = default_opts) ?engine ?trace ?faults ?checkpoint apps
     requests =

@@ -305,6 +305,78 @@ val resume :
     header or the regenerated state diverges (i.e. the inputs differ
     from the checkpointed run's). *)
 
+(** {1 The stepping/mailbox interface}
+
+    One pool's serve loop turned inside out, for drivers that interleave
+    several pools on their own global event heap (the federation layer).
+    The driver owns the loop: it calls [s_step] whenever this sim holds
+    the earliest pending event ([s_next]), injects arrivals just in time
+    ([s_inject]), and closes with [s_finish]. Running a sim to
+    exhaustion and finishing it is byte-identical to {!serve} on the
+    same inputs — report, telemetry, results (the goldens prove it; in
+    fact {!serve} is implemented exactly that way). *)
+type sim = {
+  s_step : unit -> bool;
+      (** Process the single earliest pending event; [false] when
+          nothing is pending (more may become pending after
+          [s_inject]). *)
+  s_next : unit -> float;
+      (** Virtual time of the earliest pending event ([infinity] when
+          idle) — the key the driver files this sim under. *)
+  s_now : unit -> float;  (** This pool's virtual clock, seconds. *)
+  s_inject : request -> unit;
+      (** Mail a request into the arrival stream (validated like
+          {!serve}'s inputs). Must arrive no earlier than the sim's
+          pending frontier; the driver's global time order guarantees
+          that. *)
+  s_expect_more : bool -> unit;
+      (** While [true], the sim assumes more arrivals are coming even
+          though its own list is empty — it keeps the breaker-reopen
+          gate open exactly as a non-empty arrival list would. Plain
+          {!serve} never sets it, so existing behavior is unchanged. *)
+  s_queue_depth : unit -> int;  (** Total queued backlog. *)
+  s_alive : unit -> int;
+  s_routable : unit -> int;
+  s_loaded : int -> bool;
+      (** Whether some routable device already carries this app's
+          bitstream — the federation's cache-affinity routing signal. *)
+  s_lease : unit -> bool;
+      (** Re-admit the lowest-index parked device ([false] if none is
+          parked). Silent: no event, no telemetry. *)
+  s_release : unit -> bool;
+      (** Park the highest-index idle alive device ([false] if none is
+          idle, or the pool would drop below one device). Parked
+          devices are distinct from fault-lost ones and can be leased
+          back; in-flight work is never interrupted. *)
+  s_update_app : int -> app -> unit;
+      (** Live design promotion: replace tenant [i]'s app (same name
+          required) and re-register its accelerator under the same
+          Blaze uid. Values stay bit-identical to the JVM oracle —
+          designs only change timing. Raises {!Fleet_error} on an
+          unknown index, a name mismatch, or an invalid app. *)
+  s_drain : unit -> result list;
+      (** Results completed since the previous drain, oldest first.
+          Draining does not affect [s_finish]'s full result list. *)
+  s_deadline_hits : unit -> int;
+  s_deadline_misses : unit -> int;
+  s_finish : unit -> outcome;
+      (** Build the final report. Call once, after [s_step] returns
+          [false] for good; raises {!Fleet_error} on a second call. *)
+}
+
+val make_sim :
+  ?opts:opts ->
+  ?engine:engine ->
+  ?trace:S2fa_telemetry.Telemetry.t ->
+  ?faults:S2fa_fault.Fault.t ->
+  app array ->
+  request list ->
+  sim
+(** Create a sim over an initial (possibly empty) request list. Same
+    validation and defaults as {!serve}; checkpointing is not available
+    through the stepping interface. The app array is copied — a later
+    [s_update_app] never mutates the caller's array. *)
+
 (** {1 Internals exposed for testing} *)
 
 (** The admission queue: a FIFO that also supports re-queueing a batch

@@ -135,6 +135,28 @@ type kind =
       met : bool;
       slack_minutes : float;
     }
+  | Fed_route of {
+      app : string;
+      request : int;
+      region : int;
+      cluster : string;
+      rtt_minutes : float;
+    }
+  | Fed_autoscale of {
+      cluster : string;
+      action : string;
+      devices : int;
+      queue_len : int;
+    }
+  | Fed_retune of {
+      app : string;
+      epoch : int;
+      p99_minutes : float;
+      slo_minutes : float;
+      tune_minutes : float;
+      evals : int;
+    }
+  | Fed_promote of { app : string; epoch : int; cfg : string }
 
 type event = { e_seq : int; e_minutes : float; e_kind : kind }
 
@@ -312,6 +334,10 @@ let fold_into_metrics m ev =
   | Serve_deadline d ->
     Metrics.incr m
       (if d.met then "serve.deadline.met" else "serve.deadline.missed")
+  | Fed_route _ -> Metrics.incr m "fed.routed"
+  | Fed_autoscale a -> Metrics.incr m ("fed.autoscale." ^ a.action)
+  | Fed_retune _ -> Metrics.incr m "fed.retunes"
+  | Fed_promote _ -> Metrics.incr m "fed.promotions"
   | Span_begin _ -> ()
   | Span_end st -> Metrics.incr m ("spans." ^ stage_name st)
   | Run_begin _ -> Metrics.incr m "runs"
@@ -564,7 +590,33 @@ let json_of_event e =
     str "app" s.app;
     int_ "req" s.request;
     bool_ "met" s.met;
-    num "slack" s.slack_minutes);
+    num "slack" s.slack_minutes
+  | Fed_route s ->
+    str "ev" "fed_route";
+    str "app" s.app;
+    int_ "req" s.request;
+    int_ "region" s.region;
+    str "cluster" s.cluster;
+    num "rtt" s.rtt_minutes
+  | Fed_autoscale s ->
+    str "ev" "fed_autoscale";
+    str "cluster" s.cluster;
+    str "action" s.action;
+    int_ "devices" s.devices;
+    int_ "queue" s.queue_len
+  | Fed_retune s ->
+    str "ev" "fed_retune";
+    str "app" s.app;
+    int_ "epoch" s.epoch;
+    num "p99" s.p99_minutes;
+    num "slo" s.slo_minutes;
+    num "minutes" s.tune_minutes;
+    int_ "evals" s.evals
+  | Fed_promote s ->
+    str "ev" "fed_promote";
+    str "app" s.app;
+    int_ "epoch" s.epoch;
+    str "cfg" s.cfg);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -851,6 +903,32 @@ let event_of_json line =
             request = iget fields "req";
             met = bget fields "met";
             slack_minutes = fget fields "slack" }
+      | "fed_route" ->
+        Fed_route
+          { app = sget fields "app";
+            request = iget fields "req";
+            region = iget fields "region";
+            cluster = sget fields "cluster";
+            rtt_minutes = fget fields "rtt" }
+      | "fed_autoscale" ->
+        Fed_autoscale
+          { cluster = sget fields "cluster";
+            action = sget fields "action";
+            devices = iget fields "devices";
+            queue_len = iget fields "queue" }
+      | "fed_retune" ->
+        Fed_retune
+          { app = sget fields "app";
+            epoch = iget fields "epoch";
+            p99_minutes = fget fields "p99";
+            slo_minutes = fget fields "slo";
+            tune_minutes = fget fields "minutes";
+            evals = iget fields "evals" }
+      | "fed_promote" ->
+        Fed_promote
+          { app = sget fields "app";
+            epoch = iget fields "epoch";
+            cfg = sget fields "cfg" }
       | _ -> raise Bad
     in
     { e_seq = iget fields "seq"; e_minutes = fget fields "min"; e_kind = kind }
@@ -940,6 +1018,17 @@ let pp_event ppf e =
   | Serve_deadline s ->
     p "serve_deadline app=%s req=%d met=%b slack=%.4fm" s.app s.request s.met
       s.slack_minutes
+  | Fed_route s ->
+    p "fed_route app=%s req=%d region=%d cluster=%s rtt=%.4fm" s.app
+      s.request s.region s.cluster s.rtt_minutes
+  | Fed_autoscale s ->
+    p "fed_autoscale cluster=%s %s devices=%d queue=%d" s.cluster s.action
+      s.devices s.queue_len
+  | Fed_retune s ->
+    p "fed_retune app=%s epoch=%d p99=%.4fm slo=%.4fm tuned=%.1fm evals=%d"
+      s.app s.epoch s.p99_minutes s.slo_minutes s.tune_minutes s.evals
+  | Fed_promote s ->
+    p "fed_promote app=%s epoch=%d cfg=%s" s.app s.epoch s.cfg
 
 (* ------------------------------------------------------------------ *)
 (* Built-in sinks *)

@@ -166,6 +166,33 @@ type kind =
           (** Deadline minus completion time (negative = missed). *)
     }  (** Deadline outcome for a request that carried one. Only
            emitted when the request had a deadline. *)
+  | Fed_route of {
+      app : string;
+      request : int;
+      region : int;       (** Origin region of the request. *)
+      cluster : string;   (** Cluster the router chose. *)
+      rtt_minutes : float;  (** One-way RTT penalty charged. *)
+    }  (** A federation routing decision. Never emitted by a trivial
+           (single-cluster, feature-free) federation, which stays
+           byte-identical to plain [Fleet.serve]. *)
+  | Fed_autoscale of {
+      cluster : string;
+      action : string;    (** ["lease"] or ["release"]. *)
+      devices : int;      (** Leased devices after the action. *)
+      queue_len : int;    (** The queue depth that triggered it. *)
+    }  (** The federation autoscaler leased or released a device. *)
+  | Fed_retune of {
+      app : string;
+      epoch : int;
+      p99_minutes : float;  (** The breaching windowed p99. *)
+      slo_minutes : float;
+      tune_minutes : float; (** Virtual DSE minutes billed. *)
+      evals : int;
+    }  (** A tenant breached its p99 SLO at an epoch boundary and a
+           bounded DSE re-tuning run was launched. *)
+  | Fed_promote of { app : string; epoch : int; cfg : string }
+      (** A re-tuned design was promoted into every member fleet at an
+          epoch boundary. *)
 
 type event = {
   e_seq : int;       (** Monotonic per tracer, gapless from 0. *)

@@ -117,6 +117,13 @@ type replay = {
   rp_serve_deadline_hits : int;
   rp_serve_deadline_misses : int;
   rp_serve_apps : serve_row list;
+  rp_fed_routed : int;
+  rp_fed_leases : int;
+  rp_fed_releases : int;
+  rp_fed_retunes : int;
+  rp_fed_promotions : int;
+  rp_fed_rtt_minutes : float;
+  rp_fed_tune_minutes : float;
   rp_eval_minutes : float;
   rp_offline_minutes : float;
   rp_fault_minutes : float;
@@ -142,6 +149,9 @@ let replay t =
   let serve_shed = ref 0 and serve_timeouts = ref 0 in
   let serve_hedges = ref 0 and serve_trips = ref 0 in
   let deadline_hits = ref 0 and deadline_misses = ref 0 in
+  let fed_routed = ref 0 and fed_leases = ref 0 and fed_releases = ref 0 in
+  let fed_retunes = ref 0 and fed_promotions = ref 0 in
+  let fed_rtt = ref 0.0 and fed_tune = ref 0.0 in
   (* Virtual-minute bills per stage, for the stage-share lines. *)
   let eval_minutes = ref 0.0 and offline_minutes = ref 0.0 in
   let service_minutes = ref 0.0 and reconfig_minutes = ref 0.0 in
@@ -235,6 +245,15 @@ let replay t =
         if b.to_state = "quarantined" then incr serve_trips
       | T.Serve_deadline d ->
         if d.met then incr deadline_hits else incr deadline_misses
+      | T.Fed_route r ->
+        incr fed_routed;
+        fed_rtt := !fed_rtt +. r.rtt_minutes
+      | T.Fed_autoscale a ->
+        if a.action = "lease" then incr fed_leases else incr fed_releases
+      | T.Fed_retune r ->
+        incr fed_retunes;
+        fed_tune := !fed_tune +. r.tune_minutes
+      | T.Fed_promote _ -> incr fed_promotions
       | _ -> ())
     t.t_events;
   { rp_flow = !flow;
@@ -300,6 +319,13 @@ let replay t =
           :: acc)
         serve []
       |> List.sort (fun a b -> String.compare a.sv_app b.sv_app);
+    rp_fed_routed = !fed_routed;
+    rp_fed_leases = !fed_leases;
+    rp_fed_releases = !fed_releases;
+    rp_fed_retunes = !fed_retunes;
+    rp_fed_promotions = !fed_promotions;
+    rp_fed_rtt_minutes = !fed_rtt;
+    rp_fed_tune_minutes = !fed_tune;
     rp_eval_minutes = !eval_minutes;
     rp_offline_minutes = !offline_minutes;
     rp_fault_minutes =
@@ -455,6 +481,23 @@ let print_report ppf t =
       rp.rp_service_minutes rp.rp_reconfig_minutes
       (share (rp.rp_service_minutes +. rp.rp_reconfig_minutes))
       attributed
+  end;
+  (* The federation section only appears when federation events exist,
+     so single-pool traces render byte-identically to before. *)
+  if
+    rp.rp_fed_routed + rp.rp_fed_leases + rp.rp_fed_releases
+      + rp.rp_fed_retunes + rp.rp_fed_promotions
+    > 0
+  then begin
+    p "@.== federation ==@.";
+    p "  routed %d (rtt charged %.4fm)@." rp.rp_fed_routed
+      rp.rp_fed_rtt_minutes;
+    if rp.rp_fed_leases + rp.rp_fed_releases > 0 then
+      p "  autoscale: %d leases, %d releases@." rp.rp_fed_leases
+        rp.rp_fed_releases;
+    if rp.rp_fed_retunes + rp.rp_fed_promotions > 0 then
+      p "  online dse: %d retunes (%.1fm billed), %d promotions@."
+        rp.rp_fed_retunes rp.rp_fed_tune_minutes rp.rp_fed_promotions
   end;
   p "@.== entropy-stop timeline ==@.";
   if rp.rp_entropy = [] then p "  (no entropy samples in this trace)@."

@@ -100,6 +100,14 @@ type replay = {
   rp_serve_deadline_misses : int;
   rp_serve_apps : serve_row list;  (** Sorted by app name; empty for
                                        non-serving traces. *)
+  rp_fed_routed : int;       (** Federation routing decisions. *)
+  rp_fed_leases : int;       (** Autoscaler device leases. *)
+  rp_fed_releases : int;
+  rp_fed_retunes : int;      (** Online DSE re-tuning runs launched. *)
+  rp_fed_promotions : int;   (** Designs promoted into member fleets. *)
+  rp_fed_rtt_minutes : float;   (** Total RTT penalty charged. *)
+  rp_fed_tune_minutes : float;  (** Virtual DSE minutes billed by
+                                    re-tuning runs. *)
   rp_eval_minutes : float;     (** Simulated minutes billed by search
                                    evaluations ([eval_done.eval_minutes],
                                    partitions only). *)

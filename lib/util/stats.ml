@@ -74,6 +74,52 @@ let p50 xs = percentile xs 50.0
 let p95 xs = percentile xs 95.0
 let p99 xs = percentile xs 99.0
 
+(* ---------- mergeable percentiles (federation-level summaries) ---------- *)
+
+(* Per-cluster latency samples are sorted once, merged once, and ranked
+   once: [percentile_sorted (merge_sorted parts) p] is provably equal to
+   [percentile (concat parts) p] because a k-way merge of sorted arrays
+   is a sort of their concatenation (test/test_util.ml checks the
+   identity on random partitions). *)
+
+let sorted xs =
+  let c = Array.copy xs in
+  Array.sort Float.compare c;
+  c
+
+let merge2 a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 then Array.copy b
+  else if lb = 0 then Array.copy a
+  else begin
+    let out = Array.make (la + lb) 0.0 in
+    let i = ref 0 and j = ref 0 in
+    for k = 0 to la + lb - 1 do
+      if !j >= lb || (!i < la && Float.compare a.(!i) b.(!j) <= 0) then begin
+        out.(k) <- a.(!i);
+        incr i
+      end
+      else begin
+        out.(k) <- b.(!j);
+        incr j
+      end
+    done;
+    out
+  end
+
+let merge_sorted parts = List.fold_left merge2 [||] parts
+
+let percentile_sorted xs p =
+  let n = Array.length xs in
+  if n = 0 then invalid_arg "Stats.percentile_sorted: empty array";
+  if Float.is_nan p then invalid_arg "Stats.percentile_sorted: NaN rank";
+  if has_nan xs then Float.nan
+  else begin
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int n)) in
+    let idx = max 0 (min (n - 1) (rank - 1)) in
+    xs.(idx)
+  end
+
 let geometric_mean xs =
   let n = Array.length xs in
   if n = 0 then 0.0

@@ -45,5 +45,22 @@ val p99 : float array -> float
     that value. NaN-propagating and [Invalid_argument] on empty input,
     exactly as {!percentile}. *)
 
+val sorted : float array -> float array
+(** A copy sorted with [Float.compare] (the total order every order
+    statistic here uses). Does not mutate its argument. *)
+
+val merge_sorted : float array list -> float array
+(** Exact k-way merge of arrays already sorted by [Float.compare] (as
+    {!sorted} returns them). [merge_sorted parts] equals
+    [sorted (Array.concat parts)] element for element — the federation
+    layer merges per-cluster latency samples once instead of re-sorting
+    their concatenation, and [test/test_util.ml] proves the identity on
+    random partitions. The inputs are not mutated. *)
+
+val percentile_sorted : float array -> float -> float
+(** {!percentile} on an array already sorted by [Float.compare]: skips
+    the copy-and-sort, same nearest-rank result, same NaN propagation,
+    same [Invalid_argument] on empty input or a NaN rank. *)
+
 val geometric_mean : float array -> float
 (** Geometric mean of strictly positive values; 0 on empty input. *)

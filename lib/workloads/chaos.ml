@@ -235,6 +235,256 @@ let run ?(seeds = 20) ?(seed0 = 0) () =
   in
   { cg_reports = reports; cg_violations = violations }
 
+(* ------------------------------------------------------------------ *)
+(* Federation campaigns *)
+(* ------------------------------------------------------------------ *)
+
+module Fed = S2fa_federation.Federation
+
+(* A federated scenario rides on the fleet derivation: random cluster
+   count, skewed regional rates, per-cluster RTTs, and — the correlated
+   failure mode single-pool chaos cannot express — device loss confined
+   to one cluster while the rest of the federation stays healthy. *)
+type fed_scenario = {
+  fs_seed : int;
+  fs_tenants : Traffic.tenant list;
+  fs_horizon : float;
+  fs_regions : Traffic.region list;
+  fs_clusters : Fed.cluster list;
+  fs_route : Fed.route_policy;
+  fs_autoscale : Fed.autoscale option;
+  fs_slo_ms : float option;
+}
+
+type fed_report = {
+  fr_seed : int;
+  fr_clusters : int;
+  fr_requests : int;
+  fr_leases : int;
+  fr_releases : int;
+  fr_lost : int;
+  fr_violations : string list;
+}
+
+type fed_campaign = {
+  fc_reports : fed_report list;
+  fc_violations : string list;
+}
+
+let fed_scenario_of_seed seed =
+  let rng = Rng.create ((seed + 1) * 0x2545_f491) in
+  let n_tenants = 1 + Rng.int rng 2 in
+  let names = Rng.sample rng n_tenants workload_pool in
+  let tenants =
+    Array.to_list
+      (Array.map
+         (fun name ->
+           let rate = 100.0 +. (100.0 *. float_of_int (Rng.int rng 2)) in
+           Traffic.tenant ~rate (Option.get (Workloads.find name)))
+         names)
+  in
+  let horizon = 0.2 in
+  let n_clusters = 1 + Rng.int rng 3 in
+  let n_regions = 1 + Rng.int rng 3 in
+  let regions =
+    List.init n_regions (fun ri ->
+        Traffic.region
+          ~scale:(Rng.choose rng [| 0.5; 1.0; 2.0 |])
+          (Printf.sprintf "r%d" ri))
+  in
+  (* Correlated loss: at most one cluster carries an injector, so every
+     lost device lands in the same pool. *)
+  let faulty_ci = if Rng.int rng 10 < 7 then Rng.int rng n_clusters else -1 in
+  let clusters =
+    List.init n_clusters (fun ci ->
+        let faults =
+          if ci = faulty_ci then
+            Some
+              { Fault.zero_spec with
+                Fault.fs_core_loss = Rng.choose rng [| 0.05; 0.1 |];
+                fs_hang = Rng.choose rng [| 0.0; 0.15 |] }
+          else None
+        in
+        Fed.cluster
+          ~devices:(1 + Rng.int rng 3)
+          ~weight:(float_of_int (1 + Rng.int rng 3))
+          ~rtt_s:
+            (Array.init n_regions (fun _ ->
+                 Rng.choose rng [| 0.0; 0.002; 0.01 |]))
+          ?faults
+          (Printf.sprintf "c%d" ci))
+  in
+  let route = Rng.choose_list rng Fed.all_routes in
+  let autoscale =
+    if Rng.bool rng then
+      let floor_max =
+        List.fold_left (fun m c -> max m c.Fed.cl_devices) 1 clusters
+      in
+      Some
+        { Fed.default_autoscale with
+          Fed.as_max_devices = floor_max + 1 + Rng.int rng 2;
+          as_interval_s = Rng.choose rng [| 0.02; 0.05 |] }
+    else None
+  in
+  let slo_ms =
+    if Rng.bool rng then Some (Rng.choose rng [| 2000.0; 5000.0 |]) else None
+  in
+  { fs_seed = seed;
+    fs_tenants = tenants;
+    fs_horizon = horizon;
+    fs_regions = regions;
+    fs_clusters = clusters;
+    fs_route = route;
+    fs_autoscale = autoscale;
+    fs_slo_ms = slo_ms }
+
+let fed_requests_of fs =
+  let reqs =
+    Traffic.regional_requests ~seed:fs.fs_seed ~horizon:fs.fs_horizon
+      fs.fs_regions fs.fs_tenants
+  in
+  match fs.fs_slo_ms with
+  | None -> reqs
+  | Some ms ->
+      List.map
+        (fun (ri, (r : Fleet.request)) ->
+          (ri, { r with Fleet.rq_deadline =
+                          Some (r.Fleet.rq_arrival +. (ms /. 1000.0)) }))
+        reqs
+
+let run_fed_serve ?engine fs ~clusters apps requests =
+  let buf = Buffer.create 4096 in
+  let trace = T.create ~sinks:[ T.buffer_sink buf ] () in
+  let opts =
+    { Fed.default_opts with
+      Fed.fd_route = fs.fs_route;
+      fd_autoscale = fs.fs_autoscale;
+      fd_seed = fs.fs_seed }
+  in
+  let tenants = Array.to_list (Array.map Fed.tenant apps) in
+  let outcome = Fed.serve ~opts ?engine ~trace ~clusters tenants requests in
+  T.flush trace;
+  (outcome, Buffer.contents buf)
+
+let run_fed_seed seed =
+  let fs = fed_scenario_of_seed seed in
+  let apps = Traffic.apps ~seed:fs.fs_seed fs.fs_tenants in
+  let requests = fed_requests_of fs in
+  let violations = ref [] in
+  let fail fmt =
+    Format.kasprintf (fun s -> violations := s :: !violations) fmt
+  in
+  let oc, jsonl = run_fed_serve fs ~clusters:fs.fs_clusters apps requests in
+  (* Invariant 1: determinism — identical re-run, identical bytes. *)
+  let oc2, jsonl2 = run_fed_serve fs ~clusters:fs.fs_clusters apps requests in
+  if
+    not
+      (String.equal
+         (Fed.report_to_string oc.Fed.fo_report)
+         (Fed.report_to_string oc2.Fed.fo_report))
+  then fail "determinism: federation reports differ across identical runs";
+  if not (String.equal jsonl jsonl2) then
+    fail "determinism: federation telemetry differs across identical runs";
+  (* Invariant 2: no request lost across the whole federation. *)
+  let n_req = List.length requests in
+  let n_res = List.length oc.Fed.fo_results in
+  if n_req <> n_res then
+    fail "lost requests: %d arrived, %d completed" n_req n_res;
+  let by_key = Hashtbl.create 64 in
+  List.iter
+    (fun (_, (res : Fleet.result)) ->
+      Hashtbl.replace by_key (res.Fleet.rs_app, res.Fleet.rs_id) res)
+    oc.Fed.fo_results;
+  (* Invariant 3: JVM oracle, whichever cluster served the request. *)
+  let diverged = ref 0 in
+  List.iter
+    (fun (_, (r : Fleet.request)) ->
+      match Hashtbl.find_opt by_key (r.Fleet.rq_app, r.Fleet.rq_id) with
+      | None -> fail "request (%d,%d) missing" r.Fleet.rq_app r.Fleet.rq_id
+      | Some res ->
+        if not (Interp.equal_value res.Fleet.rs_value (standalone apps r))
+        then incr diverged)
+    requests;
+  if !diverged > 0 then
+    fail "oracle: %d result(s) diverged from the JVM baseline" !diverged;
+  (* Invariant 4: engine differential — both fleet event engines must
+     drive the federation to identical bytes. *)
+  let oc_scan, jsonl_scan =
+    run_fed_serve ~engine:Fleet.Scan fs ~clusters:fs.fs_clusters apps requests
+  in
+  if
+    not
+      (String.equal
+         (Fed.report_to_string oc.Fed.fo_report)
+         (Fed.report_to_string oc_scan.Fed.fo_report))
+  then fail "engine differential: heap and scan federation reports differ";
+  if not (String.equal jsonl jsonl_scan) then
+    fail "engine differential: heap and scan federation telemetry differ";
+  (* Invariant 5: cluster invariance — re-serving the same stream on a
+     single healthy cluster must reproduce every result value bit for
+     bit; where a request lands can change its timing, never its
+     answer. *)
+  let one =
+    [ Fed.cluster ~devices:2 ~weight:1.0 "solo" ]
+  in
+  let oc_one, _ = run_fed_serve fs ~clusters:one apps requests in
+  let mismatched = ref 0 in
+  List.iter
+    (fun (_, (res : Fleet.result)) ->
+      match Hashtbl.find_opt by_key (res.Fleet.rs_app, res.Fleet.rs_id) with
+      | None -> fail "cluster invariance: (%d,%d) only in the 1-cluster run"
+                  res.Fleet.rs_app res.Fleet.rs_id
+      | Some r ->
+        if not (Interp.equal_value r.Fleet.rs_value res.Fleet.rs_value) then
+          incr mismatched)
+    oc_one.Fed.fo_results;
+  if !mismatched > 0 then
+    fail "cluster invariance: %d value(s) depend on the serving cluster"
+      !mismatched;
+  let rp = oc.Fed.fo_report in
+  { fr_seed = seed;
+    fr_clusters = List.length fs.fs_clusters;
+    fr_requests = rp.Fed.fr_requests;
+    fr_leases = rp.Fed.fr_leases;
+    fr_releases = rp.Fed.fr_releases;
+    fr_lost =
+      List.fold_left
+        (fun s (c : Fed.cluster_report) ->
+          s + c.Fed.cr_report.Fleet.rp_devices_lost)
+        0 rp.Fed.fr_clusters;
+    fr_violations = List.rev !violations }
+
+let run_fed ?(seeds = 10) ?(seed0 = 0) () =
+  if seeds <= 0 then invalid_arg "Chaos.run_fed: seeds must be positive";
+  let reports = List.init seeds (fun i -> run_fed_seed (seed0 + i)) in
+  let violations =
+    List.concat_map
+      (fun r ->
+        List.map (fun v -> Printf.sprintf "seed %d: %s" r.fr_seed v)
+          r.fr_violations)
+      reports
+  in
+  { fc_reports = reports; fc_violations = violations }
+
+let pp_fed_campaign ppf c =
+  let n = List.length c.fc_reports in
+  Format.fprintf ppf "federation chaos campaign: %d seed(s), %d violation(s)@."
+    n
+    (List.length c.fc_violations);
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "  seed %3d: %d cluster(s), %3d requests, leases %2d, releases %2d, \
+         dev-lost %d%s@."
+        r.fr_seed r.fr_clusters r.fr_requests r.fr_leases r.fr_releases
+        r.fr_lost
+        (if r.fr_violations = [] then "" else "  VIOLATED"))
+    c.fc_reports;
+  if c.fc_violations <> [] then begin
+    Format.fprintf ppf "violations:@.";
+    List.iter (fun v -> Format.fprintf ppf "  - %s@." v) c.fc_violations
+  end
+
 let pp_campaign ppf c =
   let n = List.length c.cg_reports in
   Format.fprintf ppf "chaos campaign: %d seed(s), %d violation(s)@." n

@@ -52,3 +52,44 @@ val run : ?seeds:int -> ?seed0:int -> unit -> campaign
 
 val pp_campaign : Format.formatter -> campaign -> unit
 (** Fixed-format summary table plus the violation list (if any). *)
+
+(** {1 Federation campaigns}
+
+    The same discipline one level up: each seed derives a federated
+    scenario — random cluster count (1–3), skewed regional arrival
+    rates, per-cluster RTTs, autoscaling on or off, and device loss
+    {e correlated within a single cluster} (at most one pool carries an
+    injector) — and checks the four invariants above plus a fifth:
+
+    + {b cluster invariance}: every request's result value is
+      bit-identical whether it was served by the multi-cluster
+      federation or by a single healthy pool — placement changes
+      timing, never answers. *)
+
+(** Per-seed federation outcome summary. *)
+type fed_report = {
+  fr_seed : int;
+  fr_clusters : int;
+  fr_requests : int;
+  fr_leases : int;      (** Autoscaler device leases. *)
+  fr_releases : int;
+  fr_lost : int;        (** Devices lost to injected faults (all in one
+                            cluster by construction). *)
+  fr_violations : string list;  (** Empty = all invariants held. *)
+}
+
+type fed_campaign = {
+  fc_reports : fed_report list;    (** In seed order. *)
+  fc_violations : string list;     (** Flattened, seed-prefixed. *)
+}
+
+val run_fed_seed : int -> fed_report
+(** Derive, run and check the federated scenario named by one seed. *)
+
+val run_fed : ?seeds:int -> ?seed0:int -> unit -> fed_campaign
+(** [run_fed ~seeds ~seed0 ()] checks seeds [seed0 .. seed0+seeds-1]
+    (defaults: 10 from 0). Raises [Invalid_argument] when [seeds] is
+    not positive. *)
+
+val pp_fed_campaign : Format.formatter -> fed_campaign -> unit
+(** Fixed-format summary table plus the violation list (if any). *)

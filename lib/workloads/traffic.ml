@@ -61,6 +61,73 @@ let requests ~seed ~horizon tenants =
   in
   List.fold_left (List.merge order) [] per_tenant
 
+(* ---------- multi-region traffic (the federation's ingress) ---------- *)
+
+type region = { rg_name : string; rg_scale : float }
+
+let region ?(scale = 1.0) name =
+  if not (scale > 0.0) then
+    invalid_arg "Traffic.region: scale must be positive";
+  { rg_name = name; rg_scale = scale }
+
+(* Each (region, tenant) pair owns private streams: the single-region
+   derivation with the region index folded into the root seed by a
+   third odd constant, so no (region, tenant) pair shares a stream with
+   any other pair — or with the single-region streams above. Request
+   ids carry the region in the high bits, keeping (app, id) unique
+   federation-wide. *)
+let region_id_shift = 40
+
+let rstreams seed ri i =
+  let root =
+    Rng.create
+      (((seed * 0x3779_97f5) lxor ((i + 1) * 0x9e37_79b9))
+      lxor ((ri + 1) * 0x2545_f491_4f6c_dd1d))
+  in
+  let arr = Rng.split root in
+  let pay = Rng.split root in
+  let fld = Rng.split root in
+  (arr, pay, fld)
+
+let regional_requests ~seed ~horizon regions tenants =
+  if not (horizon > 0.0) then
+    invalid_arg "Traffic.regional_requests: horizon must be positive";
+  if regions = [] then
+    invalid_arg "Traffic.regional_requests: need at least one region";
+  let per_stream =
+    List.concat
+      (List.mapi
+         (fun ri rg ->
+           List.mapi
+             (fun i tn ->
+               let arr, pay, _ = rstreams seed ri i in
+               let rate = tn.tn_rate *. rg.rg_scale in
+               let rec go t id acc =
+                 let u = Rng.float arr 1.0 in
+                 let t = t +. (-.log (1.0 -. u) /. rate) in
+                 if t >= horizon then List.rev acc
+                 else
+                   let payload = (tn.tn_workload.Workloads.w_gen pay 1).(0) in
+                   go t (id + 1)
+                     (( ri,
+                        { Fleet.rq_app = i;
+                          rq_id = (ri lsl region_id_shift) lor id;
+                          rq_arrival = t;
+                          rq_deadline = None;
+                          rq_payload = payload } )
+                     :: acc)
+               in
+               go 0.0 0 [])
+             tenants)
+         regions)
+  in
+  let order (_, (a : Fleet.request)) (_, (b : Fleet.request)) =
+    compare
+      (a.Fleet.rq_arrival, a.Fleet.rq_app, a.Fleet.rq_id)
+      (b.Fleet.rq_arrival, b.Fleet.rq_app, b.Fleet.rq_id)
+  in
+  List.fold_left (List.merge order) [] per_stream
+
 let apps ?trace ~seed tenants =
   Array.of_list
     (List.mapi

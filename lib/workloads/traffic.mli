@@ -28,6 +28,42 @@ val requests :
     across tenants and sorted by (arrival, app, id). Deterministic in
     [(seed, horizon, tenants)]. *)
 
+(** {1 Multi-region traffic}
+
+    The federation's ingress: every (region, tenant) pair owns private
+    SplitMix64 streams derived from [(seed, region index, tenant
+    index)] alone, so adding or removing one region never perturbs
+    another region's schedule (qcheck-proved in [test/test_federation.ml]),
+    exactly as tenants are independent within a region. *)
+
+type region = {
+  rg_name : string;
+  rg_scale : float;  (** Regional rate multiplier (> 0): each tenant
+                         arrives at [tn_rate *. rg_scale] in this
+                         region — skewed regional traffic. *)
+}
+
+val region : ?scale:float -> string -> region
+(** Default scale 1. Raises [Invalid_argument] on a non-positive
+    scale. *)
+
+val region_id_shift : int
+(** Regional request ids are [(region lsl region_id_shift) lor k] with
+    [k] the per-stream counter, keeping (app, id) unique across the
+    federation while remaining decodable. *)
+
+val regional_requests :
+  seed:int ->
+  horizon:float ->
+  region list ->
+  tenant list ->
+  (int * S2fa_fleet.Fleet.request) list
+(** Open-loop arrivals over [\[0, horizon)] for every (region, tenant)
+    pair, tagged with the origin region index and merged into one
+    stream sorted by (arrival, app, id). Deterministic in
+    [(seed, horizon, regions, tenants)]. Raises [Invalid_argument] on a
+    non-positive horizon or an empty region list. *)
+
 val apps :
   ?trace:S2fa_telemetry.Telemetry.t ->
   seed:int -> tenant list -> S2fa_fleet.Fleet.app array

@@ -134,6 +134,29 @@ let test_stats_nan_propagation () =
 let test_stats_geometric_mean () =
   check_float "geomean" 4.0 (Stats.geometric_mean [| 2.0; 8.0 |])
 
+(* The mergeable-percentile path the federation layer uses: merging
+   per-cluster sorted samples must be indistinguishable from pooling
+   all the raw samples and ranking once. *)
+let test_stats_merge_sorted () =
+  let parts =
+    [ [| 5.0; 1.0; 3.0 |]; [||]; [| 2.0; 2.0; 9.0; 0.5 |]; [| 4.0 |] ]
+  in
+  let merged = Stats.merge_sorted (List.map Stats.sorted parts) in
+  let pooled = Stats.sorted (Array.concat parts) in
+  Alcotest.(check (array (float 0.0))) "merge = concat-then-sort"
+    pooled merged;
+  List.iter
+    (fun p ->
+      check_float
+        (Printf.sprintf "p%g via sorted path" p)
+        (Stats.percentile pooled p)
+        (Stats.percentile_sorted merged p))
+    [ 0.0; 50.0; 95.0; 99.0; 100.0 ];
+  Alcotest.(check (array (float 0.0))) "merge of nothing" [||]
+    (Stats.merge_sorted []);
+  check_float "median via merge" 2.0
+    (Stats.percentile_sorted merged 50.0)
+
 let test_stats_p50_p95_p99 () =
   let xs = Array.init 100 (fun i -> float_of_int (i + 1)) in
   check_float "p50" 50.0 (Stats.p50 xs);
@@ -188,6 +211,25 @@ let prop_percentile_is_element =
         (fun p -> Array.exists (fun x -> x = p) xs)
         [ Stats.p50 xs; Stats.p95 xs; Stats.p99 xs ])
 
+(* merge_sorted over any partition of any sample = one global sort, so
+   percentiles computed the federation way (per-shard sort, k-way
+   merge, rank once) equal percentiles over the pooled raw samples. *)
+let prop_merge_sorted_is_global_sort =
+  QCheck.Test.make ~name:"merge of sorted shards = concat-then-rank"
+    ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 0 6)
+        (array_of_size (Gen.int_range 0 20) (float_range (-100.0) 100.0)))
+    (fun parts ->
+      let merged = Stats.merge_sorted (List.map Stats.sorted parts) in
+      let pooled = Stats.sorted (Array.concat parts) in
+      merged = pooled
+      && (Array.length pooled = 0
+         || List.for_all
+              (fun p ->
+                Stats.percentile_sorted merged p = Stats.percentile pooled p)
+              [ 0.0; 50.0; 95.0; 99.0; 100.0 ]))
+
 let prop_rng_int_uniformish =
   QCheck.Test.make ~name:"rng int covers range" ~count:50
     QCheck.(int_range 2 40)
@@ -229,6 +271,7 @@ let () =
           Alcotest.test_case "NaN propagation" `Quick
             test_stats_nan_propagation;
           Alcotest.test_case "geometric mean" `Quick test_stats_geometric_mean;
+          Alcotest.test_case "merge_sorted" `Quick test_stats_merge_sorted;
           Alcotest.test_case "p50/p95/p99" `Quick test_stats_p50_p95_p99
         ] );
       ( "properties",
@@ -238,4 +281,5 @@ let () =
             prop_variance_nonneg;
             prop_percentile_monotone_bounded;
             prop_percentile_is_element;
+            prop_merge_sorted_is_global_sort;
             prop_rng_int_uniformish ] ) ]
